@@ -1,0 +1,75 @@
+// Command aidb-bench regenerates the experiment tables from DESIGN.md's
+// matrix (E1–E23) and prints them, one per experiment.
+//
+// Usage:
+//
+//	aidb-bench                # run everything
+//	aidb-bench -e E7          # run one experiment
+//	aidb-bench -seed 123      # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aidb/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("e", "", "run a single experiment id (e.g. E7 or A2); empty runs all")
+		seed      = flag.Uint64("seed", 20260705, "deterministic seed for all experiments")
+		ablations = flag.Bool("a", false, "run the design-choice ablations (A1..A5) instead of the matrix")
+	)
+	flag.Parse()
+	if *exp != "" && (*exp)[0] == 'A' {
+		t, err := experiments.RunAblation(*exp, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		if !t.Holds {
+			os.Exit(1)
+		}
+		return
+	}
+	if *ablations {
+		failed := 0
+		for _, t := range experiments.RunAllAblations(*seed) {
+			fmt.Println(t.String())
+			if !t.Holds {
+				failed++
+			}
+		}
+		fmt.Printf("%d/%d ablation shapes hold\n", len(experiments.AblationIDs())-failed, len(experiments.AblationIDs()))
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp != "" {
+		t, err := experiments.Run(*exp, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		if !t.Holds {
+			os.Exit(1)
+		}
+		return
+	}
+	failed := 0
+	for _, t := range experiments.RunAll(*seed) {
+		fmt.Println(t.String())
+		if !t.Holds {
+			failed++
+		}
+	}
+	fmt.Printf("%d/%d experiment shapes hold\n", len(experiments.IDs())-failed, len(experiments.IDs()))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

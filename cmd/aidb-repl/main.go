@@ -1,0 +1,70 @@
+// Command aidb-repl is an interactive SQL/AISQL shell over an in-memory
+// aidb instance. Statements end with ';'. Besides standard SQL it
+// supports the DB4AI extension:
+//
+//	CREATE MODEL m PREDICT label ON t FEATURES (a, b) WITH (kind='logistic');
+//	SELECT a, PREDICT(m, a, b) FROM t;
+//	EVALUATE MODEL m ON t;
+//
+// Type \q to quit, \h for help.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"aidb/internal/core"
+)
+
+const help = `Statements end with ';'. Supported:
+  CREATE TABLE t (a INT, b FLOAT, c TEXT);   INSERT INTO t VALUES (...);
+  SELECT ... FROM t [JOIN u ON ...] [WHERE ...] [GROUP BY ...] [ORDER BY ...] [LIMIT n];
+  UPDATE / DELETE / DROP TABLE / ANALYZE t / EXPLAIN SELECT ... / SHOW TABLES;
+  CREATE MODEL m PREDICT label ON t [FEATURES (...)] [WITH (kind='logistic'|'linear'|'tree', epochs=N)];
+  SELECT PREDICT(m, f1, f2) FROM t;  EVALUATE MODEL m ON t;  SHOW MODELS;  DROP MODEL m;
+Meta: \q quit, \h help.`
+
+func main() {
+	db := core.Open()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Println("aidb — AI meets database. \\h for help.")
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("aidb> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, `\quit`, "exit":
+			return
+		case `\h`, `\help`:
+			fmt.Println(help)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		res, err := db.ExecScript(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(core.Format(res))
+		}
+		prompt()
+	}
+}

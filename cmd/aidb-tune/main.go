@@ -1,0 +1,48 @@
+// Command aidb-tune demonstrates autonomous database configuration: it
+// tunes knobs for a sequence of workload phases with the query-aware RL
+// tuner (QTune-style; the critic transfers across phases), then compares
+// against the shipped-defaults and grid-search baselines.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"aidb/internal/knob"
+	"aidb/internal/ml"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 42, "deterministic seed")
+		budget = flag.Int("budget", 120, "benchmark trials per phase")
+	)
+	flag.Parse()
+	phases := []struct {
+		name string
+		mix  knob.WorkloadMix
+	}{
+		{"oltp-morning", knob.WorkloadMix{Write: 0.7, Scan: 0.1, Read: 0.2}},
+		{"mixed-noon", knob.WorkloadMix{Write: 0.4, Scan: 0.3, Read: 0.3}},
+		{"olap-night", knob.WorkloadMix{Write: 0.05, Scan: 0.85, Read: 0.1}},
+	}
+	surface := knob.NewSurface(ml.NewRNG(*seed), 0.01)
+	tuner := &knob.QTune{Rng: ml.NewRNG(*seed + 1)}
+	fmt.Printf("%-14s  %-10s  %-10s  %-10s\n", "phase", "default", "grid", "qtune-rl")
+	for _, ph := range phases {
+		defRegret := surface.Regret(knob.DefaultConfig(), ph.mix)
+		gs := knob.NewSurface(ml.NewRNG(*seed), 0.01)
+		gridCfg := knob.GridSearch{Levels: 3}.Tune(gs, ph.mix, *budget)
+		gridRegret := gs.Regret(gridCfg, ph.mix)
+		cfg := tuner.Tune(surface, ph.mix, *budget)
+		rlRegret := surface.Regret(cfg, ph.mix)
+		fmt.Printf("%-14s  %-10.3f  %-10.3f  %-10.3f\n", ph.name, defRegret, gridRegret, rlRegret)
+	}
+	fmt.Println("\nregret = fraction of peak throughput lost (0 = perfectly tuned)")
+	fmt.Println("the RL tuner reuses its critic across phases — later phases tune faster")
+	fmt.Println("\nrecommended final knobs:")
+	final := tuner.Tune(surface, phases[len(phases)-1].mix, 40)
+	for i, v := range final {
+		fmt.Printf("  %-26s = %.2f\n", knob.KnobNames[i], v)
+	}
+}

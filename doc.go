@@ -1,0 +1,11 @@
+// Package aidb is a from-scratch Go reproduction of "AI Meets Database:
+// AI4DB and DB4AI" (Li, Zhou, Cao — SIGMOD 2021): a relational engine,
+// LSM store, and ML/RL stack, with every learned technique family the
+// tutorial surveys implemented next to the traditional baseline it is
+// claimed to beat. See DESIGN.md for the system inventory and experiment
+// matrix, and EXPERIMENTS.md for regenerated results.
+//
+// The public entry point is internal/core (an AI-native database handle);
+// cmd/aidb-bench regenerates every experiment table; cmd/aidb-repl is an
+// interactive SQL/AISQL shell.
+package aidb

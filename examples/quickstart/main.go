@@ -1,0 +1,56 @@
+// Quickstart: open an aidb database, create a table, load rows, query it
+// with plain SQL, then train and use a model with the AISQL extension —
+// all through the public core API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aidb/internal/core"
+)
+
+func main() {
+	db := core.Open()
+
+	must := func(q string) {
+		if _, err := db.Exec(q); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	// 1. Plain SQL.
+	must("CREATE TABLE customers (age INT, spend FLOAT, churned INT)")
+	for i := 0; i < 200; i++ {
+		age := 20 + (i*7)%60
+		spend := float64((i * 13) % 100)
+		churned := 0
+		if float64(age)+spend > 90 {
+			churned = 1
+		}
+		must(fmt.Sprintf("INSERT INTO customers VALUES (%d, %.1f, %d)", age, spend, churned))
+	}
+	res, err := db.Exec("SELECT churned, COUNT(*), AVG(spend) FROM customers GROUP BY churned ORDER BY churned")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("churn breakdown:")
+	fmt.Print(core.Format(res))
+
+	// 2. Train a model declaratively (DB4AI: no export/import step).
+	must("CREATE MODEL churn PREDICT churned ON customers FEATURES (age, spend) WITH (kind = 'logistic', epochs = 300)")
+	res, err = db.Exec("EVALUATE MODEL churn ON customers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model evaluation:")
+	fmt.Print(core.Format(res))
+
+	// 3. Use the model inside SQL.
+	res, err = db.Exec("SELECT COUNT(*) AS at_risk FROM customers WHERE PREDICT(churn, age, spend) = 1 AND spend > 50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("predicted churners with spend > 50:")
+	fmt.Print(core.Format(res))
+}

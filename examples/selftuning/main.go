@@ -1,0 +1,72 @@
+// Selftuning: the AI4DB loop — an autonomous database that tunes its own
+// knobs for the running workload mix, recommends indexes from the
+// observed query stream, adapts materialized views across a workload
+// shift, and forecasts arrival rates to provision ahead of a spike.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aidb/internal/core"
+	"aidb/internal/knob"
+	"aidb/internal/ml"
+	"aidb/internal/viewadvisor"
+	"aidb/internal/workload"
+)
+
+func main() {
+	db := core.OpenSeeded(7)
+
+	// --- Knob tuning: the RL tuner vs shipped defaults ---
+	mix := knob.WorkloadMix{Write: 0.6, Scan: 0.2, Read: 0.2}
+	rep := db.Tune(mix, 150)
+	fmt.Printf("knob tuning: regret vs optimal = %.3f (0 = perfect)\n", rep.RegretVsOptimal)
+	fmt.Printf("  e.g. %s=%.2f  %s=%.2f\n\n",
+		knob.KnobNames[0], rep.Config[0], knob.KnobNames[1], rep.Config[1])
+
+	// --- Index advising from an observed query stream ---
+	if _, err := db.Exec("CREATE TABLE events (user_id INT, kind INT, ts INT, payload TEXT)"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO events VALUES (%d, %d, %d, 'e')", i%50, i%5, i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := db.Exec("ANALYZE events"); err != nil {
+		log.Fatal(err)
+	}
+	// The observed workload hits user_id with selective predicates.
+	var qs []workload.Query
+	for i := 0; i < 150; i++ {
+		qs = append(qs, workload.Query{Preds: []workload.Predicate{{Column: 0, Lo: int64(i % 45), Hi: int64(i%45 + 1)}}})
+	}
+	advice, err := db.AdviseIndexes("events", qs, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("index advisor recommends:")
+	for _, a := range advice {
+		fmt.Printf("  CREATE INDEX ON %s (%s)\n", a.Table, a.Column)
+	}
+	fmt.Println()
+
+	// --- View advising across a workload shift ---
+	env := viewadvisor.Env{NumTemplates: 8, ScanCost: 100, ViewCost: 5, MaintCost: 250}
+	hotA := []float64{40, 30, 1, 1, 1, 1, 1, 1}
+	hotB := []float64{1, 1, 1, 1, 1, 1, 40, 30}
+	phases := []viewadvisor.Phase{{Rates: hotA, Epochs: 8}, {Rates: hotB, Epochs: 8}}
+	static := viewadvisor.Simulate(ml.NewRNG(1), env, phases, viewadvisor.NewStaticGreedy(env), 2)
+	adaptive := viewadvisor.Simulate(ml.NewRNG(1), env, phases, viewadvisor.NewRL(ml.NewRNG(2), env), 2)
+	fmt.Printf("materialized views under drift: static cost %.0f, adaptive RL cost %.0f (oracle %.0f)\n\n",
+		static.TotalCost, adaptive.TotalCost, adaptive.OracleCost)
+
+	// --- Workload forecasting ---
+	history := workload.ArrivalSeries(ml.NewRNG(3), workload.Diurnal, 400, 120)
+	next, err := db.ForecastWorkload(history, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forecast: current rate %.0f qps, predicted in 4 ticks: %.0f qps\n", history[len(history)-1], next)
+}

@@ -1,0 +1,3 @@
+module aidb
+
+go 1.22

@@ -1,0 +1,79 @@
+package aisql
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Engine-level wall-clock benchmarks: selective queries with and without
+// a secondary index, and PREDICT-in-SQL throughput.
+
+func benchEngine(b *testing.B, rows int, withIndex bool) *Engine {
+	b.Helper()
+	e := NewEngine()
+	if _, err := e.Execute("CREATE TABLE items (id INT, qty INT, name TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := e.Execute(fmt.Sprintf("INSERT INTO items VALUES (%d, %d, 'n')", i, i%10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if withIndex {
+		if _, err := e.Execute("CREATE INDEX idx_id ON items (id)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+func BenchmarkSelectiveQueryFullScan(b *testing.B) {
+	e := benchEngine(b, 20000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute("SELECT name FROM items WHERE id = 12345"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectiveQueryIndexed(b *testing.B) {
+	e := benchEngine(b, 20000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute("SELECT name FROM items WHERE id = 12345"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeQueryIndexed(b *testing.B) {
+	e := benchEngine(b, 20000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute("SELECT COUNT(*) FROM items WHERE id BETWEEN 5000 AND 5100"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictInSQL(b *testing.B) {
+	e := NewEngine()
+	e.Execute("CREATE TABLE c (age INT, spend FLOAT, label INT)")
+	for i := 0; i < 1000; i++ {
+		lbl := 0
+		if i%3 == 0 {
+			lbl = 1
+		}
+		e.Execute(fmt.Sprintf("INSERT INTO c VALUES (%d, %d.5, %d)", 20+i%60, i%100, lbl))
+	}
+	if _, err := e.Execute("CREATE MODEL m PREDICT label ON c WITH (kind = 'tree')"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute("SELECT COUNT(*) FROM c WHERE PREDICT(m, age, spend) = 1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

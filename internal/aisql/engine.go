@@ -1,0 +1,498 @@
+package aisql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"aidb/internal/catalog"
+	"aidb/internal/exec"
+	"aidb/internal/plan"
+	"aidb/internal/sql"
+	"aidb/internal/storage"
+)
+
+// Engine executes SQL and AISQL statements against a catalog. It is the
+// end-to-end database handle: parser -> planner -> executor, with the
+// model registry wired into the executor's scalar-function table so
+// PREDICT(model, features...) works inside any query.
+type Engine struct {
+	Cat *catalog.Catalog
+
+	mu      sync.RWMutex
+	models  map[string]*Model
+	indexes map[string]*secondaryIndex
+}
+
+// NewEngine creates an engine over an in-memory catalog.
+func NewEngine() *Engine {
+	return &Engine{Cat: catalog.NewMem(), models: map[string]*Model{}}
+}
+
+// NewEngineWith uses an existing catalog.
+func NewEngineWith(cat *catalog.Catalog) *Engine {
+	return &Engine{Cat: cat, models: map[string]*Model{}}
+}
+
+// RetrainModel refits a registered model on the current contents of its
+// training table — the paper's §2.3 in-database-training challenge of
+// "updating a model when the data is dynamically updated". The model is
+// swapped atomically; concurrent PREDICT calls see either the old or the
+// new version, never a partially trained one.
+func (e *Engine) RetrainModel(name string) error {
+	old, err := e.Model(name)
+	if err != nil {
+		return err
+	}
+	t, err := e.Cat.Table(old.Table)
+	if err != nil {
+		return err
+	}
+	fresh, err := TrainModel(old.Name, old.Kind, t, old.Features, old.Label, nil)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.models[name] = fresh
+	e.mu.Unlock()
+	return nil
+}
+
+// Model returns a registered model.
+func (e *Engine) Model(name string) (*Model, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	m, ok := e.models[name]
+	if !ok {
+		return nil, fmt.Errorf("aisql: model %q does not exist", name)
+	}
+	return m, nil
+}
+
+// Models lists registered model names in sorted order.
+func (e *Engine) Models() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.models))
+	for n := range e.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// funcs builds the scalar-function registry, including PREDICT and
+// PREDICT_PROBA. The first argument of each is the model name (a column
+// reference lexically, so it arrives as a string via special handling in
+// Execute; here it is matched as a string value).
+func (e *Engine) funcs() exec.FuncRegistry {
+	predict := func(proba bool) exec.ScalarFunc {
+		return func(args []catalog.Value) (catalog.Value, error) {
+			if len(args) < 2 {
+				return nil, fmt.Errorf("aisql: PREDICT needs a model and at least one feature")
+			}
+			name, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("aisql: PREDICT's first argument must be a model name")
+			}
+			m, err := e.Model(name)
+			if err != nil {
+				return nil, err
+			}
+			f := make([]float64, len(args)-1)
+			for i, a := range args[1:] {
+				v, err := toF64(a)
+				if err != nil {
+					return nil, fmt.Errorf("aisql: PREDICT feature %d: %w", i, err)
+				}
+				f[i] = v
+			}
+			if proba {
+				return m.PredictProba(f)
+			}
+			v, err := m.Predict(f)
+			if err != nil {
+				return nil, err
+			}
+			return v, nil
+		}
+	}
+	return exec.FuncRegistry{
+		"PREDICT":       predict(false),
+		"PREDICT_PROBA": predict(true),
+	}
+}
+
+// Execute parses and runs one statement, returning a result set (possibly
+// empty for DDL/DML).
+func (e *Engine) Execute(query string) (*exec.Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(stmt)
+}
+
+// ExecuteScript runs a ';'-separated script, returning the last result.
+func (e *Engine) ExecuteScript(script string) (*exec.Result, error) {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return nil, err
+	}
+	var last *exec.Result
+	for _, s := range stmts {
+		last, err = e.ExecuteStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecuteStmt runs one parsed statement.
+func (e *Engine) ExecuteStmt(stmt sql.Statement) (*exec.Result, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTableStmt:
+		return e.createTable(s)
+	case *sql.InsertStmt:
+		return e.insert(s)
+	case *sql.SelectStmt:
+		return e.query(s)
+	case *sql.UpdateStmt:
+		return e.update(s)
+	case *sql.DeleteStmt:
+		return e.delete(s)
+	case *sql.CreateIndexStmt:
+		return emptyResult(), e.createIndex(s.Name, s.Table, s.Column)
+	case *sql.DropTableStmt:
+		e.mu.Lock()
+		for key, si := range e.indexes {
+			if si.table == s.Name {
+				delete(e.indexes, key)
+			}
+		}
+		e.mu.Unlock()
+		return emptyResult(), e.Cat.DropTable(s.Name)
+	case *sql.CreateModelStmt:
+		return e.createModel(s)
+	case *sql.EvaluateModelStmt:
+		return e.evaluateModel(s)
+	case *sql.DropModelStmt:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if _, ok := e.models[s.Name]; !ok {
+			return nil, fmt.Errorf("aisql: model %q does not exist", s.Name)
+		}
+		delete(e.models, s.Name)
+		return emptyResult(), nil
+	case *sql.ShowStmt:
+		res := &exec.Result{Columns: []string{strings.ToLower(s.What)}}
+		var names []string
+		if s.What == "TABLES" {
+			names = e.Cat.Tables()
+		} else {
+			names = e.Models()
+		}
+		for _, n := range names {
+			res.Rows = append(res.Rows, catalog.Row{n})
+		}
+		return res, nil
+	case *sql.ExplainStmt:
+		sel, ok := s.Inner.(*sql.SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("aisql: EXPLAIN supports only SELECT")
+		}
+		p, err := plan.Build(e.Cat, e.rewritePredicts(sel))
+		if err != nil {
+			return nil, err
+		}
+		// Show the plan exactly as the query path would execute it.
+		p = plan.OptimizeFilters(p)
+		p = plan.UseIndexes(p, e.indexLookup())
+		return &exec.Result{Columns: []string{"plan"}, Rows: []catalog.Row{{plan.Explain(p)}}}, nil
+	case *sql.AnalyzeStmt:
+		t, err := e.Cat.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		return emptyResult(), t.Analyze(32, 8)
+	default:
+		return nil, fmt.Errorf("aisql: unsupported statement %T", stmt)
+	}
+}
+
+func emptyResult() *exec.Result { return &exec.Result{} }
+
+func (e *Engine) createTable(s *sql.CreateTableStmt) (*exec.Result, error) {
+	var schema catalog.Schema
+	for _, c := range s.Columns {
+		var t catalog.ColType
+		switch c.Type {
+		case "INT":
+			t = catalog.Int64
+		case "FLOAT":
+			t = catalog.Float64
+		default:
+			t = catalog.String
+		}
+		schema.Columns = append(schema.Columns, catalog.Column{Name: c.Name, Type: t})
+	}
+	_, err := e.Cat.CreateTable(s.Name, schema)
+	return emptyResult(), err
+}
+
+func (e *Engine) insert(s *sql.InsertStmt) (*exec.Result, error) {
+	t, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(t.Schema.Columns) {
+			return nil, fmt.Errorf("aisql: INSERT has %d values for %d columns", len(exprRow), len(t.Schema.Columns))
+		}
+		row := make(catalog.Row, len(exprRow))
+		for i, ex := range exprRow {
+			v, err := exec.Eval(ex, exec.NewScope(nil), nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("aisql: INSERT value %d: %w", i, err)
+			}
+			row[i], err = coerce(v, t.Schema.Columns[i].Type)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rid, err := t.Insert(row)
+		if err != nil {
+			return nil, err
+		}
+		e.syncIndexesInsert(t.Name, rid, row)
+	}
+	return emptyResult(), nil
+}
+
+func coerce(v catalog.Value, t catalog.ColType) (catalog.Value, error) {
+	switch t {
+	case catalog.Int64:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		}
+	case catalog.Float64:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		}
+	case catalog.String:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("aisql: cannot store %T as %v", v, t)
+}
+
+// rewritePredicts converts PREDICT(model, ...) calls whose first argument
+// parsed as a bare column reference into a string literal (the model
+// name), so evaluation sees the registry key.
+func (e *Engine) rewritePredicts(s *sql.SelectStmt) *sql.SelectStmt {
+	for i := range s.Items {
+		s.Items[i].Expr = rewriteExpr(s.Items[i].Expr)
+	}
+	if s.Where != nil {
+		s.Where = rewriteExpr(s.Where)
+	}
+	for i := range s.GroupBy {
+		s.GroupBy[i] = rewriteExpr(s.GroupBy[i])
+	}
+	for i := range s.OrderBy {
+		s.OrderBy[i].Expr = rewriteExpr(s.OrderBy[i].Expr)
+	}
+	return s
+}
+
+func rewriteExpr(ex sql.Expr) sql.Expr {
+	switch v := ex.(type) {
+	case *sql.FuncCall:
+		if (v.Name == "PREDICT" || v.Name == "PREDICT_PROBA") && len(v.Args) > 0 {
+			if c, ok := v.Args[0].(*sql.ColumnRef); ok && c.Table == "" {
+				v.Args[0] = &sql.StringLit{Value: c.Column}
+			}
+		}
+		for i := range v.Args {
+			v.Args[i] = rewriteExpr(v.Args[i])
+		}
+	case *sql.BinaryExpr:
+		v.Left = rewriteExpr(v.Left)
+		v.Right = rewriteExpr(v.Right)
+	case *sql.NotExpr:
+		v.Inner = rewriteExpr(v.Inner)
+	case *sql.BetweenExpr:
+		v.Subject = rewriteExpr(v.Subject)
+		v.Lo = rewriteExpr(v.Lo)
+		v.Hi = rewriteExpr(v.Hi)
+	}
+	return ex
+}
+
+func (e *Engine) query(s *sql.SelectStmt) (*exec.Result, error) {
+	p, err := plan.Build(e.Cat, e.rewritePredicts(s))
+	if err != nil {
+		return nil, err
+	}
+	// AI-operator pushdown: run cheap relational predicates before model
+	// invocations (the executor short-circuits conjunctions).
+	p = plan.OptimizeFilters(p)
+	// Secondary-index access paths for filters over indexed columns.
+	p = plan.UseIndexes(p, e.indexLookup())
+	return exec.New(e.funcs()).Run(p)
+}
+
+func (e *Engine) update(s *sql.UpdateStmt) (*exec.Result, error) {
+	t, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	scope := exec.NewScope(schemaNames(t))
+	type change struct {
+		rid    storage.RecordID
+		oldRow catalog.Row
+		row    catalog.Row
+	}
+	var changes []change
+	scanErr := t.Scan(func(rid storage.RecordID, row catalog.Row) bool {
+		if s.Where != nil {
+			ok, err := exec.EvalBool(s.Where, scope, row, e.funcs())
+			if err != nil || !ok {
+				return true
+			}
+		}
+		newRow := append(catalog.Row{}, row...)
+		for col, ex := range s.Set {
+			idx := t.Schema.ColIndex(col)
+			if idx < 0 {
+				return true
+			}
+			v, err := exec.Eval(ex, scope, row, e.funcs())
+			if err != nil {
+				return true
+			}
+			cv, err := coerce(v, t.Schema.Columns[idx].Type)
+			if err != nil {
+				return true
+			}
+			newRow[idx] = cv
+		}
+		changes = append(changes, change{rid, row, newRow})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for _, ch := range changes {
+		if err := t.Delete(ch.rid); err != nil {
+			return nil, err
+		}
+		e.syncIndexesDelete(t.Name, ch.rid, ch.oldRow)
+		newRid, err := t.Insert(ch.row)
+		if err != nil {
+			return nil, err
+		}
+		e.syncIndexesInsert(t.Name, newRid, ch.row)
+	}
+	return emptyResult(), nil
+}
+
+func (e *Engine) delete(s *sql.DeleteStmt) (*exec.Result, error) {
+	t, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	scope := exec.NewScope(schemaNames(t))
+	type victim struct {
+		rid storage.RecordID
+		row catalog.Row
+	}
+	var victims []victim
+	scanErr := t.Scan(func(rid storage.RecordID, row catalog.Row) bool {
+		if s.Where != nil {
+			ok, err := exec.EvalBool(s.Where, scope, row, e.funcs())
+			if err != nil || !ok {
+				return true
+			}
+		}
+		victims = append(victims, victim{rid, row})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for _, v := range victims {
+		if err := t.Delete(v.rid); err != nil {
+			return nil, err
+		}
+		e.syncIndexesDelete(t.Name, v.rid, v.row)
+	}
+	return emptyResult(), nil
+}
+
+func schemaNames(t *catalog.Table) []string {
+	names := make([]string, len(t.Schema.Columns))
+	for i, c := range t.Schema.Columns {
+		names[i] = t.Name + "." + c.Name
+	}
+	return names
+}
+
+func (e *Engine) createModel(s *sql.CreateModelStmt) (*exec.Result, error) {
+	t, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := ParseModelKind(s.Options["kind"])
+	if err != nil {
+		return nil, err
+	}
+	features := s.Features
+	if len(features) == 0 {
+		// Default: all numeric columns except the label.
+		for _, c := range t.Schema.Columns {
+			if c.Name != s.Label && c.Type != catalog.String {
+				features = append(features, c.Name)
+			}
+		}
+	}
+	m, err := TrainModel(s.Name, kind, t, features, s.Label, s.Options)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.models[s.Name]; ok {
+		return nil, fmt.Errorf("aisql: model %q already exists", s.Name)
+	}
+	e.models[s.Name] = m
+	return emptyResult(), nil
+}
+
+func (e *Engine) evaluateModel(s *sql.EvaluateModelStmt) (*exec.Result, error) {
+	m, err := e.Model(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	t, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	met, err := m.Evaluate(t)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Result{
+		Columns: []string{"rows", "accuracy", "mse"},
+		Rows:    []catalog.Row{{int64(met.Rows), met.Accuracy, met.MSE}},
+	}, nil
+}

@@ -1,0 +1,179 @@
+package aisql
+
+import (
+	"fmt"
+	"sync"
+
+	"aidb/internal/catalog"
+	"aidb/internal/index"
+	"aidb/internal/plan"
+	"aidb/internal/storage"
+)
+
+// Secondary-index support for the engine: CREATE INDEX builds a B+tree
+// over an Int64 column; the planner rewrites eligible filters into index
+// range scans; DML keeps indexes synchronized.
+//
+// Duplicate column values are handled by keying the B+tree on
+// (value << 20 | rowSeq), a standard composite-key trick; the fetch path
+// masks the sequence back off.
+
+const dupBits = 20
+
+type secondaryIndex struct {
+	mu     sync.RWMutex
+	table  string
+	column int
+	tree   *index.BTree
+	// rows maps a dense row sequence to the heap record id.
+	rows map[uint64]storage.RecordID
+	next uint64
+}
+
+func (si *secondaryIndex) insert(value int64, rid storage.RecordID) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	seq := si.next & (1<<dupBits - 1)
+	si.next++
+	si.tree.Put(value<<dupBits|int64(seq), uint64(rid.Page)<<16|uint64(rid.Slot))
+	si.rows[uint64(rid.Page)<<16|uint64(rid.Slot)] = rid
+}
+
+func (si *secondaryIndex) remove(value int64, rid storage.RecordID) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	packed := uint64(rid.Page)<<16 | uint64(rid.Slot)
+	// Scan the duplicate band for this value and delete the matching entry.
+	var delKey int64
+	found := false
+	si.tree.Range(value<<dupBits, value<<dupBits|(1<<dupBits-1), func(k int64, v uint64) bool {
+		if v == packed {
+			delKey, found = k, true
+			return false
+		}
+		return true
+	})
+	if found {
+		si.tree.Delete(delKey)
+		delete(si.rows, packed)
+	}
+}
+
+// maxIndexable bounds indexable values so the composite (value, seq) key
+// cannot overflow int64.
+const maxIndexable = int64(1) << 42
+
+// fetch streams rows with lo <= column value <= hi in value order.
+func (si *secondaryIndex) fetch(t *catalog.Table) func(lo, hi int64, fn func(row catalog.Row) bool) error {
+	return func(lo, hi int64, fn func(row catalog.Row) bool) error {
+		if lo < -maxIndexable {
+			lo = -maxIndexable
+		}
+		if hi > maxIndexable {
+			hi = maxIndexable
+		}
+		if lo > hi {
+			return nil
+		}
+		si.mu.RLock()
+		type hit struct{ rid storage.RecordID }
+		var hits []hit
+		si.tree.Range(lo<<dupBits, hi<<dupBits|(1<<dupBits-1), func(k int64, v uint64) bool {
+			hits = append(hits, hit{storage.RecordID{Page: storage.PageID(v >> 16), Slot: int(v & 0xFFFF)}})
+			return true
+		})
+		si.mu.RUnlock()
+		for _, h := range hits {
+			row, err := t.Get(h.rid)
+			if err != nil {
+				return fmt.Errorf("aisql: index fetch: %w", err)
+			}
+			if !fn(row) {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// createIndex builds a secondary index over an existing table column.
+func (e *Engine) createIndex(name, table, column string) error {
+	t, err := e.Cat.Table(table)
+	if err != nil {
+		return err
+	}
+	col := t.Schema.ColIndex(column)
+	if col < 0 {
+		return fmt.Errorf("aisql: column %q not found in %q", column, table)
+	}
+	if t.Schema.Columns[col].Type != catalog.Int64 {
+		return fmt.Errorf("aisql: only INT columns can be indexed, %q is %v", column, t.Schema.Columns[col].Type)
+	}
+	e.mu.Lock()
+	if e.indexes == nil {
+		e.indexes = map[string]*secondaryIndex{}
+	}
+	key := table + "." + column
+	if _, ok := e.indexes[key]; ok {
+		e.mu.Unlock()
+		return fmt.Errorf("aisql: index on %s already exists", key)
+	}
+	si := &secondaryIndex{table: table, column: col, tree: index.NewBTree(64), rows: map[uint64]storage.RecordID{}}
+	e.indexes[key] = si
+	e.mu.Unlock()
+	// Backfill from the heap.
+	return t.Scan(func(rid storage.RecordID, row catalog.Row) bool {
+		si.insert(row[col].(int64), rid)
+		return true
+	})
+}
+
+// indexFor returns the secondary index for (table, column position).
+func (e *Engine) indexFor(table string, col int) *secondaryIndex {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, si := range e.indexes {
+		if si.table == table && si.column == col {
+			return si
+		}
+	}
+	return nil
+}
+
+// indexLookup adapts the engine's indexes to the planner's interface.
+func (e *Engine) indexLookup() plan.IndexLookup {
+	return func(table string, col int) func(lo, hi int64, fn func(row catalog.Row) bool) error {
+		si := e.indexFor(table, col)
+		if si == nil {
+			return nil
+		}
+		t, err := e.Cat.Table(table)
+		if err != nil {
+			return nil
+		}
+		return si.fetch(t)
+	}
+}
+
+// syncIndexesInsert records a freshly inserted row in all indexes on the
+// table.
+func (e *Engine) syncIndexesInsert(table string, rid storage.RecordID, row catalog.Row) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, si := range e.indexes {
+		if si.table == table {
+			si.insert(row[si.column].(int64), rid)
+		}
+	}
+}
+
+// syncIndexesDelete removes a deleted row from all indexes on the table.
+func (e *Engine) syncIndexesDelete(table string, rid storage.RecordID, row catalog.Row) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, si := range e.indexes {
+		if si.table == table {
+			si.remove(row[si.column].(int64), rid)
+		}
+	}
+}

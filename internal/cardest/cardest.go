@@ -1,0 +1,251 @@
+// Package cardest implements cardinality estimation for conjunctive range
+// queries: the traditional histogram + attribute-independence baseline, a
+// uniform-sampling baseline, an MLP-based learned estimator trained on
+// (query, true cardinality) pairs in the style of learned cost estimators
+// (Sun & Li, PVLDB'19), and a QuickSel-style mixture-of-uniform-boxes
+// model fit by least squares. Experiment E6 compares their q-errors on
+// correlated data, where the independence assumption collapses.
+package cardest
+
+import (
+	"errors"
+	"math"
+
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// Estimator predicts the number of rows matching a query.
+type Estimator interface {
+	// Estimate returns the predicted cardinality for q.
+	Estimate(q workload.Query) float64
+	// Name identifies the estimator in experiment output.
+	Name() string
+}
+
+// HistogramEstimator is the traditional baseline: per-column equi-width
+// histograms combined under the independence assumption.
+type HistogramEstimator struct {
+	rows  int
+	hists []*histogram
+}
+
+type histogram struct {
+	min, max int64
+	buckets  []float64
+	total    float64
+}
+
+// NewHistogramEstimator builds per-column histograms over t.
+func NewHistogramEstimator(t *workload.Table, buckets int) *HistogramEstimator {
+	e := &HistogramEstimator{rows: t.NumRows()}
+	for _, col := range t.Cols {
+		h := &histogram{buckets: make([]float64, buckets)}
+		if len(col) > 0 {
+			h.min, h.max = col[0], col[0]
+			for _, v := range col {
+				if v < h.min {
+					h.min = v
+				}
+				if v > h.max {
+					h.max = v
+				}
+			}
+			w := h.width()
+			for _, v := range col {
+				b := int((v - h.min) / w)
+				if b >= buckets {
+					b = buckets - 1
+				}
+				h.buckets[b]++
+				h.total++
+			}
+		}
+		e.hists = append(e.hists, h)
+	}
+	return e
+}
+
+func (h *histogram) width() int64 {
+	w := (h.max - h.min + 1) / int64(len(h.buckets))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (h *histogram) selectivity(lo, hi int64) float64 {
+	if h.total == 0 || hi < h.min || lo > h.max {
+		return 0
+	}
+	if lo < h.min {
+		lo = h.min
+	}
+	if hi > h.max {
+		hi = h.max
+	}
+	w := h.width()
+	est := 0.0
+	for b, cnt := range h.buckets {
+		bLo := h.min + int64(b)*w
+		bHi := bLo + w - 1
+		if b == len(h.buckets)-1 {
+			bHi = h.max
+		}
+		if bHi < lo || bLo > hi {
+			continue
+		}
+		ovLo, ovHi := lo, hi
+		if bLo > ovLo {
+			ovLo = bLo
+		}
+		if bHi < ovHi {
+			ovHi = bHi
+		}
+		est += cnt * float64(ovHi-ovLo+1) / float64(bHi-bLo+1)
+	}
+	return est / h.total
+}
+
+// Name implements Estimator.
+func (e *HistogramEstimator) Name() string { return "histogram-independence" }
+
+// Estimate implements Estimator.
+func (e *HistogramEstimator) Estimate(q workload.Query) float64 {
+	sel := 1.0
+	for _, p := range q.Preds {
+		sel *= e.hists[p.Column].selectivity(p.Lo, p.Hi)
+	}
+	return sel * float64(e.rows)
+}
+
+// SamplingEstimator evaluates queries on a uniform row sample.
+type SamplingEstimator struct {
+	sample *workload.Table
+	scale  float64
+}
+
+// NewSamplingEstimator draws a sample of the given size from t.
+func NewSamplingEstimator(rng *ml.RNG, t *workload.Table, size int) *SamplingEstimator {
+	n := t.NumRows()
+	if size > n {
+		size = n
+	}
+	idx := rng.Perm(n)[:size]
+	s := &workload.Table{Spec: t.Spec, Cols: make([][]int64, len(t.Cols))}
+	for c := range t.Cols {
+		s.Cols[c] = make([]int64, size)
+		for i, r := range idx {
+			s.Cols[c][i] = t.Cols[c][r]
+		}
+	}
+	return &SamplingEstimator{sample: s, scale: float64(n) / float64(size)}
+}
+
+// Name implements Estimator.
+func (e *SamplingEstimator) Name() string { return "sampling" }
+
+// Estimate implements Estimator.
+func (e *SamplingEstimator) Estimate(q workload.Query) float64 {
+	return float64(workload.TrueCardinality(e.sample, q)) * e.scale
+}
+
+// MLPEstimator is the learned estimator: a small MLP over a fixed-width
+// featurization of the predicate ranges, trained to predict
+// log(1 + cardinality) from executed queries.
+type MLPEstimator struct {
+	net     *ml.MLP
+	numCols int
+	ndv     []float64
+	rows    float64
+}
+
+// NewMLPEstimator creates an untrained estimator for a table spec.
+func NewMLPEstimator(rng *ml.RNG, spec workload.TableSpec, hidden int) *MLPEstimator {
+	nc := len(spec.Columns)
+	e := &MLPEstimator{
+		numCols: nc,
+		ndv:     make([]float64, nc),
+		rows:    float64(spec.Rows),
+	}
+	for i, c := range spec.Columns {
+		e.ndv[i] = float64(c.NDV)
+	}
+	// Features per column: lo, hi, width (all normalized) => 3*nc inputs.
+	e.net = ml.NewMLP(rng, ml.ReLU, 3*nc, hidden, hidden, 1)
+	e.net.LearningRate = 0.01
+	return e
+}
+
+// Featurize encodes a query: per column normalized (lo, hi, width), with
+// unused columns encoded as the full range.
+func (e *MLPEstimator) Featurize(q workload.Query) []float64 {
+	f := make([]float64, 3*e.numCols)
+	for c := 0; c < e.numCols; c++ {
+		f[3*c] = 0
+		f[3*c+1] = 1
+		f[3*c+2] = 1
+	}
+	for _, p := range q.Preds {
+		ndv := e.ndv[p.Column]
+		lo := float64(p.Lo) / ndv
+		hi := float64(p.Hi+1) / ndv
+		f[3*p.Column] = lo
+		f[3*p.Column+1] = hi
+		f[3*p.Column+2] = hi - lo
+	}
+	return f
+}
+
+// Train fits the network on queries with known true cardinalities.
+func (e *MLPEstimator) Train(rng *ml.RNG, queries []workload.Query, truths []int, epochs int) error {
+	if len(queries) != len(truths) {
+		return errors.New("cardest: query/truth length mismatch")
+	}
+	if len(queries) == 0 {
+		return errors.New("cardest: no training queries")
+	}
+	x := ml.NewMatrix(len(queries), 3*e.numCols)
+	y := make([]float64, len(queries))
+	for i, q := range queries {
+		copy(x.Row(i), e.Featurize(q))
+		y[i] = math.Log1p(float64(truths[i]))
+	}
+	e.net.Epochs = epochs
+	_, err := e.net.TrainScalar(rng, x, y)
+	return err
+}
+
+// Name implements Estimator.
+func (e *MLPEstimator) Name() string { return "learned-mlp" }
+
+// Estimate implements Estimator.
+func (e *MLPEstimator) Estimate(q workload.Query) float64 {
+	logCard := e.net.Predict1(e.Featurize(q))
+	card := math.Expm1(logCard)
+	if card < 0 {
+		card = 0
+	}
+	if card > e.rows {
+		card = e.rows
+	}
+	return card
+}
+
+// Evaluate runs every estimator over the query set and returns q-error
+// summaries keyed by estimator name.
+func Evaluate(t *workload.Table, queries []workload.Query, ests ...Estimator) map[string]ml.QErrorStats {
+	out := make(map[string]ml.QErrorStats, len(ests))
+	truths := make([]float64, len(queries))
+	for i, q := range queries {
+		truths[i] = float64(workload.TrueCardinality(t, q))
+	}
+	for _, e := range ests {
+		qs := make([]float64, len(queries))
+		for i, q := range queries {
+			qs[i] = ml.QError(e.Estimate(q), truths[i])
+		}
+		out[e.Name()] = ml.SummarizeQErrors(qs)
+	}
+	return out
+}

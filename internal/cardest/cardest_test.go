@@ -1,0 +1,181 @@
+package cardest
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// corrSpec builds a table whose second column tightly tracks the first —
+// the adversarial case for the independence assumption.
+func corrSpec(rows int) workload.TableSpec {
+	return workload.TableSpec{
+		Name: "corr",
+		Rows: rows,
+		Columns: []workload.Column{
+			{Name: "a", NDV: 100, CorrelatedWith: -1},
+			{Name: "b", NDV: 100, CorrelatedWith: 0, CorrNoise: 3},
+		},
+	}
+}
+
+func indepSpec(rows int) workload.TableSpec {
+	return workload.TableSpec{
+		Name: "indep",
+		Rows: rows,
+		Columns: []workload.Column{
+			{Name: "a", NDV: 100, CorrelatedWith: -1},
+			{Name: "b", NDV: 100, CorrelatedWith: -1},
+		},
+	}
+}
+
+func genQueries(rng *ml.RNG, spec workload.TableSpec, n int, preds int) []workload.Query {
+	g := workload.NewQueryGen(rng, spec)
+	g.MinPreds, g.MaxPreds = preds, preds
+	qs := make([]workload.Query, n)
+	for i := range qs {
+		qs[i] = g.Next()
+	}
+	return qs
+}
+
+func truthsFor(t *workload.Table, qs []workload.Query) []int {
+	out := make([]int, len(qs))
+	for i, q := range qs {
+		out[i] = workload.TrueCardinality(t, q)
+	}
+	return out
+}
+
+func TestHistogramAccurateSingleColumn(t *testing.T) {
+	rng := ml.NewRNG(1)
+	spec := indepSpec(20000)
+	tab := workload.Generate(rng, spec)
+	est := NewHistogramEstimator(tab, 32)
+	qs := genQueries(rng, spec, 50, 1)
+	for _, q := range qs {
+		truth := float64(workload.TrueCardinality(tab, q))
+		if qe := ml.QError(est.Estimate(q), truth); qe > 3 {
+			t.Errorf("single-predicate q-error = %v for %s (truth %v)", qe, q, truth)
+		}
+	}
+}
+
+func TestHistogramIndependenceBreaksOnCorrelation(t *testing.T) {
+	rng := ml.NewRNG(2)
+	spec := corrSpec(20000)
+	tab := workload.Generate(rng, spec)
+	est := NewHistogramEstimator(tab, 32)
+	// Query both correlated columns on the same narrow range: true
+	// cardinality ~ single-column selectivity, but independence predicts
+	// the product (far smaller).
+	q := workload.Query{Preds: []workload.Predicate{
+		{Column: 0, Lo: 40, Hi: 49},
+		{Column: 1, Lo: 40, Hi: 49},
+	}}
+	truth := float64(workload.TrueCardinality(tab, q))
+	qe := ml.QError(est.Estimate(q), truth)
+	if qe < 3 {
+		t.Errorf("q-error = %v; correlation should break independence badly", qe)
+	}
+}
+
+func TestMLPEstimatorBeatsHistogramOnCorrelated(t *testing.T) {
+	rng := ml.NewRNG(3)
+	spec := corrSpec(10000)
+	tab := workload.Generate(rng, spec)
+	train := genQueries(rng, spec, 400, 2)
+	test := genQueries(rng, spec, 100, 2)
+	mlp := NewMLPEstimator(rng, spec, 32)
+	if err := mlp.Train(rng, train, truthsFor(tab, train), 60); err != nil {
+		t.Fatal(err)
+	}
+	hist := NewHistogramEstimator(tab, 32)
+	res := Evaluate(tab, test, mlp, hist)
+	l, h := res["learned-mlp"], res["histogram-independence"]
+	t.Logf("learned median q-error %.2f vs histogram %.2f", l.Median, h.Median)
+	if l.Median >= h.Median {
+		t.Errorf("learned median q-error %.2f should beat histogram %.2f on correlated data", l.Median, h.Median)
+	}
+}
+
+func TestHistogramFineOnIndependent(t *testing.T) {
+	rng := ml.NewRNG(4)
+	spec := indepSpec(10000)
+	tab := workload.Generate(rng, spec)
+	test := genQueries(rng, spec, 100, 2)
+	hist := NewHistogramEstimator(tab, 32)
+	res := Evaluate(tab, test, hist)
+	if res["histogram-independence"].Median > 3 {
+		t.Errorf("histogram median q-error = %v on independent data, want small", res["histogram-independence"].Median)
+	}
+}
+
+func TestSamplingEstimator(t *testing.T) {
+	rng := ml.NewRNG(5)
+	spec := corrSpec(20000)
+	tab := workload.Generate(rng, spec)
+	est := NewSamplingEstimator(rng, tab, 2000)
+	q := workload.Query{Preds: []workload.Predicate{{Column: 0, Lo: 0, Hi: 30}}}
+	truth := float64(workload.TrueCardinality(tab, q))
+	if qe := ml.QError(est.Estimate(q), truth); qe > 2 {
+		t.Errorf("sampling q-error = %v on a wide predicate", qe)
+	}
+}
+
+func TestMixtureEstimatorLearnsCorrelation(t *testing.T) {
+	rng := ml.NewRNG(6)
+	spec := corrSpec(10000)
+	tab := workload.Generate(rng, spec)
+	train := genQueries(rng, spec, 150, 2)
+	mix, err := NewMixtureEstimator(spec, train, truthsFor(tab, train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := NewHistogramEstimator(tab, 32)
+	test := genQueries(rng, spec, 80, 2)
+	res := Evaluate(tab, test, mix, hist)
+	m, h := res["mixture-quicksel"], res["histogram-independence"]
+	t.Logf("mixture median %.2f vs histogram %.2f", m.Median, h.Median)
+	if m.Median >= h.Median {
+		t.Errorf("mixture median %.2f should beat histogram %.2f on correlated data", m.Median, h.Median)
+	}
+}
+
+func TestMLPEstimateBounds(t *testing.T) {
+	rng := ml.NewRNG(7)
+	spec := indepSpec(1000)
+	e := NewMLPEstimator(rng, spec, 8)
+	q := workload.Query{Preds: []workload.Predicate{{Column: 0, Lo: 0, Hi: 99}}}
+	// Untrained output must still be clamped to [0, rows].
+	v := e.Estimate(q)
+	if v < 0 || v > 1000 {
+		t.Errorf("estimate %v outside [0, rows]", v)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	rng := ml.NewRNG(8)
+	e := NewMLPEstimator(rng, indepSpec(100), 4)
+	if err := e.Train(rng, nil, nil, 5); err == nil {
+		t.Error("expected error training with no queries")
+	}
+	if err := e.Train(rng, make([]workload.Query, 2), []int{1}, 5); err == nil {
+		t.Error("expected error on length mismatch")
+	}
+}
+
+func TestFeaturizeDefaults(t *testing.T) {
+	rng := ml.NewRNG(9)
+	spec := indepSpec(100)
+	e := NewMLPEstimator(rng, spec, 4)
+	f := e.Featurize(workload.Query{}) // no predicates => full ranges
+	want := []float64{0, 1, 1, 0, 1, 1}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("feature[%d] = %v, want %v", i, f[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package cardest
+
+import (
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// MixtureEstimator is a QuickSel-style selectivity learner: the data
+// distribution is modelled as a mixture of uniform boxes (one per observed
+// training query region plus a background box), with mixture weights fit
+// by least squares so that each training query's predicted selectivity
+// matches its observed selectivity.
+type MixtureEstimator struct {
+	boxes   []box
+	weights []float64
+	numCols int
+	ndv     []float64
+	rows    float64
+}
+
+type box struct {
+	lo, hi []float64 // normalized per-column bounds
+}
+
+func (b box) volume() float64 {
+	v := 1.0
+	for c := range b.lo {
+		v *= b.hi[c] - b.lo[c]
+	}
+	return v
+}
+
+// overlapFrac returns |b ∩ q| / |b| — the fraction of the box's mass a
+// query region captures under the box-uniform assumption.
+func (b box) overlapFrac(q box) float64 {
+	num := 1.0
+	for c := range b.lo {
+		lo := b.lo[c]
+		if q.lo[c] > lo {
+			lo = q.lo[c]
+		}
+		hi := b.hi[c]
+		if q.hi[c] < hi {
+			hi = q.hi[c]
+		}
+		if hi <= lo {
+			return 0
+		}
+		num *= hi - lo
+	}
+	vol := b.volume()
+	if vol == 0 {
+		return 0
+	}
+	return num / vol
+}
+
+// NewMixtureEstimator fits the mixture on training queries with observed
+// true cardinalities.
+func NewMixtureEstimator(spec workload.TableSpec, queries []workload.Query, truths []int) (*MixtureEstimator, error) {
+	nc := len(spec.Columns)
+	e := &MixtureEstimator{numCols: nc, rows: float64(spec.Rows), ndv: make([]float64, nc)}
+	for i, c := range spec.Columns {
+		e.ndv[i] = float64(c.NDV)
+	}
+	// Background box covering everything guarantees full support.
+	full := box{lo: make([]float64, nc), hi: make([]float64, nc)}
+	for c := 0; c < nc; c++ {
+		full.hi[c] = 1
+	}
+	e.boxes = append(e.boxes, full)
+	for _, q := range queries {
+		e.boxes = append(e.boxes, e.queryBox(q))
+	}
+	// Least-squares fit: sum_j w_j * overlap(box_j, query_i) = sel_i.
+	a := ml.NewMatrix(len(queries)+1, len(e.boxes))
+	y := make([]float64, len(queries)+1)
+	for i, q := range queries {
+		qb := e.queryBox(q)
+		for j, b := range e.boxes {
+			a.Set(i, j, b.overlapFrac(qb))
+		}
+		y[i] = float64(truths[i]) / e.rows
+	}
+	// Normalization constraint: weights sum to 1 (weight 10 in the fit).
+	const lagrange = 10
+	for j := range e.boxes {
+		a.Set(len(queries), j, lagrange)
+	}
+	y[len(queries)] = lagrange
+	w, err := ml.SolveLeastSquares(a, y, 1e-4)
+	if err != nil {
+		return nil, err
+	}
+	e.weights = w
+	return e, nil
+}
+
+func (e *MixtureEstimator) queryBox(q workload.Query) box {
+	b := box{lo: make([]float64, e.numCols), hi: make([]float64, e.numCols)}
+	for c := 0; c < e.numCols; c++ {
+		b.hi[c] = 1
+	}
+	for _, p := range q.Preds {
+		b.lo[p.Column] = float64(p.Lo) / e.ndv[p.Column]
+		b.hi[p.Column] = float64(p.Hi+1) / e.ndv[p.Column]
+	}
+	return b
+}
+
+// Name implements Estimator.
+func (e *MixtureEstimator) Name() string { return "mixture-quicksel" }
+
+// Estimate implements Estimator.
+func (e *MixtureEstimator) Estimate(q workload.Query) float64 {
+	qb := e.queryBox(q)
+	sel := 0.0
+	for j, b := range e.boxes {
+		sel += e.weights[j] * b.overlapFrac(qb)
+	}
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel * e.rows
+}

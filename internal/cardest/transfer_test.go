@@ -1,0 +1,83 @@
+package cardest
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// shiftedSpec keeps the schema but destroys the correlation the stale
+// model learned (b was a noisy copy of a; now it is independent) — the
+// "dynamic data updates" scenario from §2.3 adaptability. A model that
+// learned P(a∧b) ≈ P(a) now badly overestimates conjunctions.
+func shiftedSpec(rows int) workload.TableSpec {
+	return workload.TableSpec{
+		Name: "corr",
+		Rows: rows,
+		Columns: []workload.Column{
+			{Name: "a", NDV: 100, CorrelatedWith: -1},
+			{Name: "b", NDV: 100, CorrelatedWith: -1}, // independence breaks the stale model
+		},
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := ml.NewRNG(1)
+	spec := corrSpec(2000)
+	tab := workload.Generate(rng, spec)
+	e := NewMLPEstimator(rng, spec, 16)
+	qs := genQueries(rng, spec, 100, 2)
+	if err := e.Train(rng, qs, truthsFor(tab, qs), 20); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	q := qs[0]
+	before := c.Estimate(q)
+	// Fine-tune the original; the clone must not move.
+	if err := e.FineTune(rng, qs[:10], truthsFor(tab, qs[:10]), 30); err != nil {
+		t.Fatal(err)
+	}
+	if c.Estimate(q) != before {
+		t.Error("clone changed when original was fine-tuned")
+	}
+}
+
+func TestFineTuneErrors(t *testing.T) {
+	rng := ml.NewRNG(2)
+	e := NewMLPEstimator(rng, corrSpec(100), 8)
+	if err := e.FineTune(rng, nil, nil, 5); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if err := e.FineTune(rng, make([]workload.Query, 2), []int{1}, 5); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestFineTuneAdaptsToDrift(t *testing.T) {
+	rng := ml.NewRNG(3)
+	oldSpec := corrSpec(8000)
+	oldTab := workload.Generate(rng, oldSpec)
+	// Train thoroughly on the old distribution.
+	trainQ := genQueries(rng, oldSpec, 400, 2)
+	stale := NewMLPEstimator(ml.NewRNG(4), oldSpec, 32)
+	if err := stale.Train(ml.NewRNG(5), trainQ, truthsFor(oldTab, trainQ), 60); err != nil {
+		t.Fatal(err)
+	}
+	// The data drifts: new correlation structure, new skew.
+	newTab := workload.Generate(rng, shiftedSpec(8000))
+	sample := genQueries(rng, newTab.Spec, 60, 2) // small adaptation budget
+	test := genQueries(rng, newTab.Spec, 80, 2)
+	rep, err := EvaluateDrift(ml.NewRNG(6), stale, newTab, sample, truthsFor(newTab, sample), test, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("median q-error: stale %.2f, fine-tuned %.2f, from-scratch %.2f",
+		rep.StaleMedianQ, rep.TunedMedianQ, rep.ScratchMedianQ)
+	if rep.TunedMedianQ >= rep.StaleMedianQ {
+		t.Errorf("fine-tuning (%.2f) should beat the stale model (%.2f) after drift", rep.TunedMedianQ, rep.StaleMedianQ)
+	}
+	if rep.TunedMedianQ > rep.ScratchMedianQ*1.5 {
+		t.Errorf("fine-tuned (%.2f) should be competitive with from-scratch (%.2f) at this sample size", rep.TunedMedianQ, rep.ScratchMedianQ)
+	}
+}

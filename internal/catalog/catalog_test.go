@@ -1,0 +1,242 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"aidb/internal/storage"
+)
+
+func testSchema() Schema {
+	return Schema{Columns: []Column{
+		{Name: "id", Type: Int64},
+		{Name: "score", Type: Float64},
+		{Name: "name", Type: String},
+	}}
+}
+
+func TestCreateInsertGet(t *testing.T) {
+	c := NewMem()
+	tab, err := c.CreateTable("users", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tab.Insert(Row{int64(1), 3.14, "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tab.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].(int64) != 1 || row[1].(float64) != 3.14 || row[2].(string) != "alice" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestInsertTypeMismatch(t *testing.T) {
+	c := NewMem()
+	tab, _ := c.CreateTable("t", testSchema())
+	if _, err := tab.Insert(Row{"wrong", 1.0, "x"}); err == nil {
+		t.Error("expected type error")
+	}
+	if _, err := tab.Insert(Row{int64(1)}); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestDuplicateTable(t *testing.T) {
+	c := NewMem()
+	if _, err := c.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("t", testSchema()); err == nil {
+		t.Error("expected duplicate-table error")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := NewMem()
+	c.CreateTable("t", testSchema())
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("t"); err == nil {
+		t.Error("dropped table still visible")
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestScanSpansPages(t *testing.T) {
+	c := NewMem()
+	tab, _ := c.CreateTable("big", testSchema())
+	const n = 2000 // enough rows to span many 4KB pages
+	for i := 0; i < n; i++ {
+		if _, err := tab.Insert(Row{int64(i), float64(i), "row"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.NumRows() != n {
+		t.Fatalf("NumRows = %d, want %d", tab.NumRows(), n)
+	}
+	count := 0
+	sum := int64(0)
+	err := tab.Scan(func(_ storage.RecordID, r Row) bool {
+		count++
+		sum += r[0].(int64)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Errorf("scanned %d rows, want %d", count, n)
+	}
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	c := NewMem()
+	tab, _ := c.CreateTable("t", testSchema())
+	for i := 0; i < 100; i++ {
+		tab.Insert(Row{int64(i), 0.0, ""})
+	}
+	count := 0
+	tab.Scan(func(_ storage.RecordID, r Row) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("scan visited %d rows after early stop, want 10", count)
+	}
+}
+
+func TestDeleteHidesRow(t *testing.T) {
+	c := NewMem()
+	tab, _ := c.CreateTable("t", testSchema())
+	rid, _ := tab.Insert(Row{int64(1), 1.0, "x"})
+	tab.Insert(Row{int64(2), 2.0, "y"})
+	if err := tab.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 1 {
+		t.Errorf("NumRows = %d after delete, want 1", tab.NumRows())
+	}
+	if _, err := tab.Get(rid); !errors.Is(err, storage.ErrRecordDeleted) {
+		t.Errorf("Get deleted: %v", err)
+	}
+	rows, _ := tab.AllRows()
+	if len(rows) != 1 || rows[0][0].(int64) != 2 {
+		t.Errorf("AllRows = %v", rows)
+	}
+}
+
+// Property: rows of every type round-trip through encode/decode.
+func TestRowRoundTripProperty(t *testing.T) {
+	schema := testSchema()
+	f := func(id int64, score float64, name string) bool {
+		b, err := encodeRow(&schema, Row{id, score, name})
+		if err != nil {
+			return false
+		}
+		row, err := decodeRow(&schema, b)
+		if err != nil {
+			return false
+		}
+		// NaN != NaN; compare bit patterns via equality only for non-NaN.
+		if score == score && row[1].(float64) != score {
+			return false
+		}
+		return row[0].(int64) == id && row[2].(string) == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	schema := testSchema()
+	b, _ := encodeRow(&schema, Row{int64(1), 2.0, "hello"})
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := decodeRow(&schema, b[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes should fail", cut, len(b))
+		}
+	}
+}
+
+func TestHistogramEstimates(t *testing.T) {
+	vals := make([]int64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, int64(i%100)) // uniform over [0,100)
+	}
+	h := NewHistogram(vals, 10)
+	// Exactly 10% of values in [0,9].
+	est := h.EstimateRange(0, 9)
+	if est < 80 || est > 120 {
+		t.Errorf("EstimateRange(0,9) = %v, want ~100", est)
+	}
+	if s := h.Selectivity(0, 99); s < 0.99 {
+		t.Errorf("full-range selectivity = %v, want ~1", s)
+	}
+	if s := h.Selectivity(200, 300); s != 0 {
+		t.Errorf("out-of-range selectivity = %v, want 0", s)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil, 10)
+	if h.EstimateRange(0, 10) != 0 {
+		t.Error("empty histogram should estimate 0")
+	}
+}
+
+func TestAnalyzeComputesStats(t *testing.T) {
+	c := NewMem()
+	tab, _ := c.CreateTable("t", Schema{Columns: []Column{
+		{Name: "a", Type: Int64},
+		{Name: "s", Type: String},
+	}})
+	for i := 0; i < 500; i++ {
+		tab.Insert(Row{int64(i % 10), "x"})
+	}
+	if err := tab.Analyze(8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Stats.RowCount != 500 {
+		t.Errorf("RowCount = %d", tab.Stats.RowCount)
+	}
+	cs := tab.Stats.Cols[0]
+	if cs == nil {
+		t.Fatal("no stats for int column")
+	}
+	if cs.NDV != 10 {
+		t.Errorf("NDV = %d, want 10", cs.NDV)
+	}
+	if len(cs.MCVs) != 3 {
+		t.Errorf("MCVs = %d entries, want 3", len(cs.MCVs))
+	}
+	if cs.MCVs[0].Count != 50 {
+		t.Errorf("top MCV count = %d, want 50", cs.MCVs[0].Count)
+	}
+	if _, ok := tab.Stats.Cols[1]; ok {
+		t.Error("string column should not get int stats")
+	}
+	// Selectivity of a = 0..4 should be about half.
+	sel := tab.EstimateSelectivity(0, 0, 4)
+	if sel < 0.4 || sel > 0.6 {
+		t.Errorf("selectivity = %v, want ~0.5", sel)
+	}
+}
+
+func TestEstimateSelectivityDefaults(t *testing.T) {
+	c := NewMem()
+	tab, _ := c.CreateTable("t", testSchema())
+	if s := tab.EstimateSelectivity(0, 0, 10); s != 1.0/3 {
+		t.Errorf("no-stats selectivity = %v, want 1/3", s)
+	}
+}

@@ -1,0 +1,185 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram is an equi-width histogram over an integer column, the
+// traditional optimizer's selectivity estimator.
+type Histogram struct {
+	Min, Max int64
+	Buckets  []int
+	Total    int
+}
+
+// NewHistogram builds a histogram with the given bucket count.
+func NewHistogram(values []int64, buckets int) *Histogram {
+	h := &Histogram{Buckets: make([]int, buckets)}
+	if len(values) == 0 {
+		return h
+	}
+	h.Min, h.Max = values[0], values[0]
+	for _, v := range values {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	width := h.width()
+	for _, v := range values {
+		b := int((v - h.Min) / width)
+		if b >= len(h.Buckets) {
+			b = len(h.Buckets) - 1
+		}
+		h.Buckets[b]++
+		h.Total++
+	}
+	return h
+}
+
+func (h *Histogram) width() int64 {
+	w := (h.Max - h.Min + 1) / int64(len(h.Buckets))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// EstimateRange estimates the number of rows with lo <= v <= hi assuming
+// uniformity within buckets.
+func (h *Histogram) EstimateRange(lo, hi int64) float64 {
+	if h.Total == 0 || hi < h.Min || lo > h.Max {
+		return 0
+	}
+	if lo < h.Min {
+		lo = h.Min
+	}
+	if hi > h.Max {
+		hi = h.Max
+	}
+	width := h.width()
+	est := 0.0
+	for b, cnt := range h.Buckets {
+		bLo := h.Min + int64(b)*width
+		bHi := bLo + width - 1
+		if b == len(h.Buckets)-1 {
+			bHi = h.Max
+		}
+		if bHi < lo || bLo > hi {
+			continue
+		}
+		ovLo, ovHi := max64(bLo, lo), min64(bHi, hi)
+		frac := float64(ovHi-ovLo+1) / float64(bHi-bLo+1)
+		est += float64(cnt) * frac
+	}
+	return est
+}
+
+// Selectivity returns EstimateRange normalized by the total row count.
+func (h *Histogram) Selectivity(lo, hi int64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return h.EstimateRange(lo, hi) / float64(h.Total)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MCV is one most-common-value entry.
+type MCV struct {
+	Value int64
+	Count int
+}
+
+// ColumnStats summarizes one integer column.
+type ColumnStats struct {
+	Hist *Histogram
+	NDV  int
+	MCVs []MCV
+}
+
+// TableStats holds per-column statistics, keyed by column position.
+type TableStats struct {
+	RowCount int
+	Cols     map[int]*ColumnStats
+}
+
+// Analyze computes statistics for every Int64 column of t with the given
+// histogram bucket count and MCV list length.
+func (t *Table) Analyze(buckets, mcvs int) error {
+	rows, err := t.AllRows()
+	if err != nil {
+		return err
+	}
+	stats := &TableStats{RowCount: len(rows), Cols: make(map[int]*ColumnStats)}
+	for ci, col := range t.Schema.Columns {
+		if col.Type != Int64 {
+			continue
+		}
+		vals := make([]int64, len(rows))
+		for ri, r := range rows {
+			v, ok := r[ci].(int64)
+			if !ok {
+				return fmt.Errorf("catalog: Analyze: column %q row %d is %T", col.Name, ri, r[ci])
+			}
+			vals[ri] = v
+		}
+		cs := &ColumnStats{Hist: NewHistogram(vals, buckets)}
+		counts := map[int64]int{}
+		for _, v := range vals {
+			counts[v]++
+		}
+		cs.NDV = len(counts)
+		all := make([]MCV, 0, len(counts))
+		for v, c := range counts {
+			all = append(all, MCV{Value: v, Count: c})
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].Count != all[b].Count {
+				return all[a].Count > all[b].Count
+			}
+			return all[a].Value < all[b].Value
+		})
+		if len(all) > mcvs {
+			all = all[:mcvs]
+		}
+		cs.MCVs = all
+		stats.Cols[ci] = cs
+	}
+	t.mu.Lock()
+	t.Stats = stats
+	t.mu.Unlock()
+	return nil
+}
+
+// EstimateSelectivity estimates the fraction of rows with lo <= col <= hi
+// using the column's histogram, falling back to 1/3 when no stats exist
+// (the classic textbook default).
+func (t *Table) EstimateSelectivity(col int, lo, hi int64) float64 {
+	t.mu.RLock()
+	stats := t.Stats
+	t.mu.RUnlock()
+	if stats == nil {
+		return 1.0 / 3
+	}
+	cs, ok := stats.Cols[col]
+	if !ok {
+		return 1.0 / 3
+	}
+	return cs.Hist.Selectivity(lo, hi)
+}

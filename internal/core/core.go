@@ -1,0 +1,216 @@
+// Package core is aidb's public facade: an AI-native database handle in
+// the spirit of the paper's "learning-based database systems" (SageDB,
+// XuanYuan). A DB executes SQL and AISQL through one entry point and
+// exposes the learned self-driving subsystems — knob tuning, index and
+// view advising, workload forecasting, health monitoring — behind simple
+// methods, each delegating to the corresponding internal package.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aidb/internal/aisql"
+	"aidb/internal/catalog"
+	"aidb/internal/exec"
+	"aidb/internal/idxadvisor"
+	"aidb/internal/knob"
+	"aidb/internal/ml"
+	"aidb/internal/monitor"
+	"aidb/internal/txnsched"
+	"aidb/internal/workload"
+)
+
+// DB is an aidb database instance.
+type DB struct {
+	engine *aisql.Engine
+	rng    *ml.RNG
+
+	// tuner state persists across Tune calls so the query-aware critic
+	// accumulates experience (QTune behaviour).
+	tuner   *knob.QTune
+	surface *knob.Surface
+}
+
+// Open creates an in-memory database seeded deterministically.
+func Open() *DB {
+	return OpenSeeded(42)
+}
+
+// OpenSeeded creates a database whose learned components draw randomness
+// from the given seed.
+func OpenSeeded(seed uint64) *DB {
+	rng := ml.NewRNG(seed)
+	return &DB{
+		engine:  aisql.NewEngine(),
+		rng:     rng,
+		tuner:   &knob.QTune{Rng: ml.NewRNG(seed + 1)},
+		surface: knob.NewSurface(ml.NewRNG(seed+2), 0.01),
+	}
+}
+
+// Exec runs one SQL/AISQL statement.
+func (db *DB) Exec(query string) (*exec.Result, error) {
+	return db.engine.Execute(query)
+}
+
+// ExecScript runs a ';'-separated script, returning the last result.
+func (db *DB) ExecScript(script string) (*exec.Result, error) {
+	return db.engine.ExecuteScript(script)
+}
+
+// Catalog exposes the underlying catalog for advanced callers.
+func (db *DB) Catalog() *catalog.Catalog { return db.engine.Cat }
+
+// Engine exposes the underlying AISQL engine.
+func (db *DB) Engine() *aisql.Engine { return db.engine }
+
+// Format renders a result as an aligned text table.
+func Format(res *exec.Result) string {
+	if res == nil || len(res.Columns) == 0 {
+		return "OK\n"
+	}
+	widths := make([]int, len(res.Columns))
+	cells := make([][]string, 0, len(res.Rows)+1)
+	header := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		header[i] = c
+		widths[i] = len(c)
+	}
+	cells = append(cells, header)
+	for _, r := range res.Rows {
+		row := make([]string, len(r))
+		for i, v := range r {
+			row[i] = fmt.Sprintf("%v", v)
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		cells = append(cells, row)
+	}
+	var sb strings.Builder
+	for ri, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i := range row {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", widths[i]))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&sb, "(%d rows)\n", len(res.Rows))
+	return sb.String()
+}
+
+// TuneReport summarizes one knob-tuning session.
+type TuneReport struct {
+	Config     knob.Config
+	Throughput float64
+	// RegretVsOptimal is the fraction of peak throughput left on the
+	// table (0 = perfectly tuned).
+	RegretVsOptimal float64
+}
+
+// Tune runs the query-aware RL tuner for the given workload mix and trial
+// budget against the simulated performance surface, returning the best
+// configuration found. Successive calls reuse the learned critic.
+func (db *DB) Tune(mix knob.WorkloadMix, budget int) TuneReport {
+	cfg := db.tuner.Tune(db.surface, mix, budget)
+	return TuneReport{
+		Config:          cfg,
+		Throughput:      db.surface.Throughput(cfg, mix),
+		RegretVsOptimal: db.surface.Regret(cfg, mix),
+	}
+}
+
+// IndexAdvice is one recommended index.
+type IndexAdvice struct {
+	Table  string
+	Column string
+}
+
+// AdviseIndexes observes a workload of conjunctive range queries over a
+// generated shadow of the named table and returns up to budget
+// single-column index recommendations from the learned (MDP) advisor.
+func (db *DB) AdviseIndexes(tableName string, queries []workload.Query, budget int) ([]IndexAdvice, error) {
+	t, err := db.engine.Cat.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	// Build a workload.Table shadow of the integer columns.
+	var cols []workload.Column
+	var colNames []string
+	var colIdx []int
+	for ci, c := range t.Schema.Columns {
+		if c.Type != catalog.Int64 {
+			continue
+		}
+		ndv := 1024
+		if t.Stats != nil {
+			if cs, ok := t.Stats.Cols[ci]; ok && cs.NDV > 0 {
+				ndv = cs.NDV
+			}
+		}
+		cols = append(cols, workload.Column{Name: c.Name, NDV: ndv, CorrelatedWith: -1})
+		colNames = append(colNames, c.Name)
+		colIdx = append(colIdx, ci)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("core: table %q has no integer columns to index", tableName)
+	}
+	shadow := &workload.Table{
+		Spec: workload.TableSpec{Name: tableName, Rows: t.NumRows(), Columns: cols},
+		Cols: make([][]int64, len(cols)),
+	}
+	rows, err := t.AllRows()
+	if err != nil {
+		return nil, err
+	}
+	for k, ci := range colIdx {
+		col := make([]int64, len(rows))
+		for r, row := range rows {
+			col[r] = row[ci].(int64)
+		}
+		shadow.Cols[k] = col
+	}
+	cm := &idxadvisor.CostModel{Table: shadow}
+	adv := &idxadvisor.MDP{Rng: db.rng}
+	chosen := adv.Recommend(cm, queries, budget)
+	var out []IndexAdvice
+	for c := range chosen {
+		out = append(out, IndexAdvice{Table: tableName, Column: colNames[c]})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Column < out[b].Column })
+	return out, nil
+}
+
+// ForecastWorkload fits the learned forecaster on an arrival-rate history
+// and predicts the rate h steps ahead.
+func (db *DB) ForecastWorkload(history []float64, h int) (float64, error) {
+	f := &txnsched.Linear{}
+	if err := f.Fit(history); err != nil {
+		return 0, err
+	}
+	return f.Predict(history, h), nil
+}
+
+// Diagnose trains the KPI-clustering diagnoser on historical incidents
+// and classifies a new one.
+func (db *DB) Diagnose(history []monitor.SlowQuery, incident monitor.SlowQuery) (monitor.RootCause, error) {
+	kc := &monitor.KPICluster{}
+	if err := kc.Train(db.rng, history); err != nil {
+		return 0, err
+	}
+	return kc.Diagnose(incident), nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"aidb/internal/knob"
+	"aidb/internal/ml"
+	"aidb/internal/monitor"
+	"aidb/internal/workload"
+)
+
+func TestOpenExecRoundTrip(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec("CREATE TABLE t (a INT, b TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (1, 'one'), (2, 'two')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT b FROM t WHERE a = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].(string) != "two" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	db := Open()
+	db.Exec("CREATE TABLE t (a INT)")
+	db.Exec("INSERT INTO t VALUES (7)")
+	res, _ := db.Exec("SELECT a FROM t")
+	out := Format(res)
+	for _, want := range []string{"a", "7", "(1 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	if Format(nil) != "OK\n" {
+		t.Error("nil result should format as OK")
+	}
+}
+
+func TestTuneImprovesOverDefaults(t *testing.T) {
+	db := OpenSeeded(7)
+	mix := knob.WorkloadMix{Write: 0.5, Scan: 0.3, Read: 0.2}
+	defaultRegret := db.surface.Regret(knob.DefaultConfig(), mix)
+	rep := db.Tune(mix, 250)
+	if rep.RegretVsOptimal >= defaultRegret {
+		t.Errorf("tuning regret %.3f should beat defaults %.3f", rep.RegretVsOptimal, defaultRegret)
+	}
+	if rep.RegretVsOptimal > 0.5 {
+		t.Errorf("tuning regret %.3f too high at budget 250", rep.RegretVsOptimal)
+	}
+	if rep.Throughput <= 0 {
+		t.Error("throughput should be positive")
+	}
+}
+
+func TestAdviseIndexes(t *testing.T) {
+	db := OpenSeeded(8)
+	db.Exec("CREATE TABLE logs (user_id INT, action INT, note TEXT)")
+	for i := 0; i < 50; i++ {
+		db.Exec("INSERT INTO logs VALUES (1, 2, 'x')")
+	}
+	db.Exec("ANALYZE logs")
+	// Workload hammering column 0 (user_id) with narrow predicates.
+	var qs []workload.Query
+	for i := 0; i < 100; i++ {
+		qs = append(qs, workload.Query{Preds: []workload.Predicate{{Column: 0, Lo: 0, Hi: 3}}})
+	}
+	advice, err := db.AdviseIndexes("logs", qs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice) != 1 || advice[0].Column != "user_id" {
+		t.Errorf("advice = %+v, want index on user_id", advice)
+	}
+}
+
+func TestAdviseIndexesErrors(t *testing.T) {
+	db := Open()
+	if _, err := db.AdviseIndexes("ghost", nil, 1); err == nil {
+		t.Error("missing table should fail")
+	}
+	db.Exec("CREATE TABLE s (only_text TEXT)")
+	if _, err := db.AdviseIndexes("s", nil, 1); err == nil {
+		t.Error("table with no integer columns should fail")
+	}
+}
+
+func TestForecastWorkload(t *testing.T) {
+	db := Open()
+	series := workload.ArrivalSeries(ml.NewRNG(1), workload.Diurnal, 400, 100)
+	pred, err := db.ForecastWorkload(series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 0 || pred > 500 {
+		t.Errorf("forecast %v implausible", pred)
+	}
+	if _, err := db.ForecastWorkload([]float64{1, 2}, 1); err == nil {
+		t.Error("short history should fail")
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	db := OpenSeeded(9)
+	rng := ml.NewRNG(2)
+	history := monitor.GenerateIncidents(rng, 400, 0.1)
+	incident := monitor.GenerateIncidents(rng, 1, 0.05)[0]
+	got, err := db.Diagnose(history, incident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != incident.Truth {
+		// Clustering is probabilistic; only fail when wildly off across
+		// several trials.
+		wrong := 0
+		for i := 0; i < 10; i++ {
+			inc := monitor.GenerateIncidents(rng, 1, 0.05)[0]
+			d, err := db.Diagnose(history, inc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != inc.Truth {
+				wrong++
+			}
+		}
+		if wrong > 3 {
+			t.Errorf("diagnosis wrong %d/10 times", wrong)
+		}
+	}
+}

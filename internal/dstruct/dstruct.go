@@ -1,0 +1,238 @@
+// Package dstruct implements learned data-structure design (E10), after
+// Idreos et al.'s design continuums: the LSM design space of internal/kv
+// (merge policy, size ratio, bloom bits, fence granularity) is searched
+// with a gradient-descent-like procedure over an analytic cost model —
+// identify the bottleneck term, tweak the knob that reduces it, stop at
+// the cost boundary. The searched design is validated against fixed
+// designs by actually running internal/kv and reading its I/O counters.
+package dstruct
+
+import (
+	"fmt"
+	"math"
+
+	"aidb/internal/kv"
+	"aidb/internal/ml"
+)
+
+// Mix is a KV workload composition; fractions sum to 1.
+type Mix struct {
+	Reads, Writes, Scans float64
+}
+
+// CostParams weights the analytic model.
+type CostParams struct {
+	// N is the expected number of resident entries.
+	N float64
+	// MemoryWeight prices bloom/fence memory against I/O (default 1e-7).
+	MemoryWeight float64
+}
+
+// AnalyticCost estimates the amortized cost per operation of cfg under
+// mix, using standard LSM cost formulas:
+//
+//	levels     L = ceil(log_T(N / memtable))
+//	write cost leveling ≈ T·L, tiering ≈ L       (amortized rewrites)
+//	runs       leveling ≈ L, tiering ≈ T·L       (read fan-in)
+//	point read ≈ (runs−1)·fp(bits)·blockCost + blockCost
+//	scan       ≈ runs·blockCost
+//	memory     ≈ N·bits + 16·N/fenceEvery        (bytes)
+//
+// where fp(bits) = 0.6185^bits and blockCost grows with fence granularity.
+func AnalyticCost(cfg kv.Config, mix Mix, p CostParams) float64 {
+	mem := float64(cfg.MemtableSize)
+	if mem <= 0 {
+		mem = 1024
+	}
+	t := float64(cfg.SizeRatio)
+	if t < 2 {
+		t = 4
+	}
+	fence := float64(cfg.FenceEvery)
+	if fence <= 0 {
+		fence = 64
+	}
+	levels := math.Ceil(math.Log(math.Max(p.N/mem, 2)) / math.Log(t))
+	if levels < 1 {
+		levels = 1
+	}
+	var writeCost, runs float64
+	if cfg.Policy == kv.Leveling {
+		writeCost = t * levels
+		runs = levels
+	} else {
+		writeCost = levels
+		runs = t * levels
+	}
+	fp := math.Pow(0.6185, float64(cfg.BloomBitsPerKey))
+	blockCost := 1 + math.Log2(fence+1)/4
+	readCost := (runs-1)*fp*blockCost + blockCost
+	scanCost := runs * blockCost
+	memBytes := p.N*float64(cfg.BloomBitsPerKey)/8 + 16*p.N/fence
+	mw := p.MemoryWeight
+	if mw == 0 {
+		mw = 1e-7
+	}
+	return mix.Writes*writeCost + mix.Reads*readCost + mix.Scans*scanCost + mw*memBytes
+}
+
+// Knob options explored by the designer.
+var (
+	sizeRatios = []int{2, 3, 4, 6, 8, 10}
+	bloomBits  = []int{0, 2, 5, 10, 14}
+	fenceOpts  = []int{16, 32, 64, 128, 256}
+	policies   = []kv.MergePolicy{kv.Leveling, kv.Tiering}
+)
+
+// Design searches the space with bottleneck-driven coordinate descent:
+// repeatedly move each knob one step in whichever direction lowers the
+// modelled cost, until no single-step move helps (the paper's
+// "tweak knobs in one direction until reaching the cost boundary").
+// Evaluations are counted to show the search is far cheaper than
+// exhaustive enumeration.
+func Design(mix Mix, p CostParams) (kv.Config, int) {
+	cfg := kv.Config{MemtableSize: 1024, SizeRatio: 4, BloomBitsPerKey: 5, FenceEvery: 64, Policy: kv.Leveling}
+	evals := 0
+	cost := func(c kv.Config) float64 {
+		evals++
+		return AnalyticCost(c, mix, p)
+	}
+	cur := cost(cfg)
+	for {
+		improved := false
+		// Policy flip.
+		alt := cfg
+		if alt.Policy == kv.Leveling {
+			alt.Policy = kv.Tiering
+		} else {
+			alt.Policy = kv.Leveling
+		}
+		if c := cost(alt); c < cur {
+			cfg, cur, improved = alt, c, true
+		}
+		// One-step moves along each discrete knob.
+		type knob struct {
+			opts []int
+			get  func(kv.Config) int
+			set  func(kv.Config, int) kv.Config
+		}
+		knobs := []knob{
+			{sizeRatios, func(c kv.Config) int { return c.SizeRatio },
+				func(c kv.Config, v int) kv.Config { c.SizeRatio = v; return c }},
+			{bloomBits, func(c kv.Config) int { return c.BloomBitsPerKey },
+				func(c kv.Config, v int) kv.Config { c.BloomBitsPerKey = v; return c }},
+			{fenceOpts, func(c kv.Config) int { return c.FenceEvery },
+				func(c kv.Config, v int) kv.Config { c.FenceEvery = v; return c }},
+		}
+		for _, k := range knobs {
+			// Scan the whole axis and keep the best point. Level counts
+			// are ceilinged, so the cost along an axis is not monotone —
+			// a pure "until it stops improving" walk stalls one level
+			// boundary short. An axis scan is still linear in the option
+			// count, far below exhaustive enumeration of the cross
+			// product.
+			idx := indexOf(k.opts, k.get(cfg))
+			for ni := range k.opts {
+				if ni == idx {
+					continue
+				}
+				cand := k.set(cfg, k.opts[ni])
+				if c := cost(cand); c < cur {
+					cfg, cur, improved = cand, c, true
+				}
+			}
+		}
+		if !improved {
+			return cfg, evals
+		}
+	}
+}
+
+func indexOf(opts []int, v int) int {
+	for i, o := range opts {
+		if o == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// ExhaustiveDesign enumerates the full space — the oracle for tests.
+func ExhaustiveDesign(mix Mix, p CostParams) (kv.Config, int) {
+	best := kv.Config{}
+	bestC := math.Inf(1)
+	evals := 0
+	for _, pol := range policies {
+		for _, t := range sizeRatios {
+			for _, b := range bloomBits {
+				for _, f := range fenceOpts {
+					cfg := kv.Config{MemtableSize: 1024, SizeRatio: t, BloomBitsPerKey: b, FenceEvery: f, Policy: pol}
+					evals++
+					if c := AnalyticCost(cfg, mix, p); c < bestC {
+						bestC, best = c, cfg
+					}
+				}
+			}
+		}
+	}
+	return best, evals
+}
+
+// FixedReadOptimized is a LevelDB-like configuration.
+func FixedReadOptimized() kv.Config {
+	return kv.Config{MemtableSize: 1024, SizeRatio: 10, BloomBitsPerKey: 10, FenceEvery: 32, Policy: kv.Leveling}
+}
+
+// FixedWriteOptimized is a write-optimized tiering configuration.
+func FixedWriteOptimized() kv.Config {
+	return kv.Config{MemtableSize: 1024, SizeRatio: 4, BloomBitsPerKey: 2, FenceEvery: 256, Policy: kv.Tiering}
+}
+
+// Measured is the outcome of running a configuration on a real workload.
+type Measured struct {
+	BytesWritten uint64
+	BlocksRead   uint64
+}
+
+// Score collapses measured I/O into one number comparable across configs.
+func (m Measured) Score() float64 {
+	return float64(m.BytesWritten)/8 + float64(m.BlocksRead)
+}
+
+// Measure runs ops operations of the mix against a live store built with
+// cfg and returns its I/O counters — the ground truth the analytic model
+// approximates.
+func Measure(rng *ml.RNG, cfg kv.Config, mix Mix, ops int) Measured {
+	s := kv.Open(cfg)
+	keyspace := ops / 2
+	if keyspace < 100 {
+		keyspace = 100
+	}
+	// Preload half the keyspace so reads hit.
+	for i := 0; i < keyspace/2; i++ {
+		s.Put(fmt.Sprintf("k%08d", i*2), "value-payload")
+	}
+	s.Flush()
+	pre := s.Stats()
+	for i := 0; i < ops; i++ {
+		r := rng.Float64()
+		switch {
+		case r < mix.Writes:
+			s.Put(fmt.Sprintf("k%08d", rng.Intn(keyspace)), "value-payload")
+		case r < mix.Writes+mix.Reads:
+			s.Get(fmt.Sprintf("k%08d", rng.Intn(keyspace)))
+		default:
+			lo := rng.Intn(keyspace)
+			count := 0
+			s.Scan(fmt.Sprintf("k%08d", lo), fmt.Sprintf("k%08d", lo+100), func(k, v string) bool {
+				count++
+				return count < 100
+			})
+		}
+	}
+	post := s.Stats()
+	return Measured{
+		BytesWritten: post.BytesWritten - pre.BytesWritten,
+		BlocksRead:   post.BlocksRead - pre.BlocksRead,
+	}
+}

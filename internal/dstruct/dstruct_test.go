@@ -1,0 +1,110 @@
+package dstruct
+
+import (
+	"testing"
+
+	"aidb/internal/kv"
+	"aidb/internal/ml"
+)
+
+var params = CostParams{N: 1e6}
+
+var (
+	readHeavy  = Mix{Reads: 0.85, Writes: 0.10, Scans: 0.05}
+	writeHeavy = Mix{Reads: 0.10, Writes: 0.85, Scans: 0.05}
+	scanHeavy  = Mix{Reads: 0.15, Writes: 0.15, Scans: 0.70}
+)
+
+func TestAnalyticCostDirections(t *testing.T) {
+	base := kv.Config{MemtableSize: 1024, SizeRatio: 4, BloomBitsPerKey: 5, FenceEvery: 64, Policy: kv.Leveling}
+	// Tiering must be cheaper for writes, leveling cheaper for reads.
+	tiered := base
+	tiered.Policy = kv.Tiering
+	if AnalyticCost(tiered, Mix{Writes: 1}, params) >= AnalyticCost(base, Mix{Writes: 1}, params) {
+		t.Error("tiering should cost less than leveling for pure writes")
+	}
+	if AnalyticCost(tiered, Mix{Reads: 1}, params) <= AnalyticCost(base, Mix{Reads: 1}, params) {
+		t.Error("leveling should cost less than tiering for pure reads")
+	}
+	// More bloom bits help pure reads.
+	noBloom := base
+	noBloom.BloomBitsPerKey = 0
+	if AnalyticCost(base, Mix{Reads: 1}, params) >= AnalyticCost(noBloom, Mix{Reads: 1}, params) {
+		t.Error("bloom filters should reduce read cost")
+	}
+}
+
+func TestDesignMatchesExhaustive(t *testing.T) {
+	for _, mix := range []Mix{readHeavy, writeHeavy, scanHeavy} {
+		searched, searchEvals := Design(mix, params)
+		oracle, oracleEvals := ExhaustiveDesign(mix, params)
+		sc := AnalyticCost(searched, mix, params)
+		oc := AnalyticCost(oracle, mix, params)
+		t.Logf("mix %+v: searched %+v cost %.4f (%d evals); oracle %+v cost %.4f (%d evals)",
+			mix, searched, sc, searchEvals, oracle, oc, oracleEvals)
+		if sc > oc*1.1 {
+			t.Errorf("coordinate search cost %.4f more than 10%% above oracle %.4f for %+v", sc, oc, mix)
+		}
+		if searchEvals >= oracleEvals {
+			t.Errorf("search used %d evals, should be below exhaustive %d", searchEvals, oracleEvals)
+		}
+	}
+}
+
+func TestDesignPicksPolicyByWorkload(t *testing.T) {
+	w, _ := Design(writeHeavy, params)
+	if w.Policy != kv.Tiering {
+		t.Errorf("write-heavy design chose %v, want tiering", w.Policy)
+	}
+	r, _ := Design(readHeavy, params)
+	if r.Policy != kv.Leveling {
+		t.Errorf("read-heavy design chose %v, want leveling", r.Policy)
+	}
+	if r.BloomBitsPerKey < 5 {
+		t.Errorf("read-heavy design uses only %d bloom bits", r.BloomBitsPerKey)
+	}
+}
+
+func TestSearchedBeatsFixedOnItsMix(t *testing.T) {
+	// The design-continuum claim: for each workload, the searched design
+	// is at least as good as both fixed designs on the analytic model.
+	for _, mix := range []Mix{readHeavy, writeHeavy, scanHeavy} {
+		searched, _ := Design(mix, params)
+		sc := AnalyticCost(searched, mix, params)
+		ro := AnalyticCost(FixedReadOptimized(), mix, params)
+		wo := AnalyticCost(FixedWriteOptimized(), mix, params)
+		if sc > ro || sc > wo {
+			t.Errorf("mix %+v: searched %.4f should be <= fixed read-opt %.4f and write-opt %.4f", mix, sc, ro, wo)
+		}
+	}
+}
+
+func TestMeasuredAgreesOnPolicyDirection(t *testing.T) {
+	// The analytic model's central prediction — tiering writes less,
+	// leveling reads less — must hold on the live store.
+	lev := kv.Config{MemtableSize: 256, SizeRatio: 4, BloomBitsPerKey: 5, FenceEvery: 64, Policy: kv.Leveling}
+	tier := lev
+	tier.Policy = kv.Tiering
+	wl := Measure(ml.NewRNG(1), lev, writeHeavy, 8000)
+	wt := Measure(ml.NewRNG(1), tier, writeHeavy, 8000)
+	if wt.BytesWritten >= wl.BytesWritten {
+		t.Errorf("tiering wrote %d bytes, should be below leveling %d on write-heavy", wt.BytesWritten, wl.BytesWritten)
+	}
+	rl := Measure(ml.NewRNG(2), lev, readHeavy, 8000)
+	rt := Measure(ml.NewRNG(2), tier, readHeavy, 8000)
+	if rl.BlocksRead >= rt.BlocksRead {
+		t.Errorf("leveling read %d blocks, should be below tiering %d on read-heavy", rl.BlocksRead, rt.BlocksRead)
+	}
+}
+
+func TestMeasuredSearchedCompetitive(t *testing.T) {
+	// End-to-end: the searched design's measured score should not lose to
+	// the mismatched fixed design on its target mix.
+	searched, _ := Design(writeHeavy, CostParams{N: 1e4})
+	sM := Measure(ml.NewRNG(3), searched, writeHeavy, 6000)
+	roM := Measure(ml.NewRNG(3), FixedReadOptimized(), writeHeavy, 6000)
+	t.Logf("searched score %.0f vs read-optimized score %.0f on write-heavy", sM.Score(), roM.Score())
+	if sM.Score() > roM.Score() {
+		t.Errorf("searched design (%.0f) lost to mismatched fixed design (%.0f)", sM.Score(), roM.Score())
+	}
+}

@@ -1,0 +1,321 @@
+// Package exec executes logical plans from internal/plan against catalog
+// tables using the volcano (iterator) model: scan, filter, hash join,
+// project, aggregate, sort, distinct and limit operators, plus an
+// expression evaluator with a pluggable scalar-function registry (which is
+// how AISQL's PREDICT() reaches trained models without an import cycle).
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"aidb/internal/catalog"
+	"aidb/internal/sql"
+)
+
+// ScalarFunc is a user-registered scalar function (e.g. PREDICT).
+type ScalarFunc func(args []catalog.Value) (catalog.Value, error)
+
+// FuncRegistry resolves scalar function names to implementations.
+type FuncRegistry map[string]ScalarFunc
+
+// Scope maps qualified column names to row positions for evaluation.
+type Scope struct {
+	names []string
+}
+
+// NewScope builds a scope from a plan schema.
+func NewScope(names []string) *Scope { return &Scope{names: names} }
+
+// Resolve finds the position of a column reference; it accepts exact
+// qualified matches and unambiguous suffix matches.
+func (s *Scope) Resolve(ref *sql.ColumnRef) (int, error) {
+	want := ref.Column
+	if ref.Table != "" {
+		want = ref.Table + "." + ref.Column
+	}
+	found := -1
+	for i, n := range s.names {
+		if n == want || strings.HasSuffix(n, "."+want) {
+			if found >= 0 {
+				return 0, fmt.Errorf("exec: ambiguous column %q", want)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("exec: unknown column %q (schema: %v)", want, s.names)
+	}
+	return found, nil
+}
+
+// Eval evaluates e against row in scope, using funcs for scalar calls.
+func Eval(e sql.Expr, scope *Scope, row catalog.Row, funcs FuncRegistry) (catalog.Value, error) {
+	switch v := e.(type) {
+	case *sql.IntLit:
+		return v.Value, nil
+	case *sql.FloatLit:
+		return v.Value, nil
+	case *sql.StringLit:
+		return v.Value, nil
+	case *sql.ColumnRef:
+		idx, err := scope.Resolve(v)
+		if err != nil {
+			return nil, err
+		}
+		return row[idx], nil
+	case *sql.NotExpr:
+		b, err := EvalBool(v.Inner, scope, row, funcs)
+		if err != nil {
+			return nil, err
+		}
+		return boolVal(!b), nil
+	case *sql.InExpr:
+		sub, err := Eval(v.Subject, scope, row, funcs)
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, item := range v.List {
+			iv, err := Eval(item, scope, row, funcs)
+			if err != nil {
+				return nil, err
+			}
+			c, err := compare(sub, iv)
+			if err != nil {
+				return nil, err
+			}
+			if c == 0 {
+				found = true
+				break
+			}
+		}
+		return boolVal(found != v.Negated), nil
+	case *sql.BetweenExpr:
+		sub, err := Eval(v.Subject, scope, row, funcs)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := Eval(v.Lo, scope, row, funcs)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := Eval(v.Hi, scope, row, funcs)
+		if err != nil {
+			return nil, err
+		}
+		geLo, err := compare(sub, lo)
+		if err != nil {
+			return nil, err
+		}
+		leHi, err := compare(sub, hi)
+		if err != nil {
+			return nil, err
+		}
+		return boolVal(geLo >= 0 && leHi <= 0), nil
+	case *sql.BinaryExpr:
+		switch v.Op {
+		case "AND":
+			lb, err := EvalBool(v.Left, scope, row, funcs)
+			if err != nil {
+				return nil, err
+			}
+			if !lb {
+				return boolVal(false), nil
+			}
+			rb, err := EvalBool(v.Right, scope, row, funcs)
+			if err != nil {
+				return nil, err
+			}
+			return boolVal(rb), nil
+		case "OR":
+			lb, err := EvalBool(v.Left, scope, row, funcs)
+			if err != nil {
+				return nil, err
+			}
+			if lb {
+				return boolVal(true), nil
+			}
+			rb, err := EvalBool(v.Right, scope, row, funcs)
+			if err != nil {
+				return nil, err
+			}
+			return boolVal(rb), nil
+		}
+		l, err := Eval(v.Left, scope, row, funcs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(v.Right, scope, row, funcs)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case "=", "!=", "<", "<=", ">", ">=":
+			c, err := compare(l, r)
+			if err != nil {
+				return nil, err
+			}
+			switch v.Op {
+			case "=":
+				return boolVal(c == 0), nil
+			case "!=":
+				return boolVal(c != 0), nil
+			case "<":
+				return boolVal(c < 0), nil
+			case "<=":
+				return boolVal(c <= 0), nil
+			case ">":
+				return boolVal(c > 0), nil
+			default:
+				return boolVal(c >= 0), nil
+			}
+		case "+", "-", "*", "/":
+			return arith(v.Op, l, r)
+		}
+		return nil, fmt.Errorf("exec: unsupported operator %q", v.Op)
+	case *sql.FuncCall:
+		fn, ok := funcs[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown function %q", v.Name)
+		}
+		args := make([]catalog.Value, len(v.Args))
+		for i, a := range v.Args {
+			av, err := Eval(a, scope, row, funcs)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = av
+		}
+		return fn(args)
+	case *sql.Star:
+		return nil, fmt.Errorf("exec: '*' is only valid as a projection or COUNT argument")
+	default:
+		return nil, fmt.Errorf("exec: cannot evaluate %T", e)
+	}
+}
+
+// EvalBool evaluates e and coerces to boolean (int64 0/1).
+func EvalBool(e sql.Expr, scope *Scope, row catalog.Row, funcs FuncRegistry) (bool, error) {
+	v, err := Eval(e, scope, row, funcs)
+	if err != nil {
+		return false, err
+	}
+	switch b := v.(type) {
+	case int64:
+		return b != 0, nil
+	case float64:
+		return b != 0, nil
+	case string:
+		return b != "", nil
+	default:
+		return false, fmt.Errorf("exec: non-boolean condition value %T", v)
+	}
+}
+
+func boolVal(b bool) catalog.Value {
+	if b {
+		return int64(1)
+	}
+	return int64(0)
+}
+
+// compare returns -1, 0 or 1 ordering a and b, promoting ints to floats.
+func compare(a, b catalog.Value) (int, error) {
+	switch av := a.(type) {
+	case int64:
+		switch bv := b.(type) {
+		case int64:
+			return cmpI(av, bv), nil
+		case float64:
+			return cmpF(float64(av), bv), nil
+		}
+	case float64:
+		switch bv := b.(type) {
+		case int64:
+			return cmpF(av, float64(bv)), nil
+		case float64:
+			return cmpF(av, bv), nil
+		}
+	case string:
+		if bv, ok := b.(string); ok {
+			return strings.Compare(av, bv), nil
+		}
+	}
+	return 0, fmt.Errorf("exec: cannot compare %T with %T", a, b)
+}
+
+func cmpI(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func arith(op string, a, b catalog.Value) (catalog.Value, error) {
+	ai, aok := a.(int64)
+	bi, bok := b.(int64)
+	if aok && bok {
+		switch op {
+		case "+":
+			return ai + bi, nil
+		case "-":
+			return ai - bi, nil
+		case "*":
+			return ai * bi, nil
+		case "/":
+			if bi == 0 {
+				return nil, fmt.Errorf("exec: division by zero")
+			}
+			return ai / bi, nil
+		}
+	}
+	af, err := toFloat(a)
+	if err != nil {
+		return nil, err
+	}
+	bf, err := toFloat(b)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "+":
+		return af + bf, nil
+	case "-":
+		return af - bf, nil
+	case "*":
+		return af * bf, nil
+	case "/":
+		if bf == 0 {
+			return nil, fmt.Errorf("exec: division by zero")
+		}
+		return af / bf, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported arithmetic operator %q", op)
+}
+
+func toFloat(v catalog.Value) (float64, error) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), nil
+	case float64:
+		return x, nil
+	default:
+		return 0, fmt.Errorf("exec: non-numeric value %T in arithmetic", v)
+	}
+}

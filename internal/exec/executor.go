@@ -1,0 +1,410 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aidb/internal/catalog"
+	"aidb/internal/plan"
+	"aidb/internal/sql"
+	"aidb/internal/storage"
+)
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    []catalog.Row
+}
+
+// Executor runs logical plans.
+type Executor struct {
+	Funcs FuncRegistry
+	// Stats counts rows produced per operator type, for the monitoring
+	// and performance-prediction experiments.
+	Stats ExecStats
+}
+
+// ExecStats counts executor activity.
+type ExecStats struct {
+	RowsScanned, RowsJoined, RowsOutput uint64
+}
+
+// New creates an executor with the given scalar functions (nil is fine).
+func New(funcs FuncRegistry) *Executor {
+	if funcs == nil {
+		funcs = FuncRegistry{}
+	}
+	return &Executor{Funcs: funcs}
+}
+
+// Run materializes the plan's output.
+func (ex *Executor) Run(n plan.Node) (*Result, error) {
+	rows, err := ex.exec(n)
+	if err != nil {
+		return nil, err
+	}
+	ex.Stats.RowsOutput += uint64(len(rows))
+	return &Result{Columns: n.Schema(), Rows: rows}, nil
+}
+
+func (ex *Executor) exec(n plan.Node) ([]catalog.Row, error) {
+	switch v := n.(type) {
+	case *plan.ScanNode:
+		var rows []catalog.Row
+		err := v.Table.Scan(func(_ storage.RecordID, r catalog.Row) bool {
+			rows = append(rows, r)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		ex.Stats.RowsScanned += uint64(len(rows))
+		return rows, nil
+	case *plan.IndexScanNode:
+		var rows []catalog.Row
+		err := v.Fetch(v.Lo, v.Hi, func(r catalog.Row) bool {
+			rows = append(rows, r)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		ex.Stats.RowsScanned += uint64(len(rows))
+		return rows, nil
+	case *plan.FilterNode:
+		in, err := ex.exec(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		scope := NewScope(v.Input.Schema())
+		out := in[:0:0]
+		for _, r := range in {
+			ok, err := EvalBool(v.Cond, scope, r, ex.Funcs)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	case *plan.JoinNode:
+		return ex.hashJoin(v)
+	case *plan.ProjectNode:
+		return ex.project(v)
+	case *plan.AggregateNode:
+		return ex.aggregate(v)
+	case *plan.SortNode:
+		in, err := ex.exec(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		schema := v.Input.Schema()
+		scope := NewScope(schema)
+		// A sort key that textually matches an input column (e.g. an
+		// aggregate or PREDICT output) sorts by that column directly
+		// instead of re-evaluating the expression.
+		keyCol := make([]int, len(v.Keys))
+		for ki, k := range v.Keys {
+			keyCol[ki] = -1
+			want := k.Expr.String()
+			for ci, name := range schema {
+				if name == want {
+					keyCol[ki] = ci
+					break
+				}
+			}
+		}
+		keyVal := func(ki int, row catalog.Row) (catalog.Value, error) {
+			if c := keyCol[ki]; c >= 0 {
+				return row[c], nil
+			}
+			return Eval(v.Keys[ki].Expr, scope, row, ex.Funcs)
+		}
+		var sortErr error
+		sort.SliceStable(in, func(i, j int) bool {
+			for ki, k := range v.Keys {
+				a, err := keyVal(ki, in[i])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				b, err := keyVal(ki, in[j])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				c, err := compare(a, b)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c != 0 {
+					if k.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		return in, sortErr
+	case *plan.LimitNode:
+		in, err := ex.exec(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		if len(in) > v.N {
+			in = in[:v.N]
+		}
+		return in, nil
+	case *plan.DistinctNode:
+		in, err := ex.exec(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		out := in[:0:0]
+		for _, r := range in {
+			k := rowKey(r)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+}
+
+func (ex *Executor) hashJoin(j *plan.JoinNode) ([]catalog.Row, error) {
+	left, err := ex.exec(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.exec(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	lScope := NewScope(j.Left.Schema())
+	rScope := NewScope(j.Right.Schema())
+	lIdx, err := lScope.Resolve(colRefFromName(j.LeftCol))
+	if err != nil {
+		return nil, fmt.Errorf("exec: join left key: %w", err)
+	}
+	rIdx, err := rScope.Resolve(colRefFromName(j.RightCol))
+	if err != nil {
+		return nil, fmt.Errorf("exec: join right key: %w", err)
+	}
+	// Build on the smaller side.
+	buildRows, probeRows := left, right
+	buildIdx, probeIdx := lIdx, rIdx
+	buildIsLeft := true
+	if len(right) < len(left) {
+		buildRows, probeRows = right, left
+		buildIdx, probeIdx = rIdx, lIdx
+		buildIsLeft = false
+	}
+	ht := make(map[string][]catalog.Row, len(buildRows))
+	for _, r := range buildRows {
+		k := valKey(r[buildIdx])
+		ht[k] = append(ht[k], r)
+	}
+	var out []catalog.Row
+	for _, pr := range probeRows {
+		for _, br := range ht[valKey(pr[probeIdx])] {
+			var joined catalog.Row
+			if buildIsLeft {
+				joined = append(append(catalog.Row{}, br...), pr...)
+			} else {
+				joined = append(append(catalog.Row{}, pr...), br...)
+			}
+			out = append(out, joined)
+		}
+	}
+	ex.Stats.RowsJoined += uint64(len(out))
+	return out, nil
+}
+
+func (ex *Executor) project(p *plan.ProjectNode) ([]catalog.Row, error) {
+	in, err := ex.exec(p.Input)
+	if err != nil {
+		return nil, err
+	}
+	scope := NewScope(p.Input.Schema())
+	out := make([]catalog.Row, 0, len(in))
+	for _, r := range in {
+		var row catalog.Row
+		for _, it := range p.Items {
+			if _, ok := it.Expr.(*sql.Star); ok {
+				row = append(row, r...)
+				continue
+			}
+			v, err := Eval(it.Expr, scope, r, ex.Funcs)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+type aggState struct {
+	groupKey catalog.Row
+	count    int64
+	sums     map[int]float64
+	mins     map[int]catalog.Value
+	maxs     map[int]catalog.Value
+	counts   map[int]int64
+}
+
+func (ex *Executor) aggregate(a *plan.AggregateNode) ([]catalog.Row, error) {
+	in, err := ex.exec(a.Input)
+	if err != nil {
+		return nil, err
+	}
+	scope := NewScope(a.Input.Schema())
+	groups := map[string]*aggState{}
+	var order []string
+	for _, r := range in {
+		var key catalog.Row
+		for _, g := range a.GroupBy {
+			v, err := Eval(g, scope, r, ex.Funcs)
+			if err != nil {
+				return nil, err
+			}
+			key = append(key, v)
+		}
+		ks := rowKey(key)
+		st, ok := groups[ks]
+		if !ok {
+			st = &aggState{
+				groupKey: key,
+				sums:     map[int]float64{},
+				mins:     map[int]catalog.Value{},
+				maxs:     map[int]catalog.Value{},
+				counts:   map[int]int64{},
+			}
+			groups[ks] = st
+			order = append(order, ks)
+		}
+		st.count++
+		for i, it := range a.Items {
+			fc, ok := it.Expr.(*sql.FuncCall)
+			if !ok {
+				continue
+			}
+			switch fc.Name {
+			case "COUNT":
+				st.counts[i]++
+			case "SUM", "AVG", "MIN", "MAX":
+				if len(fc.Args) != 1 {
+					return nil, fmt.Errorf("exec: %s takes one argument", fc.Name)
+				}
+				v, err := Eval(fc.Args[0], scope, r, ex.Funcs)
+				if err != nil {
+					return nil, err
+				}
+				switch fc.Name {
+				case "SUM", "AVG":
+					f, err := toFloat(v)
+					if err != nil {
+						return nil, err
+					}
+					st.sums[i] += f
+					st.counts[i]++
+				case "MIN":
+					cur, ok := st.mins[i]
+					if !ok {
+						st.mins[i] = v
+					} else if c, err := compare(v, cur); err != nil {
+						return nil, err
+					} else if c < 0 {
+						st.mins[i] = v
+					}
+				case "MAX":
+					cur, ok := st.maxs[i]
+					if !ok {
+						st.maxs[i] = v
+					} else if c, err := compare(v, cur); err != nil {
+						return nil, err
+					} else if c > 0 {
+						st.maxs[i] = v
+					}
+				}
+			}
+		}
+	}
+	if len(a.GroupBy) == 0 && len(order) == 0 {
+		// Aggregates over an empty input still produce one row.
+		groups[""] = &aggState{sums: map[int]float64{}, mins: map[int]catalog.Value{}, maxs: map[int]catalog.Value{}, counts: map[int]int64{}}
+		order = append(order, "")
+	}
+	var out []catalog.Row
+	for _, ks := range order {
+		st := groups[ks]
+		var row catalog.Row
+		for i, it := range a.Items {
+			if fc, ok := it.Expr.(*sql.FuncCall); ok {
+				switch fc.Name {
+				case "COUNT":
+					row = append(row, st.counts[i])
+					continue
+				case "SUM":
+					row = append(row, st.sums[i])
+					continue
+				case "AVG":
+					if st.counts[i] == 0 {
+						row = append(row, float64(0))
+					} else {
+						row = append(row, st.sums[i]/float64(st.counts[i]))
+					}
+					continue
+				case "MIN":
+					row = append(row, st.mins[i])
+					continue
+				case "MAX":
+					row = append(row, st.maxs[i])
+					continue
+				}
+			}
+			// Non-aggregate output must be a grouping expression.
+			found := false
+			for gi, g := range a.GroupBy {
+				if g.String() == it.Expr.String() {
+					row = append(row, st.groupKey[gi])
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("exec: %s is neither aggregated nor grouped", it.Expr.String())
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func colRefFromName(name string) *sql.ColumnRef {
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		return &sql.ColumnRef{Table: name[:i], Column: name[i+1:]}
+	}
+	return &sql.ColumnRef{Column: name}
+}
+
+func valKey(v catalog.Value) string {
+	return fmt.Sprintf("%T|%v", v, v)
+}
+
+func rowKey(r catalog.Row) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = valKey(v)
+	}
+	return strings.Join(parts, "\x00")
+}

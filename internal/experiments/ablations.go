@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"aidb/internal/cardest"
+	"aidb/internal/joinorder"
+	"aidb/internal/knob"
+	"aidb/internal/kv"
+	"aidb/internal/learnedidx"
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// Ablations isolate the design choices behind the learned components:
+// each sweeps one knob of one technique and shows the tradeoff it buys.
+// They run via `aidb-bench -a` and are asserted by tests like the main
+// matrix.
+
+var ablationRegistry = map[string]Runner{}
+
+func registerAblation(id string, r Runner) { ablationRegistry[id] = r }
+
+// AblationIDs lists ablation ids in order.
+func AblationIDs() []string {
+	out := make([]string, 0, len(ablationRegistry))
+	for id := range ablationRegistry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAblation executes one ablation by id.
+func RunAblation(id string, seed uint64) (*Table, error) {
+	r, ok := ablationRegistry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown ablation %q (have %v)", id, AblationIDs())
+	}
+	return r(seed), nil
+}
+
+// RunAllAblations executes every ablation.
+func RunAllAblations(seed uint64) []*Table {
+	var out []*Table
+	for _, id := range AblationIDs() {
+		t, _ := RunAblation(id, seed)
+		out = append(out, t)
+	}
+	return out
+}
+
+func init() {
+	registerAblation("A1", runA1RMILeaves)
+	registerAblation("A2", runA2BloomBits)
+	registerAblation("A3", runA3MCTSIterations)
+	registerAblation("A4", runA4WorkloadFeatureTransfer)
+	registerAblation("A5", runA5TrainingQueries)
+}
+
+// A1: the RMI's one design knob is the second-stage model count. More
+// leaves cost memory and buy smaller error windows.
+func runA1RMILeaves(seed uint64) *Table {
+	t := &Table{
+		ID:     "A1",
+		Title:  "Ablation: RMI second-stage model count",
+		Claim:  "more second-stage models shrink the bounded search window at linear memory cost (E9 design choice)",
+		Header: []string{"leaves", "index bytes", "max search window"},
+	}
+	rng := ml.NewRNG(seed)
+	n := 200000
+	seen := map[int64]bool{}
+	keys := make([]int64, 0, n)
+	for len(keys) < n {
+		k := int64(rng.Intn(n * 10))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	values := make([]uint64, n)
+	windows := map[int]int{}
+	for _, leaves := range []int{10, 100, 1000, 10000} {
+		r := learnedidx.BuildRMI(keys, values, leaves)
+		windows[leaves] = r.MaxSearchWindow()
+		t.Rows = append(t.Rows, []string{itoa(leaves), itoa(r.SizeBytes()), itoa(r.MaxSearchWindow())})
+	}
+	t.Holds = windows[10000] < windows[10]
+	t.Note = fmt.Sprintf("window %d -> %d from 10 to 10000 leaves", windows[10], windows[10000])
+	return t
+}
+
+// A2: bloom bits per key trade memory for skipped negative lookups.
+func runA2BloomBits(seed uint64) *Table {
+	t := &Table{
+		ID:     "A2",
+		Title:  "Ablation: LSM bloom-filter bits per key",
+		Claim:  "more bloom bits cut blocks read by negative lookups, with diminishing returns (E10 design choice)",
+		Header: []string{"bits/key", "blocks read (10k misses)", "bloom negatives"},
+	}
+	blocks := map[int]uint64{}
+	for _, bits := range []int{0, 2, 5, 10} {
+		s := kv.Open(kv.Config{MemtableSize: 1024, SizeRatio: 4, BloomBitsPerKey: bits, Policy: kv.Leveling})
+		for i := 0; i < 20000; i++ {
+			s.Put(fmt.Sprintf("k%08d", i), "v")
+		}
+		s.Flush()
+		pre := s.Stats()
+		for i := 0; i < 10000; i++ {
+			s.Get(fmt.Sprintf("missing%08d", i))
+		}
+		post := s.Stats()
+		blocks[bits] = post.BlocksRead - pre.BlocksRead
+		t.Rows = append(t.Rows, []string{itoa(bits), itoa(int(blocks[bits])), itoa(int(post.BloomNegatives - pre.BloomNegatives))})
+	}
+	t.Holds = blocks[10] < blocks[2] && blocks[2] < blocks[0]
+	t.Note = fmt.Sprintf("blocks read %d -> %d from 0 to 10 bits", blocks[0], blocks[10])
+	return t
+}
+
+// A3: MCTS planning effort vs plan quality.
+func runA3MCTSIterations(seed uint64) *Table {
+	t := &Table{
+		ID:     "A3",
+		Title:  "Ablation: MCTS iterations per join step",
+		Claim:  "plan quality improves monotonically-ish with search effort, approaching DP (E7 design choice)",
+		Header: []string{"iters/step", "mean cost / DP (5 graphs)"},
+	}
+	ratios := map[int]float64{}
+	iterOpts := []int{10, 50, 200, 800}
+	for _, iters := range iterOpts {
+		sum := 0.0
+		for r := uint64(0); r < 5; r++ {
+			rng := ml.NewRNG(seed + r*131)
+			g := workload.NewJoinGraph(rng, workload.Clique, 9)
+			dpLD := joinorder.LeftDeepCost(g, joinorder.DP(g).Order)
+			mc := joinorder.MCTS(ml.NewRNG(seed+r*131+7), g, iters)
+			sum += mc.Cost / dpLD
+		}
+		ratios[iters] = sum / 5
+		t.Rows = append(t.Rows, []string{itoa(iters), g3(ratios[iters])})
+	}
+	t.Holds = ratios[800] < ratios[10]
+	t.Note = fmt.Sprintf("cost ratio %.3g -> %.3g from 10 to 800 iters", ratios[10], ratios[800])
+	return t
+}
+
+// A4: QTune's defining design choice over CDBTune is feeding workload
+// features to the critic, which lets experience transfer across workload
+// phases. Sweep the amount of prior-phase experience and measure tuning
+// quality on a novel mix with a small budget.
+func runA4WorkloadFeatureTransfer(seed uint64) *Table {
+	t := &Table{
+		ID:     "A4",
+		Title:  "Ablation: workload-feature transfer across phases (QTune vs CDBTune)",
+		Claim:  "a workload-aware critic tunes novel mixes better the more phases it has seen; a state-only critic starts from zero (E1 design choice)",
+		Header: []string{"prior phases seen", "regret on novel mix (mean of 5)"},
+	}
+	phases := []knob.WorkloadMix{
+		{Write: 0.8, Scan: 0.1, Read: 0.1},
+		{Write: 0.6, Scan: 0.2, Read: 0.2},
+		{Write: 0.2, Scan: 0.6, Read: 0.2},
+		{Write: 0.1, Scan: 0.8, Read: 0.1},
+	}
+	target := knob.WorkloadMix{Write: 0.4, Scan: 0.4, Read: 0.2}
+	regrets := map[int]float64{}
+	const rounds = 5
+	for _, seen := range []int{0, 2, 4} {
+		sum := 0.0
+		for r := uint64(0); r < rounds; r++ {
+			surface := knob.NewSurface(ml.NewRNG(seed+r*31), 0.01)
+			qt := &knob.QTune{Rng: ml.NewRNG(seed + r*31 + 1)}
+			for _, ph := range phases[:seen] {
+				qt.Tune(surface, ph, 120)
+			}
+			cfg := qt.Tune(surface, target, 40) // tight budget on the novel mix
+			sum += surface.Regret(cfg, target)
+		}
+		regrets[seen] = sum / rounds
+		t.Rows = append(t.Rows, []string{itoa(seen), f3(regrets[seen])})
+	}
+	t.Holds = regrets[4] < regrets[0]
+	t.Note = fmt.Sprintf("regret %.3f with no prior phases -> %.3f after 4 phases", regrets[0], regrets[4])
+	return t
+}
+
+// A5: learned cardinality estimation quality vs training-set size.
+func runA5TrainingQueries(seed uint64) *Table {
+	t := &Table{
+		ID:     "A5",
+		Title:  "Ablation: training queries for the learned estimator",
+		Claim:  "the learned estimator needs enough executed queries; quality improves with training data (E6 design choice / §2.3 training-data challenge)",
+		Header: []string{"training queries", "median q-error"},
+	}
+	rng := ml.NewRNG(seed)
+	spec := workload.TableSpec{
+		Name: "corr",
+		Rows: 10000,
+		Columns: []workload.Column{
+			{Name: "a", NDV: 100, CorrelatedWith: -1},
+			{Name: "b", NDV: 100, CorrelatedWith: 0, CorrNoise: 3},
+		},
+	}
+	tab := workload.Generate(rng, spec)
+	gen := workload.NewQueryGen(rng, spec)
+	gen.MinPreds, gen.MaxPreds = 2, 2
+	pool := make([]workload.Query, 800)
+	truths := make([]int, 800)
+	for i := range pool {
+		pool[i] = gen.Next()
+		truths[i] = workload.TrueCardinality(tab, pool[i])
+	}
+	test := make([]workload.Query, 100)
+	for i := range test {
+		test[i] = gen.Next()
+	}
+	med := map[int]float64{}
+	for _, n := range []int{25, 100, 400, 800} {
+		e := cardest.NewMLPEstimator(ml.NewRNG(seed+uint64(n)), spec, 32)
+		_ = e.Train(ml.NewRNG(seed+uint64(n)+1), pool[:n], truths[:n], 60)
+		res := cardest.Evaluate(tab, test, e)
+		med[n] = res["learned-mlp"].Median
+		t.Rows = append(t.Rows, []string{itoa(n), f2(med[n])})
+	}
+	t.Holds = med[800] <= med[25]
+	t.Note = fmt.Sprintf("median q-error %.2f -> %.2f from 25 to 800 queries", med[25], med[800])
+	return t
+}

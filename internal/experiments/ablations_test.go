@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestAblationRegistry(t *testing.T) {
+	ids := AblationIDs()
+	if len(ids) != 5 {
+		t.Fatalf("registered %d ablations, want 5: %v", len(ids), ids)
+	}
+	if _, err := RunAblation("A99", 1); err == nil {
+		t.Error("unknown ablation should error")
+	}
+}
+
+func TestAblationShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short mode")
+	}
+	for _, id := range AblationIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := RunAblation(id, 20260705)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			if !tab.Holds {
+				t.Errorf("%s shape does not hold:\n%s", id, tab.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+// Package experiments is the reproduction harness: one runner per
+// experiment in DESIGN.md's matrix (E1–E23). Each runner regenerates its
+// table — workload, learned method, baseline, and the measured shape —
+// and returns it as a printable Table. cmd/aidb-bench prints them;
+// bench_test.go wraps them as testing.B benchmarks; EXPERIMENTS.md
+// records their output.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's regenerated result table.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the tutorial's qualitative claim being validated
+	Header []string
+	Rows   [][]string
+	// Holds reports whether the claim's expected shape held in this run.
+	Holds bool
+	// Note carries an optional explanation of the observed shape.
+	Note string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "Claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i := range t.Header {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	verdict := "HOLDS"
+	if !t.Holds {
+		verdict = "DOES NOT HOLD"
+	}
+	fmt.Fprintf(&sb, "Shape: %s", verdict)
+	if t.Note != "" {
+		fmt.Fprintf(&sb, " — %s", t.Note)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// Runner produces one experiment's table. Runners must be deterministic
+// for a fixed seed.
+type Runner func(seed uint64) *Table
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	registry[id] = r
+}
+
+// IDs lists registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		// Numeric sort on the digits after 'E'.
+		var x, y int
+		fmt.Sscanf(out[a], "E%d", &x)
+		fmt.Sscanf(out[b], "E%d", &y)
+		return x < y
+	})
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, seed uint64) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(seed), nil
+}
+
+// RunAll executes every experiment in order.
+func RunAll(seed uint64) []*Table {
+	var out []*Table
+	for _, id := range IDs() {
+		t, _ := Run(id, seed)
+		out = append(out, t)
+	}
+	return out
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func g3(v float64) string { return fmt.Sprintf("%.3g", v) }
+func itoa(v int) string   { return fmt.Sprintf("%d", v) }

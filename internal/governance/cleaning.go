@@ -1,0 +1,176 @@
+package governance
+
+import (
+	"aidb/internal/ml"
+)
+
+// DirtyDataset is a training set where some records are corrupted; each
+// dirty record has a known clean version the cleaner restores on demand
+// (in ActiveClean, asking a human costs money — here each Clean call is
+// the budgeted unit).
+type DirtyDataset struct {
+	X       *ml.Matrix // observed (possibly dirty) features
+	Y       []float64  // observed (possibly dirty) labels
+	CleanX  *ml.Matrix // ground-truth features
+	CleanY  []float64  // ground-truth labels
+	IsDirty []bool
+}
+
+// MakeDirtyDataset generates a separable binary task and corrupts
+// dirtyFrac of the records: corrupted records get their label flipped and
+// features shifted — exactly the systematic noise that hurts a convex
+// model most.
+func MakeDirtyDataset(rng *ml.RNG, n int, dirtyFrac float64) *DirtyDataset {
+	d := &DirtyDataset{
+		X:       ml.NewMatrix(n, 2),
+		Y:       make([]float64, n),
+		CleanX:  ml.NewMatrix(n, 2),
+		CleanY:  make([]float64, n),
+		IsDirty: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		label := 0.0
+		if a+b > 0 {
+			label = 1
+		}
+		d.CleanX.Set(i, 0, a)
+		d.CleanX.Set(i, 1, b)
+		d.CleanY[i] = label
+		d.X.Set(i, 0, a)
+		d.X.Set(i, 1, b)
+		d.Y[i] = label
+		if rng.Float64() < dirtyFrac {
+			d.IsDirty[i] = true
+			d.Y[i] = 1 - label
+			d.X.Set(i, 0, a+2) // systematic shift
+		}
+	}
+	return d
+}
+
+// Clean restores record i to its ground truth (one unit of budget).
+func (d *DirtyDataset) Clean(i int) {
+	copy(d.X.Row(i), d.CleanX.Row(i))
+	d.Y[i] = d.CleanY[i]
+	d.IsDirty[i] = false
+}
+
+// trainModel fits a logistic model on the current (partially cleaned)
+// data.
+func (d *DirtyDataset) trainModel() *ml.LogisticRegression {
+	m := &ml.LogisticRegression{Epochs: 150, LearningRate: 0.5}
+	_ = m.Fit(d.X, d.Y)
+	return m
+}
+
+// testAccuracy scores a model against the clean ground truth.
+func (d *DirtyDataset) testAccuracy(m *ml.LogisticRegression) float64 {
+	correct := 0
+	for i := 0; i < d.CleanX.Rows; i++ {
+		if m.Predict(d.CleanX.Row(i)) == d.CleanY[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.CleanX.Rows)
+}
+
+// CleanStrategy orders records for cleaning.
+type CleanStrategy interface {
+	// NextBatch returns the indexes to clean next given the current model.
+	NextBatch(d *DirtyDataset, m *ml.LogisticRegression, k int) []int
+	Name() string
+}
+
+// RandomOrder cleans uniformly at random — the baseline.
+type RandomOrder struct{ Rng *ml.RNG }
+
+// Name implements CleanStrategy.
+func (RandomOrder) Name() string { return "random-order" }
+
+// NextBatch implements CleanStrategy.
+func (r RandomOrder) NextBatch(d *DirtyDataset, _ *ml.LogisticRegression, k int) []int {
+	var dirty []int
+	for i, isD := range d.IsDirty {
+		if isD {
+			dirty = append(dirty, i)
+		}
+	}
+	r.Rng.Shuffle(len(dirty), func(a, b int) { dirty[a], dirty[b] = dirty[b], dirty[a] })
+	if len(dirty) > k {
+		dirty = dirty[:k]
+	}
+	return dirty
+}
+
+// ActiveClean prioritizes records whose cleaning would move the model
+// most: those with the largest gradient magnitude under the current
+// model (the sampling distribution of Krishnan et al.).
+type ActiveClean struct{}
+
+// Name implements CleanStrategy.
+func (ActiveClean) Name() string { return "activeclean" }
+
+// NextBatch implements CleanStrategy.
+func (ActiveClean) NextBatch(d *DirtyDataset, m *ml.LogisticRegression, k int) []int {
+	type scored struct {
+		idx  int
+		grad float64
+	}
+	var cands []scored
+	for i, isD := range d.IsDirty {
+		if !isD {
+			continue
+		}
+		row := d.X.Row(i)
+		p := m.PredictProba(row)
+		resid := p - d.Y[i]
+		g := 0.0
+		for _, v := range row {
+			g += (resid * v) * (resid * v)
+		}
+		cands = append(cands, scored{i, g})
+	}
+	// Sort by gradient magnitude, largest first.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].grad > cands[j-1].grad; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// CleaningCurve runs iterative cleaning with the strategy: each round
+// cleans batch records (chosen by the strategy under the current model),
+// retrains, and records test accuracy. The returned curve has one entry
+// per round, plus the initial accuracy at position 0.
+func CleaningCurve(d *DirtyDataset, s CleanStrategy, rounds, batch int) []float64 {
+	m := d.trainModel()
+	curve := []float64{d.testAccuracy(m)}
+	for r := 0; r < rounds; r++ {
+		for _, idx := range s.NextBatch(d, m, batch) {
+			d.Clean(idx)
+		}
+		m = d.trainModel()
+		curve = append(curve, d.testAccuracy(m))
+	}
+	return curve
+}
+
+// Copy deep-copies the dataset so strategies can be compared fairly.
+func (d *DirtyDataset) Copy() *DirtyDataset {
+	return &DirtyDataset{
+		X:       d.X.Clone(),
+		Y:       append([]float64(nil), d.Y...),
+		CleanX:  d.CleanX.Clone(),
+		CleanY:  append([]float64(nil), d.CleanY...),
+		IsDirty: append([]bool(nil), d.IsDirty...),
+	}
+}

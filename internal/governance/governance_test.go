@@ -1,0 +1,198 @@
+package governance
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+)
+
+func TestMinHashJaccard(t *testing.T) {
+	a := ProfileColumn(ColumnRef{"t1", "a"}, []string{"x", "y", "z", "w"})
+	same := ProfileColumn(ColumnRef{"t2", "b"}, []string{"x", "y", "z", "w"})
+	disjoint := ProfileColumn(ColumnRef{"t3", "c"}, []string{"p", "q", "r", "s"})
+	if sim := Jaccard(a, same); sim != 1 {
+		t.Errorf("identical sets Jaccard = %v, want 1", sim)
+	}
+	if sim := Jaccard(a, disjoint); sim > 0.2 {
+		t.Errorf("disjoint sets Jaccard = %v, want ~0", sim)
+	}
+}
+
+func TestEKGFindsPlantedFamilies(t *testing.T) {
+	rng := ml.NewRNG(1)
+	profiles := GenerateLake(rng, 50, 4, 5)
+	g := NewEKG(profiles, 0.3)
+	// Find a family column (one whose exhaustive neighbours are nonempty)
+	// and verify the EKG agrees.
+	checked := 0
+	for _, q := range profiles {
+		exh, _ := ExhaustiveRelated(profiles, q, 0.3)
+		if len(exh) == 0 {
+			continue
+		}
+		checked++
+		got := g.Related(q)
+		if len(got) == 0 {
+			t.Errorf("EKG found nothing for %v; exhaustive found %d", q.Ref, len(exh))
+			continue
+		}
+		// Top result should match.
+		if got[0] != exh[0] {
+			t.Errorf("EKG top %v != exhaustive top %v for %v", got[0], exh[0], q.Ref)
+		}
+		if checked > 20 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no family columns generated")
+	}
+}
+
+func TestEKGCheaperThanExhaustive(t *testing.T) {
+	rng := ml.NewRNG(2)
+	profiles := GenerateLake(rng, 100, 5, 8) // 500 columns
+	g := NewEKG(profiles, 0.3)
+	q := profiles[0]
+	g.Comparisons = 0
+	g.Related(q)
+	ekgComparisons := g.Comparisons
+	_, exhComparisons := ExhaustiveRelated(profiles, q, 0.3)
+	t.Logf("EKG comparisons %d vs exhaustive %d", ekgComparisons, exhComparisons)
+	if ekgComparisons*2 >= exhComparisons {
+		t.Errorf("EKG should compare far fewer profiles (%d) than exhaustive (%d)", ekgComparisons, exhComparisons)
+	}
+}
+
+func TestActiveCleanDominatesRandom(t *testing.T) {
+	rngA := ml.NewRNG(3)
+	base := MakeDirtyDataset(rngA, 600, 0.35)
+	dRand := base.Copy()
+	dActive := base.Copy()
+	randCurve := CleaningCurve(dRand, RandomOrder{Rng: ml.NewRNG(4)}, 8, 15)
+	activeCurve := CleaningCurve(dActive, ActiveClean{}, 8, 15)
+	t.Logf("random curve:  %v", fmtCurve(randCurve))
+	t.Logf("active curve:  %v", fmtCurve(activeCurve))
+	if activeCurve[0] != randCurve[0] {
+		t.Fatal("both strategies must start from the same dirty model")
+	}
+	// Compare area under the curve: ActiveClean should reach accuracy
+	// faster for the same cleaning budget.
+	sumA, sumR := 0.0, 0.0
+	for i := 1; i < len(activeCurve); i++ {
+		sumA += activeCurve[i]
+		sumR += randCurve[i]
+	}
+	if sumA <= sumR {
+		t.Errorf("ActiveClean AUC %.3f should beat random %.3f (E16 claim)", sumA, sumR)
+	}
+}
+
+func fmtCurve(c []float64) []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = float64(int(v*1000)) / 1000
+	}
+	return out
+}
+
+func TestCleaningEventuallyRecovers(t *testing.T) {
+	rng := ml.NewRNG(5)
+	d := MakeDirtyDataset(rng, 400, 0.3)
+	curve := CleaningCurve(d, ActiveClean{}, 30, 10)
+	final := curve[len(curve)-1]
+	if final < 0.9 {
+		t.Errorf("accuracy %.3f after cleaning most records, want >= 0.9", final)
+	}
+	if curve[0] >= final {
+		t.Error("cleaning should improve accuracy over the dirty start")
+	}
+}
+
+func TestTruthInferenceOrdering(t *testing.T) {
+	rng := ml.NewRNG(6)
+	task := NewLabelingTask(rng, 500)
+	workers := []Worker{
+		{Accuracy: 0.95}, {Accuracy: 0.9}, {Accuracy: 0.6},
+		{Accuracy: 0.55}, {Accuracy: 0.55},
+	}
+	labels := task.Collect(workers)
+	single := make([]int, len(task.Truth))
+	for i := range single {
+		single[i] = labels[i][2] // a mediocre single worker
+	}
+	mv := MajorityVote(labels)
+	em, inferredAcc := EMInference(labels, 20)
+	accSingle := LabelAccuracy(single, task.Truth)
+	accMV := LabelAccuracy(mv, task.Truth)
+	accEM := LabelAccuracy(em, task.Truth)
+	t.Logf("single %.3f, majority %.3f, EM %.3f", accSingle, accMV, accEM)
+	if accMV <= accSingle {
+		t.Errorf("majority (%.3f) should beat a single mediocre worker (%.3f)", accMV, accSingle)
+	}
+	if accEM < accMV {
+		t.Errorf("EM (%.3f) should be at least as good as majority (%.3f)", accEM, accMV)
+	}
+	// EM should discover who the good workers are.
+	if inferredAcc[0] < inferredAcc[3] {
+		t.Errorf("EM worker accuracies %v should rank the 0.95 worker above the 0.55 worker", inferredAcc)
+	}
+}
+
+func TestEMEmpty(t *testing.T) {
+	truth, acc := EMInference(nil, 5)
+	if truth != nil || acc != nil {
+		t.Error("EM on empty input should return nils")
+	}
+}
+
+func TestLabelingCost(t *testing.T) {
+	workers := []Worker{{CostPerLabel: 0.01}, {CostPerLabel: 0.02}}
+	if c := LabelingCost(workers, 100); c != 3 {
+		t.Errorf("cost = %v, want 3", c)
+	}
+}
+
+func TestLineageTraceBack(t *testing.T) {
+	l := NewLineage()
+	l.RecordStep("raw")
+	l.RecordStep("cleaned")
+	l.RecordStep("features")
+	l.Derive("cleaned", "c1", "r1", "r2")
+	l.Derive("cleaned", "c2", "r3")
+	l.Derive("features", "f1", "c1", "c2")
+	src, err := l.TraceBack("features", "f1", "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src) != 3 {
+		t.Fatalf("traced to %v, want 3 raw tuples", src)
+	}
+	want := map[string]bool{"r1": true, "r2": true, "r3": true}
+	for _, s := range src {
+		if !want[s] {
+			t.Errorf("unexpected source %q", s)
+		}
+	}
+}
+
+func TestLineageErrors(t *testing.T) {
+	l := NewLineage()
+	l.RecordStep("a")
+	l.RecordStep("b")
+	if _, err := l.TraceBack("a", "x", "b"); err == nil {
+		t.Error("tracing downstream should fail")
+	}
+	if _, err := l.TraceBack("ghost", "x", "a"); err == nil {
+		t.Error("unknown step should fail")
+	}
+}
+
+func TestLineageSameStepIsIdentity(t *testing.T) {
+	l := NewLineage()
+	l.RecordStep("raw")
+	src, err := l.TraceBack("raw", "r9", "raw")
+	if err != nil || len(src) != 1 || src[0] != "r9" {
+		t.Errorf("identity trace = %v, %v", src, err)
+	}
+}

@@ -1,0 +1,147 @@
+package governance
+
+import (
+	"aidb/internal/ml"
+)
+
+// Worker is a simulated crowd worker with a latent accuracy.
+type Worker struct {
+	Accuracy float64
+	// CostPerLabel is the payment per label (for cost/quality tradeoffs).
+	CostPerLabel float64
+}
+
+// LabelingTask is a set of items with hidden true binary labels.
+type LabelingTask struct {
+	Truth []int
+	rng   *ml.RNG
+}
+
+// NewLabelingTask creates n items with random true labels.
+func NewLabelingTask(rng *ml.RNG, n int) *LabelingTask {
+	t := &LabelingTask{Truth: make([]int, n), rng: rng}
+	for i := range t.Truth {
+		t.Truth[i] = rng.Intn(2)
+	}
+	return t
+}
+
+// Collect gathers one label per (item, worker): worker w answers
+// correctly with probability w.Accuracy. Returns labels[item][worker].
+func (t *LabelingTask) Collect(workers []Worker) [][]int {
+	out := make([][]int, len(t.Truth))
+	for i, truth := range t.Truth {
+		out[i] = make([]int, len(workers))
+		for w, wk := range workers {
+			if t.rng.Float64() < wk.Accuracy {
+				out[i][w] = truth
+			} else {
+				out[i][w] = 1 - truth
+			}
+		}
+	}
+	return out
+}
+
+// MajorityVote infers truth by simple majority (ties -> label 1).
+func MajorityVote(labels [][]int) []int {
+	out := make([]int, len(labels))
+	for i, row := range labels {
+		ones := 0
+		for _, l := range row {
+			ones += l
+		}
+		if 2*ones >= len(row) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// EMInference runs Dawid-Skene-style expectation maximization: it
+// alternates estimating item truths (weighted by current worker
+// accuracies) and re-estimating worker accuracies (against current
+// truths). Weighting down bad workers is what lets it beat majority vote.
+func EMInference(labels [][]int, iters int) (truth []int, workerAcc []float64) {
+	n := len(labels)
+	if n == 0 {
+		return nil, nil
+	}
+	w := len(labels[0])
+	workerAcc = make([]float64, w)
+	for j := range workerAcc {
+		workerAcc[j] = 0.7 // optimistic prior
+	}
+	prob := make([]float64, n) // P(truth_i = 1)
+	for it := 0; it < iters; it++ {
+		// E-step: item truth posteriors under worker accuracies.
+		for i, row := range labels {
+			l1, l0 := 1.0, 1.0
+			for j, lab := range row {
+				a := clampProb(workerAcc[j])
+				if lab == 1 {
+					l1 *= a
+					l0 *= 1 - a
+				} else {
+					l1 *= 1 - a
+					l0 *= a
+				}
+			}
+			prob[i] = l1 / (l1 + l0)
+		}
+		// M-step: worker accuracies under truth posteriors.
+		for j := 0; j < w; j++ {
+			agree, total := 0.0, 0.0
+			for i, row := range labels {
+				p := prob[i]
+				if row[j] == 1 {
+					agree += p
+				} else {
+					agree += 1 - p
+				}
+				total++
+			}
+			workerAcc[j] = agree / total
+		}
+	}
+	truth = make([]int, n)
+	for i, p := range prob {
+		if p >= 0.5 {
+			truth[i] = 1
+		}
+	}
+	return truth, workerAcc
+}
+
+func clampProb(p float64) float64 {
+	if p < 0.01 {
+		return 0.01
+	}
+	if p > 0.99 {
+		return 0.99
+	}
+	return p
+}
+
+// LabelAccuracy compares inferred labels against ground truth.
+func LabelAccuracy(inferred, truth []int) float64 {
+	if len(inferred) == 0 {
+		return 0
+	}
+	c := 0
+	for i := range inferred {
+		if inferred[i] == truth[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(inferred))
+}
+
+// LabelingCost totals worker payments for a collection round.
+func LabelingCost(workers []Worker, items int) float64 {
+	total := 0.0
+	for _, w := range workers {
+		total += w.CostPerLabel * float64(items)
+	}
+	return total
+}

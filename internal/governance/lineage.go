@@ -1,0 +1,76 @@
+package governance
+
+import "fmt"
+
+// Lineage records tuple-level provenance: each derived tuple points to
+// the input tuples it came from, across named transformation steps.
+// Backward tracing answers "which raw rows produced this training
+// example?" — the DB4AI debugging primitive; without lineage the only
+// alternative is recomputing the pipeline.
+type Lineage struct {
+	// parents["step:outID"] = input ids at the previous step.
+	parents map[string][]string
+	steps   []string
+}
+
+// NewLineage creates an empty provenance store.
+func NewLineage() *Lineage {
+	return &Lineage{parents: map[string][]string{}}
+}
+
+// key builds the tuple key for step/id.
+func key(step, id string) string { return step + ":" + id }
+
+// RecordStep declares a transformation step (in pipeline order).
+func (l *Lineage) RecordStep(step string) {
+	l.steps = append(l.steps, step)
+}
+
+// Derive records that output tuple outID at step came from the given
+// input tuple ids at the previous step.
+func (l *Lineage) Derive(step, outID string, inputIDs ...string) {
+	l.parents[key(step, outID)] = append(l.parents[key(step, outID)], inputIDs...)
+}
+
+// stepIndex returns the position of a step, or -1.
+func (l *Lineage) stepIndex(step string) int {
+	for i, s := range l.steps {
+		if s == step {
+			return i
+		}
+	}
+	return -1
+}
+
+// TraceBack returns the source tuple ids at fromStep that contributed to
+// tuple id at step, walking parents transitively.
+func (l *Lineage) TraceBack(step, id, fromStep string) ([]string, error) {
+	si, fi := l.stepIndex(step), l.stepIndex(fromStep)
+	if si < 0 {
+		return nil, fmt.Errorf("governance: unknown step %q", step)
+	}
+	if fi < 0 {
+		return nil, fmt.Errorf("governance: unknown step %q", fromStep)
+	}
+	if fi > si {
+		return nil, fmt.Errorf("governance: %q is downstream of %q", fromStep, step)
+	}
+	frontier := []string{id}
+	for cur := si; cur > fi; cur-- {
+		seen := map[string]bool{}
+		var next []string
+		for _, t := range frontier {
+			for _, p := range l.parents[key(l.steps[cur], t)] {
+				if !seen[p] {
+					seen[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+	}
+	return frontier, nil
+}
+
+// Ancestors returns every recorded step->count pair for diagnostics.
+func (l *Lineage) Size() int { return len(l.parents) }

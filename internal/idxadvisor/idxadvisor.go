@@ -1,0 +1,312 @@
+// Package idxadvisor implements index selection (E2): a greedy what-if
+// advisor (the classic Chaudhuri-style baseline), a learned benefit
+// classifier over column features (Kossmann et al.-style), and an
+// MDP/Q-learning selector (Sadri et al.-style). All advisors choose a set
+// of single-column indexes under a storage budget; quality is total
+// workload cost under a shared what-if cost model.
+package idxadvisor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aidb/internal/ml"
+	"aidb/internal/rl"
+	"aidb/internal/workload"
+)
+
+// CostModel prices query execution given an index set; it also counts
+// what-if calls, the advisor-effort metric.
+type CostModel struct {
+	Table *workload.Table
+	// sels[c] is the average selectivity of a predicate on column c in
+	// the observed workload (computed lazily per query instead).
+	WhatIfCalls int
+}
+
+// QueryCost estimates the cost (rows touched) of q given indexed columns.
+// With a usable index, the access path scans the most selective indexed
+// predicate's matches then filters; without one it scans the table.
+func (cm *CostModel) QueryCost(q workload.Query, indexed map[int]bool) float64 {
+	cm.WhatIfCalls++
+	n := float64(cm.Table.NumRows())
+	bestSel := 1.0
+	usable := false
+	for _, p := range q.Preds {
+		if !indexed[p.Column] {
+			continue
+		}
+		sel := cm.predSelectivity(p)
+		if sel < bestSel {
+			bestSel = sel
+			usable = true
+		}
+	}
+	if !usable {
+		return n // full scan
+	}
+	// Index scan cost: log(n) descent + matched rows + residual filter.
+	return math.Log2(n+1) + bestSel*n
+}
+
+func (cm *CostModel) predSelectivity(p workload.Predicate) float64 {
+	ndv := cm.Table.Spec.Columns[p.Column].NDV
+	width := float64(p.Hi - p.Lo + 1)
+	sel := width / float64(ndv)
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// WorkloadCost totals QueryCost over the workload.
+func (cm *CostModel) WorkloadCost(qs []workload.Query, indexed map[int]bool) float64 {
+	total := 0.0
+	for _, q := range qs {
+		total += cm.QueryCost(q, indexed)
+	}
+	return total
+}
+
+// Advisor selects up to budget single-column indexes for a workload.
+type Advisor interface {
+	// Recommend returns the chosen column set.
+	Recommend(cm *CostModel, qs []workload.Query, budget int) map[int]bool
+	// Name identifies the advisor in experiment output.
+	Name() string
+}
+
+// Greedy is the classical what-if advisor: each round it evaluates every
+// candidate column's marginal benefit with full workload what-if calls and
+// adds the best. Effective but what-if-hungry.
+type Greedy struct{}
+
+// Name implements Advisor.
+func (Greedy) Name() string { return "greedy-whatif" }
+
+// Recommend implements Advisor.
+func (Greedy) Recommend(cm *CostModel, qs []workload.Query, budget int) map[int]bool {
+	chosen := map[int]bool{}
+	numCols := len(cm.Table.Spec.Columns)
+	cur := cm.WorkloadCost(qs, chosen)
+	for len(chosen) < budget {
+		bestCol, bestCost := -1, cur
+		for c := 0; c < numCols; c++ {
+			if chosen[c] {
+				continue
+			}
+			chosen[c] = true
+			cost := cm.WorkloadCost(qs, chosen)
+			delete(chosen, c)
+			if cost < bestCost {
+				bestCost, bestCol = cost, c
+			}
+		}
+		if bestCol < 0 {
+			break
+		}
+		chosen[bestCol] = true
+		cur = bestCost
+	}
+	return chosen
+}
+
+// Classifier is the learned advisor: a logistic model over per-column
+// workload features (access frequency, mean predicate selectivity)
+// predicts whether indexing the column is beneficial; the top-budget
+// columns by predicted benefit win. Training labels come from cheap
+// single-column what-if probes on a sample of the workload, so it needs
+// far fewer what-if calls than Greedy on the full workload.
+type Classifier struct {
+	Rng *ml.RNG
+	// SampleFrac is the fraction of the workload probed for labels
+	// (default 0.2).
+	SampleFrac float64
+}
+
+// Name implements Advisor.
+func (*Classifier) Name() string { return "learned-classifier" }
+
+// columnFeatures summarizes how the workload touches each column.
+func columnFeatures(cm *CostModel, qs []workload.Query) [][]float64 {
+	numCols := len(cm.Table.Spec.Columns)
+	freq := make([]float64, numCols)
+	selSum := make([]float64, numCols)
+	for _, q := range qs {
+		for _, p := range q.Preds {
+			freq[p.Column]++
+			selSum[p.Column] += cm.predSelectivity(p)
+		}
+	}
+	out := make([][]float64, numCols)
+	for c := 0; c < numCols; c++ {
+		meanSel := 1.0
+		if freq[c] > 0 {
+			meanSel = selSum[c] / freq[c]
+		}
+		out[c] = []float64{freq[c] / float64(len(qs)), meanSel}
+	}
+	return out
+}
+
+// Recommend implements Advisor.
+func (a *Classifier) Recommend(cm *CostModel, qs []workload.Query, budget int) map[int]bool {
+	frac := a.SampleFrac
+	if frac == 0 {
+		frac = 0.2
+	}
+	sampleN := int(float64(len(qs)) * frac)
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	idx := a.Rng.Perm(len(qs))[:sampleN]
+	sample := make([]workload.Query, sampleN)
+	for i, j := range idx {
+		sample[i] = qs[j]
+	}
+	numCols := len(cm.Table.Spec.Columns)
+	feats := columnFeatures(cm, qs)
+	// Label: indexing column c alone improves sampled workload cost by
+	// more than 5%.
+	base := cm.WorkloadCost(sample, nil)
+	x := ml.NewMatrix(numCols, 2)
+	y := make([]float64, numCols)
+	benefit := make([]float64, numCols)
+	for c := 0; c < numCols; c++ {
+		copy(x.Row(c), feats[c])
+		cost := cm.WorkloadCost(sample, map[int]bool{c: true})
+		benefit[c] = base - cost
+		if cost < base*0.95 {
+			y[c] = 1
+		}
+	}
+	m := ml.LogisticRegression{Epochs: 300, LearningRate: 0.5}
+	if err := m.Fit(x, y); err != nil {
+		// Degenerate workload: fall back to raw probed benefit.
+		return topK(benefit, budget)
+	}
+	score := make([]float64, numCols)
+	for c := 0; c < numCols; c++ {
+		// Blend classifier probability with probed benefit magnitude so
+		// ties break toward measured gains.
+		score[c] = m.PredictProba(feats[c]) * (1 + benefit[c]/math.Max(base, 1))
+	}
+	return topK(score, budget)
+}
+
+func topK(score []float64, k int) map[int]bool {
+	type cs struct {
+		c int
+		s float64
+	}
+	all := make([]cs, len(score))
+	for c, s := range score {
+		all[c] = cs{c, s}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].s != all[b].s {
+			return all[a].s > all[b].s
+		}
+		return all[a].c < all[b].c
+	})
+	out := map[int]bool{}
+	for i := 0; i < k && i < len(all); i++ {
+		if all[i].s > 0 {
+			out[all[i].c] = true
+		}
+	}
+	return out
+}
+
+// MDP is the Sadri-style reinforcement advisor: state is the bitmask of
+// built indexes, action is building one more, reward is the workload cost
+// reduction measured on a sampled sub-workload. Q-learning over episodes
+// discovers complementary index sets that greedy single-step probing can
+// miss, with what-if calls bounded by the sample size.
+type MDP struct {
+	Rng      *ml.RNG
+	Episodes int     // default 80
+	Sample   float64 // workload sample fraction per episode (default 0.1)
+}
+
+// Name implements Advisor.
+func (*MDP) Name() string { return "mdp-qlearning" }
+
+// Recommend implements Advisor.
+func (a *MDP) Recommend(cm *CostModel, qs []workload.Query, budget int) map[int]bool {
+	episodes := a.Episodes
+	if episodes == 0 {
+		episodes = 80
+	}
+	frac := a.Sample
+	if frac == 0 {
+		frac = 0.1
+	}
+	numCols := len(cm.Table.Spec.Columns)
+	qt := rl.NewQTable(a.Rng, numCols)
+	qt.Epsilon = 0.3
+	qt.Alpha = 0.3
+	qt.Gamma = 1.0
+	key := func(set uint64) string { return fmt.Sprintf("%x", set) }
+	allowed := func(set uint64) []int {
+		var out []int
+		for c := 0; c < numCols; c++ {
+			if set&(1<<c) == 0 {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	toMap := func(set uint64) map[int]bool {
+		m := map[int]bool{}
+		for c := 0; c < numCols; c++ {
+			if set&(1<<c) != 0 {
+				m[c] = true
+			}
+		}
+		return m
+	}
+	for ep := 0; ep < episodes; ep++ {
+		// Fresh sample each episode decorrelates noise.
+		sn := int(float64(len(qs)) * frac)
+		if sn < 1 {
+			sn = 1
+		}
+		perm := a.Rng.Perm(len(qs))[:sn]
+		sample := make([]workload.Query, sn)
+		for i, j := range perm {
+			sample[i] = qs[j]
+		}
+		var set uint64
+		cost := cm.WorkloadCost(sample, nil)
+		scale := cost + 1
+		for step := 0; step < budget; step++ {
+			acts := allowed(set)
+			if len(acts) == 0 {
+				break
+			}
+			c := qt.EpsilonGreedy(key(set), acts)
+			next := set | 1<<uint(c)
+			ncost := cm.WorkloadCost(sample, toMap(next))
+			reward := (cost - ncost) / scale
+			done := step == budget-1
+			qt.Update(key(set), c, reward, key(next), allowed(next), done)
+			set, cost = next, ncost
+		}
+	}
+	// Greedy rollout.
+	var set uint64
+	for step := 0; step < budget; step++ {
+		acts := allowed(set)
+		if len(acts) == 0 {
+			break
+		}
+		c, v := qt.BestAllowed(key(set), acts)
+		if v <= 0 && step > 0 {
+			break // no predicted benefit from further indexes
+		}
+		set |= 1 << uint(c)
+	}
+	return toMap(set)
+}

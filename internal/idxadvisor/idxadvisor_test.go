@@ -1,0 +1,141 @@
+package idxadvisor
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// skewedWorkload builds a 12-column table where only a few columns are
+// queried often and selectively — the setting where index choice matters.
+func skewedWorkload(seed uint64, numQueries int) (*workload.Table, []workload.Query) {
+	rng := ml.NewRNG(seed)
+	cols := make([]workload.Column, 12)
+	for i := range cols {
+		cols[i] = workload.Column{Name: string(rune('a' + i)), NDV: 1000, CorrelatedWith: -1}
+	}
+	spec := workload.TableSpec{Name: "wide", Rows: 5000, Columns: cols}
+	tab := workload.Generate(rng, spec)
+	// Hot columns 0-2 get frequent narrow predicates; the rest get rare
+	// wide ones.
+	var qs []workload.Query
+	for i := 0; i < numQueries; i++ {
+		var q workload.Query
+		if rng.Float64() < 0.8 {
+			col := rng.Intn(3)
+			lo := int64(rng.Intn(990))
+			q.Preds = append(q.Preds, workload.Predicate{Column: col, Lo: lo, Hi: lo + 9})
+		} else {
+			col := 3 + rng.Intn(9)
+			lo := int64(rng.Intn(500))
+			q.Preds = append(q.Preds, workload.Predicate{Column: col, Lo: lo, Hi: lo + 499})
+		}
+		qs = append(qs, q)
+	}
+	return tab, qs
+}
+
+func TestCostModelPrefersSelectiveIndex(t *testing.T) {
+	tab, _ := skewedWorkload(1, 0)
+	cm := &CostModel{Table: tab}
+	q := workload.Query{Preds: []workload.Predicate{{Column: 0, Lo: 0, Hi: 9}}}
+	noIdx := cm.QueryCost(q, nil)
+	withIdx := cm.QueryCost(q, map[int]bool{0: true})
+	if withIdx >= noIdx {
+		t.Errorf("indexed cost %v should be below scan cost %v", withIdx, noIdx)
+	}
+	if cm.WhatIfCalls != 2 {
+		t.Errorf("WhatIfCalls = %d, want 2", cm.WhatIfCalls)
+	}
+}
+
+func TestCostModelIgnoresUselessIndex(t *testing.T) {
+	tab, _ := skewedWorkload(2, 0)
+	cm := &CostModel{Table: tab}
+	q := workload.Query{Preds: []workload.Predicate{{Column: 0, Lo: 0, Hi: 9}}}
+	scan := cm.QueryCost(q, nil)
+	other := cm.QueryCost(q, map[int]bool{5: true}) // index on unqueried column
+	if other != scan {
+		t.Errorf("index on unused column changed cost: %v vs %v", other, scan)
+	}
+}
+
+func TestGreedyPicksHotColumns(t *testing.T) {
+	tab, qs := skewedWorkload(3, 200)
+	cm := &CostModel{Table: tab}
+	chosen := Greedy{}.Recommend(cm, qs, 3)
+	if len(chosen) != 3 {
+		t.Fatalf("chose %d indexes, want 3", len(chosen))
+	}
+	for c := range chosen {
+		if c > 2 {
+			t.Errorf("greedy picked cold column %d", c)
+		}
+	}
+}
+
+func TestClassifierMatchesGreedyQuality(t *testing.T) {
+	tab, qs := skewedWorkload(4, 300)
+	cmG := &CostModel{Table: tab}
+	gSet := Greedy{}.Recommend(cmG, qs, 3)
+	gCalls := cmG.WhatIfCalls
+	cmC := &CostModel{Table: tab}
+	cSet := (&Classifier{Rng: ml.NewRNG(5)}).Recommend(cmC, qs, 3)
+	cCalls := cmC.WhatIfCalls
+	eval := &CostModel{Table: tab}
+	gCost := eval.WorkloadCost(qs, gSet)
+	cCost := eval.WorkloadCost(qs, cSet)
+	t.Logf("greedy cost %.0f (%d what-ifs) vs classifier %.0f (%d what-ifs)", gCost, gCalls, cCost, cCalls)
+	if cCost > gCost*1.1 {
+		t.Errorf("classifier cost %.0f should be within 10%% of greedy %.0f", cCost, gCost)
+	}
+	if cCalls >= gCalls {
+		t.Errorf("classifier used %d what-if calls, should be below greedy's %d", cCalls, gCalls)
+	}
+}
+
+func TestMDPMatchesGreedyQualityWithFewerCalls(t *testing.T) {
+	tab, qs := skewedWorkload(6, 300)
+	cmG := &CostModel{Table: tab}
+	gSet := Greedy{}.Recommend(cmG, qs, 3)
+	gCalls := cmG.WhatIfCalls
+	cmM := &CostModel{Table: tab}
+	mSet := (&MDP{Rng: ml.NewRNG(7)}).Recommend(cmM, qs, 3)
+	mCalls := cmM.WhatIfCalls
+	eval := &CostModel{Table: tab}
+	gCost := eval.WorkloadCost(qs, gSet)
+	mCost := eval.WorkloadCost(qs, mSet)
+	t.Logf("greedy cost %.0f (%d what-ifs) vs MDP %.0f (%d what-ifs)", gCost, gCalls, mCost, mCalls)
+	if mCost > gCost*1.15 {
+		t.Errorf("MDP cost %.0f should be within 15%% of greedy %.0f at equal budget", mCost, gCost)
+	}
+	if mCalls >= gCalls {
+		t.Errorf("MDP used %d what-if calls, should be below greedy's %d", mCalls, gCalls)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	tab, qs := skewedWorkload(8, 100)
+	for _, adv := range []Advisor{Greedy{}, &Classifier{Rng: ml.NewRNG(9)}, &MDP{Rng: ml.NewRNG(10), Episodes: 20}} {
+		cm := &CostModel{Table: tab}
+		set := adv.Recommend(cm, qs, 2)
+		if len(set) > 2 {
+			t.Errorf("%s exceeded budget: %v", adv.Name(), set)
+		}
+	}
+}
+
+func TestIndexesReduceWorkloadCost(t *testing.T) {
+	tab, qs := skewedWorkload(11, 200)
+	cm := &CostModel{Table: tab}
+	base := cm.WorkloadCost(qs, nil)
+	for _, adv := range []Advisor{Greedy{}, &Classifier{Rng: ml.NewRNG(12)}, &MDP{Rng: ml.NewRNG(13), Episodes: 40}} {
+		cmA := &CostModel{Table: tab}
+		set := adv.Recommend(cmA, qs, 3)
+		cost := cm.WorkloadCost(qs, set)
+		if cost >= base {
+			t.Errorf("%s produced indexes with no benefit (%.0f vs base %.0f)", adv.Name(), cost, base)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package inference
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+)
+
+// Wall-clock side of E21: per-row UDF vs vectorized batch vs sparse CSR
+// vs sharded parallel scoring.
+
+func benchMatrix(rows, cols int, density float64) *ml.Matrix {
+	rng := ml.NewRNG(7)
+	x := ml.NewMatrix(rows, cols)
+	for i := range x.Data {
+		if rng.Float64() < density {
+			x.Data[i] = rng.Float64()
+		}
+	}
+	return x
+}
+
+const (
+	benchRows = 10000
+	benchCols = 64
+)
+
+func BenchmarkScorePerRowUDF(b *testing.B) {
+	x := benchMatrix(benchRows, benchCols, 1)
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	s := scorer(benchCols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScorePerRowUDF(rows)
+	}
+}
+
+func BenchmarkScoreDenseBatch(b *testing.B) {
+	x := benchMatrix(benchRows, benchCols, 1)
+	s := scorer(benchCols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreDenseBatch(x)
+	}
+}
+
+func BenchmarkScoreSparseCSROnSparse(b *testing.B) {
+	x := benchMatrix(benchRows, benchCols, 0.05)
+	csr := NewCSR(x)
+	s := scorer(benchCols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreSparse(csr)
+	}
+}
+
+func BenchmarkScoreDenseOnSparse(b *testing.B) {
+	x := benchMatrix(benchRows, benchCols, 0.05)
+	s := scorer(benchCols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreDenseBatch(x)
+	}
+}
+
+func BenchmarkShardedScore4(b *testing.B) {
+	x := benchMatrix(benchRows, benchCols, 1)
+	s := scorer(benchCols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ShardedScore(x, 4)
+	}
+}
+
+// BenchmarkHybridPlans times the E22 plans end to end.
+func BenchmarkHybridPredictAll(b *testing.B) {
+	patients := GeneratePatients(ml.NewRNG(9), 20000)
+	model := &LinearScorer{W: []float64{2, 5, 1}}
+	pred := StayPredicate{MinAge: 70, Ward: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PredictAllThenFilter(patients, model, 3.5, pred)
+	}
+}
+
+func BenchmarkHybridPushdown(b *testing.B) {
+	patients := GeneratePatients(ml.NewRNG(9), 20000)
+	model := &LinearScorer{W: []float64{2, 5, 1}}
+	pred := StayPredicate{MinAge: 70, Ward: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PushdownPlan(patients, model, 3.5, pred)
+	}
+}

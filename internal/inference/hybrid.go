@@ -1,0 +1,114 @@
+package inference
+
+import (
+	"math"
+
+	"aidb/internal/ml"
+)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// The hybrid DB+AI query from the paper's §2.3: "find all patients whose
+// predicted stay exceeds 3 days, among those matching cheap relational
+// predicates". The naive plan predicts for every row and filters last;
+// the hybrid plan pushes the relational predicates below the model so
+// only surviving rows pay for inference.
+
+// Patient is one row of the motivating workload.
+type Patient struct {
+	Age      int64
+	Ward     int64
+	Admitted int64 // day number
+	Severity float64
+	Features []float64
+}
+
+// GeneratePatients synthesizes a hospital table; Features feed the model.
+func GeneratePatients(rng *ml.RNG, n int) []Patient {
+	out := make([]Patient, n)
+	for i := range out {
+		p := Patient{
+			Age:      int64(1 + rng.Intn(99)),
+			Ward:     int64(rng.Intn(12)),
+			Admitted: int64(rng.Intn(365)),
+			Severity: rng.Float64(),
+		}
+		p.Features = []float64{float64(p.Age) / 100, p.Severity, float64(p.Ward) / 12}
+		out[i] = p
+	}
+	return out
+}
+
+// StayPredicate is the relational half of the hybrid query.
+type StayPredicate struct {
+	MinAge int64
+	Ward   int64 // -1 for any
+}
+
+// Matches applies the cheap relational predicate.
+func (sp StayPredicate) Matches(p Patient) bool {
+	if p.Age < sp.MinAge {
+		return false
+	}
+	if sp.Ward >= 0 && p.Ward != sp.Ward {
+		return false
+	}
+	return true
+}
+
+// HybridResult reports one plan execution.
+type HybridResult struct {
+	Rows             []int // indexes of qualifying patients
+	ModelInvocations int
+	RowsScanned      int
+}
+
+// PredictAllThenFilter is the naive plan: run the model over every row,
+// then apply both the model threshold and the relational predicate.
+func PredictAllThenFilter(patients []Patient, model *LinearScorer, threshold float64, pred StayPredicate) HybridResult {
+	var res HybridResult
+	for i, p := range patients {
+		res.RowsScanned++
+		stay := model.ScorePerRowUDF([][]float64{p.Features})[0]
+		res.ModelInvocations++
+		if stay > threshold && pred.Matches(p) {
+			res.Rows = append(res.Rows, i)
+		}
+	}
+	return res
+}
+
+// PushdownPlan is the optimized plan: relational predicates filter first;
+// only survivors reach the model (AI-operator pushdown from §2.3).
+func PushdownPlan(patients []Patient, model *LinearScorer, threshold float64, pred StayPredicate) HybridResult {
+	var res HybridResult
+	for i, p := range patients {
+		res.RowsScanned++
+		if !pred.Matches(p) {
+			continue
+		}
+		stay := model.ScorePerRowUDF([][]float64{p.Features})[0]
+		res.ModelInvocations++
+		if stay > threshold {
+			res.Rows = append(res.Rows, i)
+		}
+	}
+	return res
+}
+
+// ModelCostEstimate prices a plan the way an AI-aware optimizer would:
+// scan cost + model invocations * perInvoke. The optimizer chooses
+// pushdown exactly when the predicate is selective.
+func ModelCostEstimate(rows int, selectivity, perInvoke float64, pushdown bool) float64 {
+	scan := float64(rows)
+	if pushdown {
+		return scan + float64(rows)*selectivity*perInvoke
+	}
+	return scan + float64(rows)*perInvoke
+}
+
+// ChoosePlan returns true (pushdown) when the estimated cost is lower.
+func ChoosePlan(rows int, selectivity, perInvoke float64) bool {
+	return ModelCostEstimate(rows, selectivity, perInvoke, true) <
+		ModelCostEstimate(rows, selectivity, perInvoke, false)
+}

@@ -1,0 +1,177 @@
+package inference
+
+import (
+	"math"
+	"testing"
+
+	"aidb/internal/ml"
+)
+
+func denseData(rng *ml.RNG, rows, cols int) *ml.Matrix {
+	x := ml.NewMatrix(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	return x
+}
+
+func sparseData(rng *ml.RNG, rows, cols int, density float64) *ml.Matrix {
+	x := ml.NewMatrix(rows, cols)
+	for i := range x.Data {
+		if rng.Float64() < density {
+			x.Data[i] = rng.Float64()
+		}
+	}
+	return x
+}
+
+func scorer(cols int) *LinearScorer {
+	w := make([]float64, cols)
+	for i := range w {
+		w[i] = float64(i%5) * 0.1
+	}
+	return &LinearScorer{W: w, B: 0.5}
+}
+
+func TestDenseBatchMatchesUDF(t *testing.T) {
+	rng := ml.NewRNG(1)
+	x := denseData(rng, 100, 16)
+	s1, s2 := scorer(16), scorer(16)
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	udf := s1.ScorePerRowUDF(rows)
+	batch := s2.ScoreDenseBatch(x)
+	for i := range udf {
+		if math.Abs(udf[i]-batch[i]) > 1e-12 {
+			t.Fatalf("row %d: udf %v != batch %v", i, udf[i], batch[i])
+		}
+	}
+}
+
+func TestSparseMatchesDense(t *testing.T) {
+	rng := ml.NewRNG(2)
+	x := sparseData(rng, 200, 32, 0.1)
+	s1, s2 := scorer(32), scorer(32)
+	dense := s1.ScoreDenseBatch(x)
+	sparse := s2.ScoreSparse(NewCSR(x))
+	for i := range dense {
+		if math.Abs(dense[i]-sparse[i]) > 1e-12 {
+			t.Fatalf("row %d: dense %v != sparse %v", i, dense[i], sparse[i])
+		}
+	}
+	// Sparse should touch ~10% of the FLOPs.
+	if s2.Flops*5 >= s1.Flops {
+		t.Errorf("sparse flops %d should be far below dense %d at 10%% density", s2.Flops, s1.Flops)
+	}
+}
+
+func TestCSRDensity(t *testing.T) {
+	x := ml.MatrixFromRows([][]float64{{1, 0}, {0, 0}})
+	c := NewCSR(x)
+	if c.NNZ() != 1 || c.Density() != 0.25 {
+		t.Errorf("nnz=%d density=%v", c.NNZ(), c.Density())
+	}
+}
+
+func TestSelectOperator(t *testing.T) {
+	if SelectOperator(0.05) != SparseOp {
+		t.Error("5% density should choose sparse")
+	}
+	if SelectOperator(0.9) != DenseOp {
+		t.Error("90% density should choose dense")
+	}
+}
+
+func TestScoreAutoPicksRightOperator(t *testing.T) {
+	rng := ml.NewRNG(3)
+	s := scorer(32)
+	_, op := s.ScoreAuto(sparseData(rng, 100, 32, 0.05))
+	if op != SparseOp {
+		t.Errorf("sparse data chose %v", op)
+	}
+	_, op = s.ScoreAuto(denseData(rng, 100, 32))
+	if op != DenseOp {
+		t.Errorf("dense data chose %v", op)
+	}
+}
+
+func TestShardedMatchesSequential(t *testing.T) {
+	rng := ml.NewRNG(4)
+	x := denseData(rng, 503, 16) // odd count exercises chunk edges
+	s1, s2 := scorer(16), scorer(16)
+	seq := s1.ScoreDenseBatch(x)
+	par := s2.ShardedScore(x, 4)
+	for i := range seq {
+		if math.Abs(seq[i]-par[i]) > 1e-12 {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	if s1.Flops != s2.Flops {
+		t.Errorf("flop accounting differs: %d vs %d", s1.Flops, s2.Flops)
+	}
+}
+
+func TestMemoCacheHitsOnRepeats(t *testing.T) {
+	s := scorer(4)
+	c := NewMemoCache()
+	row := []float64{1, 2, 3, 4}
+	v1 := c.Score(s, row)
+	v2 := c.Score(s, row)
+	if v1 != v2 {
+		t.Error("cache changed the answer")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", c.Hits, c.Misses)
+	}
+	flopsAfterTwo := s.Flops
+	c.Score(s, row)
+	if s.Flops != flopsAfterTwo {
+		t.Error("cached lookup should not recompute")
+	}
+}
+
+func TestPushdownPrunesInvocations(t *testing.T) {
+	rng := ml.NewRNG(5)
+	patients := GeneratePatients(rng, 5000)
+	model := &LinearScorer{W: []float64{2, 5, 1}, B: 0}
+	pred := StayPredicate{MinAge: 70, Ward: 3}
+	naive := PredictAllThenFilter(patients, model, 3.5, pred)
+	push := PushdownPlan(patients, model, 3.5, pred)
+	// Same answers.
+	if len(naive.Rows) != len(push.Rows) {
+		t.Fatalf("plans disagree: %d vs %d rows", len(naive.Rows), len(push.Rows))
+	}
+	for i := range naive.Rows {
+		if naive.Rows[i] != push.Rows[i] {
+			t.Fatal("plans return different rows")
+		}
+	}
+	t.Logf("model invocations: naive %d, pushdown %d", naive.ModelInvocations, push.ModelInvocations)
+	if naive.ModelInvocations != 5000 {
+		t.Errorf("naive should invoke the model on every row")
+	}
+	if push.ModelInvocations*10 >= naive.ModelInvocations {
+		t.Errorf("pushdown invocations %d should be <10%% of naive %d for a selective predicate", push.ModelInvocations, naive.ModelInvocations)
+	}
+}
+
+func TestChoosePlan(t *testing.T) {
+	if !ChoosePlan(10000, 0.01, 50) {
+		t.Error("selective predicate + costly model should choose pushdown")
+	}
+	// With selectivity 1 the plans cost the same; strictly-less means no
+	// pushdown preference.
+	if ChoosePlan(10000, 1.0, 50) {
+		t.Error("non-selective predicate gives pushdown no advantage")
+	}
+}
+
+func TestModelCostEstimateShape(t *testing.T) {
+	push := ModelCostEstimate(1000, 0.1, 20, true)
+	naive := ModelCostEstimate(1000, 0.1, 20, false)
+	if push >= naive {
+		t.Errorf("pushdown estimate %v should be below naive %v", push, naive)
+	}
+}

@@ -1,0 +1,91 @@
+package joinorder
+
+import (
+	"math"
+
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// Adaptive execution in the style of SkinnerDB: instead of committing to
+// one join order before execution, the executor divides work into time
+// slices and uses a bandit (UCB) over candidate orders, learning *during
+// execution* which order makes progress fastest. Progress per slice is
+// inversely proportional to the order's true cost, which the executor
+// does not know up front — exactly the regret-bounded query evaluation
+// setting.
+
+// AdaptiveResult summarizes one adaptive execution.
+type AdaptiveResult struct {
+	// Slices is the total number of time slices to finish the query.
+	Slices int
+	// BestArmShare is the fraction of slices spent on the best order.
+	BestArmShare float64
+}
+
+// AdaptiveExec simulates executing the join with numOrders candidate
+// orders (sampled uniformly, plus the greedy order) and sliceWork units
+// of work per slice. It returns when accumulated progress reaches 1.
+func AdaptiveExec(rng *ml.RNG, g *workload.JoinGraph, numOrders int, sliceWork float64) AdaptiveResult {
+	// Candidate arms: greedy plus random orders (SkinnerDB samples from
+	// the space of left-deep orders).
+	orders := [][]int{Greedy(g).Order}
+	for i := 1; i < numOrders; i++ {
+		orders = append(orders, rng.Perm(g.N()))
+	}
+	costs := make([]float64, len(orders))
+	best := 0
+	for i, o := range orders {
+		costs[i] = LeftDeepCost(g, o)
+		if costs[i] < costs[best] {
+			best = i
+		}
+	}
+	// UCB over progress-per-slice rewards. Rewards are normalized by the
+	// fastest observed progress so far (the executor can't know the true
+	// scale up front).
+	counts := make([]float64, len(orders))
+	sums := make([]float64, len(orders))
+	progress := 0.0
+	slices := 0
+	bestSlices := 0
+	maxObserved := 1e-18
+	for progress < 1 {
+		slices++
+		// Pick an arm: any unplayed arm first, then UCB.
+		arm := -1
+		for i := range orders {
+			if counts[i] == 0 {
+				arm = i
+				break
+			}
+		}
+		if arm < 0 {
+			bestU := math.Inf(-1)
+			for i := range orders {
+				u := sums[i]/counts[i] + math.Sqrt(2*math.Log(float64(slices))/counts[i])
+				if u > bestU {
+					bestU, arm = u, i
+				}
+			}
+		}
+		delta := sliceWork / costs[arm]
+		progress += delta
+		if delta > maxObserved {
+			maxObserved = delta
+		}
+		counts[arm]++
+		sums[arm] += delta / maxObserved
+		if arm == best {
+			bestSlices++
+		}
+	}
+	return AdaptiveResult{Slices: slices, BestArmShare: float64(bestSlices) / float64(slices)}
+}
+
+// CommitExec is the baseline: commit to one order up front and execute it
+// to completion, returning the slice count.
+func CommitExec(g *workload.JoinGraph, order []int, sliceWork float64) int {
+	cost := LeftDeepCost(g, order)
+	return int(math.Ceil(cost / sliceWork))
+}

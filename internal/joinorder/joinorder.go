@@ -1,0 +1,315 @@
+// Package joinorder implements join order selection over synthetic join
+// graphs: exact Selinger-style dynamic programming (optimal but
+// exponential), a greedy heuristic, a Q-learning enumerator in the style
+// of ReJOIN/DQ, and Monte-Carlo tree search in the style of SkinnerDB.
+// Experiment E7 compares plan quality (C_out cost) and planning effort.
+package joinorder
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"aidb/internal/ml"
+	"aidb/internal/rl"
+	"aidb/internal/workload"
+)
+
+// Cardinality estimates the result size of joining the relation set
+// (bitmask) under the clique-selectivity model: product of base
+// cardinalities times the product of selectivities of all edges inside
+// the set. This is the textbook model the join-ordering literature uses.
+func Cardinality(g *workload.JoinGraph, set uint64) float64 {
+	card := 1.0
+	n := g.N()
+	for i := 0; i < n; i++ {
+		if set&(1<<i) == 0 {
+			continue
+		}
+		card *= g.Card[i]
+		for j := i + 1; j < n; j++ {
+			if set&(1<<j) != 0 && g.Sel[i][j] > 0 {
+				card *= g.Sel[i][j]
+			}
+		}
+	}
+	return card
+}
+
+// LeftDeepCost returns the C_out cost (sum of intermediate result sizes)
+// of joining relations in the given left-deep order.
+func LeftDeepCost(g *workload.JoinGraph, order []int) float64 {
+	if len(order) < 2 {
+		return 0
+	}
+	cost := 0.0
+	var set uint64
+	set = 1 << order[0]
+	for _, r := range order[1:] {
+		set |= 1 << r
+		cost += Cardinality(g, set)
+	}
+	return cost
+}
+
+// connectedTo reports whether relation r joins anything in set.
+func connectedTo(g *workload.JoinGraph, set uint64, r int) bool {
+	for i := 0; i < g.N(); i++ {
+		if set&(1<<i) != 0 && g.Sel[i][r] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is one planner's outcome.
+type Result struct {
+	Order []int // left-deep order (nil for bushy DP trees)
+	Cost  float64
+	// PlansExamined counts cost evaluations, the planning-effort metric.
+	PlansExamined int
+}
+
+// DP finds the optimal bushy plan by subset dynamic programming (DPsub).
+// Exponential in the number of relations; the gold standard for E7.
+func DP(g *workload.JoinGraph) Result {
+	n := g.N()
+	full := uint64(1)<<n - 1
+	best := make([]float64, full+1)
+	examined := 0
+	for s := uint64(1); s <= full; s++ {
+		if bits.OnesCount64(s) <= 1 {
+			best[s] = 0
+			continue
+		}
+		best[s] = math.Inf(1)
+		// Enumerate proper subsets t of s.
+		for t := (s - 1) & s; t > 0; t = (t - 1) & s {
+			other := s &^ t
+			if t > other {
+				continue // each split once
+			}
+			examined++
+			c := best[t] + best[other] + Cardinality(g, s)
+			if c < best[s] {
+				best[s] = c
+			}
+		}
+	}
+	// Also recover a left-deep order for reporting: run left-deep DP.
+	order := leftDeepDP(g)
+	return Result{Order: order, Cost: best[full], PlansExamined: examined}
+}
+
+// leftDeepDP finds the optimal left-deep order.
+func leftDeepDP(g *workload.JoinGraph) []int {
+	n := g.N()
+	full := uint64(1)<<n - 1
+	type entry struct {
+		cost float64
+		last int
+	}
+	best := make(map[uint64]entry, 1<<n)
+	for i := 0; i < n; i++ {
+		best[1<<i] = entry{cost: 0, last: i}
+	}
+	for s := uint64(1); s <= full; s++ {
+		cur, ok := best[s]
+		if !ok {
+			continue
+		}
+		for r := 0; r < n; r++ {
+			if s&(1<<r) != 0 {
+				continue
+			}
+			ns := s | 1<<r
+			c := cur.cost + Cardinality(g, ns)
+			if e, ok := best[ns]; !ok || c < e.cost {
+				best[ns] = entry{cost: c, last: r}
+			}
+		}
+	}
+	// Reconstruct by greedy backtracking.
+	order := make([]int, 0, n)
+	s := full
+	for s > 0 {
+		e := best[s]
+		order = append(order, e.last)
+		s &^= 1 << e.last
+	}
+	// Reverse.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Greedy builds a left-deep order by repeatedly appending the relation
+// that minimizes the next intermediate size (preferring connected
+// relations). The fast-but-suboptimal baseline.
+func Greedy(g *workload.JoinGraph) Result {
+	n := g.N()
+	examined := 0
+	// Start from the smallest relation.
+	start := 0
+	for i := 1; i < n; i++ {
+		if g.Card[i] < g.Card[start] {
+			start = i
+		}
+	}
+	order := []int{start}
+	set := uint64(1) << start
+	for len(order) < n {
+		bestR, bestC := -1, math.Inf(1)
+		bestConnected := false
+		for r := 0; r < n; r++ {
+			if set&(1<<r) != 0 {
+				continue
+			}
+			conn := connectedTo(g, set, r)
+			c := Cardinality(g, set|1<<r)
+			examined++
+			// Prefer connected joins; among equals pick cheapest.
+			if (conn && !bestConnected) || ((conn == bestConnected) && c < bestC) {
+				bestR, bestC, bestConnected = r, c, conn
+			}
+		}
+		order = append(order, bestR)
+		set |= 1 << bestR
+	}
+	return Result{Order: order, Cost: LeftDeepCost(g, order), PlansExamined: examined}
+}
+
+// QLearner plans left-deep orders with tabular Q-learning: state is the
+// bitmask of joined relations, action is the next relation. Episodes
+// replay on the same graph with epsilon-greedy exploration, rewarding
+// -log(cost) at the terminal state (ReJOIN-style).
+type QLearner struct {
+	Episodes float64 // training episodes per relation (default 60)
+	Epsilon  float64 // exploration rate (default 0.2)
+}
+
+// Plan trains on g and returns the greedy-policy order.
+func (ql *QLearner) Plan(rng *ml.RNG, g *workload.JoinGraph) Result {
+	n := g.N()
+	episodes := int(ql.Episodes)
+	if episodes == 0 {
+		episodes = 60
+	}
+	episodes *= n
+	eps := ql.Epsilon
+	if eps == 0 {
+		eps = 0.2
+	}
+	qt := rl.NewQTable(rng, n)
+	qt.Epsilon = eps
+	qt.Alpha = 0.2
+	qt.Gamma = 1.0
+	examined := 0
+	stateKey := func(set uint64) string { return fmt.Sprintf("%x", set) }
+	allowed := func(set uint64) []int {
+		var a []int
+		for r := 0; r < n; r++ {
+			if set&(1<<r) == 0 {
+				a = append(a, r)
+			}
+		}
+		return a
+	}
+	// Dense per-step rewards (ReJOIN-style): each join step is penalized
+	// by its intermediate result size, normalized by a greedy plan's total
+	// cost so the return equals -C_out/greedyCost — directly proportional
+	// to the optimization objective, which makes credit assignment easy
+	// even on long chains.
+	norm := Greedy(g).Cost
+	if norm <= 0 {
+		norm = 1
+	}
+	for ep := 0; ep < episodes; ep++ {
+		var set uint64
+		var order []int
+		for len(order) < n {
+			acts := allowed(set)
+			a := qt.EpsilonGreedy(stateKey(set), acts)
+			next := set | 1<<a
+			order = append(order, a)
+			r := 0.0
+			if len(order) > 1 {
+				r = -Cardinality(g, next) / norm
+			}
+			done := len(order) == n
+			qt.Update(stateKey(set), a, r, stateKey(next), allowed(next), done)
+			set = next
+		}
+		examined++
+	}
+	// Greedy rollout.
+	var set uint64
+	var order []int
+	for len(order) < n {
+		acts := allowed(set)
+		a, _ := qt.BestAllowed(stateKey(set), acts)
+		set |= 1 << a
+		order = append(order, a)
+	}
+	return Result{Order: order, Cost: LeftDeepCost(g, order), PlansExamined: examined}
+}
+
+// mctsJoinState adapts left-deep join ordering to rl.MCTSState.
+type mctsJoinState struct {
+	g     *workload.JoinGraph
+	order []int
+	set   uint64
+	// norm scales terminal rewards into a bounded range.
+	norm float64
+}
+
+func (s mctsJoinState) Actions() []int {
+	if len(s.order) == s.g.N() {
+		return nil
+	}
+	var a []int
+	for r := 0; r < s.g.N(); r++ {
+		if s.set&(1<<r) == 0 {
+			a = append(a, r)
+		}
+	}
+	return a
+}
+
+func (s mctsJoinState) Apply(a int) rl.MCTSState {
+	no := append(append([]int(nil), s.order...), a)
+	return mctsJoinState{g: s.g, order: no, set: s.set | 1<<a, norm: s.norm}
+}
+
+func (s mctsJoinState) Reward() float64 {
+	cost := LeftDeepCost(s.g, s.order)
+	// Map cost to (0, 1]: smaller cost => larger reward.
+	return s.norm / (s.norm + math.Log10(cost+1))
+}
+
+func (s mctsJoinState) Key() string { return fmt.Sprintf("%x", s.set) }
+
+// MCTS plans with UCT search (SkinnerDB-style on-the-fly optimization),
+// spending iterations per join step.
+func MCTS(rng *ml.RNG, g *workload.JoinGraph, itersPerStep int) Result {
+	if itersPerStep <= 0 {
+		itersPerStep = 200
+	}
+	searcher := rl.NewMCTS(rng)
+	state := mctsJoinState{g: g, norm: 3}
+	examined := 0
+	for len(state.order) < g.N() {
+		a, _ := searcher.Search(state, itersPerStep)
+		examined += itersPerStep
+		state = state.Apply(a).(mctsJoinState)
+	}
+	return Result{Order: state.order, Cost: LeftDeepCost(g, state.order), PlansExamined: examined}
+}
+
+// RandomOrder returns a uniformly random left-deep plan — the floor any
+// planner must beat.
+func RandomOrder(rng *ml.RNG, g *workload.JoinGraph) Result {
+	order := rng.Perm(g.N())
+	return Result{Order: order, Cost: LeftDeepCost(g, order), PlansExamined: 1}
+}

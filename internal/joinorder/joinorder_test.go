@@ -1,0 +1,190 @@
+package joinorder
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+func TestCardinalitySingle(t *testing.T) {
+	rng := ml.NewRNG(1)
+	g := workload.NewJoinGraph(rng, workload.Chain, 3)
+	for i := 0; i < 3; i++ {
+		if c := Cardinality(g, 1<<i); c != g.Card[i] {
+			t.Errorf("Cardinality({%d}) = %v, want %v", i, c, g.Card[i])
+		}
+	}
+}
+
+func TestCardinalityPairUsesSelectivity(t *testing.T) {
+	rng := ml.NewRNG(2)
+	g := workload.NewJoinGraph(rng, workload.Chain, 3)
+	want := g.Card[0] * g.Card[1] * g.Sel[0][1]
+	if got := Cardinality(g, 0b011); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("pair cardinality = %v, want %v", got, want)
+	}
+	// Relations 0 and 2 are not connected in a chain: cross product.
+	want02 := g.Card[0] * g.Card[2]
+	if got := Cardinality(g, 0b101); math.Abs(got-want02)/want02 > 1e-9 {
+		t.Errorf("cross product = %v, want %v", got, want02)
+	}
+}
+
+func TestLeftDeepCostMonotonicInPrefix(t *testing.T) {
+	rng := ml.NewRNG(3)
+	g := workload.NewJoinGraph(rng, workload.Star, 5)
+	order := []int{0, 1, 2, 3, 4}
+	full := LeftDeepCost(g, order)
+	if full <= 0 {
+		t.Fatal("cost should be positive")
+	}
+	if LeftDeepCost(g, order[:2]) >= full {
+		t.Error("prefix cost should be below full cost")
+	}
+	if LeftDeepCost(g, order[:1]) != 0 {
+		t.Error("single-relation plan has zero join cost")
+	}
+}
+
+func TestDPOptimalOnSmallGraphs(t *testing.T) {
+	// DP must match brute force over all left-deep orders (and bushy DP
+	// cost must be <= best left-deep).
+	f := func(seed uint64) bool {
+		rng := ml.NewRNG(seed)
+		kind := []workload.JoinGraphKind{workload.Chain, workload.Star, workload.Clique}[rng.Intn(3)]
+		g := workload.NewJoinGraph(rng, kind, 5)
+		res := DP(g)
+		best := math.Inf(1)
+		perms := permutations([]int{0, 1, 2, 3, 4})
+		for _, p := range perms {
+			if c := LeftDeepCost(g, p); c < best {
+				best = c
+			}
+		}
+		// Bushy optimum <= left-deep optimum; and the recovered left-deep
+		// order must equal the brute-force left-deep optimum.
+		if res.Cost > best*(1+1e-9) {
+			return false
+		}
+		return math.Abs(LeftDeepCost(g, res.Order)-best)/best < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func permutations(xs []int) [][]int {
+	if len(xs) == 1 {
+		return [][]int{{xs[0]}}
+	}
+	var out [][]int
+	for i, x := range xs {
+		rest := make([]int, 0, len(xs)-1)
+		rest = append(rest, xs[:i]...)
+		rest = append(rest, xs[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]int{x}, p...))
+		}
+	}
+	return out
+}
+
+func TestGreedyValidOrder(t *testing.T) {
+	rng := ml.NewRNG(4)
+	g := workload.NewJoinGraph(rng, workload.Clique, 8)
+	res := Greedy(g)
+	if !isPermutation(res.Order, 8) {
+		t.Fatalf("greedy order invalid: %v", res.Order)
+	}
+	if res.Cost <= 0 {
+		t.Error("cost should be positive")
+	}
+}
+
+func isPermutation(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, r := range order {
+		if r < 0 || r >= n || seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return true
+}
+
+func TestQLearnerApproachesDP(t *testing.T) {
+	rng := ml.NewRNG(5)
+	g := workload.NewJoinGraph(rng, workload.Chain, 8)
+	dp := DP(g)
+	ql := (&QLearner{Episodes: 120}).Plan(rng, g)
+	if !isPermutation(ql.Order, 8) {
+		t.Fatalf("invalid order %v", ql.Order)
+	}
+	ratio := ql.Cost / dp.Cost
+	t.Logf("Q-learning cost ratio vs DP: %.3f", ratio)
+	if ratio > 50 {
+		t.Errorf("Q-learning cost %.3g is %.1fx DP optimum %.3g — failed to learn", ql.Cost, ratio, dp.Cost)
+	}
+	rand := RandomOrder(rng, g)
+	if ql.Cost > rand.Cost {
+		t.Errorf("Q-learning (%.3g) should beat a random order (%.3g)", ql.Cost, rand.Cost)
+	}
+}
+
+func TestMCTSApproachesDP(t *testing.T) {
+	rng := ml.NewRNG(6)
+	g := workload.NewJoinGraph(rng, workload.Star, 8)
+	dp := DP(g)
+	mc := MCTS(rng, g, 300)
+	if !isPermutation(mc.Order, 8) {
+		t.Fatalf("invalid order %v", mc.Order)
+	}
+	ratio := mc.Cost / dp.Cost
+	t.Logf("MCTS cost ratio vs DP: %.3f", ratio)
+	if ratio > 20 {
+		t.Errorf("MCTS cost ratio %.1f too far from optimal", ratio)
+	}
+}
+
+func TestPlanningEffortOrdering(t *testing.T) {
+	rng := ml.NewRNG(7)
+	g := workload.NewJoinGraph(rng, workload.Clique, 10)
+	dp := DP(g)
+	greedy := Greedy(g)
+	if greedy.PlansExamined >= dp.PlansExamined {
+		t.Errorf("greedy effort (%d) should be far below DP (%d)", greedy.PlansExamined, dp.PlansExamined)
+	}
+	// DP on a 10-clique explores thousands of subsets.
+	if dp.PlansExamined < 1000 {
+		t.Errorf("DP examined only %d plans on a 10-clique", dp.PlansExamined)
+	}
+}
+
+func TestGreedyNeverBeatsDP(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := ml.NewRNG(seed)
+		kind := []workload.JoinGraphKind{workload.Chain, workload.Star, workload.Clique}[rng.Intn(3)]
+		g := workload.NewJoinGraph(rng, kind, 6)
+		return Greedy(g).Cost >= DP(g).Cost*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPLeftDeepOrderValid(t *testing.T) {
+	rng := ml.NewRNG(8)
+	for n := 2; n <= 10; n++ {
+		g := workload.NewJoinGraph(rng, workload.Chain, n)
+		res := DP(g)
+		if !isPermutation(res.Order, n) {
+			t.Errorf("n=%d: DP order %v is not a permutation", n, res.Order)
+		}
+	}
+}

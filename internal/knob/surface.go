@@ -1,0 +1,146 @@
+// Package knob implements learning-based database knob tuning (E1): a
+// CDBTune-style reinforcement tuner with a learned critic, a QTune-style
+// workload-aware tuner, and the traditional baselines (defaults, random
+// search, grid search, coordinate descent).
+//
+// Real DBMS instances are unavailable offline, so tuning runs against a
+// synthetic performance surface (see DESIGN.md §4): throughput is a
+// smooth, interacting, workload-dependent function of the knob vector
+// with a *known* optimum, which makes regret measurable exactly — the
+// property the E1 comparison needs.
+package knob
+
+import (
+	"math"
+
+	"aidb/internal/ml"
+)
+
+// NumKnobs is the dimensionality of the simulated configuration space
+// (work_mem, shared_buffers, wal_buffers, max_connections, ... in spirit).
+const NumKnobs = 8
+
+// KnobNames gives human-readable names to the simulated knobs.
+var KnobNames = [NumKnobs]string{
+	"work_mem", "shared_buffers", "wal_buffers", "max_connections",
+	"effective_io_concurrency", "checkpoint_timeout", "random_page_cost",
+	"autovacuum_naptime",
+}
+
+// Config is a knob assignment, each value normalized into [0, 1].
+type Config [NumKnobs]float64
+
+// clamp keeps every knob inside [0, 1].
+func (c Config) clamp() Config {
+	for i := range c {
+		if c[i] < 0 {
+			c[i] = 0
+		}
+		if c[i] > 1 {
+			c[i] = 1
+		}
+	}
+	return c
+}
+
+// DefaultConfig is the "shipped defaults" baseline: everything at 0.5.
+func DefaultConfig() Config {
+	var c Config
+	for i := range c {
+		c[i] = 0.5
+	}
+	return c
+}
+
+// WorkloadMix describes the running workload as fractions of
+// (OLTP writes, OLAP scans, point reads); components sum to 1.
+type WorkloadMix struct {
+	Write, Scan, Read float64
+}
+
+// Surface is the simulated DBMS: throughput(config, mix) =
+// peak * exp(-(x - x*(mix))' A (x - x*(mix))) + noise, where the optimum
+// x* depends linearly on the mix and A has off-diagonal interaction
+// terms. Evaluations are counted to measure tuning effort.
+type Surface struct {
+	peak   float64
+	a      *ml.Matrix // positive-definite interaction matrix
+	base   Config     // optimum at pure point-read mix
+	wWrite Config     // optimum shift per unit write fraction
+	wScan  Config     // optimum shift per unit scan fraction
+	noise  float64
+	rng    *ml.RNG
+
+	// Evaluations counts calls to Throughput — the tuning cost metric.
+	Evaluations int
+}
+
+// NewSurface builds a randomized surface with the given observation noise
+// (relative, e.g. 0.01 = 1%).
+func NewSurface(rng *ml.RNG, noise float64) *Surface {
+	s := &Surface{peak: 10000, noise: noise, rng: rng}
+	// A = L L' + eps I for random L ensures positive definiteness; scale
+	// controls how sharply throughput falls off.
+	l := ml.NewMatrix(NumKnobs, NumKnobs)
+	for i := range l.Data {
+		l.Data[i] = (rng.Float64()*2 - 1) * 0.4
+	}
+	s.a = ml.MatMul(l, l.T())
+	for i := 0; i < NumKnobs; i++ {
+		s.a.Set(i, i, s.a.At(i, i)+1.2)
+	}
+	for i := 0; i < NumKnobs; i++ {
+		s.base[i] = 0.2 + 0.6*rng.Float64()
+		s.wWrite[i] = (rng.Float64()*2 - 1) * 0.35
+		s.wScan[i] = (rng.Float64()*2 - 1) * 0.35
+	}
+	return s
+}
+
+// Optimum returns the exact best configuration for a mix.
+func (s *Surface) Optimum(mix WorkloadMix) Config {
+	var c Config
+	for i := 0; i < NumKnobs; i++ {
+		c[i] = s.base[i] + mix.Write*s.wWrite[i] + mix.Scan*s.wScan[i]
+	}
+	return c.clamp()
+}
+
+// OptimalThroughput returns the noiseless throughput at the optimum.
+func (s *Surface) OptimalThroughput(mix WorkloadMix) float64 {
+	return s.throughputNoiseless(s.Optimum(mix), mix)
+}
+
+func (s *Surface) throughputNoiseless(c Config, mix WorkloadMix) float64 {
+	opt := s.Optimum(mix)
+	d := make([]float64, NumKnobs)
+	for i := range d {
+		d[i] = c[i] - opt[i]
+	}
+	q := 0.0
+	for i := 0; i < NumKnobs; i++ {
+		for j := 0; j < NumKnobs; j++ {
+			q += d[i] * s.a.At(i, j) * d[j]
+		}
+	}
+	return s.peak * math.Exp(-q)
+}
+
+// Throughput runs one simulated benchmark of config under mix and
+// returns observed throughput (noisy).
+func (s *Surface) Throughput(c Config, mix WorkloadMix) float64 {
+	s.Evaluations++
+	v := s.throughputNoiseless(c.clamp(), mix)
+	if s.noise > 0 {
+		v *= 1 + s.rng.NormFloat64()*s.noise
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Regret returns 1 - throughput(c)/optimal, the fraction of peak lost.
+func (s *Surface) Regret(c Config, mix WorkloadMix) float64 {
+	return 1 - s.throughputNoiseless(c.clamp(), mix)/s.OptimalThroughput(mix)
+}

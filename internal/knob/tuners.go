@@ -1,0 +1,237 @@
+package knob
+
+import (
+	"math"
+
+	"aidb/internal/ml"
+)
+
+// Tuner searches for a high-throughput configuration within a trial
+// budget. Implementations must call surface.Throughput exactly once per
+// trial so effort comparisons are fair.
+type Tuner interface {
+	// Tune returns the best configuration found within budget trials.
+	Tune(s *Surface, mix WorkloadMix, budget int) Config
+	// Name identifies the tuner in experiment output.
+	Name() string
+}
+
+// RandomSearch samples uniformly random configurations.
+type RandomSearch struct{ Rng *ml.RNG }
+
+// Name implements Tuner.
+func (RandomSearch) Name() string { return "random-search" }
+
+// Tune implements Tuner.
+func (t RandomSearch) Tune(s *Surface, mix WorkloadMix, budget int) Config {
+	best, bestV := DefaultConfig(), -1.0
+	for i := 0; i < budget; i++ {
+		var c Config
+		for k := range c {
+			c[k] = t.Rng.Float64()
+		}
+		if v := s.Throughput(c, mix); v > bestV {
+			bestV, best = v, c
+		}
+	}
+	return best
+}
+
+// GridSearch sweeps an axis-aligned grid, the classic DBA script. With 8
+// knobs even 2 levels each costs 256 trials, so it subsamples the grid
+// when the budget is smaller — exactly the scalability failure the paper
+// ascribes to manual/heuristic methods.
+type GridSearch struct{ Levels int }
+
+// Name implements Tuner.
+func (GridSearch) Name() string { return "grid-search" }
+
+// Tune implements Tuner.
+func (t GridSearch) Tune(s *Surface, mix WorkloadMix, budget int) Config {
+	levels := t.Levels
+	if levels < 2 {
+		levels = 2
+	}
+	best, bestV := DefaultConfig(), -1.0
+	total := int(math.Pow(float64(levels), NumKnobs))
+	step := 1
+	if total > budget {
+		step = total / budget
+		if step < 1 {
+			step = 1
+		}
+	}
+	tried := 0
+	for idx := 0; idx < total && tried < budget; idx += step {
+		var c Config
+		rem := idx
+		for k := 0; k < NumKnobs; k++ {
+			c[k] = float64(rem%levels) / float64(levels-1)
+			rem /= levels
+		}
+		tried++
+		if v := s.Throughput(c, mix); v > bestV {
+			bestV, best = v, c
+		}
+	}
+	return best
+}
+
+// CoordinateDescent tunes one knob at a time, the experienced-DBA
+// heuristic: sweep each knob over a few values, keep the best, repeat.
+type CoordinateDescent struct{ Sweeps int }
+
+// Name implements Tuner.
+func (CoordinateDescent) Name() string { return "coordinate-descent" }
+
+// Tune implements Tuner.
+func (t CoordinateDescent) Tune(s *Surface, mix WorkloadMix, budget int) Config {
+	cur := DefaultConfig()
+	curV := s.Throughput(cur, mix)
+	used := 1
+	levels := []float64{0, 0.25, 0.5, 0.75, 1}
+	for used < budget {
+		improved := false
+		for k := 0; k < NumKnobs && used < budget; k++ {
+			bestVal, bestV := cur[k], curV
+			for _, v := range levels {
+				if v == cur[k] || used >= budget {
+					continue
+				}
+				c := cur
+				c[k] = v
+				tv := s.Throughput(c, mix)
+				used++
+				if tv > bestV {
+					bestV, bestVal = tv, v
+				}
+			}
+			if bestVal != cur[k] {
+				cur[k] = bestVal
+				curV = bestV
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// CDBTune is the CDBTune-style reinforcement tuner: a learned critic
+// (MLP: config -> predicted throughput) guides candidate selection; each
+// step proposes Gaussian perturbations of the incumbent, ranks them with
+// the critic, benchmarks the most promising one, and trains the critic on
+// the observation. State is internal DB metrics only (here: the incumbent
+// config and its observed throughput) — no workload features, which is
+// the limitation QTune removes.
+type CDBTune struct {
+	Rng *ml.RNG
+	// Candidates ranked per step (default 16).
+	Candidates int
+	// Sigma is the perturbation scale (default 0.15).
+	Sigma float64
+}
+
+// Name implements Tuner.
+func (*CDBTune) Name() string { return "cdbtune-rl" }
+
+// Tune implements Tuner.
+func (t *CDBTune) Tune(s *Surface, mix WorkloadMix, budget int) Config {
+	critic := ml.NewMLP(t.Rng, ml.ReLU, NumKnobs, 32, 1)
+	return t.tuneWith(critic, nil, s, mix, budget)
+}
+
+// tuneWith runs the critic-guided search; extraFeatures (may be nil) are
+// appended to the critic input — QTune passes workload features here.
+func (t *CDBTune) tuneWith(critic *ml.MLP, extra []float64, s *Surface, mix WorkloadMix, budget int) Config {
+	cands := t.Candidates
+	if cands == 0 {
+		cands = 16
+	}
+	sigma := t.Sigma
+	if sigma == 0 {
+		sigma = 0.15
+	}
+	input := func(c Config) []float64 {
+		f := make([]float64, 0, NumKnobs+len(extra))
+		f = append(f, c[:]...)
+		return append(f, extra...)
+	}
+	cur := DefaultConfig()
+	curV := s.Throughput(cur, mix)
+	used := 1
+	best, bestV := cur, curV
+	critic.TrainStep(input(cur), []float64{curV / 10000}, 0.05)
+	for used < budget {
+		// Exploration is a per-step decision: occasionally benchmark a
+		// uniformly random configuration (escaping local basins). The
+		// critic only ever ranks *local* perturbations of the incumbent,
+		// where its interpolation is trustworthy — ranking arbitrary
+		// far-away configurations would reward extrapolation error (the
+		// winner's curse).
+		var bestCand Config
+		if t.Rng.Float64() < 0.05 {
+			for k := range bestCand {
+				bestCand[k] = t.Rng.Float64()
+			}
+		} else {
+			// Anneal the perturbation scale: broad moves early, fine
+			// moves as the budget runs out.
+			frac := float64(used) / float64(budget)
+			step := sigma * (1 - 0.8*frac)
+			bestScore := math.Inf(-1)
+			for i := 0; i < cands; i++ {
+				c := cur
+				for k := range c {
+					c[k] += t.Rng.NormFloat64() * step
+				}
+				c = c.clamp()
+				if score := critic.Predict1(input(c)); score > bestScore {
+					bestScore, bestCand = score, c
+				}
+			}
+		}
+		v := s.Throughput(bestCand, mix)
+		used++
+		// Train the critic on the real observation (several steps to
+		// sharpen around visited points).
+		for i := 0; i < 4; i++ {
+			critic.TrainStep(input(bestCand), []float64{v / 10000}, 0.05)
+		}
+		if v > bestV {
+			bestV, best = v, bestCand
+		}
+		// Reward-driven move: accept improving configs.
+		if v >= curV {
+			cur, curV = bestCand, v
+		}
+	}
+	return best
+}
+
+// QTune is the QTune-style query-aware tuner: identical machinery to
+// CDBTune but the critic also sees workload features (the mix vector), so
+// one critic generalizes across workload phases instead of starting over.
+type QTune struct {
+	Rng        *ml.RNG
+	Candidates int
+	Sigma      float64
+
+	critic *ml.MLP
+}
+
+// Name implements Tuner.
+func (*QTune) Name() string { return "qtune-rl" }
+
+// Tune implements Tuner. The critic persists across calls, which is what
+// lets QTune exploit experience from earlier workload phases (E1's
+// mixed-workload scenario).
+func (t *QTune) Tune(s *Surface, mix WorkloadMix, budget int) Config {
+	if t.critic == nil {
+		t.critic = ml.NewMLP(t.Rng, ml.ReLU, NumKnobs+3, 32, 1)
+	}
+	inner := &CDBTune{Rng: t.Rng, Candidates: t.Candidates, Sigma: t.Sigma}
+	return inner.tuneWith(t.critic, []float64{mix.Write, mix.Scan, mix.Read}, s, mix, budget)
+}

@@ -1,0 +1,110 @@
+package knob
+
+import "aidb/internal/ml"
+
+// This file implements two of the paper's §2.3 AI4DB open problems:
+//
+//   - Model validation: "it is hard to evaluate whether a learned model
+//     is effective ... it requires to design a validation model". Validate
+//     re-benchmarks a tuned configuration on held-out trials against the
+//     default configuration and only endorses it when the improvement is
+//     statistically meaningful (mean difference beyond noise bands).
+//   - Model convergence: "if the model cannot be converged, we need to
+//     provide alternative ways to avoid making delayed and inaccurate
+//     decisions". ConvergenceMonitor watches the tuner's improvement
+//     trajectory and reports non-convergence so callers can fall back to
+//     a safe configuration instead of deploying a half-trained policy.
+
+// ValidationReport is the outcome of validating a tuned configuration.
+type ValidationReport struct {
+	TunedMean, DefaultMean float64
+	// Improvement is (tuned - default) / default.
+	Improvement float64
+	// Effective is true when the tuned config beats the default by more
+	// than the measurement noise across the held-out trials.
+	Effective bool
+}
+
+// Validate benchmarks cfg against the defaults on trials held-out runs
+// each and decides whether the learned configuration is effective.
+func Validate(s *Surface, mix WorkloadMix, cfg Config, trials int) ValidationReport {
+	if trials < 2 {
+		trials = 2
+	}
+	tuned := make([]float64, trials)
+	def := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		tuned[i] = s.Throughput(cfg, mix)
+		def[i] = s.Throughput(DefaultConfig(), mix)
+	}
+	rep := ValidationReport{TunedMean: ml.Mean(tuned), DefaultMean: ml.Mean(def)}
+	if rep.DefaultMean > 0 {
+		rep.Improvement = (rep.TunedMean - rep.DefaultMean) / rep.DefaultMean
+	}
+	// Noise-aware acceptance: the gap must exceed the combined spread of
+	// the two samples (a simple two-sigma band).
+	noise := ml.Stddev(tuned) + ml.Stddev(def)
+	rep.Effective = rep.TunedMean-rep.DefaultMean > 2*noise
+	return rep
+}
+
+// ConvergenceMonitor tracks a tuning run's best-so-far trajectory.
+type ConvergenceMonitor struct {
+	// Window is how many recent observations to test (default 20).
+	Window int
+	// MinImprovement is the relative gain over the window below which the
+	// run is considered converged (default 0.01).
+	MinImprovement float64
+
+	best    []float64
+	current float64
+}
+
+// Observe records one benchmark result.
+func (c *ConvergenceMonitor) Observe(throughput float64) {
+	if throughput > c.current {
+		c.current = throughput
+	}
+	c.best = append(c.best, c.current)
+}
+
+// Converged reports whether the best-so-far curve has flattened: the
+// relative improvement across the trailing window fell below
+// MinImprovement. It returns false until a full window has been observed.
+func (c *ConvergenceMonitor) Converged() bool {
+	w := c.Window
+	if w == 0 {
+		w = 20
+	}
+	minImp := c.MinImprovement
+	if minImp == 0 {
+		minImp = 0.01
+	}
+	if len(c.best) < w {
+		return false
+	}
+	old := c.best[len(c.best)-w]
+	cur := c.best[len(c.best)-1]
+	if old <= 0 {
+		return false
+	}
+	return (cur-old)/old < minImp
+}
+
+// Trials reports how many observations were recorded.
+func (c *ConvergenceMonitor) Trials() int { return len(c.best) }
+
+// SafeTune wraps a tuner with convergence monitoring and validation: it
+// runs the tuner, validates the result on held-out trials, and falls back
+// to the default configuration when the learned one is not demonstrably
+// better — the "alternative way" the paper calls for when models cannot
+// be trusted. The returned bool is true when the learned config was
+// deployed.
+func SafeTune(tuner Tuner, s *Surface, mix WorkloadMix, budget int) (Config, bool) {
+	cfg := tuner.Tune(s, mix, budget)
+	rep := Validate(s, mix, cfg, 5)
+	if !rep.Effective {
+		return DefaultConfig(), false
+	}
+	return cfg, true
+}

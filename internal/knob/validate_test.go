@@ -1,0 +1,103 @@
+package knob
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+)
+
+func TestValidateAcceptsGoodConfig(t *testing.T) {
+	s := NewSurface(ml.NewRNG(1), 0.01)
+	mix := oltp
+	rep := Validate(s, mix, s.Optimum(mix), 5)
+	if !rep.Effective {
+		t.Errorf("optimal config not validated: %+v", rep)
+	}
+	if rep.Improvement <= 0 {
+		t.Errorf("improvement = %v, want positive", rep.Improvement)
+	}
+}
+
+func TestValidateRejectsDefaultAsTuned(t *testing.T) {
+	s := NewSurface(ml.NewRNG(2), 0.01)
+	rep := Validate(s, oltp, DefaultConfig(), 5)
+	if rep.Effective {
+		t.Errorf("defaults validated against themselves: %+v", rep)
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	s := NewSurface(ml.NewRNG(3), 0.01)
+	var terrible Config // all zeros, far from any optimum
+	rep := Validate(s, oltp, terrible, 5)
+	if rep.Effective && rep.Improvement < 0 {
+		t.Errorf("worse-than-default config validated: %+v", rep)
+	}
+}
+
+func TestConvergenceMonitorFlatCurve(t *testing.T) {
+	var c ConvergenceMonitor
+	for i := 0; i < 30; i++ {
+		c.Observe(100) // flat from the start
+	}
+	if !c.Converged() {
+		t.Error("flat curve should be converged")
+	}
+}
+
+func TestConvergenceMonitorImprovingCurve(t *testing.T) {
+	var c ConvergenceMonitor
+	for i := 0; i < 30; i++ {
+		c.Observe(float64(100 + i*10)) // steadily improving
+	}
+	if c.Converged() {
+		t.Error("steadily improving curve should not be converged")
+	}
+}
+
+func TestConvergenceMonitorNeedsFullWindow(t *testing.T) {
+	var c ConvergenceMonitor
+	for i := 0; i < 5; i++ {
+		c.Observe(100)
+	}
+	if c.Converged() {
+		t.Error("cannot declare convergence before a full window")
+	}
+	if c.Trials() != 5 {
+		t.Errorf("Trials = %d", c.Trials())
+	}
+}
+
+func TestSafeTuneDeploysGoodTuner(t *testing.T) {
+	s := NewSurface(ml.NewRNG(4), 0.01)
+	cfg, deployed := SafeTune(&CDBTune{Rng: ml.NewRNG(5)}, s, oltp, 200)
+	if !deployed {
+		t.Fatal("a well-budgeted RL tuner should validate and deploy")
+	}
+	if s.Regret(cfg, oltp) >= s.Regret(DefaultConfig(), oltp) {
+		t.Error("deployed config should beat defaults")
+	}
+}
+
+// brokenTuner simulates a non-converging model: it returns an arbitrary
+// bad configuration regardless of budget.
+type brokenTuner struct{}
+
+func (brokenTuner) Name() string { return "broken" }
+
+func (brokenTuner) Tune(s *Surface, mix WorkloadMix, budget int) Config {
+	var c Config // all zeros
+	s.Throughput(c, mix)
+	return c
+}
+
+func TestSafeTuneFallsBackOnBrokenModel(t *testing.T) {
+	s := NewSurface(ml.NewRNG(6), 0.01)
+	cfg, deployed := SafeTune(brokenTuner{}, s, oltp, 50)
+	if deployed {
+		t.Fatal("a broken tuner must not be deployed")
+	}
+	if cfg != DefaultConfig() {
+		t.Error("fallback must be the default configuration")
+	}
+}

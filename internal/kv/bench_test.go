@@ -1,0 +1,75 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Wall-clock side of E10: leveling vs tiering write/read throughput.
+
+func loadStore(pol MergePolicy, n int) *Store {
+	s := Open(Config{MemtableSize: 1024, SizeRatio: 4, BloomBitsPerKey: 10, Policy: pol})
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("k%08d", i), "value-payload")
+	}
+	s.Flush()
+	return s
+}
+
+func BenchmarkPutLeveling(b *testing.B) {
+	s := Open(Config{MemtableSize: 1024, SizeRatio: 4, Policy: Leveling})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("k%08d", i%100000), "value-payload")
+	}
+	b.ReportMetric(float64(s.Stats().BytesWritten)/float64(b.N), "bytes-written/op")
+}
+
+func BenchmarkPutTiering(b *testing.B) {
+	s := Open(Config{MemtableSize: 1024, SizeRatio: 4, Policy: Tiering})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("k%08d", i%100000), "value-payload")
+	}
+	b.ReportMetric(float64(s.Stats().BytesWritten)/float64(b.N), "bytes-written/op")
+}
+
+func BenchmarkGetLeveling(b *testing.B) {
+	s := loadStore(Leveling, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("k%08d", i%50000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetTiering(b *testing.B) {
+	s := loadStore(Tiering, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("k%08d", i%50000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetMissWithBloom(b *testing.B) {
+	s := loadStore(Leveling, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("missing%08d", i))
+	}
+}
+
+func BenchmarkGetMissNoBloom(b *testing.B) {
+	s := Open(Config{MemtableSize: 1024, SizeRatio: 4, Policy: Leveling})
+	for i := 0; i < 50000; i++ {
+		s.Put(fmt.Sprintf("k%08d", i), "value-payload")
+	}
+	s.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("missing%08d", i))
+	}
+}

@@ -1,0 +1,66 @@
+package kv
+
+import "hash/fnv"
+
+// bloomFilter is a standard Bloom filter with double hashing.
+type bloomFilter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of hash functions
+}
+
+// newBloom sizes a filter for n keys at bitsPerKey bits each, with the
+// standard optimal hash count k = bitsPerKey * ln2.
+func newBloom(n, bitsPerKey int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	m := uint64(n * bitsPerKey)
+	if m < 64 {
+		m = 64
+	}
+	k := int(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &bloomFilter{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+func bloomHashes(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+// Add inserts key.
+func (b *bloomFilter) Add(key string) {
+	h1, h2 := bloomHashes(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// MayContain reports whether key may be present (false positives possible,
+// false negatives impossible).
+func (b *bloomFilter) MayContain(key string) bool {
+	h1, h2 := bloomHashes(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes reports the filter's memory footprint.
+func (b *bloomFilter) SizeBytes() int { return len(b.bits) * 8 }

@@ -1,0 +1,239 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"aidb/internal/ml"
+)
+
+func TestPutGet(t *testing.T) {
+	s := Open(Config{MemtableSize: 16})
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("k%04d", i), fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < 100; i++ {
+		v, err := s.Get(fmt.Sprintf("k%04d", i))
+		if err != nil || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(k%04d) = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	s := Open(Config{MemtableSize: 4})
+	for i := 0; i < 20; i++ {
+		s.Put("key", fmt.Sprintf("v%d", i))
+		// Force key into runs repeatedly.
+		s.Put(fmt.Sprintf("filler%d", i), "x")
+	}
+	v, err := s.Get("key")
+	if err != nil || v != "v19" {
+		t.Fatalf("Get = %q, %v, want v19", v, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := Open(Config{MemtableSize: 8})
+	s.Put("a", "1")
+	s.Flush()
+	s.Delete("a")
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key: err = %v", err)
+	}
+	s.Flush()
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key after flush: err = %v", err)
+	}
+}
+
+func TestScanOrderedAndLive(t *testing.T) {
+	s := Open(Config{MemtableSize: 8})
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i))
+	}
+	s.Delete("k25")
+	var keys []string
+	s.Scan("k10", "k29", func(k, v string) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 19 { // 20 keys minus deleted k25
+		t.Fatalf("scan returned %d keys, want 19", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("scan not sorted")
+		}
+	}
+	for _, k := range keys {
+		if k == "k25" {
+			t.Fatal("deleted key in scan")
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := Open(Config{})
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), "v")
+	}
+	n := 0
+	s.Scan("k00", "k19", func(k, v string) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("visited %d, want 3", n)
+	}
+}
+
+func TestCompactionBoundsRuns(t *testing.T) {
+	for _, pol := range []MergePolicy{Leveling, Tiering} {
+		t.Run(pol.String(), func(t *testing.T) {
+			s := Open(Config{MemtableSize: 32, SizeRatio: 3, Policy: pol})
+			for i := 0; i < 5000; i++ {
+				s.Put(fmt.Sprintf("k%06d", i), "value")
+			}
+			st := s.Stats()
+			if st.Compactions == 0 {
+				t.Error("expected compactions")
+			}
+			// All data still readable.
+			for _, i := range []int{0, 1234, 4999} {
+				if _, err := s.Get(fmt.Sprintf("k%06d", i)); err != nil {
+					t.Errorf("lost key %d after compactions", i)
+				}
+			}
+			if pol == Leveling && s.NumRuns() > 8 {
+				t.Errorf("leveling run count = %d, want few", s.NumRuns())
+			}
+		})
+	}
+}
+
+func TestWriteAmplificationLevelingVsTiering(t *testing.T) {
+	load := func(pol MergePolicy) uint64 {
+		s := Open(Config{MemtableSize: 64, SizeRatio: 3, Policy: pol})
+		for i := 0; i < 8000; i++ {
+			s.Put(fmt.Sprintf("k%06d", i%4000), "v") // updates included
+		}
+		return s.Stats().BytesWritten
+	}
+	lev, tier := load(Leveling), load(Tiering)
+	if tier >= lev {
+		t.Errorf("tiering writes (%d) should be below leveling (%d): the core LSM design tradeoff", tier, lev)
+	}
+}
+
+func TestBloomFiltersCutNegativeLookups(t *testing.T) {
+	withBloom := Open(Config{MemtableSize: 64, BloomBitsPerKey: 10})
+	noBloom := Open(Config{MemtableSize: 64})
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("k%06d", i)
+		withBloom.Put(k, "v")
+		noBloom.Put(k, "v")
+	}
+	withBloom.Flush()
+	noBloom.Flush()
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("missing%d", i)
+		withBloom.Get(k)
+		noBloom.Get(k)
+	}
+	sb, snb := withBloom.Stats(), noBloom.Stats()
+	if sb.BloomNegatives == 0 {
+		t.Error("bloom filter never fired")
+	}
+	if sb.BlocksRead >= snb.BlocksRead {
+		t.Errorf("bloom blocks read (%d) should be below no-bloom (%d)", sb.BlocksRead, snb.BlocksRead)
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := newBloom(1000, 10)
+	for i := 0; i < 1000; i++ {
+		b.Add(fmt.Sprintf("key%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.MayContain(fmt.Sprintf("key%d", i)) {
+			t.Fatalf("false negative for key%d", i)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := newBloom(10000, 10)
+	for i := 0; i < 10000; i++ {
+		b.Add(fmt.Sprintf("in%d", i))
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.MayContain(fmt.Sprintf("out%d", i)) {
+			fp++
+		}
+	}
+	// 10 bits/key should give ~1% FPR; allow generous slack.
+	if rate := float64(fp) / 10000; rate > 0.05 {
+		t.Errorf("false positive rate = %v, want < 0.05", rate)
+	}
+}
+
+func TestTombstoneEscaping(t *testing.T) {
+	s := Open(Config{})
+	weird := tombstone + "not-actually-deleted"
+	s.Put("k", weird)
+	v, err := s.Get("k")
+	if err != nil || v != weird {
+		t.Errorf("tombstone-prefixed value round trip: %q, %v", v, err)
+	}
+}
+
+// Property: the store agrees with a reference map under random workloads.
+func TestStoreMatchesMapProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := ml.NewRNG(seed)
+		cfg := Config{
+			MemtableSize:    8 + rng.Intn(64),
+			SizeRatio:       2 + rng.Intn(4),
+			BloomBitsPerKey: rng.Intn(12),
+			FenceEvery:      1 + rng.Intn(64),
+			Policy:          MergePolicy(rng.Intn(2)),
+		}
+		s := Open(cfg)
+		ref := map[string]string{}
+		for op := 0; op < 1000; op++ {
+			k := fmt.Sprintf("k%03d", rng.Intn(300))
+			switch rng.Intn(4) {
+			case 0, 1, 2:
+				v := fmt.Sprintf("v%d", rng.Uint64()%1000)
+				s.Put(k, v)
+				ref[k] = v
+			case 3:
+				s.Delete(k)
+				delete(ref, k)
+			}
+		}
+		for k, want := range ref {
+			got, err := s.Get(k)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		// And absent keys stay absent.
+		for i := 0; i < 50; i++ {
+			k := fmt.Sprintf("k%03d", rng.Intn(300))
+			if _, ok := ref[k]; !ok {
+				if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package kv implements an LSM-tree key-value store whose design knobs —
+// merge policy (leveling vs tiering), size ratio, bloom-filter bits per
+// key, and fence-pointer granularity — span the "design continuum" of
+// Idreos et al. that the learned data-structure-design experiment (E10)
+// searches over. The store counts logical I/O (blocks read, bytes
+// written) so experiments can compare designs analytically as well as by
+// wall clock.
+package kv
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MergePolicy selects how runs are compacted.
+type MergePolicy int
+
+// Merge policies.
+const (
+	// Leveling keeps one run per level; overflow merges into it
+	// (read-optimized).
+	Leveling MergePolicy = iota
+	// Tiering accumulates up to SizeRatio runs per level before merging
+	// them down (write-optimized).
+	Tiering
+)
+
+func (p MergePolicy) String() string {
+	if p == Leveling {
+		return "leveling"
+	}
+	return "tiering"
+}
+
+// Config is one point in the LSM design space.
+type Config struct {
+	// MemtableSize is the number of entries buffered before flush
+	// (default 1024).
+	MemtableSize int
+	// SizeRatio is the capacity growth factor between levels
+	// (default 4, min 2).
+	SizeRatio int
+	// BloomBitsPerKey sizes each run's bloom filter (0 disables blooms).
+	BloomBitsPerKey int
+	// FenceEvery is the fence-pointer granularity in entries per block
+	// (default 64); smaller values cost memory but narrow run searches.
+	FenceEvery int
+	// Policy is the merge policy.
+	Policy MergePolicy
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MemtableSize <= 0 {
+		c.MemtableSize = 1024
+	}
+	if c.SizeRatio < 2 {
+		c.SizeRatio = 4
+	}
+	if c.FenceEvery <= 0 {
+		c.FenceEvery = 64
+	}
+	return c
+}
+
+// Stats counts logical I/O.
+type Stats struct {
+	// BytesWritten counts entry writes including compaction rewrites
+	// (write amplification numerator).
+	BytesWritten uint64
+	// BlocksRead counts fence-pointer blocks binary-searched during gets
+	// and scans (read cost).
+	BlocksRead uint64
+	// BloomNegatives counts run probes skipped thanks to bloom filters.
+	BloomNegatives uint64
+	// Flushes and Compactions count structural events.
+	Flushes, Compactions uint64
+}
+
+const tombstone = "\x00__tombstone__"
+
+type entry struct {
+	key, val string
+}
+
+// run is one immutable sorted run with a bloom filter and fence pointers.
+type run struct {
+	entries []entry
+	bloom   *bloomFilter
+	fences  []string // first key of each block
+	fenceN  int
+}
+
+func newRun(entries []entry, bitsPerKey, fenceEvery int) *run {
+	r := &run{entries: entries, fenceN: fenceEvery}
+	if bitsPerKey > 0 {
+		r.bloom = newBloom(len(entries), bitsPerKey)
+		for _, e := range entries {
+			r.bloom.Add(e.key)
+		}
+	}
+	for i := 0; i < len(entries); i += fenceEvery {
+		r.fences = append(r.fences, entries[i].key)
+	}
+	return r
+}
+
+// get searches the run; found=false when key absent.
+func (r *run) get(key string, st *Stats) (string, bool) {
+	if r.bloom != nil && !r.bloom.MayContain(key) {
+		st.BloomNegatives++
+		return "", false
+	}
+	// Locate the candidate block via fence pointers.
+	b := sort.Search(len(r.fences), func(i int) bool { return r.fences[i] > key }) - 1
+	if b < 0 {
+		return "", false
+	}
+	st.BlocksRead++
+	lo := b * r.fenceN
+	hi := lo + r.fenceN
+	if hi > len(r.entries) {
+		hi = len(r.entries)
+	}
+	block := r.entries[lo:hi]
+	i := sort.Search(len(block), func(i int) bool { return block[i].key >= key })
+	if i < len(block) && block[i].key == key {
+		return block[i].val, true
+	}
+	return "", false
+}
+
+// Store is the LSM-tree store. Safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	cfg    Config
+	mem    map[string]string
+	levels [][]*run // levels[i] = runs at level i, newest first
+	stats  Stats
+}
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("kv: key not found")
+
+// Open creates a store with the given design configuration.
+func Open(cfg Config) *Store {
+	return &Store{cfg: cfg.withDefaults(), mem: map[string]string{}}
+}
+
+// Config returns the store's design point.
+func (s *Store) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Put inserts or overwrites key.
+func (s *Store) Put(key, value string) {
+	if strings.HasPrefix(value, tombstone) {
+		value = tombstone + value // escape, preserving round trips
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[key] = value
+	s.stats.BytesWritten += uint64(len(key) + len(value))
+	if len(s.mem) >= s.cfg.MemtableSize {
+		s.flushLocked()
+	}
+}
+
+// Delete removes key (via tombstone).
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[key] = tombstone
+	s.stats.BytesWritten += uint64(len(key) + 1)
+	if len(s.mem) >= s.cfg.MemtableSize {
+		s.flushLocked()
+	}
+}
+
+// Get fetches key, newest version wins.
+func (s *Store) Get(key string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.mem[key]; ok {
+		return s.decode(v)
+	}
+	for _, level := range s.levels {
+		for _, r := range level {
+			if v, ok := r.get(key, &s.stats); ok {
+				return s.decode(v)
+			}
+		}
+	}
+	return "", ErrNotFound
+}
+
+func (s *Store) decode(v string) (string, error) {
+	if v == tombstone {
+		return "", ErrNotFound
+	}
+	if strings.HasPrefix(v, tombstone) {
+		return v[len(tombstone):], nil
+	}
+	return v, nil
+}
+
+// Scan calls fn for each live key in [lo, hi] ascending; returning false
+// stops early.
+func (s *Store) Scan(lo, hi string, fn func(key, value string) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Merge memtable + all runs; newest source wins per key.
+	merged := map[string]string{}
+	for li := len(s.levels) - 1; li >= 0; li-- {
+		for ri := len(s.levels[li]) - 1; ri >= 0; ri-- {
+			r := s.levels[li][ri]
+			start := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].key >= lo })
+			for i := start; i < len(r.entries) && r.entries[i].key <= hi; i++ {
+				merged[r.entries[i].key] = r.entries[i].val
+				if i%s.cfg.FenceEvery == 0 {
+					s.stats.BlocksRead++
+				}
+			}
+		}
+	}
+	for k, v := range s.mem {
+		if k >= lo && k <= hi {
+			merged[k] = v
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := merged[k]
+		if v == tombstone {
+			continue
+		}
+		if strings.HasPrefix(v, tombstone) {
+			v = v[len(tombstone):]
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Flush forces the memtable to level 0.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.mem) > 0 {
+		s.flushLocked()
+	}
+}
+
+func (s *Store) flushLocked() {
+	entries := make([]entry, 0, len(s.mem))
+	for k, v := range s.mem {
+		entries = append(entries, entry{k, v})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
+	s.mem = map[string]string{}
+	s.stats.Flushes++
+	s.pushRun(0, newRun(entries, s.cfg.BloomBitsPerKey, s.cfg.FenceEvery))
+}
+
+// pushRun installs a run at the given level, compacting per policy.
+func (s *Store) pushRun(level int, r *run) {
+	for len(s.levels) <= level {
+		s.levels = append(s.levels, nil)
+	}
+	s.levels[level] = append([]*run{r}, s.levels[level]...)
+	capEntries := s.levelCapacity(level)
+	switch s.cfg.Policy {
+	case Leveling:
+		// One run per level: merge immediately if more than one.
+		if len(s.levels[level]) > 1 {
+			merged := s.mergeRuns(s.levels[level])
+			s.levels[level] = nil
+			s.stats.Compactions++
+			if len(merged.entries) > capEntries {
+				s.pushRun(level+1, merged)
+			} else {
+				s.levels[level] = []*run{merged}
+			}
+		} else if len(r.entries) > capEntries {
+			s.levels[level] = nil
+			s.pushRun(level+1, r)
+		}
+	case Tiering:
+		// Up to SizeRatio runs per level; merge all into the next level.
+		if len(s.levels[level]) >= s.cfg.SizeRatio {
+			merged := s.mergeRuns(s.levels[level])
+			s.levels[level] = nil
+			s.stats.Compactions++
+			s.pushRun(level+1, merged)
+		}
+	}
+}
+
+func (s *Store) levelCapacity(level int) int {
+	c := s.cfg.MemtableSize
+	for i := 0; i <= level; i++ {
+		c *= s.cfg.SizeRatio
+	}
+	return c
+}
+
+// mergeRuns merges newest-first runs, dropping shadowed versions and
+// counting rewrite bytes.
+func (s *Store) mergeRuns(runs []*run) *run {
+	seen := map[string]bool{}
+	var out []entry
+	for _, r := range runs { // newest first: first occurrence wins
+		for _, e := range r.entries {
+			if !seen[e.key] {
+				seen[e.key] = true
+				out = append(out, e)
+				s.stats.BytesWritten += uint64(len(e.key) + len(e.val))
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].key < out[b].key })
+	return newRun(out, s.cfg.BloomBitsPerKey, s.cfg.FenceEvery)
+}
+
+// NumRuns reports the total run count across levels (read-path fan-in).
+func (s *Store) NumRuns() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, l := range s.levels {
+		n += len(l)
+	}
+	return n
+}
+
+// NumEntries reports the approximate number of stored entries (including
+// shadowed versions not yet compacted).
+func (s *Store) NumEntries() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.mem)
+	for _, l := range s.levels {
+		for _, r := range l {
+			n += len(r.entries)
+		}
+	}
+	return n
+}

@@ -1,0 +1,274 @@
+package learnedidx
+
+import "sort"
+
+// GappedIndex is an updatable learned index in the style of ALEX: keys
+// live in a gapped array sized to a target density; a linear model
+// predicts insert/lookup positions; exponential search corrects model
+// error; the node retrains and re-spreads when density exceeds a bound.
+// This single-node variant captures ALEX's core mechanism (model-guided
+// placement into gaps) without the tree of nodes, which suffices for the
+// E9 update experiment at laptop scale.
+type GappedIndex struct {
+	// TargetDensity is the fill factor after a re-spread (default 0.7).
+	TargetDensity float64
+	// MaxDensity triggers a re-spread (default 0.9).
+	MaxDensity float64
+
+	slots []gapSlot
+	model linearModel
+	n     int
+	// Retrains counts model rebuilds, exposed for experiments.
+	Retrains int
+}
+
+type gapSlot struct {
+	occupied bool
+	key      int64
+	value    uint64
+}
+
+// NewGappedIndex builds an index from (possibly empty) sorted keys.
+func NewGappedIndex(keys []int64, values []uint64) *GappedIndex {
+	g := &GappedIndex{TargetDensity: 0.7, MaxDensity: 0.9}
+	g.rebuild(keys, values)
+	return g
+}
+
+func (g *GappedIndex) rebuild(keys []int64, values []uint64) {
+	g.n = len(keys)
+	size := int(float64(len(keys))/g.TargetDensity) + 16
+	g.slots = make([]gapSlot, size)
+	if len(keys) == 0 {
+		g.model = linearModel{}
+		return
+	}
+	// Spread keys evenly across the gapped array.
+	stride := float64(size) / float64(len(keys))
+	positions := make([]float64, len(keys))
+	for i, k := range keys {
+		p := int(float64(i) * stride)
+		if p >= size {
+			p = size - 1
+		}
+		// Collisions push right.
+		for g.slots[p].occupied {
+			p++
+		}
+		g.slots[p] = gapSlot{occupied: true, key: k, value: values[i]}
+		positions[i] = float64(p)
+	}
+	g.model = fitLinear(keys, positions)
+	g.Retrains++
+}
+
+// Len reports stored key count.
+func (g *GappedIndex) Len() int { return g.n }
+
+// predictSlot clamps the model prediction into the array.
+func (g *GappedIndex) predictSlot(key int64) int {
+	p := int(g.model.predict(key))
+	if p < 0 {
+		p = 0
+	}
+	if p >= len(g.slots) {
+		p = len(g.slots) - 1
+	}
+	return p
+}
+
+// locate finds key starting from the model prediction. On a hit it
+// returns (slot, true). On a miss it returns (pos, false) where pos is the
+// index of the first occupied slot whose key exceeds key, or len(slots)
+// when no such slot exists — i.e. the sorted insertion boundary.
+func (g *GappedIndex) locate(key int64) (int, bool) {
+	if len(g.slots) == 0 {
+		return 0, false
+	}
+	i := g.predictSlot(key)
+	// Walk left past occupied slots with larger keys (model overshoot).
+	for {
+		j, ok := g.prevOccupied(i)
+		if !ok {
+			// Nothing at or before i; the answer lies to the right.
+			break
+		}
+		if g.slots[j].key == key {
+			return j, true
+		}
+		if g.slots[j].key > key {
+			if j == 0 {
+				return 0, false
+			}
+			i = j - 1
+			continue
+		}
+		// slots[j].key < key: scan right from here.
+		i = j
+		break
+	}
+	if i < 0 {
+		i = 0
+	}
+	for j := i; j < len(g.slots); j++ {
+		if !g.slots[j].occupied {
+			continue
+		}
+		if g.slots[j].key == key {
+			return j, true
+		}
+		if g.slots[j].key > key {
+			return j, false
+		}
+	}
+	return len(g.slots), false
+}
+
+// find is locate restricted to hits (kept for Lookup/Delete symmetry).
+func (g *GappedIndex) find(key int64) (int, bool) {
+	i, ok := g.locate(key)
+	if !ok {
+		return 0, false
+	}
+	return i, true
+}
+
+func (g *GappedIndex) prevOccupied(from int) (int, bool) {
+	for i := from; i >= 0; i-- {
+		if g.slots[i].occupied {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (g *GappedIndex) nextOccupied(from int) (int, bool) {
+	for i := from; i < len(g.slots); i++ {
+		if g.slots[i].occupied {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Lookup returns the value for key.
+func (g *GappedIndex) Lookup(key int64) (uint64, error) {
+	if i, ok := g.find(key); ok {
+		return g.slots[i].value, nil
+	}
+	return 0, ErrNotFound
+}
+
+// Insert adds or overwrites key. Amortized O(1) while gaps remain near the
+// predicted position; triggers a re-spread past MaxDensity.
+func (g *GappedIndex) Insert(key int64, value uint64) {
+	if i, ok := g.locate(key); ok {
+		g.slots[i].value = value
+		return
+	}
+	if len(g.slots) == 0 || float64(g.n+1) > g.MaxDensity*float64(len(g.slots)) {
+		g.respread()
+	}
+	pos, _ := g.locate(key)
+	// Preferred spot: the empty slot immediately left of the boundary
+	// (inside the gap region between the bracketing occupied slots).
+	if i := pos - 1; i >= 0 && !g.slots[i].occupied {
+		g.slots[i] = gapSlot{occupied: true, key: key, value: value}
+		g.n++
+		return
+	}
+	// No adjacent gap: shift right into the nearest gap at >= pos.
+	if gap := g.firstGapFrom(pos); gap >= 0 {
+		for i := gap; i > pos; i-- {
+			g.slots[i] = g.slots[i-1]
+		}
+		g.slots[pos] = gapSlot{occupied: true, key: key, value: value}
+		g.n++
+		return
+	}
+	// Or shift left into the nearest gap before pos.
+	if gap := g.lastGapBefore(pos); gap >= 0 {
+		for i := gap; i < pos-1; i++ {
+			g.slots[i] = g.slots[i+1]
+		}
+		g.slots[pos-1] = gapSlot{occupied: true, key: key, value: value}
+		g.n++
+		return
+	}
+	g.respread()
+	g.Insert(key, value)
+}
+
+// firstGapFrom returns the index of the first empty slot at >= from, or -1.
+func (g *GappedIndex) firstGapFrom(from int) int {
+	for i := from; i < len(g.slots); i++ {
+		if !g.slots[i].occupied {
+			return i
+		}
+	}
+	return -1
+}
+
+// lastGapBefore returns the index of the last empty slot at < before, or -1.
+func (g *GappedIndex) lastGapBefore(before int) int {
+	for i := before - 1; i >= 0; i-- {
+		if !g.slots[i].occupied {
+			return i
+		}
+	}
+	return -1
+}
+
+// Delete removes key, reporting whether it was present.
+func (g *GappedIndex) Delete(key int64) bool {
+	if i, ok := g.find(key); ok {
+		g.slots[i] = gapSlot{}
+		g.n--
+		return true
+	}
+	return false
+}
+
+// respread collects live entries and rebuilds at target density.
+func (g *GappedIndex) respread() {
+	keys := make([]int64, 0, g.n)
+	values := make([]uint64, 0, g.n)
+	for _, s := range g.slots {
+		if s.occupied {
+			keys = append(keys, s.key)
+			values = append(values, s.value)
+		}
+	}
+	// Slots are maintained in key order, but be defensive.
+	if !sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a] < keys[b] }) {
+		sort.Sort(&kvSorter{keys, values})
+	}
+	g.rebuild(keys, values)
+}
+
+// Scan calls fn over keys in [lo, hi] ascending; returning false stops.
+func (g *GappedIndex) Scan(lo, hi int64, fn func(key int64, value uint64) bool) {
+	for _, s := range g.slots {
+		if !s.occupied || s.key < lo {
+			continue
+		}
+		if s.key > hi {
+			return
+		}
+		if !fn(s.key, s.value) {
+			return
+		}
+	}
+}
+
+type kvSorter struct {
+	keys   []int64
+	values []uint64
+}
+
+func (s *kvSorter) Len() int           { return len(s.keys) }
+func (s *kvSorter) Less(a, b int) bool { return s.keys[a] < s.keys[b] }
+func (s *kvSorter) Swap(a, b int) {
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+	s.values[a], s.values[b] = s.values[b], s.values[a]
+}

@@ -1,0 +1,92 @@
+package learnedidx
+
+import (
+	"sort"
+	"testing"
+
+	"aidb/internal/index"
+	"aidb/internal/ml"
+)
+
+// benchKeys builds a deterministic sorted key set shared by the E9
+// wall-clock benchmarks.
+func benchKeys(n int) ([]int64, []uint64) {
+	rng := ml.NewRNG(99)
+	seen := map[int64]bool{}
+	keys := make([]int64, 0, n)
+	for len(keys) < n {
+		k := int64(rng.Intn(n * 10))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i)
+	}
+	return keys, values
+}
+
+const benchN = 1 << 20
+
+// BenchmarkBTreeLookup is the traditional-index side of E9.
+func BenchmarkBTreeLookup(b *testing.B) {
+	keys, values := benchKeys(benchN)
+	bt := index.BulkLoad(64, keys, values)
+	b.ReportMetric(float64(bt.SizeBytes()), "index-bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bt.Get(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRMILookup is the learned-index side of E9.
+func BenchmarkRMILookup(b *testing.B) {
+	keys, values := benchKeys(benchN)
+	r := BuildRMI(keys, values, 2048)
+	b.ReportMetric(float64(r.SizeBytes()), "index-bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Lookup(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBinarySearch is the no-index floor: direct binary search over
+// the sorted array.
+func BenchmarkBinarySearch(b *testing.B) {
+	keys, _ := benchKeys(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		j := sort.Search(len(keys), func(x int) bool { return keys[x] >= k })
+		if keys[j] != k {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+// BenchmarkGappedInsert measures updatable learned-index writes.
+func BenchmarkGappedInsert(b *testing.B) {
+	rng := ml.NewRNG(5)
+	g := NewGappedIndex(nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Insert(int64(rng.Intn(1<<24)), uint64(i))
+	}
+}
+
+// BenchmarkBTreeInsert is the B+tree write-side comparison.
+func BenchmarkBTreeInsert(b *testing.B) {
+	rng := ml.NewRNG(5)
+	bt := index.NewBTree(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Put(int64(rng.Intn(1<<24)), uint64(i))
+	}
+}

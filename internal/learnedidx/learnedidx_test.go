@@ -1,0 +1,275 @@
+package learnedidx
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"aidb/internal/index"
+	"aidb/internal/ml"
+)
+
+func sortedKeys(rng *ml.RNG, n int, dist string) []int64 {
+	seen := map[int64]bool{}
+	keys := make([]int64, 0, n)
+	for len(keys) < n {
+		var k int64
+		switch dist {
+		case "uniform":
+			k = int64(rng.Intn(n * 10))
+		case "lognormal":
+			k = int64(math.Exp(rng.NormFloat64()*2+10)) + int64(rng.Intn(1000))
+		default: // clustered/gapped
+			cluster := int64(rng.Intn(20)) * 1_000_000
+			k = cluster + int64(rng.Intn(5000))
+		}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+func TestRMILookupAllDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "lognormal", "clustered"} {
+		t.Run(dist, func(t *testing.T) {
+			rng := ml.NewRNG(1)
+			keys := sortedKeys(rng, 20000, dist)
+			values := make([]uint64, len(keys))
+			for i := range values {
+				values[i] = uint64(i)
+			}
+			r := BuildRMI(keys, values, 100)
+			for i, k := range keys {
+				v, err := r.Lookup(k)
+				if err != nil || v != uint64(i) {
+					t.Fatalf("Lookup(%d) = %d, %v; want %d", k, v, err, i)
+				}
+			}
+		})
+	}
+}
+
+func TestRMIMissingKeys(t *testing.T) {
+	rng := ml.NewRNG(2)
+	keys := sortedKeys(rng, 5000, "uniform")
+	values := make([]uint64, len(keys))
+	r := BuildRMI(keys, values, 50)
+	present := map[int64]bool{}
+	for _, k := range keys {
+		present[k] = true
+	}
+	misses := 0
+	for probe := int64(0); probe < 50000 && misses < 1000; probe++ {
+		if present[probe] {
+			continue
+		}
+		misses++
+		if _, err := r.Lookup(probe); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Lookup(missing %d) err = %v", probe, err)
+		}
+	}
+}
+
+func TestRMIRange(t *testing.T) {
+	keys := []int64{1, 5, 10, 15, 20, 25, 30}
+	values := []uint64{0, 1, 2, 3, 4, 5, 6}
+	r := BuildRMI(keys, values, 3)
+	var got []int64
+	r.Range(5, 25, func(k int64, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{5, 10, 15, 20, 25}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRMIEmptyAndSingle(t *testing.T) {
+	r := BuildRMI(nil, nil, 10)
+	if _, err := r.Lookup(5); !errors.Is(err, ErrNotFound) {
+		t.Error("empty RMI should report not found")
+	}
+	r = BuildRMI([]int64{42}, []uint64{7}, 4)
+	v, err := r.Lookup(42)
+	if err != nil || v != 7 {
+		t.Errorf("single-key RMI: %d, %v", v, err)
+	}
+}
+
+func TestRMISmallerThanBTree(t *testing.T) {
+	rng := ml.NewRNG(3)
+	keys := sortedKeys(rng, 100000, "uniform")
+	values := make([]uint64, len(keys))
+	r := BuildRMI(keys, values, 200)
+	bt := index.BulkLoad(64, keys, values)
+	if r.SizeBytes()*10 > bt.SizeBytes() {
+		t.Errorf("RMI size %dB should be well below B+tree %dB (paper claim: orders smaller)",
+			r.SizeBytes(), bt.SizeBytes())
+	}
+}
+
+func TestRMISearchWindowBounded(t *testing.T) {
+	rng := ml.NewRNG(4)
+	keys := sortedKeys(rng, 50000, "uniform")
+	values := make([]uint64, len(keys))
+	r := BuildRMI(keys, values, 500)
+	if w := r.MaxSearchWindow(); w > len(keys)/10 {
+		t.Errorf("max search window %d too large for uniform keys", w)
+	}
+}
+
+func TestGappedInsertLookup(t *testing.T) {
+	g := NewGappedIndex(nil, nil)
+	rng := ml.NewRNG(5)
+	ref := map[int64]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := int64(rng.Intn(100000))
+		v := rng.Uint64()
+		g.Insert(k, v)
+		ref[k] = v
+	}
+	if g.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(ref))
+	}
+	for k, want := range ref {
+		got, err := g.Lookup(k)
+		if err != nil || got != want {
+			t.Fatalf("Lookup(%d) = %d, %v; want %d", k, got, err, want)
+		}
+	}
+}
+
+func TestGappedDelete(t *testing.T) {
+	keys := []int64{1, 2, 3, 4, 5}
+	vals := []uint64{1, 2, 3, 4, 5}
+	g := NewGappedIndex(keys, vals)
+	if !g.Delete(3) {
+		t.Fatal("Delete(3) = false")
+	}
+	if g.Delete(3) {
+		t.Fatal("double delete = true")
+	}
+	if _, err := g.Lookup(3); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted key still found")
+	}
+	if g.Len() != 4 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestGappedScanSorted(t *testing.T) {
+	g := NewGappedIndex(nil, nil)
+	rng := ml.NewRNG(6)
+	for i := 0; i < 1000; i++ {
+		g.Insert(int64(rng.Intn(10000)), 0)
+	}
+	var prev int64 = -1
+	g.Scan(0, 10000, func(k int64, v uint64) bool {
+		if k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		prev = k
+		return true
+	})
+}
+
+func TestGappedOverwrite(t *testing.T) {
+	g := NewGappedIndex([]int64{10}, []uint64{1})
+	g.Insert(10, 99)
+	if g.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", g.Len())
+	}
+	v, _ := g.Lookup(10)
+	if v != 99 {
+		t.Errorf("value = %d", v)
+	}
+}
+
+func TestGappedRetrainsUnderLoad(t *testing.T) {
+	g := NewGappedIndex(nil, nil)
+	for i := int64(0); i < 10000; i++ {
+		g.Insert(i, uint64(i))
+	}
+	if g.Retrains < 2 {
+		t.Errorf("Retrains = %d, expected re-spreads under sequential load", g.Retrains)
+	}
+	// All keys still present after retrains.
+	for i := int64(0); i < 10000; i += 97 {
+		if _, err := g.Lookup(i); err != nil {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+}
+
+// Property: gapped index agrees with a map under random workloads.
+func TestGappedMatchesMapProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := ml.NewRNG(seed)
+		g := NewGappedIndex(nil, nil)
+		ref := map[int64]uint64{}
+		for op := 0; op < 800; op++ {
+			k := int64(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Uint64()
+				g.Insert(k, v)
+				ref[k] = v
+			case 2:
+				got := g.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if g.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			got, err := g.Lookup(k)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RMI built over any sorted key set finds every key.
+func TestRMICompleteProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := ml.NewRNG(seed)
+		n := 100 + rng.Intn(2000)
+		keys := sortedKeys(rng, n, []string{"uniform", "lognormal", "clustered"}[rng.Intn(3)])
+		values := make([]uint64, len(keys))
+		for i := range values {
+			values[i] = uint64(i)
+		}
+		r := BuildRMI(keys, values, 1+rng.Intn(64))
+		for i, k := range keys {
+			v, err := r.Lookup(k)
+			if err != nil || v != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

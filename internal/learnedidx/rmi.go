@@ -1,0 +1,276 @@
+// Package learnedidx implements learned index structures: a two-stage
+// recursive model index (RMI) in the style of Kraska et al.'s "The Case
+// for Learned Index Structures", and an updatable gapped-array learned
+// index in the style of ALEX (Ding et al.). Both are compared against the
+// B+tree in internal/index by experiment E9.
+package learnedidx
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrNotFound is returned for missing keys.
+var ErrNotFound = errors.New("learnedidx: key not found")
+
+// linearModel is y = slope*x + intercept fitted by least squares.
+type linearModel struct {
+	slope, intercept float64
+}
+
+func fitLinear(keys []int64, positions []float64) linearModel {
+	n := float64(len(keys))
+	if n == 0 {
+		return linearModel{}
+	}
+	if n == 1 {
+		return linearModel{slope: 0, intercept: positions[0]}
+	}
+	var sx, sy, sxx, sxy float64
+	for i, k := range keys {
+		x := float64(k)
+		sx += x
+		sy += positions[i]
+		sxx += x * x
+		sxy += x * positions[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return linearModel{slope: 0, intercept: sy / n}
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return linearModel{slope: slope, intercept: (sy - slope*sx) / n}
+}
+
+func (m linearModel) predict(key int64) float64 {
+	return m.slope*float64(key) + m.intercept
+}
+
+// RMI is a two-stage recursive model index over a sorted key array: a
+// root linear model routes each key to one of L second-stage linear
+// models; each leaf model stores its maximum prediction error so lookups
+// binary-search only a small window. The index stores positions into the
+// caller's sorted key slice (values live alongside).
+type RMI struct {
+	keys   []int64
+	values []uint64
+	root   linearModel
+	leaves []rmiLeaf
+}
+
+type rmiLeaf struct {
+	model    linearModel
+	minErr   int // most negative prediction error
+	maxErr   int // most positive prediction error
+	lo, hi   int // key range [lo, hi) this leaf covers
+	nonEmpty bool
+}
+
+// BuildRMI constructs an RMI with numLeaves second-stage models over the
+// sorted keys. It panics if keys are unsorted or len(values) != len(keys).
+func BuildRMI(keys []int64, values []uint64, numLeaves int) *RMI {
+	if len(keys) != len(values) {
+		panic("learnedidx: keys/values length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			panic("learnedidx: BuildRMI requires sorted keys")
+		}
+	}
+	if numLeaves < 1 {
+		numLeaves = 1
+	}
+	r := &RMI{
+		keys:   append([]int64(nil), keys...),
+		values: append([]uint64(nil), values...),
+		leaves: make([]rmiLeaf, numLeaves),
+	}
+	n := len(keys)
+	if n == 0 {
+		return r
+	}
+	// Stage 1: map key -> leaf id. Fit on (key, leafIdx) pairs.
+	positions := make([]float64, n)
+	for i := range keys {
+		positions[i] = float64(i) / float64(n) * float64(numLeaves)
+	}
+	r.root = fitLinear(keys, positions)
+	// Partition keys by predicted leaf.
+	assign := make([]int, n)
+	for i, k := range keys {
+		l := int(r.root.predict(k))
+		if l < 0 {
+			l = 0
+		}
+		if l >= numLeaves {
+			l = numLeaves - 1
+		}
+		assign[i] = l
+	}
+	// Because keys are sorted and the root model is monotone (non-negative
+	// slope), assignments are non-decreasing; find each leaf's range.
+	start := 0
+	for l := 0; l < numLeaves; l++ {
+		end := start
+		for end < n && assign[end] == l {
+			end++
+		}
+		leaf := rmiLeaf{lo: start, hi: end}
+		if end > start {
+			leaf.nonEmpty = true
+			sub := keys[start:end]
+			pos := make([]float64, end-start)
+			for i := range pos {
+				pos[i] = float64(start + i)
+			}
+			leaf.model = fitLinear(sub, pos)
+			// Record error bounds.
+			for i, k := range sub {
+				pred := int(leaf.model.predict(k))
+				diff := (start + i) - pred
+				if diff < leaf.minErr {
+					leaf.minErr = diff
+				}
+				if diff > leaf.maxErr {
+					leaf.maxErr = diff
+				}
+			}
+		}
+		r.leaves[l] = leaf
+		start = end
+	}
+	return r
+}
+
+// Len reports the number of indexed keys.
+func (r *RMI) Len() int { return len(r.keys) }
+
+// SizeBytes reports the model footprint (excluding the data arrays
+// themselves, matching how learned-index papers report index size).
+func (r *RMI) SizeBytes() int {
+	return 16 + len(r.leaves)*(16+2*8+2*8)
+}
+
+// Lookup returns the value for key.
+func (r *RMI) Lookup(key int64) (uint64, error) {
+	pos, ok := r.position(key)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return r.values[pos], nil
+}
+
+// position finds key's index in the sorted array via model prediction plus
+// bounded binary search.
+func (r *RMI) position(key int64) (int, bool) {
+	if len(r.keys) == 0 {
+		return 0, false
+	}
+	l := int(r.root.predict(key))
+	if l < 0 {
+		l = 0
+	}
+	if l >= len(r.leaves) {
+		l = len(r.leaves) - 1
+	}
+	leaf := r.leaves[l]
+	if !leaf.nonEmpty {
+		// Empty leaf: the key, if present, would live at a neighbour due
+		// to routing error; fall back to the covering range search.
+		i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+		if i < len(r.keys) && r.keys[i] == key {
+			return i, true
+		}
+		return 0, false
+	}
+	pred := int(leaf.model.predict(key))
+	lo := pred + leaf.minErr
+	hi := pred + leaf.maxErr + 1
+	if lo < leaf.lo {
+		lo = leaf.lo
+	}
+	if hi > leaf.hi {
+		hi = leaf.hi
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r.keys) {
+		hi = len(r.keys)
+	}
+	if lo >= hi {
+		return 0, false
+	}
+	window := r.keys[lo:hi]
+	i := sort.Search(len(window), func(i int) bool { return window[i] >= key })
+	if i < len(window) && window[i] == key {
+		return lo + i, true
+	}
+	return 0, false
+}
+
+// Range calls fn for every key in [lo, hi] ascending; returning false
+// stops.
+func (r *RMI) Range(lo, hi int64, fn func(key int64, value uint64) bool) {
+	i := r.lowerBound(lo)
+	for ; i < len(r.keys) && r.keys[i] <= hi; i++ {
+		if !fn(r.keys[i], r.values[i]) {
+			return
+		}
+	}
+}
+
+// lowerBound finds the first position with key >= target using the model.
+func (r *RMI) lowerBound(target int64) int {
+	if len(r.keys) == 0 {
+		return 0
+	}
+	l := int(r.root.predict(target))
+	if l < 0 {
+		l = 0
+	}
+	if l >= len(r.leaves) {
+		l = len(r.leaves) - 1
+	}
+	leaf := r.leaves[l]
+	lo, hi := 0, len(r.keys)
+	if leaf.nonEmpty {
+		pred := int(leaf.model.predict(target))
+		lo = pred + leaf.minErr
+		hi = pred + leaf.maxErr + 1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(r.keys) {
+			hi = len(r.keys)
+		}
+		// The window only bounds keys inside this leaf; a lower-bound
+		// query may land outside, so widen if needed.
+		if lo > 0 && r.keys[lo-1] >= target {
+			lo = 0
+		}
+		if hi < len(r.keys) && r.keys[hi-1] < target {
+			hi = len(r.keys)
+		}
+		if lo >= hi {
+			lo, hi = 0, len(r.keys)
+		}
+	}
+	window := r.keys[lo:hi]
+	return lo + sort.Search(len(window), func(i int) bool { return window[i] >= target })
+}
+
+// MaxSearchWindow reports the largest error-bounded search window across
+// leaves — the quantity that determines worst-case lookup cost.
+func (r *RMI) MaxSearchWindow() int {
+	w := 0
+	for _, l := range r.leaves {
+		if !l.nonEmpty {
+			continue
+		}
+		if s := l.maxErr - l.minErr + 1; s > w {
+			w = s
+		}
+	}
+	return w
+}

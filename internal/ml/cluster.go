@@ -1,0 +1,132 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// KMeans clusters rows of a matrix into K groups with Lloyd's algorithm
+// and k-means++ style seeding from a caller-supplied RNG.
+type KMeans struct {
+	K        int
+	MaxIters int // zero means 50
+
+	Centroids *Matrix
+	Labels    []int
+	Inertia   float64
+}
+
+// Fit clusters the rows of x.
+func (km *KMeans) Fit(rng *RNG, x *Matrix) error {
+	if km.K <= 0 {
+		return errors.New("ml: KMeans.Fit needs K > 0")
+	}
+	if x.Rows < km.K {
+		return errors.New("ml: KMeans.Fit needs at least K rows")
+	}
+	iters := km.MaxIters
+	if iters == 0 {
+		iters = 50
+	}
+	// k-means++ seeding.
+	cent := NewMatrix(km.K, x.Cols)
+	first := rng.Intn(x.Rows)
+	copy(cent.Row(0), x.Row(first))
+	d2 := make([]float64, x.Rows)
+	for c := 1; c < km.K; c++ {
+		total := 0.0
+		for i := 0; i < x.Rows; i++ {
+			best := math.Inf(1)
+			for cc := 0; cc < c; cc++ {
+				d := sqDist(x.Row(i), cent.Row(cc))
+				if d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		pick := 0
+		if total > 0 {
+			u := rng.Float64() * total
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if acc >= u {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(x.Rows)
+		}
+		copy(cent.Row(c), x.Row(pick))
+	}
+	labels := make([]int, x.Rows)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < x.Rows; i++ {
+			best, bd := 0, math.Inf(1)
+			for c := 0; c < km.K; c++ {
+				if d := sqDist(x.Row(i), cent.Row(c)); d < bd {
+					bd, best = d, c
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		counts := make([]float64, km.K)
+		next := NewMatrix(km.K, x.Cols)
+		for i, c := range labels {
+			counts[c]++
+			row, nrow := x.Row(i), next.Row(c)
+			for j, v := range row {
+				nrow[j] += v
+			}
+		}
+		for c := 0; c < km.K; c++ {
+			if counts[c] == 0 {
+				copy(next.Row(c), x.Row(rng.Intn(x.Rows)))
+				continue
+			}
+			nrow := next.Row(c)
+			for j := range nrow {
+				nrow[j] /= counts[c]
+			}
+		}
+		cent = next
+	}
+	km.Centroids = cent
+	km.Labels = labels
+	km.Inertia = 0
+	for i, c := range labels {
+		km.Inertia += sqDist(x.Row(i), cent.Row(c))
+	}
+	return nil
+}
+
+// Assign returns the nearest centroid index for f, with its squared
+// distance.
+func (km *KMeans) Assign(f []float64) (int, float64) {
+	best, bd := 0, math.Inf(1)
+	for c := 0; c < km.Centroids.Rows; c++ {
+		if d := sqDist(f, km.Centroids.Row(c)); d < bd {
+			bd, best = d, c
+		}
+	}
+	return best, bd
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

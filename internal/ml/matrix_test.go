@@ -1,0 +1,239 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("MatMul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose shape = %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 0) != 1 {
+		t.Errorf("transpose values wrong: %v", at)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 2x + y = 5; x - y = 1  =>  x=2, y=1
+	m := MatrixFromRows([][]float64{{2, 1}, {1, -1}})
+	x, err := SolveLinear(m, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Errorf("solution = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(m, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	m := MatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(m, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("solution = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveLeastSquaresRecoversPlane(t *testing.T) {
+	rng := NewRNG(1)
+	n := 200
+	a := NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := rng.Float64()*10, rng.Float64()*10
+		a.Set(i, 0, x0)
+		a.Set(i, 1, x1)
+		y[i] = 3*x0 - 2*x1
+	}
+	w, err := SolveLeastSquares(a, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-3) > 1e-6 || math.Abs(w[1]+2) > 1e-6 {
+		t.Errorf("weights = %v, want [3 -2]", w)
+	}
+}
+
+// Property: (A^T)^T == A for random shapes.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		r, c := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		tt := m.T().T()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: solving A x = b and multiplying back reproduces b.
+func TestSolveLinearRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 1 + rng.Intn(5)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()*4 - 2
+		}
+		// Diagonal dominance guarantees non-singularity.
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		x, err := SolveLinear(m, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += m.At(i, j) * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	x := MatrixFromRows([][]float64{{1, 100}, {2, 100}, {3, 100}})
+	means, stds := Standardize(x)
+	if math.Abs(means[0]-2) > 1e-9 {
+		t.Errorf("mean = %v, want 2", means[0])
+	}
+	if stds[1] != 1 {
+		t.Errorf("constant column std should be reported as 1, got %v", stds[1])
+	}
+	// Column 0 should now have mean 0.
+	s := x.At(0, 0) + x.At(1, 0) + x.At(2, 0)
+	if math.Abs(s) > 1e-9 {
+		t.Errorf("standardized column mean = %v, want 0", s/3)
+	}
+	// Constant column untouched in spirit: all equal.
+	if x.At(0, 1) != x.At(1, 1) {
+		t.Error("constant column should remain constant")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	rng := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := NewRNG(9)
+	p := rng.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRNG(3)
+	z := NewZipf(rng, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 should dominate rank 50: %d vs %d", counts[0], counts[50])
+	}
+	if counts[0] < 2000 {
+		t.Errorf("rank 0 count %d too small for skew 1.2", counts[0])
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	rng := NewRNG(11)
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	varr := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(varr-1) > 0.1 {
+		t.Errorf("normal variance = %v, want ~1", varr)
+	}
+}

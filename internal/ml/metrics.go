@@ -1,0 +1,209 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// MSE returns the mean squared error between predictions and targets.
+func MSE(pred, y []float64) float64 {
+	if len(pred) != len(y) {
+		panic("ml: MSE length mismatch")
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range y {
+		d := pred[i] - y[i]
+		s += d * d
+	}
+	return s / float64(len(y))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, y []float64) float64 {
+	if len(pred) != len(y) {
+		panic("ml: MAE length mismatch")
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range y {
+		s += math.Abs(pred[i] - y[i])
+	}
+	return s / float64(len(y))
+}
+
+// R2 returns the coefficient of determination.
+func R2(pred, y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range y {
+		ssRes += (y[i] - pred[i]) * (y[i] - pred[i])
+		ssTot += (y[i] - mean) * (y[i] - mean)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Accuracy returns the fraction of matching integer labels.
+func Accuracy(pred, y []int) float64 {
+	if len(pred) != len(y) {
+		panic("ml: Accuracy length mismatch")
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	c := 0
+	for i := range y {
+		if pred[i] == y[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(y))
+}
+
+// PrecisionRecall returns precision and recall treating label pos as the
+// positive class.
+func PrecisionRecall(pred, y []int, pos int) (precision, recall float64) {
+	tp, fp, fn := 0, 0, 0
+	for i := range y {
+		switch {
+		case pred[i] == pos && y[i] == pos:
+			tp++
+		case pred[i] == pos && y[i] != pos:
+			fp++
+		case pred[i] != pos && y[i] == pos:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}
+
+// F1 returns the harmonic mean of precision and recall for class pos.
+func F1(pred, y []int, pos int) float64 {
+	p, r := PrecisionRecall(pred, y, pos)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// QError returns the cardinality-estimation q-error max(est/true, true/est),
+// with both values clamped to at least 1 (the standard convention).
+func QError(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// QErrorStats summarizes q-errors: mean, median, p95 and max.
+type QErrorStats struct {
+	Mean, Median, P95, Max float64
+}
+
+// SummarizeQErrors computes aggregate q-error statistics.
+func SummarizeQErrors(qs []float64) QErrorStats {
+	if len(qs) == 0 {
+		return QErrorStats{}
+	}
+	s := append([]float64(nil), qs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return QErrorStats{
+		Mean:   sum / float64(len(s)),
+		Median: percentileSorted(s, 0.5),
+		P95:    percentileSorted(s, 0.95),
+		Max:    s[len(s)-1],
+	}
+}
+
+// Percentile returns the p-quantile (0..1) of values using linear
+// interpolation. It copies and sorts the input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of values (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// Stddev returns the population standard deviation of values.
+func Stddev(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := Mean(values)
+	s := 0.0
+	for _, v := range values {
+		s += (v - m) * (v - m)
+	}
+	return math.Sqrt(s / float64(len(values)))
+}
+
+// TrainTestSplit partitions row indices [0, n) into a train and test set
+// with the given test fraction, shuffled by rng.
+func TrainTestSplit(rng *RNG, n int, testFrac float64) (train, test []int) {
+	perm := rng.Perm(n)
+	cut := int(float64(n) * testFrac)
+	if cut < 1 && n > 1 {
+		cut = 1
+	}
+	return perm[cut:], perm[:cut]
+}

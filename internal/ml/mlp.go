@@ -1,0 +1,234 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// Activation selects the nonlinearity used by MLP hidden layers.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	Tanh
+	SigmoidAct
+)
+
+func (a Activation) apply(z float64) float64 {
+	switch a {
+	case ReLU:
+		if z > 0 {
+			return z
+		}
+		return 0
+	case Tanh:
+		return math.Tanh(z)
+	default:
+		return Sigmoid(z)
+	}
+}
+
+func (a Activation) deriv(out float64) float64 {
+	switch a {
+	case ReLU:
+		if out > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - out*out
+	default:
+		return out * (1 - out)
+	}
+}
+
+// MLP is a fully connected feed-forward network trained with
+// mini-batch stochastic gradient descent and backpropagation. The output
+// layer is linear (regression); wrap with Sigmoid externally for binary
+// classification probabilities, or use LossSoftmax-style encodings at the
+// call site.
+type MLP struct {
+	sizes   []int // layer widths including input and output
+	weights []*Matrix
+	biases  [][]float64
+	act     Activation
+
+	// Hyperparameters; zero values select defaults in Train.
+	LearningRate float64 // default 0.01
+	BatchSize    int     // default 16
+	Epochs       int     // default 50
+}
+
+// NewMLP builds a network with the given layer sizes (at least input and
+// output) and hidden activation, initialized with Xavier-uniform weights
+// drawn from rng.
+func NewMLP(rng *RNG, act Activation, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("ml: NewMLP needs at least input and output sizes")
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...), act: act}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := NewMatrix(in, out)
+		scale := math.Sqrt(6.0 / float64(in+out))
+		for i := range w.Data {
+			w.Data[i] = (rng.Float64()*2 - 1) * scale
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float64, out))
+	}
+	return m
+}
+
+// NumParams reports the total number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l, w := range m.weights {
+		n += len(w.Data) + len(m.biases[l])
+	}
+	return n
+}
+
+// Clone returns a deep copy of the network.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{
+		sizes:        append([]int(nil), m.sizes...),
+		act:          m.act,
+		LearningRate: m.LearningRate,
+		BatchSize:    m.BatchSize,
+		Epochs:       m.Epochs,
+	}
+	for l, w := range m.weights {
+		c.weights = append(c.weights, w.Clone())
+		c.biases = append(c.biases, append([]float64(nil), m.biases[l]...))
+	}
+	return c
+}
+
+// CopyFrom overwrites this network's parameters with src's. The
+// architectures must match. Used for target networks in DQN-style training.
+func (m *MLP) CopyFrom(src *MLP) {
+	for l := range m.weights {
+		copy(m.weights[l].Data, src.weights[l].Data)
+		copy(m.biases[l], src.biases[l])
+	}
+}
+
+// forward runs one input and returns the activations of every layer
+// (including the input as layer 0).
+func (m *MLP) forward(in []float64) [][]float64 {
+	acts := make([][]float64, len(m.sizes))
+	acts[0] = in
+	cur := in
+	for l, w := range m.weights {
+		next := make([]float64, m.sizes[l+1])
+		for j := range next {
+			s := m.biases[l][j]
+			for i, v := range cur {
+				s += v * w.At(i, j)
+			}
+			if l < len(m.weights)-1 {
+				s = m.act.apply(s)
+			}
+			next[j] = s
+		}
+		acts[l+1] = next
+		cur = next
+	}
+	return acts
+}
+
+// Predict returns the network output for one input vector.
+func (m *MLP) Predict(in []float64) []float64 {
+	acts := m.forward(in)
+	out := acts[len(acts)-1]
+	return append([]float64(nil), out...)
+}
+
+// Predict1 returns the first output, convenient for scalar regression.
+func (m *MLP) Predict1(in []float64) float64 {
+	return m.Predict(in)[0]
+}
+
+// TrainStep performs one SGD step on a single (input, target) pair with
+// squared-error loss and returns the pre-update loss. Exposed so
+// reinforcement-learning callers can do online updates.
+func (m *MLP) TrainStep(in, target []float64, lrate float64) float64 {
+	acts := m.forward(in)
+	out := acts[len(acts)-1]
+	if len(target) != len(out) {
+		panic("ml: TrainStep target size mismatch")
+	}
+	loss := 0.0
+	// delta for output layer (linear): dL/dz = out - target.
+	delta := make([]float64, len(out))
+	for j := range out {
+		d := out[j] - target[j]
+		delta[j] = d
+		loss += d * d
+	}
+	loss /= float64(len(out))
+	for l := len(m.weights) - 1; l >= 0; l-- {
+		prev := acts[l]
+		w := m.weights[l]
+		var nextDelta []float64
+		if l > 0 {
+			nextDelta = make([]float64, len(prev))
+			for i := range prev {
+				s := 0.0
+				for j := range delta {
+					s += w.At(i, j) * delta[j]
+				}
+				nextDelta[i] = s * m.act.deriv(prev[i])
+			}
+		}
+		for j := range delta {
+			m.biases[l][j] -= lrate * delta[j]
+			for i := range prev {
+				w.Set(i, j, w.At(i, j)-lrate*delta[j]*prev[i])
+			}
+		}
+		delta = nextDelta
+	}
+	return loss
+}
+
+// Train fits the network on x (n x d) and multi-output targets y
+// (n x outputs) with mini-batch SGD, shuffling each epoch with rng.
+// It returns the mean loss of the final epoch.
+func (m *MLP) Train(rng *RNG, x *Matrix, y *Matrix) (float64, error) {
+	if x.Rows != y.Rows {
+		return 0, errors.New("ml: MLP.Train row mismatch")
+	}
+	if x.Rows == 0 {
+		return 0, errors.New("ml: MLP.Train with no samples")
+	}
+	lrate := m.LearningRate
+	if lrate == 0 {
+		lrate = 0.01
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 50
+	}
+	last := 0.0
+	for e := 0; e < epochs; e++ {
+		perm := rng.Perm(x.Rows)
+		total := 0.0
+		for _, i := range perm {
+			total += m.TrainStep(x.Row(i), y.Row(i), lrate)
+		}
+		last = total / float64(x.Rows)
+	}
+	return last, nil
+}
+
+// TrainScalar is Train for single-output regression targets.
+func (m *MLP) TrainScalar(rng *RNG, x *Matrix, y []float64) (float64, error) {
+	ym := NewMatrix(len(y), 1)
+	for i, v := range y {
+		ym.Set(i, 0, v)
+	}
+	return m.Train(rng, x, ym)
+}

@@ -1,0 +1,322 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// DecisionTree is a CART-style binary tree for classification (Gini
+// impurity) over continuous features with integer class labels.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth; zero means 8.
+	MaxDepth int
+	// MinSamplesLeaf is the smallest admissible leaf; zero means 1.
+	MinSamplesLeaf int
+
+	root *treeNode
+	// NumClasses is inferred at Fit time as max(label)+1.
+	NumClasses int
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// leaf payload
+	isLeaf bool
+	probs  []float64
+	label  int
+}
+
+// Fit grows the tree on x (n x d) with labels y (values in [0, k)).
+func (t *DecisionTree) Fit(x *Matrix, y []int) error {
+	if x.Rows != len(y) {
+		return errors.New("ml: DecisionTree.Fit row/label mismatch")
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: DecisionTree.Fit with no samples")
+	}
+	k := 0
+	for _, c := range y {
+		if c < 0 {
+			return errors.New("ml: DecisionTree.Fit negative label")
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	t.NumClasses = k
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	maxDepth := t.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 8
+	}
+	minLeaf := t.MinSamplesLeaf
+	if minLeaf == 0 {
+		minLeaf = 1
+	}
+	t.root = t.grow(x, y, idx, 0, maxDepth, minLeaf)
+	return nil
+}
+
+func (t *DecisionTree) grow(x *Matrix, y, idx []int, depth, maxDepth, minLeaf int) *treeNode {
+	counts := make([]float64, t.NumClasses)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	n := float64(len(idx))
+	gini := 1.0
+	best := 0
+	for c, cnt := range counts {
+		p := cnt / n
+		gini -= p * p
+		if cnt > counts[best] {
+			best = c
+		}
+	}
+	leaf := func() *treeNode {
+		probs := make([]float64, t.NumClasses)
+		for c := range probs {
+			probs[c] = counts[c] / n
+		}
+		return &treeNode{isLeaf: true, probs: probs, label: best}
+	}
+	if depth >= maxDepth || gini == 0 || len(idx) < 2*minLeaf {
+		return leaf()
+	}
+	bf, bt, bg := -1, 0.0, gini
+	for f := 0; f < x.Cols; f++ {
+		sorted := append([]int(nil), idx...)
+		sort.Slice(sorted, func(a, b int) bool { return x.At(sorted[a], f) < x.At(sorted[b], f) })
+		leftCounts := make([]float64, t.NumClasses)
+		rightCounts := append([]float64(nil), counts...)
+		for i := 0; i < len(sorted)-1; i++ {
+			c := y[sorted[i]]
+			leftCounts[c]++
+			rightCounts[c]--
+			if x.At(sorted[i], f) == x.At(sorted[i+1], f) {
+				continue
+			}
+			nl, nr := float64(i+1), n-float64(i+1)
+			if int(nl) < minLeaf || int(nr) < minLeaf {
+				continue
+			}
+			gl, gr := 1.0, 1.0
+			for c := 0; c < t.NumClasses; c++ {
+				pl := leftCounts[c] / nl
+				pr := rightCounts[c] / nr
+				gl -= pl * pl
+				gr -= pr * pr
+			}
+			g := (nl*gl + nr*gr) / n
+			if g < bg-1e-12 {
+				bg = g
+				bf = f
+				bt = (x.At(sorted[i], f) + x.At(sorted[i+1], f)) / 2
+			}
+		}
+	}
+	if bf < 0 {
+		return leaf()
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x.At(i, bf) <= bt {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return leaf()
+	}
+	return &treeNode{
+		feature:   bf,
+		threshold: bt,
+		left:      t.grow(x, y, li, depth+1, maxDepth, minLeaf),
+		right:     t.grow(x, y, ri, depth+1, maxDepth, minLeaf),
+	}
+}
+
+// Predict returns the majority class at f's leaf.
+func (t *DecisionTree) Predict(f []float64) int {
+	n := t.root
+	for !n.isLeaf {
+		if f[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// PredictProba returns the class distribution at f's leaf.
+func (t *DecisionTree) PredictProba(f []float64) []float64 {
+	n := t.root
+	for !n.isLeaf {
+		if f[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return append([]float64(nil), n.probs...)
+}
+
+// Depth reports the maximum depth of the grown tree (0 for a single leaf).
+func (t *DecisionTree) Depth() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil || n.isLeaf {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}
+
+// GaussianNB is Gaussian naive Bayes for continuous features.
+type GaussianNB struct {
+	classes []int
+	prior   []float64
+	mean    [][]float64
+	vari    [][]float64
+}
+
+// Fit estimates per-class feature means and variances.
+func (nb *GaussianNB) Fit(x *Matrix, y []int) error {
+	if x.Rows != len(y) {
+		return errors.New("ml: GaussianNB.Fit row/label mismatch")
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: GaussianNB.Fit with no samples")
+	}
+	k := 0
+	for _, c := range y {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	nb.classes = make([]int, k)
+	nb.prior = make([]float64, k)
+	nb.mean = make([][]float64, k)
+	nb.vari = make([][]float64, k)
+	counts := make([]float64, k)
+	for c := 0; c < k; c++ {
+		nb.classes[c] = c
+		nb.mean[c] = make([]float64, x.Cols)
+		nb.vari[c] = make([]float64, x.Cols)
+	}
+	for i, c := range y {
+		counts[c]++
+		for j := 0; j < x.Cols; j++ {
+			nb.mean[c][j] += x.At(i, j)
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range nb.mean[c] {
+			nb.mean[c][j] /= counts[c]
+		}
+		nb.prior[c] = counts[c] / float64(x.Rows)
+	}
+	for i, c := range y {
+		for j := 0; j < x.Cols; j++ {
+			d := x.At(i, j) - nb.mean[c][j]
+			nb.vari[c][j] += d * d
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range nb.vari[c] {
+			nb.vari[c][j] = nb.vari[c][j]/counts[c] + 1e-6
+		}
+	}
+	return nil
+}
+
+// Predict returns the class with the highest posterior for f.
+func (nb *GaussianNB) Predict(f []float64) int {
+	best, bestLL := 0, math.Inf(-1)
+	for c := range nb.classes {
+		if nb.prior[c] == 0 {
+			continue
+		}
+		ll := math.Log(nb.prior[c])
+		for j, v := range f {
+			m, s2 := nb.mean[c][j], nb.vari[c][j]
+			ll += -0.5*math.Log(2*math.Pi*s2) - (v-m)*(v-m)/(2*s2)
+		}
+		if ll > bestLL {
+			bestLL, best = ll, c
+		}
+	}
+	return best
+}
+
+// KNN is a brute-force k-nearest-neighbour classifier.
+type KNN struct {
+	K int // zero means 5
+	x *Matrix
+	y []int
+}
+
+// Fit memorizes the training data.
+func (k *KNN) Fit(x *Matrix, y []int) error {
+	if x.Rows != len(y) {
+		return errors.New("ml: KNN.Fit row/label mismatch")
+	}
+	k.x, k.y = x.Clone(), append([]int(nil), y...)
+	return nil
+}
+
+// Predict returns the majority label among the K nearest training rows.
+func (k *KNN) Predict(f []float64) int {
+	kk := k.K
+	if kk == 0 {
+		kk = 5
+	}
+	if kk > k.x.Rows {
+		kk = k.x.Rows
+	}
+	type nd struct {
+		d float64
+		y int
+	}
+	ds := make([]nd, k.x.Rows)
+	for i := 0; i < k.x.Rows; i++ {
+		row := k.x.Row(i)
+		s := 0.0
+		for j, v := range f {
+			d := v - row[j]
+			s += d * d
+		}
+		ds[i] = nd{s, k.y[i]}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	votes := map[int]int{}
+	for i := 0; i < kk; i++ {
+		votes[ds[i].y]++
+	}
+	best, bv := 0, -1
+	for c, v := range votes {
+		if v > bv || (v == bv && c < best) {
+			best, bv = c, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,156 @@
+package monitor
+
+import (
+	"aidb/internal/ml"
+)
+
+// ConcurrentBatch is a set of queries running together. Latency of each
+// query = its base cost + interaction penalties with every concurrent
+// query it shares resources with — the operator-to-operator effects the
+// pipeline model cannot see.
+type ConcurrentBatch struct {
+	// Base[i] is query i's isolated cost.
+	Base []float64
+	// Share[i][j] in [0,1] is the resource-sharing intensity between
+	// queries i and j (0 = independent).
+	Share [][]float64
+	// TrueLatency[i] is the ground-truth latency under concurrency.
+	TrueLatency []float64
+}
+
+// GenerateBatches creates synthetic concurrent batches of size qn. The
+// true latency is base * (1 + interference), where interference sums the
+// sharing intensities scaled by the neighbours' base costs.
+func GenerateBatches(rng *ml.RNG, batches, qn int) []ConcurrentBatch {
+	out := make([]ConcurrentBatch, batches)
+	for b := range out {
+		cb := ConcurrentBatch{
+			Base:  make([]float64, qn),
+			Share: make([][]float64, qn),
+		}
+		for i := 0; i < qn; i++ {
+			cb.Base[i] = 10 + 90*rng.Float64()
+			cb.Share[i] = make([]float64, qn)
+		}
+		for i := 0; i < qn; i++ {
+			for j := i + 1; j < qn; j++ {
+				if rng.Float64() < 0.4 {
+					s := rng.Float64()
+					cb.Share[i][j], cb.Share[j][i] = s, s
+				}
+			}
+		}
+		cb.TrueLatency = make([]float64, qn)
+		for i := 0; i < qn; i++ {
+			interference := 0.0
+			for j := 0; j < qn; j++ {
+				if j != i {
+					interference += cb.Share[i][j] * cb.Base[j] / 100
+				}
+			}
+			noise := 1 + rng.NormFloat64()*0.02
+			cb.TrueLatency[i] = cb.Base[i] * (1 + interference) * noise
+		}
+		out[b] = cb
+	}
+	return out
+}
+
+// PerfPredictor predicts per-query latencies for a batch.
+type PerfPredictor interface {
+	Predict(b ConcurrentBatch) []float64
+	Name() string
+}
+
+// PipelineModel is the baseline: it regresses latency on the query's own
+// base cost only (a per-operator pipeline model with no workload-graph
+// information), fit by least squares on training batches.
+type PipelineModel struct {
+	lr ml.LinearRegression
+}
+
+// Name implements PerfPredictor.
+func (*PipelineModel) Name() string { return "pipeline-model" }
+
+// Train fits the per-query regression.
+func (p *PipelineModel) Train(batches []ConcurrentBatch) error {
+	var rows [][]float64
+	var ys []float64
+	for _, b := range batches {
+		for i := range b.Base {
+			rows = append(rows, []float64{b.Base[i]})
+			ys = append(ys, b.TrueLatency[i])
+		}
+	}
+	return p.lr.Fit(ml.MatrixFromRows(rows), ys)
+}
+
+// Predict implements PerfPredictor.
+func (p *PipelineModel) Predict(b ConcurrentBatch) []float64 {
+	out := make([]float64, len(b.Base))
+	for i := range b.Base {
+		out[i] = p.lr.Predict([]float64{b.Base[i]})
+	}
+	return out
+}
+
+// GCNModel is the learned graph predictor (Zhou et al.): one round of
+// graph convolution aggregates neighbour features through the sharing
+// adjacency, then a regression head maps [own features, aggregated
+// neighbourhood] to latency. It sees exactly the interaction structure
+// the pipeline model discards.
+type GCNModel struct {
+	lr ml.LinearRegression
+}
+
+// Name implements PerfPredictor.
+func (*GCNModel) Name() string { return "graph-embedding" }
+
+// nodeFeatures builds [base, sum_j share_ij * base_j, degree] per query —
+// one propagation step of A·X alongside the raw features.
+func nodeFeatures(b ConcurrentBatch, i int) []float64 {
+	agg, deg := 0.0, 0.0
+	for j := range b.Base {
+		if j != i && b.Share[i][j] > 0 {
+			agg += b.Share[i][j] * b.Base[j]
+			deg++
+		}
+	}
+	return []float64{b.Base[i], agg, deg, b.Base[i] * agg / 100}
+}
+
+// Train fits the readout regression over propagated features.
+func (g *GCNModel) Train(batches []ConcurrentBatch) error {
+	var rows [][]float64
+	var ys []float64
+	for _, b := range batches {
+		for i := range b.Base {
+			rows = append(rows, nodeFeatures(b, i))
+			ys = append(ys, b.TrueLatency[i])
+		}
+	}
+	return g.lr.Fit(ml.MatrixFromRows(rows), ys)
+}
+
+// Predict implements PerfPredictor.
+func (g *GCNModel) Predict(b ConcurrentBatch) []float64 {
+	out := make([]float64, len(b.Base))
+	for i := range b.Base {
+		out[i] = g.lr.Predict(nodeFeatures(b, i))
+	}
+	return out
+}
+
+// EvaluatePredictors returns mean absolute latency error per predictor.
+func EvaluatePredictors(batches []ConcurrentBatch, ps ...PerfPredictor) map[string]float64 {
+	out := map[string]float64{}
+	for _, p := range ps {
+		var preds, truth []float64
+		for _, b := range batches {
+			preds = append(preds, p.Predict(b)...)
+			truth = append(truth, b.TrueLatency...)
+		}
+		out[p.Name()] = ml.MAE(preds, truth)
+	}
+	return out
+}

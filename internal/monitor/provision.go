@@ -1,0 +1,138 @@
+package monitor
+
+import "math"
+
+// Predictive provisioning (Taft et al., P-Store): reactive elasticity
+// only scales after overload is observed, and nodes take time to come
+// online, so every spike causes SLA violations. A provisioner driven by a
+// workload forecast brings capacity up *before* the spike arrives.
+
+// ProvisionConfig describes the elasticity mechanics.
+type ProvisionConfig struct {
+	// CapacityPerNode is the load one node serves per tick.
+	CapacityPerNode float64
+	// StartupDelay is how many ticks a newly requested node takes to
+	// come online.
+	StartupDelay int
+	// MinNodes is the floor.
+	MinNodes int
+}
+
+// Provisioner decides the desired node count each tick.
+type Provisioner interface {
+	// Desired returns the node target given the observed history up to
+	// now (history[len-1] is the current tick's load).
+	Desired(history []float64, cfg ProvisionConfig) int
+	Name() string
+}
+
+// Reactive scales to the *current* load — always StartupDelay ticks late.
+type Reactive struct{}
+
+// Name implements Provisioner.
+func (Reactive) Name() string { return "reactive" }
+
+// Desired implements Provisioner.
+func (Reactive) Desired(history []float64, cfg ProvisionConfig) int {
+	cur := history[len(history)-1]
+	return nodesFor(cur, cfg)
+}
+
+// Predictive scales to a forecast of the load StartupDelay ticks ahead,
+// produced by the supplied forecasting function (typically the learned
+// forecaster from internal/txnsched).
+type Predictive struct {
+	// Forecast returns the predicted load h ticks past the end of
+	// history.
+	Forecast func(history []float64, h int) float64
+	// Headroom over-provisions by a fraction (default 0.1).
+	Headroom float64
+}
+
+// Name implements Provisioner.
+func (*Predictive) Name() string { return "predictive" }
+
+// Desired implements Provisioner.
+func (p *Predictive) Desired(history []float64, cfg ProvisionConfig) int {
+	h := p.Headroom
+	if h == 0 {
+		h = 0.1
+	}
+	predicted := p.Forecast(history, cfg.StartupDelay)
+	return nodesFor(predicted*(1+h), cfg)
+}
+
+func nodesFor(load float64, cfg ProvisionConfig) int {
+	n := int(math.Ceil(load / cfg.CapacityPerNode))
+	if n < cfg.MinNodes {
+		n = cfg.MinNodes
+	}
+	return n
+}
+
+// ProvisionResult summarizes a simulated elasticity run.
+type ProvisionResult struct {
+	// ViolationTicks counts ticks where online capacity < load.
+	ViolationTicks int
+	// DroppedLoad totals unserved load across violations.
+	DroppedLoad float64
+	// NodeTicks totals node-time paid (the cost side).
+	NodeTicks int
+}
+
+// SimulateProvisioning replays the load series against a provisioner:
+// each tick the provisioner sets a target; requested nodes arrive after
+// StartupDelay ticks; violations accrue when online capacity is short.
+func SimulateProvisioning(series []float64, p Provisioner, cfg ProvisionConfig) ProvisionResult {
+	var res ProvisionResult
+	// Start correctly sized for the initial load; the interesting
+	// dynamics are tracking changes, not cold-starting the cluster.
+	online := nodesFor(series[0], cfg)
+	// pending[i] = node-count delta arriving at tick i.
+	pending := make([]int, len(series)+cfg.StartupDelay+1)
+	warmup := 8
+	for t, load := range series {
+		online += pending[t]
+		if t >= warmup {
+			target := p.Desired(series[:t+1], cfg)
+			if target > onlinePlusPending(online, pending, t, cfg) {
+				delta := target - onlinePlusPending(online, pending, t, cfg)
+				pending[t+cfg.StartupDelay] += delta
+			} else if target < online {
+				// Scale-down is immediate (stopping nodes is fast), but
+				// never below what the *current* load needs — a forecast
+				// of a future dip must not cause a violation now.
+				floor := nodesFor(load, cfg)
+				if target < floor {
+					target = floor
+				}
+				if target < online {
+					online = target
+				}
+				if online < cfg.MinNodes {
+					online = cfg.MinNodes
+				}
+			}
+		}
+		// Score only ticks a provisioning decision could have affected:
+		// before warmup+StartupDelay no requested node can be online, so
+		// violations there are structural, not attributable.
+		if t >= warmup+cfg.StartupDelay {
+			capacity := float64(online) * cfg.CapacityPerNode
+			if load > capacity {
+				res.ViolationTicks++
+				res.DroppedLoad += load - capacity
+			}
+			res.NodeTicks += online
+		}
+	}
+	return res
+}
+
+func onlinePlusPending(online int, pending []int, t int, cfg ProvisionConfig) int {
+	total := online
+	for i := t + 1; i <= t+cfg.StartupDelay && i < len(pending); i++ {
+		total += pending[i]
+	}
+	return total
+}

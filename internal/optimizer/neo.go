@@ -1,0 +1,197 @@
+// Package optimizer implements the end-to-end learned optimizer
+// experiment (E8), after Marcus et al.'s Neo. The traditional cost-based
+// planner (Selinger DP from internal/joinorder) plans against *estimated*
+// statistics; when those estimates are corrupted, its plans degrade. The
+// Neo-style planner bootstraps from the baseline's plans, then learns a
+// value network from observed execution feedback (true plan costs) and
+// plans by greedy search on the value network — so its quality depends on
+// feedback, not on estimate accuracy. That robustness-to-estimation-error
+// property is the paper's claim for end-to-end learned optimizers.
+package optimizer
+
+import (
+	"math"
+
+	"aidb/internal/joinorder"
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// CorruptGraph returns a copy of g whose selectivities are perturbed by
+// up to a factor of 10^severity in either direction — modelling a stale
+// or broken statistics subsystem.
+func CorruptGraph(rng *ml.RNG, g *workload.JoinGraph, severity float64) *workload.JoinGraph {
+	out := &workload.JoinGraph{Kind: g.Kind, Card: append([]float64(nil), g.Card...)}
+	out.Sel = make([][]float64, g.N())
+	for i := range out.Sel {
+		out.Sel[i] = append([]float64(nil), g.Sel[i]...)
+	}
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			if out.Sel[i][j] == 0 {
+				continue
+			}
+			factor := math.Pow(10, (rng.Float64()*2-1)*severity)
+			s := out.Sel[i][j] * factor
+			if s > 1 {
+				s = 1
+			}
+			out.Sel[i][j], out.Sel[j][i] = s, s
+		}
+	}
+	return out
+}
+
+// Neo is the learned planner: a value network maps (partial plan, next
+// relation) features to predicted final plan cost; planning is greedy
+// descent on the network; training replays executed plans with their true
+// costs.
+type Neo struct {
+	Rng *ml.RNG
+	// Episodes of exploration (default 200).
+	Episodes int
+	// Epsilon is exploration during training rollouts (default 0.2).
+	Epsilon float64
+
+	net *ml.MLP
+	n   int
+}
+
+// NewNeo creates a planner for n-relation queries.
+func NewNeo(rng *ml.RNG, n int) *Neo {
+	// Features: joined-set one-hot (n) + candidate one-hot (n) + depth.
+	net := ml.NewMLP(rng, ml.ReLU, 2*n+1, 32, 1)
+	return &Neo{Rng: rng, net: net, n: n}
+}
+
+func (neo *Neo) features(set uint64, candidate, depth int) []float64 {
+	f := make([]float64, 2*neo.n+1)
+	for i := 0; i < neo.n; i++ {
+		if set&(1<<i) != 0 {
+			f[i] = 1
+		}
+	}
+	f[neo.n+candidate] = 1
+	f[2*neo.n] = float64(depth) / float64(neo.n)
+	return f
+}
+
+// Train learns from execution feedback on the true graph. bootstrap
+// orders (e.g. the cost-based planner's plans) seed the experience pool,
+// exactly as Neo pre-trains from PostgreSQL's plans; afterwards the
+// planner explores its own rollouts and learns from their *true* costs.
+func (neo *Neo) Train(trueGraph *workload.JoinGraph, bootstrap [][]int) {
+	episodes := neo.Episodes
+	if episodes == 0 {
+		episodes = 200
+	}
+	eps := neo.Epsilon
+	if eps == 0 {
+		eps = 0.2
+	}
+	type sample struct {
+		feat []float64
+		y    float64
+	}
+	var pool []sample
+	record := func(order []int) {
+		cost := joinorder.LeftDeepCost(trueGraph, order)
+		y := math.Log10(cost + 1)
+		var set uint64
+		for depth, r := range order {
+			pool = append(pool, sample{feat: neo.features(set, r, depth), y: y})
+			set |= 1 << uint(r)
+		}
+	}
+	for _, o := range bootstrap {
+		record(o)
+	}
+	trainSteps := func(k int) {
+		for i := 0; i < k && len(pool) > 0; i++ {
+			s := pool[neo.Rng.Intn(len(pool))]
+			neo.net.TrainStep(s.feat, []float64{s.y}, 0.02)
+		}
+	}
+	trainSteps(len(pool) * 4)
+	for ep := 0; ep < episodes; ep++ {
+		var set uint64
+		var order []int
+		for len(order) < neo.n {
+			acts := neo.remaining(set)
+			var pick int
+			if neo.Rng.Float64() < eps {
+				pick = acts[neo.Rng.Intn(len(acts))]
+			} else {
+				pick = neo.bestAction(set, acts, len(order))
+			}
+			order = append(order, pick)
+			set |= 1 << uint(pick)
+		}
+		record(order)
+		trainSteps(neo.n * 4)
+	}
+}
+
+func (neo *Neo) remaining(set uint64) []int {
+	var out []int
+	for i := 0; i < neo.n; i++ {
+		if set&(1<<i) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (neo *Neo) bestAction(set uint64, acts []int, depth int) int {
+	best, bestV := acts[0], math.Inf(1)
+	for _, a := range acts {
+		if v := neo.net.Predict1(neo.features(set, a, depth)); v < bestV {
+			bestV, best = v, a
+		}
+	}
+	return best
+}
+
+// Plan returns the greedy-policy join order under the trained value net.
+func (neo *Neo) Plan() []int {
+	var set uint64
+	var order []int
+	for len(order) < neo.n {
+		acts := neo.remaining(set)
+		pick := neo.bestAction(set, acts, len(order))
+		order = append(order, pick)
+		set |= 1 << uint(pick)
+	}
+	return order
+}
+
+// Comparison is the outcome of one E8 trial.
+type Comparison struct {
+	// TrueOptimal is the DP cost with perfect statistics.
+	TrueOptimal float64
+	// CostBased is the true cost of the plan DP chose using corrupted
+	// statistics.
+	CostBased float64
+	// Learned is the true cost of Neo's plan.
+	Learned float64
+}
+
+// RunComparison executes one trial: corrupt the statistics with the given
+// severity, plan with DP on the corrupted stats, train Neo on true
+// feedback (bootstrapped from the corrupted-DP plan), and report true
+// costs of all three.
+func RunComparison(rng *ml.RNG, g *workload.JoinGraph, severity float64) Comparison {
+	trueDP := joinorder.DP(g)
+	corrupted := CorruptGraph(rng, g, severity)
+	corruptDP := joinorder.DP(corrupted)
+	neo := NewNeo(rng, g.N())
+	neo.Train(g, [][]int{corruptDP.Order})
+	learned := neo.Plan()
+	return Comparison{
+		// All three planners emit left-deep orders, so compare on
+		// left-deep cost for consistency.
+		TrueOptimal: joinorder.LeftDeepCost(g, trueDP.Order),
+		CostBased:   joinorder.LeftDeepCost(g, corruptDP.Order),
+		Learned:     joinorder.LeftDeepCost(g, learned),
+	}
+}

@@ -1,0 +1,255 @@
+// Package partition implements learned partition-key selection (E5), after
+// Hilprecht et al.'s RL partitioning advisor. A workload of queries with
+// equality predicates is routed across P shards: a query with an equality
+// predicate on (a superset of) the partition key touches one shard,
+// anything else broadcasts to all shards. The objective combines routed
+// work with load imbalance — the two forces the paper says heuristics fail
+// to balance, because the most frequently referenced column often has the
+// most skewed value distribution.
+package partition
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"aidb/internal/ml"
+	"aidb/internal/rl"
+	"aidb/internal/workload"
+)
+
+// Query is a simplified OLTP request: equality predicates on some columns.
+type Query struct {
+	// Eq maps column index -> value for equality predicates.
+	Eq map[int]int64
+}
+
+// Env evaluates partition-key choices for a table and workload.
+type Env struct {
+	Table  *workload.Table
+	Shards int
+	// ImbalanceWeight trades load balance against routing cost
+	// (default 1).
+	ImbalanceWeight float64
+	// Evaluations counts cost-model calls, the advisor-effort metric.
+	Evaluations int
+}
+
+// Cost scores a candidate key (set of column indexes): it is
+// routedWork/n + ImbalanceWeight * (maxShardLoad/avgShardLoad - 1),
+// where a routed query costs 1 unit and a broadcast costs Shards units.
+// Lower is better.
+func (e *Env) Cost(key []int, qs []Query) float64 {
+	e.Evaluations++
+	if e.Shards < 1 {
+		e.Shards = 4
+	}
+	w := e.ImbalanceWeight
+	if w == 0 {
+		w = 1
+	}
+	load := make([]float64, e.Shards)
+	work := 0.0
+	for _, q := range qs {
+		shard, routed := e.route(key, q)
+		if routed {
+			work++
+			load[shard]++
+		} else {
+			work += float64(e.Shards)
+			for s := range load {
+				load[s]++
+			}
+		}
+	}
+	if len(qs) == 0 {
+		return 0
+	}
+	maxL, sum := 0.0, 0.0
+	for _, l := range load {
+		if l > maxL {
+			maxL = l
+		}
+		sum += l
+	}
+	imb := 0.0
+	if sum > 0 {
+		avg := sum / float64(e.Shards)
+		imb = maxL/avg - 1
+	}
+	return work/float64(len(qs)) + w*imb
+}
+
+// route returns the shard for q under key, and whether it was routable
+// (all key columns bound by equality predicates).
+func (e *Env) route(key []int, q Query) (int, bool) {
+	if len(key) == 0 {
+		return 0, false
+	}
+	h := fnv.New64a()
+	for _, c := range key {
+		v, ok := q.Eq[c]
+		if !ok {
+			return 0, false
+		}
+		fmt.Fprintf(h, "%d=%d;", c, v)
+	}
+	return int(h.Sum64() % uint64(e.Shards)), true
+}
+
+// Advisor selects a partition key (up to maxCols columns).
+type Advisor interface {
+	Recommend(env *Env, qs []Query, maxCols int) []int
+	Name() string
+}
+
+// FrequencyHeuristic is the traditional baseline: partition on the single
+// column most often bound by equality predicates, ignoring skew.
+type FrequencyHeuristic struct{}
+
+// Name implements Advisor.
+func (FrequencyHeuristic) Name() string { return "frequency-heuristic" }
+
+// Recommend implements Advisor.
+func (FrequencyHeuristic) Recommend(env *Env, qs []Query, maxCols int) []int {
+	freq := map[int]int{}
+	for _, q := range qs {
+		for c := range q.Eq {
+			freq[c]++
+		}
+	}
+	best, bestF := -1, -1
+	for c, f := range freq {
+		if f > bestF || (f == bestF && c < best) {
+			best, bestF = c, f
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return []int{best}
+}
+
+// RL is the learned advisor: Q-learning over composite key construction
+// (state = chosen column set, action = add a column or stop), with
+// rewards from sampled-workload cost evaluations. It discovers both
+// multi-column keys and skew-avoiding single columns that the frequency
+// heuristic misses.
+type RL struct {
+	Rng      *ml.RNG
+	Episodes int     // default 60
+	Sample   float64 // workload fraction per episode (default 0.3)
+}
+
+// Name implements Advisor.
+func (*RL) Name() string { return "rl-qlearning" }
+
+// Recommend implements Advisor.
+func (a *RL) Recommend(env *Env, qs []Query, maxCols int) []int {
+	episodes := a.Episodes
+	if episodes == 0 {
+		episodes = 60
+	}
+	frac := a.Sample
+	if frac == 0 {
+		frac = 0.3
+	}
+	numCols := len(env.Table.Spec.Columns)
+	stop := numCols // action index meaning "stop here"
+	qt := rl.NewQTable(a.Rng, numCols+1)
+	qt.Epsilon = 0.3
+	qt.Alpha = 0.3
+	qt.Gamma = 1.0
+	key := func(set uint64) string { return fmt.Sprintf("%x", set) }
+	allowed := func(set uint64, depth int) []int {
+		acts := []int{stop}
+		if depth < maxCols {
+			for c := 0; c < numCols; c++ {
+				if set&(1<<c) == 0 {
+					acts = append(acts, c)
+				}
+			}
+		}
+		return acts
+	}
+	toKey := func(set uint64) []int {
+		var out []int
+		for c := 0; c < numCols; c++ {
+			if set&(1<<c) != 0 {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	for ep := 0; ep < episodes; ep++ {
+		sn := int(float64(len(qs)) * frac)
+		if sn < 1 {
+			sn = 1
+		}
+		perm := a.Rng.Perm(len(qs))[:sn]
+		sample := make([]Query, sn)
+		for i, j := range perm {
+			sample[i] = qs[j]
+		}
+		var set uint64
+		depth := 0
+		for {
+			acts := allowed(set, depth)
+			act := qt.EpsilonGreedy(key(set), acts)
+			if act == stop {
+				cost := env.Cost(toKey(set), sample)
+				// Reward: negative cost, scaled to a modest range.
+				qt.Update(key(set), stop, -cost, key(set), nil, true)
+				break
+			}
+			next := set | 1<<uint(act)
+			depth++
+			qt.Update(key(set), act, 0, key(next), allowed(next, depth), false)
+			set = next
+		}
+	}
+	// Greedy rollout.
+	var set uint64
+	depth := 0
+	for {
+		acts := allowed(set, depth)
+		act, _ := qt.BestAllowed(key(set), acts)
+		if act == stop {
+			break
+		}
+		set |= 1 << uint(act)
+		depth++
+	}
+	return toKey(set)
+}
+
+// Exhaustive tries every single and pair key — the small-space oracle used
+// to sanity-check both advisors in tests.
+type Exhaustive struct{}
+
+// Name implements Advisor.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Recommend implements Advisor.
+func (Exhaustive) Recommend(env *Env, qs []Query, maxCols int) []int {
+	numCols := len(env.Table.Spec.Columns)
+	var bestKey []int
+	bestCost := env.Cost(nil, qs)
+	var consider func(key []int)
+	consider = func(key []int) {
+		if c := env.Cost(key, qs); c < bestCost {
+			bestCost = c
+			bestKey = append([]int(nil), key...)
+		}
+	}
+	for c := 0; c < numCols; c++ {
+		consider([]int{c})
+		if maxCols >= 2 {
+			for d := c + 1; d < numCols; d++ {
+				consider([]int{c, d})
+			}
+		}
+	}
+	sort.Ints(bestKey)
+	return bestKey
+}

@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// skewTrap builds the E5 scenario: column 0 ("tenant") is referenced in
+// nearly every query but one hot tenant dominates (routing on it
+// imbalances shards); column 1 ("region") is referenced almost as often
+// with near-uniform values. The combined objective favors column 1; the
+// frequency heuristic falls for column 0.
+func skewTrap(seed uint64, n int) (*Env, []Query) {
+	rng := ml.NewRNG(seed)
+	spec := workload.TableSpec{
+		Name: "orders",
+		Rows: 1000,
+		Columns: []workload.Column{
+			{Name: "tenant", NDV: 50, Skew: 2.0, CorrelatedWith: -1},
+			{Name: "region", NDV: 64, CorrelatedWith: -1},
+			{Name: "status", NDV: 4, CorrelatedWith: -1},
+		},
+	}
+	tab := workload.Generate(rng, spec)
+	env := &Env{Table: tab, Shards: 8, ImbalanceWeight: 2}
+	tenantZipf := ml.NewZipf(rng, 50, 2.0)
+	var qs []Query
+	for i := 0; i < n; i++ {
+		q := Query{Eq: map[int]int64{}}
+		// 95% of queries bind tenant (hot ones dominate), 90% bind region
+		// uniformly.
+		if rng.Float64() < 0.95 {
+			q.Eq[0] = int64(tenantZipf.Next())
+		}
+		if rng.Float64() < 0.90 {
+			q.Eq[1] = int64(rng.Intn(64))
+		}
+		if rng.Float64() < 0.2 {
+			q.Eq[2] = int64(rng.Intn(4))
+		}
+		qs = append(qs, q)
+	}
+	return env, qs
+}
+
+func TestRouteRequiresAllKeyColumns(t *testing.T) {
+	env, _ := skewTrap(1, 0)
+	q := Query{Eq: map[int]int64{0: 5}}
+	if _, routed := env.route([]int{0, 1}, q); routed {
+		t.Error("query missing a key column must broadcast")
+	}
+	if _, routed := env.route([]int{0}, q); !routed {
+		t.Error("query binding the key must route")
+	}
+	if _, routed := env.route(nil, q); routed {
+		t.Error("empty key must broadcast")
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	env, _ := skewTrap(2, 0)
+	q := Query{Eq: map[int]int64{0: 7, 1: 3}}
+	s1, _ := env.route([]int{0, 1}, q)
+	s2, _ := env.route([]int{0, 1}, q)
+	if s1 != s2 {
+		t.Error("routing must be deterministic")
+	}
+}
+
+func TestCostBroadcastWorseThanRouted(t *testing.T) {
+	env, qs := skewTrap(3, 500)
+	broadcast := env.Cost(nil, qs)
+	routed := env.Cost([]int{1}, qs)
+	if routed >= broadcast {
+		t.Errorf("routed cost %v should beat broadcast %v", routed, broadcast)
+	}
+}
+
+func TestSkewedKeyImbalancePenalty(t *testing.T) {
+	env, qs := skewTrap(4, 1000)
+	skewed := env.Cost([]int{0}, qs)  // hot-tenant key
+	uniform := env.Cost([]int{1}, qs) // uniform region key
+	t.Logf("skewed key cost %.3f vs uniform key %.3f", skewed, uniform)
+	if uniform >= skewed {
+		t.Errorf("uniform key (%.3f) should beat skewed key (%.3f) on the combined objective", uniform, skewed)
+	}
+}
+
+func TestFrequencyHeuristicFallsForSkew(t *testing.T) {
+	env, qs := skewTrap(5, 1000)
+	key := FrequencyHeuristic{}.Recommend(env, qs, 2)
+	if len(key) != 1 || key[0] != 0 {
+		t.Fatalf("heuristic should pick the most frequent column 0, got %v", key)
+	}
+}
+
+func TestRLBeatsFrequencyHeuristic(t *testing.T) {
+	env, qs := skewTrap(6, 1000)
+	fh := FrequencyHeuristic{}.Recommend(env, qs, 2)
+	rl := (&RL{Rng: ml.NewRNG(7)}).Recommend(env, qs, 2)
+	eval := &Env{Table: env.Table, Shards: env.Shards, ImbalanceWeight: env.ImbalanceWeight}
+	fhCost := eval.Cost(fh, qs)
+	rlCost := eval.Cost(rl, qs)
+	t.Logf("heuristic key %v cost %.3f; RL key %v cost %.3f", fh, fhCost, rl, rlCost)
+	if rlCost >= fhCost {
+		t.Errorf("RL cost %.3f should beat heuristic %.3f (E5 claim)", rlCost, fhCost)
+	}
+}
+
+func TestRLNearExhaustive(t *testing.T) {
+	env, qs := skewTrap(8, 800)
+	ex := Exhaustive{}.Recommend(env, qs, 2)
+	rlKey := (&RL{Rng: ml.NewRNG(9), Episodes: 100}).Recommend(env, qs, 2)
+	eval := &Env{Table: env.Table, Shards: env.Shards, ImbalanceWeight: env.ImbalanceWeight}
+	exCost := eval.Cost(ex, qs)
+	rlCost := eval.Cost(rlKey, qs)
+	t.Logf("exhaustive %v cost %.3f; RL %v cost %.3f", ex, exCost, rlKey, rlCost)
+	if rlCost > exCost*1.2 {
+		t.Errorf("RL cost %.3f more than 20%% above exhaustive optimum %.3f", rlCost, exCost)
+	}
+}
+
+func TestRLRespectsMaxCols(t *testing.T) {
+	env, qs := skewTrap(10, 300)
+	key := (&RL{Rng: ml.NewRNG(11), Episodes: 30}).Recommend(env, qs, 1)
+	if len(key) > 1 {
+		t.Errorf("key %v exceeds maxCols=1", key)
+	}
+}
+
+func TestCostEmptyWorkload(t *testing.T) {
+	env, _ := skewTrap(12, 0)
+	if c := env.Cost([]int{0}, nil); c != 0 {
+		t.Errorf("empty workload cost = %v, want 0", c)
+	}
+}

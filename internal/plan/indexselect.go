@@ -1,0 +1,179 @@
+package plan
+
+import (
+	"math"
+
+	"aidb/internal/catalog"
+	"aidb/internal/sql"
+)
+
+// Index selection: rewrite Filter(Scan) into Filter(IndexScan) when the
+// filter constrains an indexed Int64 column with literal bounds. The
+// residual filter keeps every conjunct (re-checking absorbed bounds is
+// cheap and keeps the rewrite trivially sound); the win is reading only
+// the index range instead of the whole heap.
+
+// IndexLookup resolves an available index for (table, column position),
+// returning a Fetch closure or nil when no index exists.
+type IndexLookup func(table string, column int) func(lo, hi int64, fn func(row catalog.Row) bool) error
+
+// UseIndexes rewrites eligible scans under filters throughout the plan.
+func UseIndexes(n Node, lookup IndexLookup) Node {
+	switch v := n.(type) {
+	case *FilterNode:
+		v.Input = UseIndexes(v.Input, lookup)
+		scan, ok := v.Input.(*ScanNode)
+		if !ok {
+			return v
+		}
+		col, lo, hi, found := bestIndexRange(scan, v.Cond, lookup)
+		if !found {
+			return v
+		}
+		fetch := lookup(scan.Table.Name, col)
+		v.Input = &IndexScanNode{
+			Table: scan.Table, Alias: scan.Alias,
+			Column: col, Lo: lo, Hi: hi, Fetch: fetch,
+		}
+		return v
+	case *JoinNode:
+		v.Left = UseIndexes(v.Left, lookup)
+		v.Right = UseIndexes(v.Right, lookup)
+		return v
+	case *ProjectNode:
+		v.Input = UseIndexes(v.Input, lookup)
+		return v
+	case *AggregateNode:
+		v.Input = UseIndexes(v.Input, lookup)
+		return v
+	case *SortNode:
+		v.Input = UseIndexes(v.Input, lookup)
+		return v
+	case *LimitNode:
+		v.Input = UseIndexes(v.Input, lookup)
+		return v
+	case *DistinctNode:
+		v.Input = UseIndexes(v.Input, lookup)
+		return v
+	default:
+		return n
+	}
+}
+
+// bestIndexRange finds the indexed column with the tightest literal range
+// implied by the filter's top-level conjunction.
+func bestIndexRange(scan *ScanNode, cond sql.Expr, lookup IndexLookup) (col int, lo, hi int64, found bool) {
+	type bound struct {
+		lo, hi int64
+	}
+	bounds := map[int]*bound{}
+	ensure := func(c int) *bound {
+		b, ok := bounds[c]
+		if !ok {
+			b = &bound{lo: math.MinInt64, hi: math.MaxInt64}
+			bounds[c] = b
+		}
+		return b
+	}
+	var collect func(e sql.Expr)
+	collect = func(e sql.Expr) {
+		switch v := e.(type) {
+		case *sql.BinaryExpr:
+			if v.Op == "AND" {
+				collect(v.Left)
+				collect(v.Right)
+				return
+			}
+			c, okc := scanColumnIndex(scan, v.Left)
+			lit, okl := intLitValue(v.Right)
+			if !okc || !okl {
+				// Mirrored form: literal OP column.
+				c, okc = scanColumnIndex(scan, v.Right)
+				lit, okl = intLitValue(v.Left)
+				if !okc || !okl {
+					return
+				}
+				v = &sql.BinaryExpr{Op: mirrorOp(v.Op), Left: v.Right, Right: v.Left}
+			}
+			b := ensure(c)
+			switch v.Op {
+			case "=":
+				if lit > b.lo {
+					b.lo = lit
+				}
+				if lit < b.hi {
+					b.hi = lit
+				}
+			case "<":
+				if lit-1 < b.hi {
+					b.hi = lit - 1
+				}
+			case "<=":
+				if lit < b.hi {
+					b.hi = lit
+				}
+			case ">":
+				if lit+1 > b.lo {
+					b.lo = lit + 1
+				}
+			case ">=":
+				if lit > b.lo {
+					b.lo = lit
+				}
+			}
+		case *sql.BetweenExpr:
+			c, okc := scanColumnIndex(scan, v.Subject)
+			l, okl := intLitValue(v.Lo)
+			h, okh := intLitValue(v.Hi)
+			if okc && okl && okh {
+				b := ensure(c)
+				if l > b.lo {
+					b.lo = l
+				}
+				if h < b.hi {
+					b.hi = h
+				}
+			}
+		}
+	}
+	collect(cond)
+	bestWidth := uint64(math.MaxUint64)
+	for c, b := range bounds {
+		if b.lo == math.MinInt64 && b.hi == math.MaxInt64 {
+			continue // unconstrained
+		}
+		if lookup(scan.Table.Name, c) == nil {
+			continue
+		}
+		var width uint64
+		if b.hi < b.lo {
+			width = 0 // empty range is the best possible
+		} else {
+			width = uint64(b.hi - b.lo)
+		}
+		if !found || width < bestWidth {
+			col, lo, hi, found = c, b.lo, b.hi, true
+			bestWidth = width
+		}
+	}
+	return col, lo, hi, found
+}
+
+// scanColumnIndex resolves a column reference against a scan node.
+func scanColumnIndex(scan *ScanNode, e sql.Expr) (int, bool) {
+	c, ok := e.(*sql.ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	if c.Table != "" && c.Table != scan.Alias && c.Table != scan.Table.Name {
+		return 0, false
+	}
+	idx := scan.Table.Schema.ColIndex(c.Column)
+	if idx < 0 {
+		return 0, false
+	}
+	if scan.Table.Schema.Columns[idx].Type != catalog.Int64 {
+		return 0, false
+	}
+	return idx, true
+}

@@ -1,0 +1,420 @@
+// Package rewrite implements learned SQL rewriting (E4). A library of
+// rewrite rules transforms predicate expressions; the rules are not
+// confluent (some expand expressions to enable later merges), so the
+// order of application changes the final expression cost. The baseline
+// applies rules in a fixed top-down order until fixpoint (how traditional
+// rewriters work); the learned rewriter searches the rule-application
+// sequence with MCTS, matching the paper's claim that RL-ordered
+// rewriting finds better forms than a fixed order.
+package rewrite
+
+import (
+	"fmt"
+
+	"aidb/internal/ml"
+	"aidb/internal/rl"
+	"aidb/internal/sql"
+)
+
+// Rule is one rewrite rule: it returns a transformed copy and whether it
+// fired anywhere in the expression.
+type Rule struct {
+	Name  string
+	Apply func(sql.Expr) (sql.Expr, bool)
+}
+
+// Cost scores an expression: interior nodes cost more than leaves, and
+// comparisons are cheaper than boolean connectives — so flatter, merged
+// predicates win.
+func Cost(e sql.Expr) float64 {
+	switch v := e.(type) {
+	case *sql.BinaryExpr:
+		base := 1.0
+		if v.Op == "AND" || v.Op == "OR" {
+			base = 2.0
+		}
+		return base + Cost(v.Left) + Cost(v.Right)
+	case *sql.NotExpr:
+		return 1.5 + Cost(v.Inner)
+	case *sql.BetweenExpr:
+		return 1.5 + Cost(v.Subject) + Cost(v.Lo) + Cost(v.Hi)
+	case *sql.FuncCall:
+		c := 2.0
+		for _, a := range v.Args {
+			c += Cost(a)
+		}
+		return c
+	default:
+		return 0.5
+	}
+}
+
+// applyTopDown applies f at the first matching node (pre-order).
+func applyTopDown(e sql.Expr, f func(sql.Expr) (sql.Expr, bool)) (sql.Expr, bool) {
+	if ne, ok := f(e); ok {
+		return ne, true
+	}
+	switch v := e.(type) {
+	case *sql.BinaryExpr:
+		if nl, ok := applyTopDown(v.Left, f); ok {
+			return &sql.BinaryExpr{Op: v.Op, Left: nl, Right: v.Right}, true
+		}
+		if nr, ok := applyTopDown(v.Right, f); ok {
+			return &sql.BinaryExpr{Op: v.Op, Left: v.Left, Right: nr}, true
+		}
+	case *sql.NotExpr:
+		if ni, ok := applyTopDown(v.Inner, f); ok {
+			return &sql.NotExpr{Inner: ni}, true
+		}
+	case *sql.BetweenExpr:
+		if ns, ok := applyTopDown(v.Subject, f); ok {
+			return &sql.BetweenExpr{Subject: ns, Lo: v.Lo, Hi: v.Hi}, true
+		}
+	}
+	return e, false
+}
+
+func intLit(e sql.Expr) (int64, bool) {
+	l, ok := e.(*sql.IntLit)
+	if !ok {
+		return 0, false
+	}
+	return l.Value, true
+}
+
+func sameColumn(a, b sql.Expr) (string, bool) {
+	ca, ok1 := a.(*sql.ColumnRef)
+	cb, ok2 := b.(*sql.ColumnRef)
+	if !ok1 || !ok2 || ca.String() != cb.String() {
+		return "", false
+	}
+	return ca.String(), true
+}
+
+// Rules returns the standard rule library.
+func Rules() []Rule {
+	return []Rule{
+		{Name: "const-fold", Apply: constFold},
+		{Name: "double-negation", Apply: doubleNegation},
+		{Name: "idempotent-and-or", Apply: idempotent},
+		{Name: "de-morgan", Apply: deMorgan},
+		{Name: "not-comparison", Apply: notComparison},
+		{Name: "range-merge", Apply: rangeMerge},
+		{Name: "between-expand", Apply: betweenExpand},
+		{Name: "range-to-between", Apply: rangeToBetween},
+	}
+}
+
+// constFold evaluates literal-literal arithmetic and comparisons.
+func constFold(e sql.Expr) (sql.Expr, bool) {
+	return applyTopDown(e, func(e sql.Expr) (sql.Expr, bool) {
+		b, ok := e.(*sql.BinaryExpr)
+		if !ok {
+			return e, false
+		}
+		l, lok := intLit(b.Left)
+		r, rok := intLit(b.Right)
+		if !lok || !rok {
+			return e, false
+		}
+		switch b.Op {
+		case "+":
+			return &sql.IntLit{Value: l + r}, true
+		case "-":
+			return &sql.IntLit{Value: l - r}, true
+		case "*":
+			return &sql.IntLit{Value: l * r}, true
+		case "/":
+			if r != 0 {
+				return &sql.IntLit{Value: l / r}, true
+			}
+		}
+		return e, false
+	})
+}
+
+// doubleNegation rewrites NOT NOT x => x.
+func doubleNegation(e sql.Expr) (sql.Expr, bool) {
+	return applyTopDown(e, func(e sql.Expr) (sql.Expr, bool) {
+		n, ok := e.(*sql.NotExpr)
+		if !ok {
+			return e, false
+		}
+		if inner, ok := n.Inner.(*sql.NotExpr); ok {
+			return inner.Inner, true
+		}
+		return e, false
+	})
+}
+
+// idempotent rewrites (x AND x) => x and (x OR x) => x.
+func idempotent(e sql.Expr) (sql.Expr, bool) {
+	return applyTopDown(e, func(e sql.Expr) (sql.Expr, bool) {
+		b, ok := e.(*sql.BinaryExpr)
+		if !ok || (b.Op != "AND" && b.Op != "OR") {
+			return e, false
+		}
+		if b.Left.String() == b.Right.String() {
+			return b.Left, true
+		}
+		return e, false
+	})
+}
+
+// deMorgan rewrites NOT (a AND b) => (NOT a) OR (NOT b) and dual. This
+// *raises* cost immediately but exposes inner NOTs to not-comparison —
+// a deliberately non-confluent rule that punishes fixed orderings.
+func deMorgan(e sql.Expr) (sql.Expr, bool) {
+	return applyTopDown(e, func(e sql.Expr) (sql.Expr, bool) {
+		n, ok := e.(*sql.NotExpr)
+		if !ok {
+			return e, false
+		}
+		b, ok := n.Inner.(*sql.BinaryExpr)
+		if !ok || (b.Op != "AND" && b.Op != "OR") {
+			return e, false
+		}
+		op := "OR"
+		if b.Op == "OR" {
+			op = "AND"
+		}
+		return &sql.BinaryExpr{
+			Op:    op,
+			Left:  &sql.NotExpr{Inner: b.Left},
+			Right: &sql.NotExpr{Inner: b.Right},
+		}, true
+	})
+}
+
+// notComparison folds NOT (a < b) => a >= b, etc.
+func notComparison(e sql.Expr) (sql.Expr, bool) {
+	neg := map[string]string{"<": ">=", "<=": ">", ">": "<=", ">=": "<", "=": "!=", "!=": "="}
+	return applyTopDown(e, func(e sql.Expr) (sql.Expr, bool) {
+		n, ok := e.(*sql.NotExpr)
+		if !ok {
+			return e, false
+		}
+		b, ok := n.Inner.(*sql.BinaryExpr)
+		if !ok {
+			return e, false
+		}
+		if op, ok := neg[b.Op]; ok {
+			return &sql.BinaryExpr{Op: op, Left: b.Left, Right: b.Right}, true
+		}
+		return e, false
+	})
+}
+
+// rangeMerge flattens a conjunction and keeps only the tightest lower and
+// upper integer bound per column, e.g. (a > 5 AND a > 3 AND a < 9) =>
+// (a > 5 AND a < 9). It fires only when the conjunct count shrinks.
+func rangeMerge(e sql.Expr) (sql.Expr, bool) {
+	return applyTopDown(e, func(e sql.Expr) (sql.Expr, bool) {
+		b, ok := e.(*sql.BinaryExpr)
+		if !ok || b.Op != "AND" {
+			return e, false
+		}
+		conjuncts := flattenAnd(b)
+		type boundKey struct {
+			col   string
+			lower bool
+		}
+		best := map[boundKey]*sql.BinaryExpr{}
+		order := []sql.Expr{}
+		replaced := map[sql.Expr]boundKey{}
+		for _, c := range conjuncts {
+			cmp, isCmp := c.(*sql.BinaryExpr)
+			var col *sql.ColumnRef
+			var lit int64
+			ok := false
+			if isCmp {
+				if cr, isCol := cmp.Left.(*sql.ColumnRef); isCol {
+					if v, isLit := intLit(cmp.Right); isLit {
+						col, lit, ok = cr, v, true
+					}
+				}
+			}
+			if !ok || (cmp.Op != ">" && cmp.Op != ">=" && cmp.Op != "<" && cmp.Op != "<=") {
+				order = append(order, c)
+				continue
+			}
+			key := boundKey{col: col.String(), lower: cmp.Op[0] == '>'}
+			cur, seen := best[key]
+			if !seen {
+				best[key] = cmp
+				order = append(order, c)
+				replaced[c] = key
+				continue
+			}
+			curV, _ := intLit(cur.Right)
+			tighter := false
+			if key.lower {
+				tighter = lit > curV || (lit == curV && cmp.Op == ">")
+			} else {
+				tighter = lit < curV || (lit == curV && cmp.Op == "<")
+			}
+			if tighter {
+				best[key] = cmp
+			}
+		}
+		if len(order) == len(conjuncts) {
+			return e, false
+		}
+		out := make([]sql.Expr, len(order))
+		for i, c := range order {
+			if key, ok := replaced[c]; ok {
+				out[i] = best[key]
+			} else {
+				out[i] = c
+			}
+		}
+		return buildAnd(out), true
+	})
+}
+
+// flattenAnd collects the conjuncts of a (possibly nested) AND tree.
+func flattenAnd(e sql.Expr) []sql.Expr {
+	if b, ok := e.(*sql.BinaryExpr); ok && b.Op == "AND" {
+		return append(flattenAnd(b.Left), flattenAnd(b.Right)...)
+	}
+	return []sql.Expr{e}
+}
+
+// buildAnd rebuilds a left-deep AND over conjuncts (at least one).
+func buildAnd(cs []sql.Expr) sql.Expr {
+	out := cs[0]
+	for _, c := range cs[1:] {
+		out = &sql.BinaryExpr{Op: "AND", Left: out, Right: c}
+	}
+	return out
+}
+
+// betweenExpand rewrites col BETWEEN lo AND hi => col >= lo AND col <= hi.
+// Cost-increasing alone, but enables rangeMerge against adjacent bounds.
+func betweenExpand(e sql.Expr) (sql.Expr, bool) {
+	return applyTopDown(e, func(e sql.Expr) (sql.Expr, bool) {
+		b, ok := e.(*sql.BetweenExpr)
+		if !ok {
+			return e, false
+		}
+		return &sql.BinaryExpr{
+			Op:    "AND",
+			Left:  &sql.BinaryExpr{Op: ">=", Left: b.Subject, Right: b.Lo},
+			Right: &sql.BinaryExpr{Op: "<=", Left: b.Subject, Right: b.Hi},
+		}, true
+	})
+}
+
+// rangeToBetween rewrites (col >= lo AND col <= hi) => col BETWEEN lo AND
+// hi, the cost-reducing inverse of betweenExpand.
+func rangeToBetween(e sql.Expr) (sql.Expr, bool) {
+	return applyTopDown(e, func(e sql.Expr) (sql.Expr, bool) {
+		b, ok := e.(*sql.BinaryExpr)
+		if !ok || b.Op != "AND" {
+			return e, false
+		}
+		l, lok := b.Left.(*sql.BinaryExpr)
+		r, rok := b.Right.(*sql.BinaryExpr)
+		if !lok || !rok || l.Op != ">=" || r.Op != "<=" {
+			return e, false
+		}
+		if _, ok := sameColumn(l.Left, r.Left); !ok {
+			return e, false
+		}
+		if _, ok := intLit(l.Right); !ok {
+			return e, false
+		}
+		if _, ok := intLit(r.Right); !ok {
+			return e, false
+		}
+		return &sql.BetweenExpr{Subject: l.Left, Lo: l.Right, Hi: r.Right}, true
+	})
+}
+
+// FixedOrder is the traditional rewriter: apply rules in their library
+// order repeatedly until no rule fires (with a step cap for safety).
+// Because some rules are cost-increasing enablers, a fixed order can
+// cycle or settle on a worse form; the step cap and a no-worse guard keep
+// it sane, at the price of missing multi-step improvements.
+func FixedOrder(e sql.Expr, rules []Rule, maxSteps int) (sql.Expr, int) {
+	steps := 0
+	for steps < maxSteps {
+		fired := false
+		for _, r := range rules {
+			ne, ok := r.Apply(e)
+			if !ok {
+				continue
+			}
+			steps++
+			// Traditional rewriters only keep non-worsening rewrites.
+			if Cost(ne) <= Cost(e) {
+				e = ne
+				fired = true
+			}
+			if steps >= maxSteps {
+				break
+			}
+		}
+		if !fired {
+			break
+		}
+	}
+	return e, steps
+}
+
+// mctsState wraps an expression for UCT search over rule sequences.
+type mctsState struct {
+	expr  sql.Expr
+	rules []Rule
+	depth int
+	max   int
+}
+
+func (s mctsState) Actions() []int {
+	if s.depth >= s.max {
+		return nil
+	}
+	var acts []int
+	for i, r := range s.rules {
+		if _, ok := r.Apply(s.expr); ok {
+			acts = append(acts, i)
+		}
+	}
+	return acts
+}
+
+func (s mctsState) Apply(a int) rl.MCTSState {
+	ne, _ := s.rules[a].Apply(s.expr)
+	return mctsState{expr: ne, rules: s.rules, depth: s.depth + 1, max: s.max}
+}
+
+func (s mctsState) Reward() float64 {
+	// Smaller cost => bigger reward, bounded into (0, 1].
+	return 10 / (10 + Cost(s.expr))
+}
+
+func (s mctsState) Key() string { return fmt.Sprintf("%d|%s", s.depth, s.expr.String()) }
+
+// MCTSRewrite searches rule-application sequences of up to maxDepth steps
+// and returns the cheapest expression reachable, exploring iters
+// simulations per step (the learned rewriter).
+func MCTSRewrite(rng *ml.RNG, e sql.Expr, rules []Rule, maxDepth, iters int) (sql.Expr, int) {
+	searcher := rl.NewMCTS(rng)
+	state := mctsState{expr: e, rules: rules, max: maxDepth}
+	best := e
+	bestCost := Cost(e)
+	steps := 0
+	for {
+		acts := state.Actions()
+		if len(acts) == 0 {
+			break
+		}
+		a, _ := searcher.Search(state, iters)
+		state = state.Apply(a).(mctsState)
+		steps++
+		if c := Cost(state.expr); c < bestCost {
+			bestCost, best = c, state.expr
+		}
+	}
+	return best, steps
+}

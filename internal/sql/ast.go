@@ -1,0 +1,249 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any expression node.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ColumnRef references a column, optionally table-qualified.
+type ColumnRef struct {
+	Table  string // empty if unqualified
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+func (*IntLit) expr()            {}
+func (l *IntLit) String() string { return fmt.Sprintf("%d", l.Value) }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Value float64 }
+
+func (*FloatLit) expr()            {}
+func (l *FloatLit) String() string { return fmt.Sprintf("%g", l.Value) }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+func (*StringLit) expr()            {}
+func (l *StringLit) String() string { return "'" + l.Value + "'" }
+
+// Star is the * projection.
+type Star struct{}
+
+func (*Star) expr()          {}
+func (*Star) String() string { return "*" }
+
+// BinaryExpr is a binary operation (comparison, boolean, arithmetic).
+type BinaryExpr struct {
+	Op          string // =, !=, <, <=, >, >=, AND, OR, +, -, *, /
+	Left, Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// NotExpr is boolean negation.
+type NotExpr struct{ Inner Expr }
+
+func (*NotExpr) expr()            {}
+func (n *NotExpr) String() string { return "NOT " + n.Inner.String() }
+
+// BetweenExpr is `x BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Subject, Lo, Hi Expr
+}
+
+func (*BetweenExpr) expr() {}
+
+func (b *BetweenExpr) String() string {
+	return b.Subject.String() + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+// InExpr is `x IN (e1, e2, ...)`, optionally negated.
+type InExpr struct {
+	Subject Expr
+	List    []Expr
+	Negated bool
+}
+
+func (*InExpr) expr() {}
+
+func (e *InExpr) String() string {
+	parts := make([]string, len(e.List))
+	for i, v := range e.List {
+		parts[i] = v.String()
+	}
+	op := " IN ("
+	if e.Negated {
+		op = " NOT IN ("
+	}
+	return e.Subject.String() + op + strings.Join(parts, ", ") + ")"
+}
+
+// FuncCall is a function invocation: aggregates (COUNT/SUM/AVG/MIN/MAX) or
+// the AISQL PREDICT(model, args...) scalar function.
+type FuncCall struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+func (*FuncCall) expr() {}
+
+func (f *FuncCall) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// JoinClause is one `JOIN table ON left = right`.
+type JoinClause struct {
+	Table string
+	Alias string
+	On    *BinaryExpr // equality of two column refs
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	Table    string
+	Alias    string
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// ColumnDef declares one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string // INT, FLOAT, TEXT
+}
+
+// CreateTableStmt creates a table.
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// InsertStmt inserts literal rows.
+type InsertStmt struct {
+	Table string
+	Rows  [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// UpdateStmt updates matching rows.
+type UpdateStmt struct {
+	Table string
+	Set   map[string]Expr
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// DeleteStmt deletes matching rows.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// DropTableStmt drops a table.
+type DropTableStmt struct{ Name string }
+
+func (*DropTableStmt) stmt() {}
+
+// CreateIndexStmt creates a secondary index.
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// CreateModelStmt is the AISQL `CREATE MODEL name PREDICT label ON table
+// [FEATURES (c1, ...)] [WITH (key = value, ...)]` statement. The model
+// kind (logistic, linear, tree, mlp) is given in WITH (kind = '...').
+type CreateModelStmt struct {
+	Name     string
+	Label    string
+	Table    string
+	Features []string
+	Options  map[string]string
+}
+
+func (*CreateModelStmt) stmt() {}
+
+// EvaluateModelStmt is `EVALUATE MODEL name ON table`.
+type EvaluateModelStmt struct {
+	Name  string
+	Table string
+}
+
+func (*EvaluateModelStmt) stmt() {}
+
+// DropModelStmt is `DROP MODEL name`.
+type DropModelStmt struct{ Name string }
+
+func (*DropModelStmt) stmt() {}
+
+// ShowStmt is `SHOW TABLES` or `SHOW MODELS`.
+type ShowStmt struct{ What string }
+
+func (*ShowStmt) stmt() {}
+
+// ExplainStmt wraps another statement for plan display.
+type ExplainStmt struct{ Inner Statement }
+
+func (*ExplainStmt) stmt() {}
+
+// AnalyzeStmt is `ANALYZE table` — refresh optimizer statistics.
+type AnalyzeStmt struct{ Table string }
+
+func (*AnalyzeStmt) stmt() {}

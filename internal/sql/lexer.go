@@ -1,0 +1,132 @@
+// Package sql implements aidb's SQL front end: a hand-written lexer and
+// recursive-descent parser for a practical subset of SQL, extended with
+// the AISQL statements the DB4AI half of the paper calls for
+// (CREATE MODEL / EVALUATE MODEL / PREDICT expressions).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "CREATE": true,
+	"TABLE": true, "INT": true, "FLOAT": true, "TEXT": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "JOIN": true, "ON": true, "GROUP": true,
+	"BY": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AS": true, "MODEL": true, "PREDICT": true, "FEATURES": true,
+	"WITH": true, "EVALUATE": true, "DROP": true, "INDEX": true,
+	"EXPLAIN": true, "ANALYZE": true, "SHOW": true, "MODELS": true,
+	"TABLES": true, "DISTINCT": true, "BETWEEN": true, "IN": true,
+	"NULL": true, "PRIMARY": true, "KEY": true,
+}
+
+// Lex tokenizes input, returning an error with position info on invalid
+// characters or unterminated strings.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			isFloat := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				if input[i] == '.' {
+					if isFloat {
+						return nil, fmt.Errorf("sql: invalid number at position %d", start)
+					}
+					isFloat = true
+				}
+				i++
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{Kind: kind, Text: input[start:i], Pos: start})
+		case c == '\'':
+			i++
+			start := i
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string at position %d", start-1)
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case strings.ContainsRune("(),.*=+-/;", rune(c)):
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			op := input[start:i]
+			if op == "!" {
+				return nil, fmt.Errorf("sql: stray '!' at position %d", start)
+			}
+			toks = append(toks, Token{Kind: TokSymbol, Text: op, Pos: start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}

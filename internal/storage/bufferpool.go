@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages in memory with LRU eviction of unpinned frames.
+// All methods are safe for concurrent use.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     DiskManager
+	capacity int
+	frames   map[PageID]*Page
+	lru      *list.List // front = most recently used; holds PageID
+	lruPos   map[PageID]*list.Element
+
+	// Stats counts pool activity for the monitoring experiments.
+	Stats PoolStats
+}
+
+// PoolStats counts buffer-pool events.
+type PoolStats struct {
+	Hits, Misses, Evictions, Flushes uint64
+}
+
+// ErrPoolFull is returned when every frame is pinned.
+var ErrPoolFull = errors.New("storage: buffer pool full (all pages pinned)")
+
+// NewBufferPool creates a pool of the given frame capacity over disk.
+func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
+	if capacity <= 0 {
+		panic("storage: buffer pool capacity must be positive")
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*Page),
+		lru:      list.New(),
+		lruPos:   make(map[PageID]*list.Element),
+	}
+}
+
+// NewPage allocates a fresh page, pins it and returns it initialized.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	id, err := bp.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.ensureFrame(); err != nil {
+		return nil, err
+	}
+	p := &Page{ID: id, pinCount: 1, dirty: true}
+	p.InitPage()
+	bp.frames[id] = p
+	bp.touch(id)
+	return p, nil
+}
+
+// Fetch pins and returns the page, loading it from disk on a miss.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if p, ok := bp.frames[id]; ok {
+		bp.Stats.Hits++
+		p.pinCount++
+		bp.touch(id)
+		return p, nil
+	}
+	bp.Stats.Misses++
+	if err := bp.ensureFrame(); err != nil {
+		return nil, err
+	}
+	p := &Page{ID: id, pinCount: 1}
+	if err := bp.disk.Read(id, p.Data[:]); err != nil {
+		return nil, err
+	}
+	bp.frames[id] = p
+	bp.touch(id)
+	return p, nil
+}
+
+// Unpin releases one pin; dirty marks the page modified.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	p, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of non-resident page %d", id)
+	}
+	if p.pinCount <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	p.pinCount--
+	if dirty {
+		p.dirty = true
+	}
+	return nil
+}
+
+// FlushAll writes every dirty resident page to disk.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, p := range bp.frames {
+		if p.dirty {
+			if err := bp.disk.Write(id, p.Data[:]); err != nil {
+				return err
+			}
+			p.dirty = false
+			bp.Stats.Flushes++
+		}
+	}
+	return nil
+}
+
+// Resident reports the number of cached pages.
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (bp *BufferPool) HitRate() float64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	total := bp.Stats.Hits + bp.Stats.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.Stats.Hits) / float64(total)
+}
+
+// touch moves id to the MRU position. Caller holds mu.
+func (bp *BufferPool) touch(id PageID) {
+	if el, ok := bp.lruPos[id]; ok {
+		bp.lru.MoveToFront(el)
+		return
+	}
+	bp.lruPos[id] = bp.lru.PushFront(id)
+}
+
+// ensureFrame evicts the LRU unpinned page if the pool is at capacity.
+// Caller holds mu.
+func (bp *BufferPool) ensureFrame() error {
+	if len(bp.frames) < bp.capacity {
+		return nil
+	}
+	for el := bp.lru.Back(); el != nil; el = el.Prev() {
+		id := el.Value.(PageID)
+		p := bp.frames[id]
+		if p.pinCount > 0 {
+			continue
+		}
+		if p.dirty {
+			if err := bp.disk.Write(id, p.Data[:]); err != nil {
+				return err
+			}
+			bp.Stats.Flushes++
+		}
+		delete(bp.frames, id)
+		bp.lru.Remove(el)
+		delete(bp.lruPos, id)
+		bp.Stats.Evictions++
+		return nil
+	}
+	return ErrPoolFull
+}

@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// WALRecordKind tags write-ahead log records.
+type WALRecordKind uint8
+
+// Supported log record kinds.
+const (
+	WALBegin WALRecordKind = iota + 1
+	WALCommit
+	WALAbort
+	WALUpdate
+	WALCheckpoint
+)
+
+// WALRecord is one log entry. Update records carry an opaque payload the
+// resource manager knows how to redo.
+type WALRecord struct {
+	LSN     uint64
+	TxnID   uint64
+	Kind    WALRecordKind
+	Payload []byte
+}
+
+// WAL is an append-only, CRC-checked in-memory write-ahead log. It models
+// the durability interface higher layers need (append, flush, recover
+// scan) without tying tests to the filesystem; the encoded form is
+// identical to what a file-backed log would store.
+type WAL struct {
+	mu      sync.Mutex
+	buf     []byte
+	nextLSN uint64
+	flushed uint64 // LSN up to which records are "durable"
+}
+
+// NewWAL returns an empty log.
+func NewWAL() *WAL { return &WAL{nextLSN: 1} }
+
+// Append adds a record and returns its LSN. The record is not durable
+// until Flush is called with an LSN >= the returned one.
+func (w *WAL) Append(txn uint64, kind WALRecordKind, payload []byte) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn := w.nextLSN
+	w.nextLSN++
+	rec := make([]byte, 21+len(payload))
+	binary.LittleEndian.PutUint64(rec[0:8], lsn)
+	binary.LittleEndian.PutUint64(rec[8:16], txn)
+	rec[16] = byte(kind)
+	binary.LittleEndian.PutUint32(rec[17:21], uint32(len(payload)))
+	copy(rec[21:], payload)
+	sum := crc32.ChecksumIEEE(rec)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	w.buf = append(w.buf, rec...)
+	w.buf = append(w.buf, crc[:]...)
+	return lsn
+}
+
+// Flush marks all records up to lsn durable.
+func (w *WAL) Flush(lsn uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn > w.flushed {
+		w.flushed = lsn
+	}
+}
+
+// FlushedLSN reports the durable horizon.
+func (w *WAL) FlushedLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushed
+}
+
+// Truncate simulates a crash: records beyond the flushed horizon are lost.
+func (w *WAL) Truncate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := w.buf[:0:0]
+	off := 0
+	for off < len(w.buf) {
+		rec, n, err := decodeOne(w.buf[off:])
+		if err != nil {
+			break
+		}
+		if rec.LSN > w.flushed {
+			break
+		}
+		out = append(out, w.buf[off:off+n]...)
+		off += n
+	}
+	w.buf = out
+	w.nextLSN = w.flushed + 1
+}
+
+// Recover scans all durable records in order.
+func (w *WAL) Recover() ([]WALRecord, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var recs []WALRecord
+	off := 0
+	for off < len(w.buf) {
+		rec, n, err := decodeOne(w.buf[off:])
+		if err != nil {
+			return recs, err
+		}
+		if rec.LSN > w.flushed {
+			break
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, nil
+}
+
+func decodeOne(b []byte) (WALRecord, int, error) {
+	if len(b) < 25 {
+		return WALRecord{}, 0, errors.New("storage: truncated WAL record header")
+	}
+	plen := int(binary.LittleEndian.Uint32(b[17:21]))
+	total := 21 + plen + 4
+	if len(b) < total {
+		return WALRecord{}, 0, errors.New("storage: truncated WAL record payload")
+	}
+	want := binary.LittleEndian.Uint32(b[21+plen : total])
+	if crc32.ChecksumIEEE(b[:21+plen]) != want {
+		return WALRecord{}, 0, fmt.Errorf("storage: WAL CRC mismatch")
+	}
+	rec := WALRecord{
+		LSN:   binary.LittleEndian.Uint64(b[0:8]),
+		TxnID: binary.LittleEndian.Uint64(b[8:16]),
+		Kind:  WALRecordKind(b[16]),
+	}
+	if plen > 0 {
+		rec.Payload = append([]byte(nil), b[21:21+plen]...)
+	}
+	return rec, total, nil
+}

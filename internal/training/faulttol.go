@@ -1,0 +1,68 @@
+package training
+
+import (
+	"errors"
+
+	"aidb/internal/ml"
+)
+
+// CheckpointedTrainer runs an iterative training job with periodic
+// checkpoints and recovers from injected crashes (E23): with
+// checkpointing, a crash redoes at most CheckpointEvery-1 epochs; without
+// it, training restarts from zero.
+type CheckpointedTrainer struct {
+	// CheckpointEvery epochs (0 disables checkpointing).
+	CheckpointEvery int
+
+	// state
+	epoch      int
+	checkpoint int
+	// EpochsExecuted counts total epochs of work actually performed,
+	// including redone work — the fault-tolerance cost metric.
+	EpochsExecuted int
+	// Checkpoints counts snapshots taken.
+	Checkpoints int
+
+	model      *ml.MLP
+	savedModel *ml.MLP
+}
+
+// ErrCrashed signals an injected failure mid-training.
+var ErrCrashed = errors.New("training: injected crash")
+
+// Run trains net for totalEpochs, calling step(epoch) once per epoch;
+// crashAt (a set of absolute epoch numbers) injects a crash *before*
+// executing that epoch the first time it is reached. After a crash, Run
+// resumes from the last checkpoint (or from zero without checkpointing)
+// and continues until done. It returns the number of crashes survived.
+func (c *CheckpointedTrainer) Run(net *ml.MLP, totalEpochs int, step func(epoch int), crashAt map[int]bool) int {
+	c.model = net
+	if c.CheckpointEvery > 0 {
+		c.savedModel = net.Clone()
+	}
+	crashes := 0
+	crashed := map[int]bool{}
+	for c.epoch < totalEpochs {
+		if crashAt[c.epoch] && !crashed[c.epoch] {
+			crashed[c.epoch] = true
+			crashes++
+			// Recover: restore the last checkpoint (or restart).
+			if c.CheckpointEvery > 0 && c.savedModel != nil {
+				c.model.CopyFrom(c.savedModel)
+				c.epoch = c.checkpoint
+			} else {
+				c.epoch = 0
+			}
+			continue
+		}
+		step(c.epoch)
+		c.EpochsExecuted++
+		c.epoch++
+		if c.CheckpointEvery > 0 && c.epoch%c.CheckpointEvery == 0 {
+			c.savedModel.CopyFrom(c.model)
+			c.checkpoint = c.epoch
+			c.Checkpoints++
+		}
+	}
+	return crashes
+}

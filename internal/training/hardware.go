@@ -1,0 +1,76 @@
+package training
+
+// The hardware-acceleration experiment (E20) cannot run on a real
+// GPU/FPGA offline, so acceleration is a cost model with the structure
+// the DAnA and ColumnML papers measure: an accelerator computes much
+// faster per element but pays a fixed kernel-launch cost plus a per-byte
+// transfer cost, and the cost of *extracting* training data depends on
+// the storage layout (column stores feed ML features contiguously; row
+// stores pay to strip out non-feature attributes).
+
+// Layout is the base-table storage layout feeding the accelerator.
+type Layout int
+
+// Supported layouts.
+const (
+	RowStore Layout = iota
+	ColumnStore
+)
+
+// Device describes where the training loop runs.
+type Device struct {
+	Name string
+	// ComputePerElement is the cost of one multiply-accumulate.
+	ComputePerElement float64
+	// TransferPerElement is the cost of shipping one element to the
+	// device (0 for the CPU).
+	TransferPerElement float64
+	// LaunchCost is the fixed per-batch overhead (0 for the CPU).
+	LaunchCost float64
+}
+
+// CPU returns the baseline device.
+func CPU() Device {
+	return Device{Name: "cpu", ComputePerElement: 1.0}
+}
+
+// Accelerator returns a DAnA-style FPGA/GPU device: 20x compute rate,
+// paid for by transfer and launch overhead.
+func Accelerator() Device {
+	return Device{Name: "accelerator", ComputePerElement: 0.05, TransferPerElement: 0.2, LaunchCost: 5000}
+}
+
+// ExtractionCost models reading n rows of d feature columns (out of
+// totalCols physical columns) from the given layout. A column store reads
+// exactly the feature columns; a row store reads whole rows and strips
+// them (the ColumnML claim).
+func ExtractionCost(layout Layout, n, d, totalCols int) float64 {
+	switch layout {
+	case ColumnStore:
+		return float64(n * d)
+	default:
+		return float64(n*totalCols) * 1.2 // row reassembly overhead
+	}
+}
+
+// EpochCost is the total cost of one training epoch of batch gradient
+// descent over n rows with d features on the device, fed from layout.
+func EpochCost(dev Device, layout Layout, n, d, totalCols int) float64 {
+	elements := float64(n * d)
+	return ExtractionCost(layout, n, d, totalCols) +
+		dev.LaunchCost +
+		elements*dev.TransferPerElement +
+		elements*dev.ComputePerElement
+}
+
+// BreakEvenRows finds the smallest row count (by doubling search) at
+// which the accelerator beats the CPU for d features, or -1 if none up to
+// the limit.
+func BreakEvenRows(layout Layout, d, totalCols, limit int) int {
+	for n := 64; n <= limit; n *= 2 {
+		if EpochCost(Accelerator(), layout, n, d, totalCols) < EpochCost(CPU(), layout, n, d, totalCols) {
+			return n
+		}
+	}
+	return -1
+}

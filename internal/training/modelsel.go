@@ -1,0 +1,254 @@
+package training
+
+import (
+	"sort"
+	"sync"
+)
+
+// TrainConfig is one hyperparameter configuration to try.
+type TrainConfig struct {
+	ID int
+	// Epochs of simulated work; each epoch costs one tick on a worker.
+	Epochs int
+	// Quality is the (hidden) final score the config reaches.
+	Quality float64
+}
+
+// SelectionResult summarizes a model-selection run.
+type SelectionResult struct {
+	BestID int
+	// Makespan is the simulated wall-clock ticks used.
+	Makespan int
+	// Throughput is configs completed per tick.
+	Throughput float64
+}
+
+// Sequential trains configs one after another on a single worker.
+func Sequential(configs []TrainConfig) SelectionResult {
+	ticks := 0
+	best, bestQ := -1, -1.0
+	for _, c := range configs {
+		ticks += c.Epochs
+		if c.Quality > bestQ {
+			bestQ, best = c.Quality, c.ID
+		}
+	}
+	return SelectionResult{BestID: best, Makespan: ticks, Throughput: safeDiv(len(configs), ticks)}
+}
+
+// TaskParallel distributes whole configs across workers (Ray-style task
+// parallelism): each worker pulls the next config when free. Simulated
+// deterministically with a greedy earliest-free-worker assignment.
+func TaskParallel(configs []TrainConfig, workers int) SelectionResult {
+	if workers < 1 {
+		workers = 1
+	}
+	free := make([]int, workers) // tick when each worker becomes free
+	best, bestQ := -1, -1.0
+	for _, c := range configs {
+		// Assign to the earliest-free worker.
+		w := 0
+		for i := 1; i < workers; i++ {
+			if free[i] < free[w] {
+				w = i
+			}
+		}
+		free[w] += c.Epochs
+		if c.Quality > bestQ {
+			bestQ, best = c.Quality, c.ID
+		}
+	}
+	makespan := 0
+	for _, f := range free {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return SelectionResult{BestID: best, Makespan: makespan, Throughput: safeDiv(len(configs), makespan)}
+}
+
+// BulkSynchronous trains configs in lockstep rounds of `workers` configs:
+// every round waits for its slowest member (the BSP straggler effect that
+// puts it between sequential and task-parallel).
+func BulkSynchronous(configs []TrainConfig, workers int) SelectionResult {
+	if workers < 1 {
+		workers = 1
+	}
+	ticks := 0
+	best, bestQ := -1, -1.0
+	for i := 0; i < len(configs); i += workers {
+		end := i + workers
+		if end > len(configs) {
+			end = len(configs)
+		}
+		roundMax := 0
+		for _, c := range configs[i:end] {
+			if c.Epochs > roundMax {
+				roundMax = c.Epochs
+			}
+			if c.Quality > bestQ {
+				bestQ, best = c.Quality, c.ID
+			}
+		}
+		ticks += roundMax
+	}
+	return SelectionResult{BestID: best, Makespan: ticks, Throughput: safeDiv(len(configs), ticks)}
+}
+
+// ParameterServer simulates asynchronous data-parallel training of each
+// config across `workers` workers: a config's wall-clock shrinks to
+// ceil(epochs/workers) plus one synchronization tick per config.
+func ParameterServer(configs []TrainConfig, workers int) SelectionResult {
+	if workers < 1 {
+		workers = 1
+	}
+	ticks := 0
+	best, bestQ := -1, -1.0
+	for _, c := range configs {
+		ticks += (c.Epochs+workers-1)/workers + 1
+		if c.Quality > bestQ {
+			bestQ, best = c.Quality, c.ID
+		}
+	}
+	return SelectionResult{BestID: best, Makespan: ticks, Throughput: safeDiv(len(configs), ticks)}
+}
+
+func safeDiv(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// RunConcurrent actually executes config closures on real goroutines with
+// a worker pool — used by benchmarks to measure true parallel speedup on
+// real training workloads (the simulated schedulers above keep unit tests
+// deterministic).
+func RunConcurrent(workers int, tasks []func()) {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	ch := make(chan func())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// ModelEntry is one versioned record in the model-management store.
+type ModelEntry struct {
+	Name    string
+	Version int
+	Metric  float64
+	Tags    map[string]string
+	// DerivedFrom is the parent version (0 = none), giving model lineage.
+	DerivedFrom int
+	// Blob is the serialized model payload (opaque).
+	Blob []byte
+}
+
+// ModelStore is a ModelDB-style versioned model registry.
+type ModelStore struct {
+	mu      sync.RWMutex
+	entries map[string][]ModelEntry // name -> versions in order
+}
+
+// NewModelStore creates an empty registry.
+func NewModelStore() *ModelStore {
+	return &ModelStore{entries: map[string][]ModelEntry{}}
+}
+
+// Register stores a new version of the named model and returns its
+// version number (1-based).
+func (s *ModelStore) Register(e ModelEntry) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.Version = len(s.entries[e.Name]) + 1
+	s.entries[e.Name] = append(s.entries[e.Name], e)
+	return e.Version
+}
+
+// Get fetches one version (0 = latest).
+func (s *ModelStore) Get(name string, version int) (ModelEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.entries[name]
+	if len(vs) == 0 {
+		return ModelEntry{}, false
+	}
+	if version == 0 {
+		return vs[len(vs)-1], true
+	}
+	if version < 1 || version > len(vs) {
+		return ModelEntry{}, false
+	}
+	return vs[version-1], true
+}
+
+// Best returns the highest-metric version of the named model.
+func (s *ModelStore) Best(name string) (ModelEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.entries[name]
+	if len(vs) == 0 {
+		return ModelEntry{}, false
+	}
+	best := vs[0]
+	for _, v := range vs[1:] {
+		if v.Metric > best.Metric {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// Search returns entries across all models matching a tag, best first.
+func (s *ModelStore) Search(tagKey, tagValue string) []ModelEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ModelEntry
+	for _, vs := range s.entries {
+		for _, v := range vs {
+			if v.Tags[tagKey] == tagValue {
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Metric != out[b].Metric {
+			return out[a].Metric > out[b].Metric
+		}
+		if out[a].Name != out[b].Name {
+			return out[a].Name < out[b].Name
+		}
+		return out[a].Version < out[b].Version
+	})
+	return out
+}
+
+// LineageChain walks DerivedFrom links from a version back to the root.
+func (s *ModelStore) LineageChain(name string, version int) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var chain []int
+	for version > 0 {
+		chain = append(chain, version)
+		vs := s.entries[name]
+		if version > len(vs) {
+			break
+		}
+		version = vs[version-1].DerivedFrom
+	}
+	return chain
+}

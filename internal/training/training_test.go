@@ -1,0 +1,216 @@
+package training
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"aidb/internal/ml"
+)
+
+func TestMaterializedSameWinnerFewerUnits(t *testing.T) {
+	rng := ml.NewRNG(1)
+	useful := RandomUseful(rng, 10, 3)
+	var naive, mat FeatureEvalCost
+	bestNaive := EnumerateNaive(10, 3, useful, &naive)
+	bestMat := EnumerateMaterialized(10, 3, useful, &mat)
+	if SubsetKey(bestNaive) != SubsetKey(bestMat) {
+		t.Errorf("winners differ: naive %v vs materialized %v", bestNaive, bestMat)
+	}
+	t.Logf("units: naive %d, materialized %d", naive.Units, mat.Units)
+	if mat.Units >= naive.Units {
+		t.Errorf("materialized units %d should be below naive %d (E18 claim)", mat.Units, naive.Units)
+	}
+	// The winner should be exactly the useful set.
+	for _, f := range bestNaive {
+		if !useful[f] {
+			t.Errorf("winner includes useless feature %d", f)
+		}
+	}
+	if len(bestNaive) != 3 {
+		t.Errorf("winner size %d, want 3", len(bestNaive))
+	}
+}
+
+func TestActiveSearchCheaperStill(t *testing.T) {
+	rng := ml.NewRNG(2)
+	useful := RandomUseful(rng, 12, 3)
+	var mat, active FeatureEvalCost
+	bestMat := EnumerateMaterialized(12, 3, useful, &mat)
+	bestActive := ActiveSubsetSearch(12, 3, useful, &active)
+	if SubsetKey(bestMat) != SubsetKey(bestActive) {
+		t.Errorf("active search winner %v differs from lattice %v", bestActive, bestMat)
+	}
+	if active.Units >= mat.Units {
+		t.Errorf("active units %d should be below full lattice %d", active.Units, mat.Units)
+	}
+}
+
+func makeConfigs(rng *ml.RNG, n int) []TrainConfig {
+	cfgs := make([]TrainConfig, n)
+	for i := range cfgs {
+		cfgs[i] = TrainConfig{ID: i, Epochs: 5 + rng.Intn(20), Quality: rng.Float64()}
+	}
+	return cfgs
+}
+
+func TestParallelStrategiesSameWinner(t *testing.T) {
+	rng := ml.NewRNG(3)
+	cfgs := makeConfigs(rng, 24)
+	seq := Sequential(cfgs)
+	tp := TaskParallel(cfgs, 4)
+	bsp := BulkSynchronous(cfgs, 4)
+	ps := ParameterServer(cfgs, 4)
+	for name, r := range map[string]SelectionResult{"task": tp, "bsp": bsp, "ps": ps} {
+		if r.BestID != seq.BestID {
+			t.Errorf("%s found best %d, sequential found %d", name, r.BestID, seq.BestID)
+		}
+	}
+}
+
+func TestParallelThroughputOrdering(t *testing.T) {
+	rng := ml.NewRNG(4)
+	cfgs := makeConfigs(rng, 24)
+	seq := Sequential(cfgs)
+	tp := TaskParallel(cfgs, 4)
+	bsp := BulkSynchronous(cfgs, 4)
+	ps := ParameterServer(cfgs, 4)
+	t.Logf("makespans: seq %d, task %d, bsp %d, ps %d", seq.Makespan, tp.Makespan, bsp.Makespan, ps.Makespan)
+	if tp.Throughput <= seq.Throughput {
+		t.Errorf("task-parallel throughput %.3f should beat sequential %.3f", tp.Throughput, seq.Throughput)
+	}
+	if bsp.Throughput <= seq.Throughput {
+		t.Errorf("BSP throughput %.3f should beat sequential %.3f", bsp.Throughput, seq.Throughput)
+	}
+	if tp.Throughput < bsp.Throughput {
+		t.Errorf("task-parallel %.3f should be >= BSP %.3f (no straggler rounds)", tp.Throughput, bsp.Throughput)
+	}
+	if ps.Throughput <= seq.Throughput {
+		t.Errorf("parameter-server throughput %.3f should beat sequential %.3f", ps.Throughput, seq.Throughput)
+	}
+}
+
+func TestRunConcurrentExecutesAll(t *testing.T) {
+	var count int64
+	tasks := make([]func(), 50)
+	for i := range tasks {
+		tasks[i] = func() { atomic.AddInt64(&count, 1) }
+	}
+	RunConcurrent(4, tasks)
+	if count != 50 {
+		t.Errorf("executed %d tasks, want 50", count)
+	}
+}
+
+func TestModelStoreVersioning(t *testing.T) {
+	s := NewModelStore()
+	v1 := s.Register(ModelEntry{Name: "m", Metric: 0.7, Tags: map[string]string{"task": "churn"}})
+	v2 := s.Register(ModelEntry{Name: "m", Metric: 0.9, DerivedFrom: v1, Tags: map[string]string{"task": "churn"}})
+	v3 := s.Register(ModelEntry{Name: "m", Metric: 0.8, DerivedFrom: v2})
+	if v1 != 1 || v2 != 2 || v3 != 3 {
+		t.Fatalf("versions = %d %d %d", v1, v2, v3)
+	}
+	latest, ok := s.Get("m", 0)
+	if !ok || latest.Version != 3 {
+		t.Errorf("latest = %+v", latest)
+	}
+	best, ok := s.Best("m")
+	if !ok || best.Version != 2 {
+		t.Errorf("best = %+v, want version 2", best)
+	}
+	chain := s.LineageChain("m", 3)
+	if len(chain) != 3 || chain[0] != 3 || chain[2] != 1 {
+		t.Errorf("lineage = %v, want [3 2 1]", chain)
+	}
+	hits := s.Search("task", "churn")
+	if len(hits) != 2 || hits[0].Metric != 0.9 {
+		t.Errorf("search = %+v", hits)
+	}
+	if _, ok := s.Get("ghost", 0); ok {
+		t.Error("missing model should not be found")
+	}
+	if _, ok := s.Get("m", 9); ok {
+		t.Error("missing version should not be found")
+	}
+}
+
+func TestAcceleratorBreakEven(t *testing.T) {
+	// Small data: CPU wins (launch + transfer dominate). Large data:
+	// accelerator wins (compute rate dominates). E20's central shape.
+	d, totalCols := 16, 64
+	small := 128
+	cpuSmall := EpochCost(CPU(), ColumnStore, small, d, totalCols)
+	accSmall := EpochCost(Accelerator(), ColumnStore, small, d, totalCols)
+	if accSmall <= cpuSmall {
+		t.Errorf("at %d rows the CPU (%.0f) should beat the accelerator (%.0f)", small, cpuSmall, accSmall)
+	}
+	big := 1 << 16
+	cpuBig := EpochCost(CPU(), ColumnStore, big, d, totalCols)
+	accBig := EpochCost(Accelerator(), ColumnStore, big, d, totalCols)
+	if accBig >= cpuBig {
+		t.Errorf("at %d rows the accelerator (%.0f) should beat the CPU (%.0f)", big, accBig, cpuBig)
+	}
+	be := BreakEvenRows(ColumnStore, d, totalCols, 1<<20)
+	t.Logf("break-even at %d rows", be)
+	if be <= small || be > big {
+		t.Errorf("break-even %d should lie between %d and %d", be, small, big)
+	}
+}
+
+func TestColumnStoreFeedsCheaper(t *testing.T) {
+	// ColumnML claim: with few feature columns out of many, column-store
+	// extraction is far cheaper.
+	n, d, totalCols := 10000, 8, 100
+	col := EpochCost(Accelerator(), ColumnStore, n, d, totalCols)
+	row := EpochCost(Accelerator(), RowStore, n, d, totalCols)
+	if col >= row {
+		t.Errorf("column-store epoch (%.0f) should beat row-store (%.0f)", col, row)
+	}
+}
+
+func TestCheckpointRecoveryBoundsRedo(t *testing.T) {
+	rng := ml.NewRNG(5)
+	const total = 100
+	crashAt := map[int]bool{37: true, 81: true}
+	run := func(every int) int {
+		net := ml.NewMLP(ml.NewRNG(6), ml.ReLU, 2, 4, 1)
+		tr := &CheckpointedTrainer{CheckpointEvery: every}
+		step := func(epoch int) {
+			net.TrainStep([]float64{rng.Float64(), rng.Float64()}, []float64{1}, 0.01)
+		}
+		crashes := tr.Run(net, total, step, cloneSet(crashAt))
+		if crashes != 2 {
+			t.Fatalf("expected 2 crashes, got %d", crashes)
+		}
+		return tr.EpochsExecuted
+	}
+	withCkpt := run(10)
+	withoutCkpt := run(0)
+	t.Logf("epochs executed: checkpointed %d, naive restart %d (ideal %d)", withCkpt, withoutCkpt, total)
+	if withCkpt >= withoutCkpt {
+		t.Errorf("checkpointing (%d epochs) should redo less than restarting (%d)", withCkpt, withoutCkpt)
+	}
+	// Redo bound: at most CheckpointEvery-1 per crash.
+	if withCkpt > total+2*(10-1) {
+		t.Errorf("checkpointed redo %d exceeds bound %d", withCkpt, total+2*9)
+	}
+}
+
+func cloneSet(m map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func TestCheckpointNoCrashNoOverhead(t *testing.T) {
+	net := ml.NewMLP(ml.NewRNG(7), ml.ReLU, 2, 4, 1)
+	tr := &CheckpointedTrainer{CheckpointEvery: 5}
+	crashes := tr.Run(net, 20, func(int) {}, nil)
+	if crashes != 0 || tr.EpochsExecuted != 20 {
+		t.Errorf("crashes=%d epochs=%d, want 0/20", crashes, tr.EpochsExecuted)
+	}
+	if tr.Checkpoints != 4 {
+		t.Errorf("checkpoints = %d, want 4", tr.Checkpoints)
+	}
+}

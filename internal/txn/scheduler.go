@@ -1,0 +1,85 @@
+package txn
+
+// ScheduleResult summarizes a simulated execution of a transaction batch.
+type ScheduleResult struct {
+	// Makespan is the total ticks to finish every transaction.
+	Makespan int
+	// Aborts counts deadlock-induced aborts (each retried once admitted
+	// alone, so work still completes).
+	Aborts int
+	// Waits counts admission attempts deferred due to conflicts.
+	Waits int
+}
+
+// Scheduler admits declared transactions with a maximum concurrency and
+// simulates their execution under strict 2PL. It is deterministic: ticks
+// advance in lockstep, each running transaction finishes after its
+// Duration, and admission order is exactly the order of the input slice —
+// making it the FIFO baseline that learned schedulers improve on by
+// permuting the input.
+type Scheduler struct {
+	// MaxConcurrent bounds simultaneously running transactions
+	// (default 4 when zero).
+	MaxConcurrent int
+}
+
+// Run simulates executing txns in the given admission order.
+func (s *Scheduler) Run(txns []*Transaction) ScheduleResult {
+	maxC := s.MaxConcurrent
+	if maxC == 0 {
+		maxC = 4
+	}
+	var res ScheduleResult
+	type running struct {
+		t         *Transaction
+		remaining int
+	}
+	var queue []*Transaction
+	queue = append(queue, txns...)
+	var active []*running
+	tick := 0
+	conflictsWithActive := func(t *Transaction) bool {
+		for _, r := range active {
+			if Conflicts(t, r.t) {
+				return true
+			}
+		}
+		return false
+	}
+	for len(queue) > 0 || len(active) > 0 {
+		// Strict FIFO admission with head-of-line blocking: only the head
+		// of the queue may be admitted; if it conflicts with the running
+		// set, admission stalls until the conflicting work drains. This
+		// is the "schedule workload sequentially, cannot consider
+		// potential conflicts" behaviour the paper's learned schedulers
+		// improve on — they reorder the queue, not the admission rule.
+		for len(queue) > 0 && len(active) < maxC {
+			head := queue[0]
+			if conflictsWithActive(head) {
+				res.Waits++
+				break
+			}
+			active = append(active, &running{t: head, remaining: head.Duration})
+			queue = queue[1:]
+		}
+		if len(active) == 0 && len(queue) > 0 {
+			// Defensive: a transaction can never conflict with an empty
+			// running set, but guard against pathological conflict specs.
+			head := queue[0]
+			queue = queue[1:]
+			active = append(active, &running{t: head, remaining: head.Duration})
+		}
+		// Advance one tick.
+		tick++
+		next := active[:0]
+		for _, r := range active {
+			r.remaining--
+			if r.remaining > 0 {
+				next = append(next, r)
+			}
+		}
+		active = next
+	}
+	res.Makespan = tick
+	return res
+}

@@ -1,0 +1,293 @@
+// Package txnsched implements learned transaction management (E11):
+//
+//   - Workload forecasting (Ma et al., "Query-based Workload Forecasting"):
+//     a linear model over lagged arrival rates and time-of-day features,
+//     against the rule-based last-value/moving-average baselines.
+//   - Learned transaction scheduling (Sheng et al.): a logistic conflict
+//     predictor over hashed access-set signatures drives a greedy
+//     admission order that interleaves conflicting transactions, compared
+//     to the FIFO baseline in internal/txn.
+package txnsched
+
+import (
+	"hash/fnv"
+	"math"
+
+	"aidb/internal/ml"
+	"aidb/internal/txn"
+)
+
+// Forecaster predicts the next arrival rate from history.
+type Forecaster interface {
+	// Fit trains on a historical series.
+	Fit(series []float64) error
+	// Predict returns the forecast h steps past the end of history,
+	// feeding its own predictions back for multi-step horizons.
+	Predict(history []float64, h int) float64
+	Name() string
+}
+
+// LastValue is the naive baseline: tomorrow looks like today.
+type LastValue struct{}
+
+// Fit implements Forecaster.
+func (LastValue) Fit([]float64) error { return nil }
+
+// Predict implements Forecaster.
+func (LastValue) Predict(history []float64, h int) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	return history[len(history)-1]
+}
+
+// Name implements Forecaster.
+func (LastValue) Name() string { return "last-value" }
+
+// MovingAverage is the rule-based baseline: average of the last Window
+// points (default 12).
+type MovingAverage struct{ Window int }
+
+// Fit implements Forecaster.
+func (MovingAverage) Fit([]float64) error { return nil }
+
+// Predict implements Forecaster.
+func (m MovingAverage) Predict(history []float64, h int) float64 {
+	w := m.Window
+	if w == 0 {
+		w = 12
+	}
+	if len(history) < w {
+		w = len(history)
+	}
+	if w == 0 {
+		return 0
+	}
+	return ml.Mean(history[len(history)-w:])
+}
+
+// Name implements Forecaster.
+func (m MovingAverage) Name() string { return "moving-average" }
+
+// Linear is the learned forecaster: ridge regression over lag features
+// plus sinusoidal time-of-day features (period 96 ticks, matching the
+// diurnal generator), the linear core of QB5000.
+type Linear struct {
+	Lags  int // default 8
+	model ml.LinearRegression
+	t     int // absolute time of the end of the training series
+}
+
+// Name implements Forecaster.
+func (*Linear) Name() string { return "learned-linear" }
+
+func (l *Linear) lags() int {
+	if l.Lags == 0 {
+		return 8
+	}
+	return l.Lags
+}
+
+func (l *Linear) featurize(window []float64, t int) []float64 {
+	f := make([]float64, 0, l.lags()+3)
+	f = append(f, window...)
+	f = append(f, sinCos(t)...)
+	f = append(f, float64(t)/1000) // slow trend term
+	return f
+}
+
+func sinCos(t int) []float64 {
+	const period = 96
+	angle := 2 * math.Pi * float64(t%period) / period
+	return []float64{math.Sin(angle), math.Cos(angle)}
+}
+
+// Fit implements Forecaster.
+func (l *Linear) Fit(series []float64) error {
+	k := l.lags()
+	n := len(series) - k
+	if n < 4 {
+		return errTooShort
+	}
+	x := ml.NewMatrix(n, k+3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		copy(x.Row(i), l.featurize(series[i:i+k], i+k))
+		y[i] = series[i+k]
+	}
+	l.model.Lambda = 1e-3
+	l.t = len(series)
+	return l.model.Fit(x, y)
+}
+
+// Predict implements Forecaster.
+func (l *Linear) Predict(history []float64, h int) float64 {
+	k := l.lags()
+	window := append([]float64(nil), history...)
+	t := len(history)
+	var out float64
+	for step := 0; step < h; step++ {
+		if len(window) < k {
+			return LastValue{}.Predict(window, 1)
+		}
+		out = l.model.Predict(l.featurize(window[len(window)-k:], t))
+		if out < 0 {
+			out = 0
+		}
+		window = append(window, out)
+		t++
+	}
+	return out
+}
+
+var errTooShort = errorString("txnsched: series too short to fit")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// EvaluateForecasters computes one-step-ahead MAE over the tail of a
+// series, training on the head.
+func EvaluateForecasters(series []float64, split int, fs ...Forecaster) map[string]float64 {
+	out := map[string]float64{}
+	for _, f := range fs {
+		if err := f.Fit(series[:split]); err != nil {
+			out[f.Name()] = -1
+			continue
+		}
+		var preds, truth []float64
+		for i := split; i < len(series); i++ {
+			preds = append(preds, f.Predict(series[:i], 1))
+			truth = append(truth, series[i])
+		}
+		out[f.Name()] = ml.MAE(preds, truth)
+	}
+	return out
+}
+
+// --- Learned conflict-aware scheduling ---
+
+// signature hashes a transaction's access set into k buckets — the
+// partial information the conflict predictor sees (it must generalize,
+// not memorize key strings).
+func signature(t *txn.Transaction, k int) []float64 {
+	sig := make([]float64, 2*k)
+	add := func(keys []string, off int) {
+		for _, key := range keys {
+			h := fnv.New32a()
+			h.Write([]byte(key))
+			sig[off+int(h.Sum32())%k]++
+		}
+	}
+	add(t.ReadSet, 0)
+	add(t.WriteSet, k)
+	return sig
+}
+
+// pairFeatures combines two signatures into conflict-predictive features:
+// write/write and write/read bucket overlaps.
+func pairFeatures(a, b []float64, k int) []float64 {
+	ww, wr, rw := 0.0, 0.0, 0.0
+	for i := 0; i < k; i++ {
+		ww += a[k+i] * b[k+i]
+		wr += a[k+i] * b[i]
+		rw += a[i] * b[k+i]
+	}
+	return []float64{ww, wr, rw}
+}
+
+// ConflictModel predicts whether two transactions conflict.
+type ConflictModel struct {
+	K int // signature buckets (default 16)
+	m ml.LogisticRegression
+}
+
+func (c *ConflictModel) k() int {
+	if c.K == 0 {
+		return 16
+	}
+	return c.K
+}
+
+// Train fits the predictor on labelled historical pairs.
+func (c *ConflictModel) Train(pairs [][2]*txn.Transaction, labels []bool) error {
+	k := c.k()
+	x := ml.NewMatrix(len(pairs), 3)
+	y := make([]float64, len(pairs))
+	for i, p := range pairs {
+		copy(x.Row(i), pairFeatures(signature(p[0], k), signature(p[1], k), k))
+		if labels[i] {
+			y[i] = 1
+		}
+	}
+	c.m = ml.LogisticRegression{Epochs: 300, LearningRate: 0.5}
+	return c.m.Fit(x, y)
+}
+
+// Conflicts predicts whether a and b conflict.
+func (c *ConflictModel) Conflicts(a, b *txn.Transaction) bool {
+	k := c.k()
+	return c.m.Predict(pairFeatures(signature(a, k), signature(b, k), k)) == 1
+}
+
+// LearnedScheduler admits transactions in an order chosen by the conflict
+// model: at each step it prefers a transaction predicted not to conflict
+// with the most recently admitted window, interleaving hot-key writers
+// with independent work.
+type LearnedScheduler struct {
+	Model *ConflictModel
+	// Window is how many recent admissions to check against (default 3).
+	Window int
+}
+
+// Order permutes txns into the learned admission order.
+func (ls *LearnedScheduler) Order(txns []*txn.Transaction) []*txn.Transaction {
+	w := ls.Window
+	if w == 0 {
+		w = 3
+	}
+	remaining := append([]*txn.Transaction(nil), txns...)
+	var out []*txn.Transaction
+	for len(remaining) > 0 {
+		recent := out
+		if len(recent) > w {
+			recent = recent[len(recent)-w:]
+		}
+		pick := 0
+		found := false
+		for i, t := range remaining {
+			ok := true
+			for _, r := range recent {
+				if ls.Model.Conflicts(t, r) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pick = i
+				found = true
+				break
+			}
+		}
+		if !found {
+			pick = 0 // everything conflicts; take FIFO head
+		}
+		out = append(out, remaining[pick])
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return out
+}
+
+// TrainingPairsFromHistory labels pairs using the true conflict relation —
+// in a real system these labels come from observed lock waits.
+func TrainingPairsFromHistory(rng *ml.RNG, history []*txn.Transaction, n int) ([][2]*txn.Transaction, []bool) {
+	var pairs [][2]*txn.Transaction
+	var labels []bool
+	for i := 0; i < n; i++ {
+		a := history[rng.Intn(len(history))]
+		b := history[rng.Intn(len(history))]
+		pairs = append(pairs, [2]*txn.Transaction{a, b})
+		labels = append(labels, txn.Conflicts(a, b))
+	}
+	return pairs, labels
+}

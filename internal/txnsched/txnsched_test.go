@@ -1,0 +1,156 @@
+package txnsched
+
+import (
+	"fmt"
+	"testing"
+
+	"aidb/internal/ml"
+	"aidb/internal/txn"
+	"aidb/internal/workload"
+)
+
+func TestLastValueAndMovingAverage(t *testing.T) {
+	hist := []float64{1, 2, 3, 4, 5}
+	if v := (LastValue{}).Predict(hist, 1); v != 5 {
+		t.Errorf("last value = %v", v)
+	}
+	if v := (MovingAverage{Window: 2}).Predict(hist, 1); v != 4.5 {
+		t.Errorf("moving average = %v", v)
+	}
+	if v := (LastValue{}).Predict(nil, 1); v != 0 {
+		t.Errorf("empty history = %v", v)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	var l Linear
+	if err := l.Fit([]float64{1, 2, 3}); err == nil {
+		t.Error("expected error on too-short series")
+	}
+}
+
+func TestLinearBeatsBaselinesOnDiurnal(t *testing.T) {
+	rng := ml.NewRNG(1)
+	series := workload.ArrivalSeries(rng, workload.Diurnal, 600, 100)
+	res := EvaluateForecasters(series, 400, &Linear{}, LastValue{}, MovingAverage{})
+	t.Logf("MAE: linear %.2f, last-value %.2f, moving-average %.2f",
+		res["learned-linear"], res["last-value"], res["moving-average"])
+	if res["learned-linear"] >= res["moving-average"] {
+		t.Errorf("learned MAE %.2f should beat moving average %.2f on diurnal workload", res["learned-linear"], res["moving-average"])
+	}
+}
+
+func TestLinearBeatsMovingAverageOnDrift(t *testing.T) {
+	rng := ml.NewRNG(2)
+	series := workload.ArrivalSeries(rng, workload.Drifting, 600, 100)
+	res := EvaluateForecasters(series, 400, &Linear{}, MovingAverage{Window: 48})
+	t.Logf("MAE: linear %.2f, moving-average %.2f", res["learned-linear"], res["moving-average"])
+	if res["learned-linear"] >= res["moving-average"] {
+		t.Errorf("learned MAE %.2f should beat a wide moving average %.2f under drift", res["learned-linear"], res["moving-average"])
+	}
+}
+
+func TestLinearMultiStepPrediction(t *testing.T) {
+	rng := ml.NewRNG(3)
+	series := workload.ArrivalSeries(rng, workload.Diurnal, 500, 100)
+	l := &Linear{}
+	if err := l.Fit(series[:400]); err != nil {
+		t.Fatal(err)
+	}
+	// 10-step-ahead forecast should stay within a plausible range.
+	p := l.Predict(series[:400], 10)
+	if p < 0 || p > 400 {
+		t.Errorf("10-step forecast %v implausible for base rate 100", p)
+	}
+}
+
+// hotKeyWorkload builds transactions where a fraction hammer one hot key.
+func hotKeyWorkload(rng *ml.RNG, n int, hotFrac float64) []*txn.Transaction {
+	var out []*txn.Transaction
+	for i := 0; i < n; i++ {
+		tx := &txn.Transaction{ID: uint64(i + 1), Duration: 2}
+		if rng.Float64() < hotFrac {
+			tx.WriteSet = []string{"hot"}
+		} else {
+			tx.WriteSet = []string{fmt.Sprintf("cold%d", rng.Intn(1000))}
+		}
+		out = append(out, tx)
+	}
+	return out
+}
+
+func TestConflictModelAccuracy(t *testing.T) {
+	rng := ml.NewRNG(4)
+	history := hotKeyWorkload(rng, 300, 0.4)
+	pairs, labels := TrainingPairsFromHistory(rng, history, 600)
+	var cm ConflictModel
+	if err := cm.Train(pairs, labels); err != nil {
+		t.Fatal(err)
+	}
+	test := hotKeyWorkload(rng, 100, 0.4)
+	correct, total := 0, 0
+	for i := 0; i < len(test); i++ {
+		for j := i + 1; j < i+10 && j < len(test); j++ {
+			pred := cm.Conflicts(test[i], test[j])
+			truth := txn.Conflicts(test[i], test[j])
+			if pred == truth {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	t.Logf("conflict prediction accuracy %.3f", acc)
+	if acc < 0.85 {
+		t.Errorf("conflict model accuracy %.3f, want >= 0.85", acc)
+	}
+}
+
+func TestLearnedSchedulerBeatsFIFO(t *testing.T) {
+	rng := ml.NewRNG(5)
+	history := hotKeyWorkload(rng, 300, 0.5)
+	pairs, labels := TrainingPairsFromHistory(rng, history, 600)
+	var cm ConflictModel
+	if err := cm.Train(pairs, labels); err != nil {
+		t.Fatal(err)
+	}
+	// Adversarial FIFO order: all hot writers first (bursty arrival).
+	var batch []*txn.Transaction
+	for i := 0; i < 20; i++ {
+		batch = append(batch, &txn.Transaction{ID: uint64(i + 1), WriteSet: []string{"hot"}, Duration: 2})
+	}
+	for i := 0; i < 20; i++ {
+		batch = append(batch, &txn.Transaction{ID: uint64(100 + i), WriteSet: []string{fmt.Sprintf("c%d", i)}, Duration: 2})
+	}
+	sched := &txn.Scheduler{MaxConcurrent: 4}
+	fifo := sched.Run(batch)
+	ls := &LearnedScheduler{Model: &cm}
+	reordered := ls.Order(append([]*txn.Transaction(nil), batch...))
+	learned := sched.Run(reordered)
+	t.Logf("FIFO makespan %d, learned makespan %d", fifo.Makespan, learned.Makespan)
+	if learned.Makespan >= fifo.Makespan {
+		t.Errorf("learned makespan %d should beat FIFO %d (E11 claim)", learned.Makespan, fifo.Makespan)
+	}
+}
+
+func TestLearnedOrderIsPermutation(t *testing.T) {
+	rng := ml.NewRNG(6)
+	history := hotKeyWorkload(rng, 100, 0.3)
+	pairs, labels := TrainingPairsFromHistory(rng, history, 200)
+	var cm ConflictModel
+	if err := cm.Train(pairs, labels); err != nil {
+		t.Fatal(err)
+	}
+	batch := hotKeyWorkload(rng, 50, 0.3)
+	out := (&LearnedScheduler{Model: &cm}).Order(batch)
+	if len(out) != len(batch) {
+		t.Fatalf("order changed length: %d vs %d", len(out), len(batch))
+	}
+	seen := map[uint64]bool{}
+	for _, tx := range out {
+		if seen[tx.ID] {
+			t.Fatalf("transaction %d appears twice", tx.ID)
+		}
+		seen[tx.ID] = true
+	}
+}

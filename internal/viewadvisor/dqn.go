@@ -1,0 +1,140 @@
+package viewadvisor
+
+import (
+	"sort"
+
+	"aidb/internal/ml"
+	"aidb/internal/rl"
+)
+
+// DQNAdvisor is the deep-RL variant of the view advisor, closest to Han
+// et al.'s DRL formulation: a Q-network maps (normalized decayed
+// query-rate state, candidate template) to estimated per-epoch benefit,
+// trained online from the realized benefit of materialized templates.
+// Compared to the tabular RL advisor it generalizes across rate levels —
+// a template it has never materialized still gets a sensible estimate
+// from templates with similar observed rates.
+type DQNAdvisor struct {
+	Decay float64 // recency weight (default 0.5)
+
+	env   Env
+	net   *rl.DQN
+	rng   *ml.RNG
+	rates []float64
+	seen  bool
+	// prev holds last epoch's selection so realized benefits can be
+	// credited when the next counts arrive.
+	prev map[int]bool
+}
+
+// NewDQNAdvisor creates the deep-RL advisor.
+func NewDQNAdvisor(rng *ml.RNG, env Env) *DQNAdvisor {
+	// State: [normalized rate of candidate template]; action space is
+	// binary (materialize or not), so the Q-net has 2 outputs.
+	d := rl.NewDQN(rng, 1, 16, 2)
+	d.Epsilon = 0.1
+	d.LearnRate = 0.02
+	d.BatchSize = 8
+	return &DQNAdvisor{env: env, net: d, rng: rng, rates: make([]float64, env.NumTemplates), prev: map[int]bool{}}
+}
+
+// Name implements Advisor.
+func (*DQNAdvisor) Name() string { return "dqn-deep-rl" }
+
+// rateScale normalizes rates into roughly [0, 1] for the network.
+func (a *DQNAdvisor) rateScale() float64 {
+	maxR := 1.0
+	for _, r := range a.rates {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	return maxR
+}
+
+// SelectViews implements Advisor.
+func (a *DQNAdvisor) SelectViews(prevCounts []int, budget int) map[int]bool {
+	decay := a.Decay
+	if decay == 0 {
+		decay = 0.5
+	}
+	if prevCounts != nil {
+		// Credit last epoch's decisions with their realized benefit,
+		// normalizing rewards to a stable range for the Q-net. The very
+		// first counts carry no usable state (rates were uninitialized at
+		// selection time), so they only seed the rate estimates.
+		if a.seen {
+			scale := a.env.ScanCost * float64(maxCount(prevCounts)+1)
+			for tpl, cnt := range prevCounts {
+				state := []float64{a.rates[tpl] / a.rateScale()}
+				action := 0
+				if a.prev[tpl] {
+					action = 1
+				}
+				reward := 0.0
+				if a.prev[tpl] {
+					reward = (float64(cnt)*(a.env.ScanCost-a.env.ViewCost) - a.env.MaintCost) / scale
+				}
+				a.net.Observe(rl.Transition{State: state, Action: action, Reward: reward, Done: true})
+			}
+		}
+		for tpl, cnt := range prevCounts {
+			if a.seen {
+				a.rates[tpl] = decay*float64(cnt) + (1-decay)*a.rates[tpl]
+			} else {
+				a.rates[tpl] = float64(cnt)
+			}
+		}
+		a.seen = true
+	}
+	// Rank templates by Q(materialize) - Q(skip).
+	type tv struct {
+		tpl   int
+		value float64
+	}
+	scale := a.rateScale()
+	all := make([]tv, a.env.NumTemplates)
+	for tpl := range all {
+		q := a.net.QValues([]float64{a.rates[tpl] / scale})
+		all[tpl] = tv{tpl, q[1] - q[0]}
+	}
+	sort.Slice(all, func(x, y int) bool {
+		if all[x].value != all[y].value {
+			return all[x].value > all[y].value
+		}
+		return all[x].tpl < all[y].tpl
+	})
+	out := map[int]bool{}
+	for i := 0; i < budget && i < len(all); i++ {
+		if all[i].value > 0 || !a.seen {
+			out[all[i].tpl] = true
+		}
+	}
+	// Exploration: with some probability materialize the template with
+	// the highest observed rate that was not selected — this is what
+	// generates (hot state, materialize) experience when the Q-net's
+	// initialization is pessimistic about high-rate states.
+	if len(out) < budget && a.rng.Float64() < 0.3 {
+		bestTpl, bestRate := -1, -1.0
+		for tpl, r := range a.rates {
+			if !out[tpl] && r > bestRate {
+				bestRate, bestTpl = r, tpl
+			}
+		}
+		if bestTpl >= 0 {
+			out[bestTpl] = true
+		}
+	}
+	a.prev = out
+	return out
+}
+
+func maxCount(counts []int) int {
+	m := 0
+	for _, c := range counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

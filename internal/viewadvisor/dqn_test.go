@@ -1,0 +1,65 @@
+package viewadvisor
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+)
+
+func TestDQNAdvisorLearnsHotTemplates(t *testing.T) {
+	env := testEnv()
+	adv := NewDQNAdvisor(ml.NewRNG(1), env)
+	counts := []int{60, 50, 1, 1, 1, 1, 1, 1, 1, 1}
+	var views map[int]bool
+	for epoch := 0; epoch < 25; epoch++ {
+		views = adv.SelectViews(counts, 2)
+	}
+	if !views[0] || !views[1] {
+		t.Errorf("DQN advisor failed to learn hot templates: %v", views)
+	}
+}
+
+func TestDQNAdvisorRespectsBudget(t *testing.T) {
+	env := testEnv()
+	adv := NewDQNAdvisor(ml.NewRNG(2), env)
+	counts := []int{9, 9, 9, 9, 9, 9, 9, 9, 9, 9}
+	for epoch := 0; epoch < 10; epoch++ {
+		if v := adv.SelectViews(counts, 3); len(v) > 3 {
+			t.Fatalf("budget exceeded: %v", v)
+		}
+	}
+}
+
+func TestDQNAdvisorBeatsNoViewsUnderDrift(t *testing.T) {
+	env := testEnv()
+	phases := driftPhases()
+	// Longer phases give the Q-net time to learn each regime.
+	for i := range phases {
+		phases[i].Epochs = 20
+	}
+	res := Simulate(ml.NewRNG(3), env, phases, NewDQNAdvisor(ml.NewRNG(4), env), 2)
+	t.Logf("dqn %.0f, no-views %.0f, oracle %.0f", res.TotalCost, res.NoViewCost, res.OracleCost)
+	if res.TotalCost >= res.NoViewCost {
+		t.Errorf("DQN advisor cost %.0f should beat no materialization %.0f", res.TotalCost, res.NoViewCost)
+	}
+}
+
+func TestDQNGeneralizesAcrossTemplates(t *testing.T) {
+	// Train with template 0 hot; then template 5 becomes hot at the same
+	// rate. The rate-based state means the Q-net should immediately value
+	// template 5 without ever having materialized it.
+	env := testEnv()
+	adv := NewDQNAdvisor(ml.NewRNG(5), env)
+	hot0 := []int{60, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	for epoch := 0; epoch < 20; epoch++ {
+		adv.SelectViews(hot0, 1)
+	}
+	hot5 := []int{1, 1, 1, 1, 1, 60, 1, 1, 1, 1}
+	var views map[int]bool
+	for epoch := 0; epoch < 4; epoch++ {
+		views = adv.SelectViews(hot5, 1)
+	}
+	if !views[5] {
+		t.Errorf("DQN should transfer its rate->benefit mapping to template 5: %v", views)
+	}
+}

@@ -1,0 +1,218 @@
+// Package viewadvisor implements materialized-view selection (E3). A
+// workload draws queries from templates; materializing a template answers
+// its queries cheaply at a per-epoch maintenance cost. The advisors pick
+// up to a budget of views per epoch:
+//
+//   - Static greedy (the DBA baseline): chooses once from the first
+//     epoch's frequencies and never revisits — it goes stale under drift.
+//   - RL advisor (Han et al.-style): learns per-view benefit estimates
+//     from realized rewards with recency weighting and epsilon-greedy
+//     exploration, re-selecting every epoch, so it tracks drift.
+//   - Oracle: per-epoch optimum, the upper bound.
+package viewadvisor
+
+import (
+	"sort"
+
+	"aidb/internal/ml"
+)
+
+// Env models the query/view economics for one experiment.
+type Env struct {
+	// NumTemplates is the number of view candidates.
+	NumTemplates int
+	// ScanCost is the cost of answering a query without its view.
+	ScanCost float64
+	// ViewCost is the cost of answering a query from its view.
+	ViewCost float64
+	// MaintCost is the per-epoch cost of keeping one view fresh.
+	MaintCost float64
+}
+
+// EpochCost returns the total cost of serving queryCounts (per template)
+// with the given materialized set.
+func (e Env) EpochCost(queryCounts []int, views map[int]bool) float64 {
+	total := float64(len(views)) * e.MaintCost
+	for tpl, cnt := range queryCounts {
+		if views[tpl] {
+			total += float64(cnt) * e.ViewCost
+		} else {
+			total += float64(cnt) * e.ScanCost
+		}
+	}
+	return total
+}
+
+// OracleViews returns the per-epoch optimal set: the top-budget templates
+// whose query savings exceed maintenance.
+func (e Env) OracleViews(queryCounts []int, budget int) map[int]bool {
+	type tb struct {
+		tpl     int
+		benefit float64
+	}
+	var all []tb
+	for tpl, cnt := range queryCounts {
+		b := float64(cnt)*(e.ScanCost-e.ViewCost) - e.MaintCost
+		all = append(all, tb{tpl, b})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].benefit != all[b].benefit {
+			return all[a].benefit > all[b].benefit
+		}
+		return all[a].tpl < all[b].tpl
+	})
+	out := map[int]bool{}
+	for i := 0; i < budget && i < len(all); i++ {
+		if all[i].benefit > 0 {
+			out[all[i].tpl] = true
+		}
+	}
+	return out
+}
+
+// Advisor selects views for the next epoch given the previous epoch's
+// observed per-template query counts.
+type Advisor interface {
+	// SelectViews is called once per epoch, before serving it, with the
+	// counts observed in the previous epoch (nil for the first).
+	SelectViews(prevCounts []int, budget int) map[int]bool
+	// Name identifies the advisor.
+	Name() string
+}
+
+// StaticGreedy chooses views from the first observed epoch and then holds
+// them forever — the "DBA tuned it once" baseline.
+type StaticGreedy struct {
+	env    Env
+	chosen map[int]bool
+}
+
+// NewStaticGreedy creates the baseline for env.
+func NewStaticGreedy(env Env) *StaticGreedy { return &StaticGreedy{env: env} }
+
+// Name implements Advisor.
+func (*StaticGreedy) Name() string { return "static-greedy" }
+
+// SelectViews implements Advisor.
+func (s *StaticGreedy) SelectViews(prevCounts []int, budget int) map[int]bool {
+	if s.chosen == nil {
+		if prevCounts == nil {
+			return map[int]bool{}
+		}
+		s.chosen = s.env.OracleViews(prevCounts, budget)
+	}
+	return s.chosen
+}
+
+// RL is the adaptive learned advisor: it maintains exponentially-decayed
+// per-template query-rate estimates (its state), converts them to benefit
+// estimates (its value function), and epsilon-greedily explores
+// uncertain templates. Re-selecting each epoch with decayed state is what
+// makes it track drift (the paper's dynamic-workload claim).
+type RL struct {
+	// Decay is the recency weight on rate estimates (default 0.5).
+	Decay float64
+	// Epsilon is the exploration probability per slot (default 0.1).
+	Epsilon float64
+
+	env   Env
+	rng   *ml.RNG
+	rates []float64
+	seen  bool
+}
+
+// NewRL creates the learned advisor.
+func NewRL(rng *ml.RNG, env Env) *RL {
+	return &RL{env: env, rng: rng, rates: make([]float64, env.NumTemplates)}
+}
+
+// Name implements Advisor.
+func (*RL) Name() string { return "rl-adaptive" }
+
+// SelectViews implements Advisor.
+func (r *RL) SelectViews(prevCounts []int, budget int) map[int]bool {
+	decay := r.Decay
+	if decay == 0 {
+		decay = 0.5
+	}
+	eps := r.Epsilon
+	if eps == 0 {
+		eps = 0.05
+	}
+	if prevCounts != nil {
+		for tpl, cnt := range prevCounts {
+			if r.seen {
+				r.rates[tpl] = decay*float64(cnt) + (1-decay)*r.rates[tpl]
+			} else {
+				r.rates[tpl] = float64(cnt)
+			}
+		}
+		r.seen = true
+	}
+	type tb struct {
+		tpl   int
+		value float64
+	}
+	all := make([]tb, r.env.NumTemplates)
+	for tpl := range all {
+		benefit := r.rates[tpl]*(r.env.ScanCost-r.env.ViewCost) - r.env.MaintCost
+		all[tpl] = tb{tpl, benefit}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].value != all[b].value {
+			return all[a].value > all[b].value
+		}
+		return all[a].tpl < all[b].tpl
+	})
+	out := map[int]bool{}
+	for i := 0; i < budget && i < len(all); i++ {
+		pick := all[i]
+		// Occasionally explore a non-top template in the *last* slot only,
+		// so the clearly-hot views are never sacrificed.
+		if i == budget-1 && r.rng.Float64() < eps && len(all) > budget {
+			pick = all[budget+r.rng.Intn(len(all)-budget)]
+		}
+		if pick.value > 0 || !r.seen {
+			out[pick.tpl] = true
+		}
+	}
+	return out
+}
+
+// Phase describes one workload phase: a per-template query-rate vector
+// lasting Epochs epochs.
+type Phase struct {
+	Rates  []float64
+	Epochs int
+}
+
+// SimResult is the outcome of simulating an advisor over phases.
+type SimResult struct {
+	TotalCost  float64
+	OracleCost float64
+	// NoViewCost is the cost with no materialization at all.
+	NoViewCost float64
+}
+
+// Simulate runs the phased workload against an advisor, drawing Poisson-ish
+// query counts from each phase's rates.
+func Simulate(rng *ml.RNG, env Env, phases []Phase, advisor Advisor, budget int) SimResult {
+	var res SimResult
+	var prev []int
+	for _, ph := range phases {
+		for e := 0; e < ph.Epochs; e++ {
+			counts := make([]int, env.NumTemplates)
+			for tpl, rate := range ph.Rates {
+				// Deterministic noise around the rate.
+				c := rate * (0.8 + 0.4*rng.Float64())
+				counts[tpl] = int(c)
+			}
+			views := advisor.SelectViews(prev, budget)
+			res.TotalCost += env.EpochCost(counts, views)
+			res.OracleCost += env.EpochCost(counts, env.OracleViews(counts, budget))
+			res.NoViewCost += env.EpochCost(counts, nil)
+			prev = counts
+		}
+	}
+	return res
+}

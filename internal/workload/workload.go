@@ -1,0 +1,278 @@
+// Package workload generates the synthetic data, queries and arrival
+// patterns used by every experiment in aidb. Real cloud traces are not
+// available offline, so each generator exposes the distributional property
+// the corresponding experiment depends on (skew, cross-column correlation,
+// drift, burstiness) as an explicit parameter. See DESIGN.md §4.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"aidb/internal/ml"
+)
+
+// Column describes one generated column.
+type Column struct {
+	Name string
+	// NDV is the number of distinct values in [0, NDV).
+	NDV int
+	// Skew is the Zipf exponent used when drawing values (0 = uniform).
+	Skew float64
+	// CorrelatedWith, when >= 0, makes this column a noisy function of the
+	// column at that index: value = base*CorrFactor + noise. This is what
+	// breaks the optimizer's independence assumption in E6.
+	CorrelatedWith int
+	// CorrNoise is the half-width of the uniform noise added to correlated
+	// values (in value units).
+	CorrNoise int
+}
+
+// TableSpec describes a generated table.
+type TableSpec struct {
+	Name    string
+	Rows    int
+	Columns []Column
+}
+
+// Table is generated integer data, column-major for cheap column scans.
+type Table struct {
+	Spec TableSpec
+	// Cols[i][r] is the value of column i in row r.
+	Cols [][]int64
+}
+
+// NumRows returns the number of generated rows.
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return len(t.Cols[0])
+}
+
+// Generate materializes the table drawing from rng.
+func Generate(rng *ml.RNG, spec TableSpec) *Table {
+	t := &Table{Spec: spec, Cols: make([][]int64, len(spec.Columns))}
+	samplers := make([]*ml.Zipf, len(spec.Columns))
+	for i, c := range spec.Columns {
+		t.Cols[i] = make([]int64, spec.Rows)
+		if c.Skew > 0 {
+			samplers[i] = ml.NewZipf(rng, c.NDV, c.Skew)
+		}
+	}
+	for r := 0; r < spec.Rows; r++ {
+		for i, c := range spec.Columns {
+			var v int64
+			switch {
+			case c.CorrelatedWith >= 0 && c.CorrelatedWith < i:
+				base := t.Cols[c.CorrelatedWith][r]
+				noise := int64(0)
+				if c.CorrNoise > 0 {
+					noise = int64(rng.Intn(2*c.CorrNoise+1) - c.CorrNoise)
+				}
+				v = base + noise
+				if v < 0 {
+					v = 0
+				}
+				if v >= int64(c.NDV) {
+					v = int64(c.NDV - 1)
+				}
+			case c.Skew > 0:
+				v = int64(samplers[i].Next())
+			default:
+				v = int64(rng.Intn(c.NDV))
+			}
+			t.Cols[i][r] = v
+		}
+	}
+	return t
+}
+
+// Predicate is a simple range predicate lo <= col <= hi.
+type Predicate struct {
+	Column int
+	Lo, Hi int64
+}
+
+// Matches reports whether value v satisfies the predicate.
+func (p Predicate) Matches(v int64) bool { return v >= p.Lo && v <= p.Hi }
+
+// Query is a conjunctive range query over one table.
+type Query struct {
+	Preds []Predicate
+}
+
+// String renders the query for debugging and state keys.
+func (q Query) String() string {
+	s := ""
+	for i, p := range q.Preds {
+		if i > 0 {
+			s += " AND "
+		}
+		s += fmt.Sprintf("c%d∈[%d,%d]", p.Column, p.Lo, p.Hi)
+	}
+	return s
+}
+
+// TrueCardinality counts rows of t matching all predicates.
+func TrueCardinality(t *Table, q Query) int {
+	n := t.NumRows()
+	count := 0
+	for r := 0; r < n; r++ {
+		ok := true
+		for _, p := range q.Preds {
+			if !p.Matches(t.Cols[p.Column][r]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// QueryGen draws conjunctive range queries over a table spec.
+type QueryGen struct {
+	rng  *ml.RNG
+	spec TableSpec
+	// MinPreds/MaxPreds bound the number of predicates per query.
+	MinPreds, MaxPreds int
+	// MaxWidthFrac bounds each range width as a fraction of the NDV.
+	MaxWidthFrac float64
+}
+
+// NewQueryGen constructs a generator; widths default to up to 30% of NDV,
+// with 1..len(columns) predicates.
+func NewQueryGen(rng *ml.RNG, spec TableSpec) *QueryGen {
+	return &QueryGen{rng: rng, spec: spec, MinPreds: 1, MaxPreds: len(spec.Columns), MaxWidthFrac: 0.3}
+}
+
+// Next draws a query.
+func (g *QueryGen) Next() Query {
+	span := g.MaxPreds - g.MinPreds + 1
+	np := g.MinPreds
+	if span > 1 {
+		np += g.rng.Intn(span)
+	}
+	perm := g.rng.Perm(len(g.spec.Columns))
+	var q Query
+	for _, ci := range perm[:np] {
+		ndv := g.spec.Columns[ci].NDV
+		maxW := int(float64(ndv) * g.MaxWidthFrac)
+		if maxW < 1 {
+			maxW = 1
+		}
+		w := 1 + g.rng.Intn(maxW)
+		lo := g.rng.Intn(ndv)
+		hi := lo + w - 1
+		if hi >= ndv {
+			hi = ndv - 1
+		}
+		q.Preds = append(q.Preds, Predicate{Column: ci, Lo: int64(lo), Hi: int64(hi)})
+	}
+	return q
+}
+
+// ArrivalPattern names a synthetic arrival-rate series shape.
+type ArrivalPattern int
+
+// Supported arrival-rate patterns.
+const (
+	// Diurnal is a smooth day/night sinusoid.
+	Diurnal ArrivalPattern = iota
+	// Bursty is a low base rate with random spikes.
+	Bursty
+	// Drifting ramps the mean up over time (workload drift).
+	Drifting
+)
+
+// ArrivalSeries generates length points of a query arrival-rate series
+// (queries per tick) with the given pattern, base rate and noise drawn
+// from rng. Used by forecasting (E11) and proactive monitoring (E12).
+func ArrivalSeries(rng *ml.RNG, pattern ArrivalPattern, length int, base float64) []float64 {
+	out := make([]float64, length)
+	for i := range out {
+		v := base
+		switch pattern {
+		case Diurnal:
+			v = base * (1 + 0.8*math.Sin(2*math.Pi*float64(i)/96))
+		case Bursty:
+			v = base * 0.4
+			if rng.Float64() < 0.05 {
+				v = base * (2 + 3*rng.Float64())
+			}
+		case Drifting:
+			v = base * (0.5 + 1.5*float64(i)/float64(length))
+		}
+		v += rng.NormFloat64() * base * 0.05
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// JoinGraphKind names the standard join-graph topologies from the join
+// ordering literature.
+type JoinGraphKind int
+
+// Supported join-graph shapes.
+const (
+	Chain JoinGraphKind = iota
+	Star
+	Clique
+)
+
+// JoinGraph describes an n-relation join problem: relation cardinalities
+// plus pairwise join selectivities (0 where no join edge exists).
+type JoinGraph struct {
+	Kind JoinGraphKind
+	// Card[i] is the cardinality of relation i.
+	Card []float64
+	// Sel[i][j] is the join selectivity between relations i and j
+	// (symmetric; 0 means no edge, i.e. cross product if forced).
+	Sel [][]float64
+}
+
+// N returns the number of relations.
+func (g *JoinGraph) N() int { return len(g.Card) }
+
+// Connected reports whether relations i and j share a join edge.
+func (g *JoinGraph) Connected(i, j int) bool { return g.Sel[i][j] > 0 }
+
+// NewJoinGraph generates an n-relation join graph of the given topology.
+// Cardinalities are log-uniform in [1e3, 1e6]; selectivities log-uniform
+// in [1e-4, 1e-1].
+func NewJoinGraph(rng *ml.RNG, kind JoinGraphKind, n int) *JoinGraph {
+	g := &JoinGraph{Kind: kind, Card: make([]float64, n), Sel: make([][]float64, n)}
+	for i := range g.Sel {
+		g.Sel[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		g.Card[i] = math.Pow(10, 3+3*rng.Float64())
+	}
+	edge := func(i, j int) {
+		s := math.Pow(10, -4+3*rng.Float64())
+		g.Sel[i][j], g.Sel[j][i] = s, s
+	}
+	switch kind {
+	case Chain:
+		for i := 0; i+1 < n; i++ {
+			edge(i, i+1)
+		}
+	case Star:
+		for i := 1; i < n; i++ {
+			edge(0, i)
+		}
+	case Clique:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				edge(i, j)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aidb/internal/ml"
+)
+
+func twoColSpec() TableSpec {
+	return TableSpec{
+		Name: "t",
+		Rows: 5000,
+		Columns: []Column{
+			{Name: "a", NDV: 100, CorrelatedWith: -1},
+			{Name: "b", NDV: 100, CorrelatedWith: 0, CorrNoise: 2},
+		},
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	rng := ml.NewRNG(1)
+	tab := Generate(rng, twoColSpec())
+	if tab.NumRows() != 5000 {
+		t.Fatalf("rows = %d, want 5000", tab.NumRows())
+	}
+	if len(tab.Cols) != 2 {
+		t.Fatalf("cols = %d, want 2", len(tab.Cols))
+	}
+	for _, v := range tab.Cols[0] {
+		if v < 0 || v >= 100 {
+			t.Fatalf("value %d outside NDV range", v)
+		}
+	}
+}
+
+func TestGenerateCorrelation(t *testing.T) {
+	rng := ml.NewRNG(2)
+	tab := Generate(rng, twoColSpec())
+	// b ~= a +/- 2, so |a - b| <= 2 always.
+	for r := 0; r < tab.NumRows(); r++ {
+		d := tab.Cols[0][r] - tab.Cols[1][r]
+		if d < -2 || d > 2 {
+			t.Fatalf("row %d: correlation violated, a=%d b=%d", r, tab.Cols[0][r], tab.Cols[1][r])
+		}
+	}
+}
+
+func TestGenerateSkew(t *testing.T) {
+	rng := ml.NewRNG(3)
+	tab := Generate(rng, TableSpec{Rows: 10000, Columns: []Column{{Name: "z", NDV: 50, Skew: 1.5, CorrelatedWith: -1}}})
+	counts := make([]int, 50)
+	for _, v := range tab.Cols[0] {
+		counts[v]++
+	}
+	if counts[0] < counts[25]*3 {
+		t.Errorf("skewed column: counts[0]=%d should dwarf counts[25]=%d", counts[0], counts[25])
+	}
+}
+
+func TestTrueCardinalityMatchesBruteForce(t *testing.T) {
+	rng := ml.NewRNG(4)
+	tab := Generate(rng, twoColSpec())
+	q := Query{Preds: []Predicate{{Column: 0, Lo: 10, Hi: 30}, {Column: 1, Lo: 15, Hi: 25}}}
+	want := 0
+	for r := 0; r < tab.NumRows(); r++ {
+		if tab.Cols[0][r] >= 10 && tab.Cols[0][r] <= 30 && tab.Cols[1][r] >= 15 && tab.Cols[1][r] <= 25 {
+			want++
+		}
+	}
+	if got := TrueCardinality(tab, q); got != want {
+		t.Errorf("TrueCardinality = %d, want %d", got, want)
+	}
+}
+
+func TestQueryGenBounds(t *testing.T) {
+	rng := ml.NewRNG(5)
+	spec := twoColSpec()
+	g := NewQueryGen(rng, spec)
+	for i := 0; i < 200; i++ {
+		q := g.Next()
+		if len(q.Preds) < 1 || len(q.Preds) > 2 {
+			t.Fatalf("predicate count %d out of bounds", len(q.Preds))
+		}
+		for _, p := range q.Preds {
+			if p.Lo > p.Hi {
+				t.Fatalf("inverted range [%d,%d]", p.Lo, p.Hi)
+			}
+			if p.Hi >= int64(spec.Columns[p.Column].NDV) {
+				t.Fatalf("range exceeds NDV")
+			}
+		}
+	}
+}
+
+func TestQueryStringStable(t *testing.T) {
+	q := Query{Preds: []Predicate{{Column: 1, Lo: 2, Hi: 5}}}
+	if q.String() != "c1∈[2,5]" {
+		t.Errorf("String() = %q", q.String())
+	}
+}
+
+func TestArrivalSeriesShapes(t *testing.T) {
+	rng := ml.NewRNG(6)
+	for _, p := range []ArrivalPattern{Diurnal, Bursty, Drifting} {
+		s := ArrivalSeries(rng, p, 500, 100)
+		if len(s) != 500 {
+			t.Fatalf("series length %d", len(s))
+		}
+		for i, v := range s {
+			if v < 0 {
+				t.Fatalf("pattern %v: negative rate at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestArrivalDriftingRampsUp(t *testing.T) {
+	rng := ml.NewRNG(7)
+	s := ArrivalSeries(rng, Drifting, 1000, 100)
+	first, last := ml.Mean(s[:100]), ml.Mean(s[900:])
+	if last < first*1.5 {
+		t.Errorf("drifting series should ramp: first=%v last=%v", first, last)
+	}
+}
+
+func TestJoinGraphTopologies(t *testing.T) {
+	rng := ml.NewRNG(8)
+	chain := NewJoinGraph(rng, Chain, 6)
+	edges := 0
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if chain.Connected(i, j) {
+				edges++
+			}
+		}
+	}
+	if edges != 5 {
+		t.Errorf("chain(6) edges = %d, want 5", edges)
+	}
+	star := NewJoinGraph(rng, Star, 6)
+	for i := 1; i < 6; i++ {
+		if !star.Connected(0, i) {
+			t.Errorf("star: hub not connected to %d", i)
+		}
+	}
+	clique := NewJoinGraph(rng, Clique, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j && !clique.Connected(i, j) {
+				t.Errorf("clique: %d-%d not connected", i, j)
+			}
+		}
+	}
+}
+
+func TestJoinGraphSelectivitySymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := ml.NewRNG(seed)
+		g := NewJoinGraph(rng, Clique, 4)
+		for i := 0; i < 4; i++ {
+			if g.Card[i] < 1e3 || g.Card[i] > 1e6+1 {
+				return false
+			}
+			for j := 0; j < 4; j++ {
+				if g.Sel[i][j] != g.Sel[j][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
