@@ -51,3 +51,4 @@ func BenchmarkE20HardwareAcceleration(b *testing.B) { benchExperiment(b, "E20") 
 func BenchmarkE21InferenceOperators(b *testing.B)   { benchExperiment(b, "E21") }
 func BenchmarkE22HybridInference(b *testing.B)      { benchExperiment(b, "E22") }
 func BenchmarkE23FaultTolerance(b *testing.B)       { benchExperiment(b, "E23") }
+func BenchmarkE24GuardedDegradation(b *testing.B)   { benchExperiment(b, "E24") }

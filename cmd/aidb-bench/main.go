@@ -1,5 +1,6 @@
 // Command aidb-bench regenerates the experiment tables from DESIGN.md's
-// matrix (E1–E23) and prints them, one per experiment.
+// matrix (E1–E23, plus the E24 robustness experiment) and prints them,
+// one per experiment.
 //
 // Usage:
 //

@@ -90,7 +90,10 @@ func New(pool *storage.BufferPool) *Catalog {
 // NewMem creates a catalog over a fresh in-memory disk and pool, sized for
 // tests and examples.
 func NewMem() *Catalog {
-	return New(storage.NewBufferPool(storage.NewMemDisk(), 1024))
+	// The constant capacity is valid by construction, so the config
+	// error NewBufferPool can return is impossible here.
+	pool, _ := storage.NewBufferPool(storage.NewMemDisk(), 1024)
+	return New(pool)
 }
 
 // CreateTable registers a new table.

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	if err := in.Fail("x"); err != nil {
+		t.Errorf("nil injector Fail = %v", err)
+	}
+	if d := in.Latency("x"); d != 0 {
+		t.Errorf("nil injector Latency = %d", d)
+	}
+	buf := []byte{1, 2, 3}
+	if in.Corrupt("x", buf) {
+		t.Error("nil injector corrupted")
+	}
+	if in.Crash("x") {
+		t.Error("nil injector crashed")
+	}
+	if in.Hits("x") != 0 || in.Events() != nil {
+		t.Error("nil injector has state")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []Event {
+		in := New(42).
+			Add(Rule{Site: "a", Kind: Error, Prob: 0.3}).
+			Add(Rule{Site: "b", Kind: Latency, Every: 3, Delay: 7}).
+			Add(Rule{Site: "c", Kind: Crash, After: 5, Limit: 2})
+		for i := 0; i < 50; i++ {
+			in.Fail("a")
+			in.Latency("b")
+			in.Crash("c")
+		}
+		return in.Events()
+	}
+	e1, e2 := run(), run()
+	if len(e1) == 0 {
+		t.Fatal("no faults fired")
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}
+
+// A site's schedule must not depend on how calls to other sites
+// interleave with it: run site "a" alone vs interleaved with "b" traffic
+// and require identical fire positions.
+func TestSiteIsolation(t *testing.T) {
+	fires := func(interleave bool) []uint64 {
+		in := New(7).
+			Add(Rule{Site: "a", Kind: Error, Prob: 0.4}).
+			Add(Rule{Site: "b", Kind: Error, Prob: 0.4})
+		var out []uint64
+		for i := uint64(0); i < 100; i++ {
+			if interleave && i%2 == 0 {
+				in.Fail("b")
+				in.Fail("b")
+			}
+			if in.Fail("a") != nil {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	solo, mixed := fires(false), fires(true)
+	if len(solo) != len(mixed) {
+		t.Fatalf("site a schedule perturbed by site b traffic: %v vs %v", solo, mixed)
+	}
+	for i := range solo {
+		if solo[i] != mixed[i] {
+			t.Fatalf("site a fire %d moved: call %d vs %d", i, solo[i], mixed[i])
+		}
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	in := New(1).Add(Rule{Site: "s", Kind: Error, After: 2, Every: 3, Limit: 2})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if in.Fail("s") != nil {
+			fired = append(fired, i)
+		}
+	}
+	// After skipping 2 calls, fire on every 3rd: calls 5 and 8; Limit 2
+	// stops call 11.
+	want := []int{5, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if in.Hits("s") != 12 {
+		t.Errorf("Hits = %d, want 12", in.Hits("s"))
+	}
+	if in.Fires("s") != 2 {
+		t.Errorf("Fires = %d, want 2", in.Fires("s"))
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("disk melted")
+	in := New(1).Add(Rule{Site: "s", Kind: Error, Err: sentinel})
+	if err := in.Fail("s"); !errors.Is(err, sentinel) {
+		t.Errorf("Fail = %v, want sentinel", err)
+	}
+	in2 := New(1).Add(Rule{Site: "s", Kind: Error})
+	if err := in2.Fail("s"); !errors.Is(err, ErrInjected) {
+		t.Errorf("Fail = %v, want ErrInjected", err)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	in := New(9).Add(Rule{Site: "s", Kind: Corrupt})
+	orig := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	buf := append([]byte(nil), orig...)
+	if !in.Corrupt("s", buf) {
+		t.Fatal("corrupt rule did not fire")
+	}
+	diffBits := 0
+	for i := range buf {
+		x := buf[i] ^ orig[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Errorf("corruption flipped %d bits, want exactly 1", diffBits)
+	}
+	if in.Corrupt("s", nil) {
+		t.Error("empty buffer must never corrupt")
+	}
+}
+
+func TestLatencyDelay(t *testing.T) {
+	in := New(3).Add(Rule{Site: "s", Kind: Latency, Delay: 42, Every: 2})
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += in.Latency("s")
+	}
+	if total != 5*42 {
+		t.Errorf("total injected delay = %d, want %d", total, 5*42)
+	}
+}
+
+// Kinds at the same site are independent rules; an Error rule must not
+// consume a Crash rule's schedule.
+func TestKindsIndependentAtOneSite(t *testing.T) {
+	in := New(5).
+		Add(Rule{Site: "s", Kind: Error, Every: 2}).
+		Add(Rule{Site: "s", Kind: Crash, Every: 2})
+	errs, crashes := 0, 0
+	for i := 0; i < 10; i++ {
+		if in.Fail("s") != nil {
+			errs++
+		}
+		if in.Crash("s") {
+			crashes++
+		}
+	}
+	if errs != 5 || crashes != 5 {
+		t.Errorf("errs=%d crashes=%d, want 5 and 5", errs, crashes)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	in := New(11).
+		Add(Rule{Site: "a", Kind: Error, Prob: 0.5}).
+		Add(Rule{Site: "b", Kind: Corrupt, Prob: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			for i := 0; i < 500; i++ {
+				in.Fail("a")
+				in.Corrupt("b", buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Hits("a") != 4000 || in.Hits("b") != 4000 {
+		t.Errorf("hits a=%d b=%d, want 4000 each", in.Hits("a"), in.Hits("b"))
+	}
+}

@@ -6,10 +6,15 @@ import (
 	"strings"
 
 	"aidb/internal/catalog"
+	"aidb/internal/chaos"
 	"aidb/internal/plan"
 	"aidb/internal/sql"
 	"aidb/internal/storage"
 )
+
+// SiteExecScan is the chaos injection site for table scans: Error rules
+// fail the scan, Latency rules accrue virtual delay in the stats.
+const SiteExecScan = "exec.scan"
 
 // Result is a materialized query result.
 type Result struct {
@@ -23,11 +28,16 @@ type Executor struct {
 	// Stats counts rows produced per operator type, for the monitoring
 	// and performance-prediction experiments.
 	Stats ExecStats
+	// Chaos, when set, injects faults at SiteExecScan. Nil disables
+	// injection.
+	Chaos *chaos.Injector
 }
 
 // ExecStats counts executor activity.
 type ExecStats struct {
 	RowsScanned, RowsJoined, RowsOutput uint64
+	// InjectedDelayUnits accumulates virtual latency charged by chaos.
+	InjectedDelayUnits uint64
 }
 
 // New creates an executor with the given scalar functions (nil is fine).
@@ -51,6 +61,10 @@ func (ex *Executor) Run(n plan.Node) (*Result, error) {
 func (ex *Executor) exec(n plan.Node) ([]catalog.Row, error) {
 	switch v := n.(type) {
 	case *plan.ScanNode:
+		ex.Stats.InjectedDelayUnits += uint64(ex.Chaos.Latency(SiteExecScan))
+		if err := ex.Chaos.Fail(SiteExecScan); err != nil {
+			return nil, fmt.Errorf("exec: scan %s: %w", v.Table.Name, err)
+		}
 		var rows []catalog.Row
 		err := v.Table.Scan(func(_ storage.RecordID, r catalog.Row) bool {
 			rows = append(rows, r)

@@ -7,10 +7,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 23 {
-		t.Fatalf("registered %d experiments, want 23: %v", len(ids), ids)
+	if len(ids) != 24 {
+		t.Fatalf("registered %d experiments, want 24: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[22] != "E23" {
+	if ids[0] != "E1" || ids[23] != "E24" {
 		t.Errorf("ordering wrong: %v", ids)
 	}
 }

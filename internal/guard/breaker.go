@@ -1,0 +1,283 @@
+// Package guard wraps learned database components behind circuit
+// breakers that degrade to empirical baselines. The paper's operational
+// claim (§2.1, §3.1) — echoed architecturally by Baihe and NeurDB — is
+// that learned components are deployable only if the system validates
+// them online and survives their failures: a model that errors, panics,
+// or drifts must not silently poison query processing.
+//
+// A Breaker tracks two health signals per learned component: hard
+// failures (errors, panics, invalid outputs) and soft drift (a rolling
+// window of observed prediction q-errors fed back by the caller once
+// ground truth is known). Either signal past its threshold trips the
+// breaker: the component's empirical baseline (histogram estimator,
+// B-tree, Selinger-style optimizer, default knobs) serves every request
+// until a cooldown expires, after which the breaker half-opens and
+// shadow-probes the model — still serving baseline answers — and only
+// re-admits it once the probes look healthy again. Repeated re-trips
+// back off exponentially.
+//
+// Invariant (enforced by TestTrippedGuardServesBaseline): while a
+// breaker is not Closed, callers serve baseline answers only — stale
+// model output is never returned from a tripped guard.
+package guard
+
+import "sync"
+
+// State is the breaker position.
+type State int
+
+// Breaker states.
+const (
+	// Closed: the learned model serves requests.
+	Closed State = iota
+	// Open: tripped; the empirical baseline serves requests.
+	Open
+	// HalfOpen: the baseline still serves requests while the model is
+	// shadow-probed for recovery.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// Config tunes a Breaker. Zero fields take the stated defaults.
+type Config struct {
+	// WindowSize is the rolling q-error window length (default 32).
+	WindowSize int
+	// TripQError trips the breaker when the window is full and its
+	// median q-error exceeds this (default 8).
+	TripQError float64
+	// TripFailures trips after this many consecutive hard failures
+	// (default 3).
+	TripFailures int
+	// CooldownCalls is how many baseline-served calls an Open breaker
+	// waits before half-opening (default 50).
+	CooldownCalls int
+	// ProbeCalls is how many shadow probes a HalfOpen breaker evaluates
+	// before deciding to close or re-open (default 8).
+	ProbeCalls int
+	// BackoffFactor multiplies the cooldown on every re-trip from
+	// HalfOpen (default 2).
+	BackoffFactor float64
+	// MaxCooldownCalls caps the backed-off cooldown (default 1000).
+	MaxCooldownCalls int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize <= 0 {
+		c.WindowSize = 32
+	}
+	if c.TripQError <= 0 {
+		c.TripQError = 8
+	}
+	if c.TripFailures <= 0 {
+		c.TripFailures = 3
+	}
+	if c.CooldownCalls <= 0 {
+		c.CooldownCalls = 50
+	}
+	if c.ProbeCalls <= 0 {
+		c.ProbeCalls = 8
+	}
+	if c.BackoffFactor < 1 {
+		c.BackoffFactor = 2
+	}
+	if c.MaxCooldownCalls <= 0 {
+		c.MaxCooldownCalls = 1000
+	}
+	return c
+}
+
+// Stats counts breaker activity.
+type Stats struct {
+	// ModelCalls and BaselineCalls count which side served each request.
+	ModelCalls, BaselineCalls uint64
+	// Failures counts hard model failures observed.
+	Failures uint64
+	// Trips counts Closed->Open transitions; Reopens counts failed
+	// half-open probe rounds (HalfOpen->Open); Recoveries counts
+	// successful re-admissions (HalfOpen->Closed).
+	Trips, Reopens, Recoveries uint64
+}
+
+// Breaker is the circuit-breaker state machine. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg Config
+
+	state       State
+	window      []float64 // rolling q-errors, ring buffer
+	wpos        int
+	wlen        int
+	consecFails int
+	cooldown    int // remaining Open calls before half-opening
+	curCooldown int // current cooldown length, for backoff
+	probes      []float64
+	probeFailed bool
+	stats       Stats
+}
+
+// NewBreaker returns a Closed breaker.
+func NewBreaker(cfg Config) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:         cfg,
+		window:      make([]float64, cfg.WindowSize),
+		curCooldown: cfg.CooldownCalls,
+	}
+}
+
+// UseModel decides who serves the next request: true means the learned
+// model, false means the baseline. It also advances the Open cooldown —
+// each baseline-served call brings the breaker closer to half-opening.
+func (b *Breaker) UseModel() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.stats.ModelCalls++
+		return true
+	case Open:
+		b.stats.BaselineCalls++
+		b.cooldown--
+		if b.cooldown <= 0 {
+			b.state = HalfOpen
+			b.probes = b.probes[:0]
+			b.probeFailed = false
+		}
+		return false
+	default: // HalfOpen
+		b.stats.BaselineCalls++
+		return false
+	}
+}
+
+// State reports the current breaker position.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Breaker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// ObserveQError feeds back one observed model prediction q-error (>= 1;
+// computed by the caller once ground truth is known). In Closed it
+// updates the drift window and may trip; in HalfOpen it counts as one
+// shadow probe.
+func (b *Breaker) ObserveQError(q float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.window[b.wpos] = q
+		b.wpos = (b.wpos + 1) % len(b.window)
+		if b.wlen < len(b.window) {
+			b.wlen++
+		}
+		if b.wlen == len(b.window) && medianOf(b.window) > b.cfg.TripQError {
+			b.trip()
+		}
+	case HalfOpen:
+		b.probes = append(b.probes, q)
+		b.maybeSettleProbes()
+	}
+}
+
+// ObserveFailure records a hard model failure (error, panic, or invalid
+// output). In Closed, TripFailures consecutive failures trip the
+// breaker; in HalfOpen one failure fails the probe round.
+func (b *Breaker) ObserveFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Failures++
+	switch b.state {
+	case Closed:
+		b.consecFails++
+		if b.consecFails >= b.cfg.TripFailures {
+			b.trip()
+		}
+	case HalfOpen:
+		b.probeFailed = true
+		b.probes = append(b.probes, b.cfg.TripQError+1)
+		b.maybeSettleProbes()
+	}
+}
+
+// ObserveSuccess resets the consecutive-failure count (Closed only).
+func (b *Breaker) ObserveSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Closed {
+		b.consecFails = 0
+	}
+}
+
+// trip moves to Open. Caller holds mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.cooldown = b.curCooldown
+	b.consecFails = 0
+	b.wlen = 0
+	b.wpos = 0
+	b.stats.Trips++
+}
+
+// maybeSettleProbes decides a finished half-open probe round. Caller
+// holds mu.
+func (b *Breaker) maybeSettleProbes() {
+	if len(b.probes) < b.cfg.ProbeCalls {
+		return
+	}
+	if !b.probeFailed && medianOf(b.probes) <= b.cfg.TripQError {
+		// Recovered: re-admit the model with a fresh cooldown budget.
+		b.state = Closed
+		b.curCooldown = b.cfg.CooldownCalls
+		b.stats.Recoveries++
+		return
+	}
+	// Still unhealthy: back off and keep serving the baseline.
+	b.curCooldown = int(float64(b.curCooldown) * b.cfg.BackoffFactor)
+	if b.curCooldown > b.cfg.MaxCooldownCalls {
+		b.curCooldown = b.cfg.MaxCooldownCalls
+	}
+	b.state = Open
+	b.cooldown = b.curCooldown
+	b.stats.Reopens++
+}
+
+// medianOf returns the median of xs without mutating it.
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	// Insertion sort: windows are small and this avoids importing sort
+	// under the breaker lock's hot path.
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

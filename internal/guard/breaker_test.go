@@ -1,0 +1,149 @@
+package guard
+
+import (
+	"testing"
+)
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(Config{TripFailures: 3})
+	for i := 0; i < 2; i++ {
+		b.ObserveFailure()
+	}
+	if b.State() != Closed {
+		t.Fatal("tripped too early")
+	}
+	b.ObserveSuccess() // resets the streak
+	b.ObserveFailure()
+	b.ObserveFailure()
+	if b.State() != Closed {
+		t.Fatal("success must reset the consecutive-failure streak")
+	}
+	b.ObserveFailure()
+	if b.State() != Open {
+		t.Fatalf("state = %v after 3 consecutive failures, want open", b.State())
+	}
+	if b.Stats().Trips != 1 {
+		t.Errorf("Trips = %d, want 1", b.Stats().Trips)
+	}
+}
+
+func TestBreakerTripsOnDrift(t *testing.T) {
+	b := NewBreaker(Config{WindowSize: 8, TripQError: 4})
+	// Healthy errors: window fills, no trip.
+	for i := 0; i < 20; i++ {
+		b.ObserveQError(1.5)
+	}
+	if b.State() != Closed {
+		t.Fatal("healthy q-errors must not trip")
+	}
+	// Drift: median of the window climbs past the threshold.
+	for i := 0; i < 8; i++ {
+		b.ObserveQError(50)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after drift, want open", b.State())
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b := NewBreaker(Config{TripFailures: 1, CooldownCalls: 5, ProbeCalls: 3, TripQError: 4})
+	b.ObserveFailure()
+	if b.State() != Open {
+		t.Fatal("not tripped")
+	}
+	// Cooldown: 5 baseline-served calls, then half-open.
+	for i := 0; i < 5; i++ {
+		if b.UseModel() {
+			t.Fatal("open breaker must serve baseline")
+		}
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after cooldown, want half-open", b.State())
+	}
+	// Half-open still serves baseline.
+	if b.UseModel() {
+		t.Fatal("half-open breaker must serve baseline")
+	}
+	// Healthy probes close the breaker.
+	for i := 0; i < 3; i++ {
+		b.ObserveQError(1.2)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after healthy probes, want closed", b.State())
+	}
+	if b.Stats().Recoveries != 1 {
+		t.Errorf("Recoveries = %d, want 1", b.Stats().Recoveries)
+	}
+	if !b.UseModel() {
+		t.Error("recovered breaker must serve the model")
+	}
+}
+
+func TestBreakerReopenBacksOff(t *testing.T) {
+	b := NewBreaker(Config{
+		TripFailures: 1, CooldownCalls: 4, ProbeCalls: 2,
+		TripQError: 4, BackoffFactor: 2, MaxCooldownCalls: 100,
+	})
+	b.ObserveFailure()
+	cooldowns := []int{}
+	for round := 0; round < 3; round++ {
+		// Count baseline calls until half-open.
+		n := 0
+		for b.State() == Open {
+			b.UseModel()
+			n++
+		}
+		cooldowns = append(cooldowns, n)
+		// Probes stay bad: re-open.
+		b.ObserveQError(100)
+		b.ObserveQError(100)
+		if b.State() != Open {
+			t.Fatalf("round %d: state = %v after bad probes, want open", round, b.State())
+		}
+	}
+	if !(cooldowns[0] == 4 && cooldowns[1] == 8 && cooldowns[2] == 16) {
+		t.Errorf("cooldowns = %v, want geometric backoff [4 8 16]", cooldowns)
+	}
+	if b.Stats().Reopens != 3 {
+		t.Errorf("Reopens = %d, want 3", b.Stats().Reopens)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(Config{TripFailures: 1, CooldownCalls: 1, ProbeCalls: 4, TripQError: 4})
+	b.ObserveFailure()
+	b.UseModel() // burn cooldown -> half-open
+	if b.State() != HalfOpen {
+		t.Fatal("not half-open")
+	}
+	b.ObserveQError(1)
+	b.ObserveFailure() // one hard failure poisons the probe round
+	b.ObserveQError(1)
+	b.ObserveQError(1)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open after failed probe round", b.State())
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{7}, 7},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		if got := medianOf(c.xs); got != c.want {
+			t.Errorf("medianOf(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	// Must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	medianOf(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("medianOf mutated its input")
+	}
+}

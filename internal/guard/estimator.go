@@ -1,0 +1,83 @@
+package guard
+
+import (
+	"fmt"
+	"math"
+
+	"aidb/internal/cardest"
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// GuardedEstimator wraps a learned cardinality estimator behind a
+// Breaker with an empirical baseline (typically the histogram
+// estimator). Estimate serves from the model only while the breaker is
+// Closed; a model panic or invalid output (NaN, Inf, negative) falls
+// back to the baseline for that call and counts as a hard failure.
+// Feedback, called once a query's true cardinality is known, feeds the
+// drift window (Closed) or the recovery probes (HalfOpen).
+type GuardedEstimator struct {
+	model    cardest.Estimator
+	baseline cardest.Estimator
+	br       *Breaker
+}
+
+var _ cardest.Estimator = (*GuardedEstimator)(nil)
+
+// NewGuardedEstimator wraps model with baseline as its degradation path.
+func NewGuardedEstimator(model, baseline cardest.Estimator, cfg Config) *GuardedEstimator {
+	return &GuardedEstimator{model: model, baseline: baseline, br: NewBreaker(cfg)}
+}
+
+// Breaker exposes the underlying state machine for tests and experiment
+// reporting.
+func (g *GuardedEstimator) Breaker() *Breaker { return g.br }
+
+// Name implements cardest.Estimator.
+func (g *GuardedEstimator) Name() string {
+	return fmt.Sprintf("guarded(%s->%s)", g.model.Name(), g.baseline.Name())
+}
+
+// Estimate implements cardest.Estimator. A tripped guard always serves
+// the baseline answer.
+func (g *GuardedEstimator) Estimate(q workload.Query) float64 {
+	if g.br.UseModel() {
+		v, err := g.safeEstimate(q)
+		if err == nil {
+			return v
+		}
+		g.br.ObserveFailure()
+	}
+	return g.baseline.Estimate(q)
+}
+
+// Feedback reports a query's observed true cardinality. The model is
+// (shadow-)evaluated on q and its q-error feeds the breaker; while Open,
+// feedback is ignored — the cooldown advances on serving calls instead.
+func (g *GuardedEstimator) Feedback(q workload.Query, trueCard float64) {
+	if g.br.State() == Open {
+		return
+	}
+	v, err := g.safeEstimate(q)
+	if err != nil {
+		g.br.ObserveFailure()
+		return
+	}
+	g.br.ObserveSuccess()
+	g.br.ObserveQError(ml.QError(v, trueCard))
+}
+
+// safeEstimate runs the model, converting panics and invalid outputs
+// into errors.
+func (g *GuardedEstimator) safeEstimate(q workload.Query) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("guard: model panic: %v", r)
+		}
+	}()
+	v = g.model.Estimate(q)
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("guard: invalid model estimate %v", v)
+	}
+	return v, nil
+}

@@ -1,0 +1,269 @@
+package guard
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aidb/internal/chaos"
+	"aidb/internal/index"
+	"aidb/internal/learnedidx"
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+// stubEstimator returns a fixed value, optionally panicking, so tests
+// can tell exactly whose answer was served. The panic flag is atomic so
+// concurrent tests can toggle model health mid-run.
+type stubEstimator struct {
+	name  string
+	value float64
+	panic atomic.Bool
+}
+
+func (s *stubEstimator) Name() string { return s.name }
+func (s *stubEstimator) Estimate(workload.Query) float64 {
+	if s.panic.Load() {
+		panic("stub model exploded")
+	}
+	return s.value
+}
+
+const (
+	modelSentinel    = 777777
+	baselineSentinel = 1111
+)
+
+func newGuardedStub(cfg Config) (*GuardedEstimator, *stubEstimator) {
+	model := &stubEstimator{name: "model", value: modelSentinel}
+	baseline := &stubEstimator{name: "baseline", value: baselineSentinel}
+	return NewGuardedEstimator(model, baseline, cfg), model
+}
+
+var q = workload.Query{}
+
+// TestTrippedGuardServesBaseline is the guard's core safety property: a
+// randomized schedule of model health phases, with the invariant checked
+// on every single call — whenever the breaker is not Closed before a
+// call, the served answer must be the baseline's, never the model's.
+func TestTrippedGuardServesBaseline(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := ml.NewRNG(seed)
+		g, model := newGuardedStub(Config{
+			WindowSize: 4, TripQError: 4, TripFailures: 2,
+			CooldownCalls: 3, ProbeCalls: 2,
+		})
+		truth := 100.0
+		modelHealthy := true
+		for i := 0; i < 2000; i++ {
+			if rng.Float64() < 0.02 { // flip model health phase
+				modelHealthy = !modelHealthy
+				model.panic.Store(!modelHealthy)
+			}
+			pre := g.Breaker().State()
+			got := g.Estimate(q)
+			if pre != Closed && got != baselineSentinel {
+				t.Fatalf("seed %d call %d: state %v served %v, want baseline %v",
+					seed, i, pre, got, baselineSentinel)
+			}
+			if pre == Closed && modelHealthy && got != modelSentinel {
+				t.Fatalf("seed %d call %d: closed guard with healthy model served %v",
+					seed, i, got)
+			}
+			if rng.Float64() < 0.5 {
+				g.Feedback(q, truth)
+			}
+		}
+	}
+}
+
+func TestGuardedEstimatorTripsOnPanicsAndRecovers(t *testing.T) {
+	g, model := newGuardedStub(Config{
+		WindowSize: 4, TripQError: 1e6, TripFailures: 3,
+		CooldownCalls: 5, ProbeCalls: 2,
+	})
+	// Healthy: model serves.
+	if got := g.Estimate(q); got != modelSentinel {
+		t.Fatalf("healthy guard served %v", got)
+	}
+	// Model starts panicking: each Estimate falls back for that call and
+	// counts a failure; after TripFailures the guard is Open.
+	model.panic.Store(true)
+	for i := 0; i < 3; i++ {
+		if got := g.Estimate(q); got != baselineSentinel {
+			t.Fatalf("panicking model must fall back, got %v", got)
+		}
+	}
+	if g.Breaker().State() != Open {
+		t.Fatalf("state = %v, want open", g.Breaker().State())
+	}
+	// Model heals; cooldown burns down, probes pass, guard closes.
+	model.panic.Store(false)
+	for i := 0; i < 5; i++ {
+		g.Estimate(q)
+	}
+	if g.Breaker().State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", g.Breaker().State())
+	}
+	g.Feedback(q, modelSentinel) // probe: model output == truth, q-error 1
+	g.Feedback(q, modelSentinel)
+	if g.Breaker().State() != Closed {
+		t.Fatalf("state = %v, want closed after healthy probes", g.Breaker().State())
+	}
+	if got := g.Estimate(q); got != modelSentinel {
+		t.Errorf("re-admitted model must serve, got %v", got)
+	}
+	st := g.Breaker().Stats()
+	if st.Trips != 1 || st.Recoveries != 1 {
+		t.Errorf("stats = %+v, want 1 trip and 1 recovery", st)
+	}
+}
+
+func TestGuardedEstimatorTripsOnDrift(t *testing.T) {
+	g, _ := newGuardedStub(Config{WindowSize: 8, TripQError: 4, TripFailures: 100})
+	// Feedback with truths far from the model's fixed answer: q-error
+	// explodes, the drift window fills, the guard trips — no hard
+	// failures involved.
+	for i := 0; i < 8; i++ {
+		g.Feedback(q, 1) // model says 777777 -> q-error 777777
+	}
+	if g.Breaker().State() != Open {
+		t.Fatalf("state = %v, want open after drift feedback", g.Breaker().State())
+	}
+	if got := g.Estimate(q); got != baselineSentinel {
+		t.Errorf("drift-tripped guard served %v", got)
+	}
+}
+
+// Concurrent trip/half-open/recover traffic; run with -race. The
+// assertion is the safety property under concurrency: answers are always
+// one of the two sentinels, and the guard ends up Closed once the model
+// heals and enough traffic has flowed.
+func TestGuardConcurrentTripAndRecover(t *testing.T) {
+	g, model := newGuardedStub(Config{
+		WindowSize: 4, TripQError: 1e6, TripFailures: 3,
+		CooldownCalls: 10, ProbeCalls: 4, MaxCooldownCalls: 50,
+	})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	bad := 0
+	// Break the model before any traffic starts; worker 0 heals it
+	// halfway through its run. Healing inline (not via a separate
+	// goroutine) guarantees the heal lands before the drain even on a
+	// single-P scheduler, where a spare goroutine can starve.
+	model.panic.Store(true)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if i == 250 && w == 0 {
+					model.panic.Store(false) // model heals mid-run
+				}
+				got := g.Estimate(q)
+				if got != modelSentinel && got != baselineSentinel {
+					mu.Lock()
+					bad++
+					mu.Unlock()
+				}
+				g.Feedback(q, modelSentinel)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if bad != 0 {
+		t.Errorf("%d answers were neither model nor baseline output", bad)
+	}
+	// Drain: with a healthy model, sustained traffic must re-admit it.
+	for i := 0; i < 5000 && g.Breaker().State() != Closed; i++ {
+		g.Estimate(q)
+		g.Feedback(q, modelSentinel)
+	}
+	if g.Breaker().State() != Closed {
+		t.Errorf("guard did not recover after model healed: %v, stats %+v",
+			g.Breaker().State(), g.Breaker().Stats())
+	}
+}
+
+// GuardedIndex wiring: an RMI serves lookups until chaos makes it
+// error; the guard trips to the B-tree and re-admits the RMI after it
+// heals.
+func TestGuardedIndexFallsBackToBTree(t *testing.T) {
+	const n = 2000
+	keys := make([]int64, n)
+	vals := make([]uint64, n)
+	bt := index.NewBTree(32)
+	for i := range keys {
+		keys[i] = int64(i * 3)
+		vals[i] = uint64(i)
+		bt.Put(keys[i], vals[i])
+	}
+	rmi := learnedidx.BuildRMI(keys, vals, 16)
+
+	inj := chaos.New(99).Add(chaos.Rule{
+		Site: "learnedidx.lookup", Kind: chaos.Error, After: 100, Limit: 3,
+	})
+	model := func(key int64) (uint64, error) {
+		if err := inj.Fail("learnedidx.lookup"); err != nil {
+			return 0, err
+		}
+		return rmi.Lookup(key)
+	}
+	g := NewGuardedIndex(model, bt, Config{
+		TripFailures: 3, CooldownCalls: 20, ProbeCalls: 4,
+	}, 0)
+
+	for i := 0; i < n; i++ {
+		v, err := g.Lookup(keys[i%n])
+		if err != nil {
+			t.Fatalf("lookup %d: %v (guard must absorb model faults)", i, err)
+		}
+		if v != vals[i%n] {
+			t.Fatalf("lookup %d = %d, want %d", i, v, vals[i%n])
+		}
+	}
+	st := g.Breaker().Stats()
+	if st.Trips != 1 {
+		t.Errorf("Trips = %d, want 1 (chaos fired 3 consecutive errors)", st.Trips)
+	}
+	if g.Breaker().State() != Closed {
+		t.Errorf("state = %v, want closed after model healed", g.Breaker().State())
+	}
+	if st.Failures < 3 {
+		t.Errorf("Failures = %d, want >= 3", st.Failures)
+	}
+}
+
+// The sampled audit catches a learned index that silently returns wrong
+// values (stale model) even though it never errors.
+func TestGuardedIndexAuditCatchesStaleModel(t *testing.T) {
+	bt := index.NewBTree(32)
+	for i := int64(0); i < 100; i++ {
+		bt.Put(i, uint64(i))
+	}
+	stale := func(key int64) (uint64, error) { return uint64(key) + 1, nil } // always wrong
+	g := NewGuardedIndex(stale, bt, Config{TripFailures: 2, CooldownCalls: 1000}, 4)
+	wrong := 0
+	for i := int64(0); i < 100; i++ {
+		v, err := g.Lookup(i % 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i%100) {
+			wrong++
+		}
+	}
+	if g.Breaker().State() != Open {
+		t.Errorf("state = %v, want open (audit must catch stale model)", g.Breaker().State())
+	}
+	// Audited calls and post-trip calls serve B-tree answers; only
+	// unaudited pre-trip calls could be wrong (here: audit every 4th,
+	// trip after 2 mismatches => at most 8 calls, minus audited ones).
+	if wrong > 8 {
+		t.Errorf("%d wrong answers served, audit should have tripped sooner", wrong)
+	}
+	if errors.Is(func() error { _, err := g.Lookup(999); return err }(), index.ErrNotFound) == false {
+		t.Error("missing key must surface the baseline's ErrNotFound")
+	}
+}

@@ -1,0 +1,90 @@
+package guard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aidb/internal/index"
+)
+
+// LookupFunc is a learned point-lookup (e.g. an RMI or ALEX index).
+type LookupFunc func(key int64) (uint64, error)
+
+// GuardedIndex wraps a learned index lookup behind a Breaker with a
+// B-tree as the authoritative empirical baseline. While Closed the
+// learned index serves lookups, with every auditEvery-th answer
+// cross-checked against the B-tree (a sampled audit: learned indexes
+// fail by going stale or corrupt, which point errors alone cannot
+// reveal). A model error, panic, or audit mismatch is a hard failure;
+// enough of them trip the guard and the B-tree serves everything until
+// half-open probes — shadow-compared against the B-tree — pass again.
+type GuardedIndex struct {
+	model      LookupFunc
+	baseline   *index.BTree
+	br         *Breaker
+	auditEvery uint64
+	calls      atomic.Uint64
+}
+
+// NewGuardedIndex wraps model with baseline. auditEvery <= 0 disables
+// the sampled audit.
+func NewGuardedIndex(model LookupFunc, baseline *index.BTree, cfg Config, auditEvery int) *GuardedIndex {
+	g := &GuardedIndex{model: model, baseline: baseline, br: NewBreaker(cfg)}
+	if auditEvery > 0 {
+		g.auditEvery = uint64(auditEvery)
+	}
+	return g
+}
+
+// Breaker exposes the underlying state machine.
+func (g *GuardedIndex) Breaker() *Breaker { return g.br }
+
+// Lookup returns the value for key. A tripped guard always serves the
+// B-tree answer.
+func (g *GuardedIndex) Lookup(key int64) (uint64, error) {
+	if g.br.UseModel() {
+		v, err := g.safeLookup(key)
+		if err == nil {
+			if g.auditEvery > 0 && g.calls.Add(1)%g.auditEvery == 0 {
+				bv, berr := g.baseline.Get(key)
+				if berr != nil || bv != v {
+					g.br.ObserveFailure()
+					return bv, berr
+				}
+				// Only a passed audit proves the model healthy; plain
+				// un-audited answers must not reset the failure streak,
+				// or sampled audits could never accumulate enough
+				// consecutive failures to trip.
+				g.br.ObserveSuccess()
+			} else if g.auditEvery == 0 {
+				g.br.ObserveSuccess()
+			}
+			return v, nil
+		}
+		g.br.ObserveFailure()
+		return g.baseline.Get(key)
+	}
+	v, err := g.baseline.Get(key)
+	if g.br.State() == HalfOpen {
+		// Shadow-probe the model against the authoritative answer; the
+		// baseline result above is what the caller receives either way.
+		mv, merr := g.safeLookup(key)
+		agree := (merr == nil) == (err == nil) && (err != nil || mv == v)
+		if agree {
+			g.br.ObserveQError(1)
+		} else {
+			g.br.ObserveFailure()
+		}
+	}
+	return v, err
+}
+
+// safeLookup runs the model, converting panics into errors.
+func (g *GuardedIndex) safeLookup(key int64) (v uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("guard: index model panic: %v", r)
+		}
+	}()
+	return g.model(key)
+}

@@ -1,0 +1,108 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"aidb/internal/chaos"
+)
+
+// Deferred compactions must degrade read fan-in, never correctness:
+// every key written before, during, and after the fault window reads
+// back with its newest value.
+func TestDeferredCompactionPreservesData(t *testing.T) {
+	inj := chaos.New(21).Add(chaos.Rule{Site: SiteKVCompact, Kind: chaos.Error, After: 1, Limit: 4})
+	s := Open(Config{MemtableSize: 16, Policy: Leveling, Chaos: inj})
+	const n = 400
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("k%04d", i), fmt.Sprintf("v%d", i))
+	}
+	// Overwrite a slice of keys so shadowing across stacked runs is
+	// exercised too.
+	for i := 0; i < n; i += 3 {
+		s.Put(fmt.Sprintf("k%04d", i), fmt.Sprintf("w%d", i))
+	}
+	s.Flush()
+	if s.Stats().CompactionsDeferred == 0 {
+		t.Fatal("chaos compaction faults never fired")
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("v%d", i)
+		if i%3 == 0 {
+			want = fmt.Sprintf("w%d", i)
+		}
+		got, err := s.Get(fmt.Sprintf("k%04d", i))
+		if err != nil {
+			t.Fatalf("k%04d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("k%04d = %q, want %q (deferred compaction lost an update)", i, got, want)
+		}
+	}
+}
+
+// Deferred flushes keep data in the memtable; nothing is dropped.
+func TestDeferredFlushPreservesData(t *testing.T) {
+	inj := chaos.New(22).Add(chaos.Rule{Site: SiteKVFlush, Kind: chaos.Error, Every: 2})
+	s := Open(Config{MemtableSize: 8, Chaos: inj})
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("k%03d", i), "v")
+	}
+	st := s.Stats()
+	if st.FlushesDeferred == 0 {
+		t.Fatal("no flushes deferred")
+	}
+	if st.Flushes == 0 {
+		t.Fatal("every flush deferred; Every:2 should let half through")
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Get(fmt.Sprintf("k%03d", i)); err != nil {
+			t.Fatalf("k%03d lost after deferred flush: %v", i, err)
+		}
+	}
+}
+
+// Injected read errors surface to the caller wrapped, and injected
+// latency accrues in the stats.
+func TestGetFaultAndLatencyInjection(t *testing.T) {
+	inj := chaos.New(23).
+		Add(chaos.Rule{Site: SiteKVGet, Kind: chaos.Error, Every: 5}).
+		Add(chaos.Rule{Site: SiteKVGet, Kind: chaos.Latency, Every: 2, Delay: 10})
+	s := Open(Config{Chaos: inj})
+	s.Put("a", "1")
+	failures := 0
+	for i := 0; i < 20; i++ {
+		if _, err := s.Get("a"); err != nil {
+			if !errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 4 {
+		t.Errorf("injected %d read failures, want 4 (Every:5 over 20 calls)", failures)
+	}
+	if got := s.Stats().InjectedDelayUnits; got != 100 {
+		t.Errorf("injected delay = %d units, want 100 (10 units every 2nd of 20 calls)", got)
+	}
+}
+
+// Without an injector, the fault paths must be invisible: same data,
+// same structural stats as a chaos-free store.
+func TestNilChaosIsTransparent(t *testing.T) {
+	a := Open(Config{MemtableSize: 16})
+	b := Open(Config{MemtableSize: 16, Chaos: nil})
+	for i := 0; i < 200; i++ {
+		k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		a.Put(k, v)
+		b.Put(k, v)
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Errorf("stats diverge without chaos: %+v vs %+v", sa, sb)
+	}
+	if sa.FlushesDeferred != 0 || sa.CompactionsDeferred != 0 {
+		t.Errorf("phantom deferrals without chaos: %+v", sa)
+	}
+}

@@ -9,9 +9,24 @@ package kv
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
+
+	"aidb/internal/chaos"
+)
+
+// Chaos injection sites in the LSM store.
+const (
+	// SiteKVGet fails or delays point lookups.
+	SiteKVGet = "kv.get"
+	// SiteKVFlush fails memtable flushes; a failed flush is deferred
+	// (the memtable keeps accumulating and the next write retries).
+	SiteKVFlush = "kv.flush"
+	// SiteKVCompact fails compactions; a failed compaction is deferred
+	// (runs stack up, reads fan out wider, correctness is preserved).
+	SiteKVCompact = "kv.compact"
 )
 
 // MergePolicy selects how runs are compacted.
@@ -49,6 +64,9 @@ type Config struct {
 	FenceEvery int
 	// Policy is the merge policy.
 	Policy MergePolicy
+	// Chaos, when set, injects faults at the kv.* sites. Nil disables
+	// injection.
+	Chaos *chaos.Injector
 }
 
 // withDefaults fills zero fields.
@@ -77,6 +95,11 @@ type Stats struct {
 	BloomNegatives uint64
 	// Flushes and Compactions count structural events.
 	Flushes, Compactions uint64
+	// FlushesDeferred and CompactionsDeferred count structural events
+	// postponed by injected faults (the degraded-but-correct mode).
+	FlushesDeferred, CompactionsDeferred uint64
+	// InjectedDelayUnits accumulates virtual latency charged by chaos.
+	InjectedDelayUnits uint64
 }
 
 const tombstone = "\x00__tombstone__"
@@ -188,6 +211,10 @@ func (s *Store) Delete(key string) {
 func (s *Store) Get(key string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.stats.InjectedDelayUnits += uint64(s.cfg.Chaos.Latency(SiteKVGet))
+	if err := s.cfg.Chaos.Fail(SiteKVGet); err != nil {
+		return "", fmt.Errorf("kv: get %q: %w", key, err)
+	}
 	if v, ok := s.mem[key]; ok {
 		return s.decode(v)
 	}
@@ -264,6 +291,12 @@ func (s *Store) Flush() {
 }
 
 func (s *Store) flushLocked() {
+	if s.cfg.Chaos.Fail(SiteKVFlush) != nil {
+		// Deferred flush: the memtable stays intact (no data loss) and
+		// the next write that crosses the threshold retries.
+		s.stats.FlushesDeferred++
+		return
+	}
 	entries := make([]entry, 0, len(s.mem))
 	for k, v := range s.mem {
 		entries = append(entries, entry{k, v})
@@ -285,6 +318,12 @@ func (s *Store) pushRun(level int, r *run) {
 	case Leveling:
 		// One run per level: merge immediately if more than one.
 		if len(s.levels[level]) > 1 {
+			if s.cfg.Chaos.Fail(SiteKVCompact) != nil {
+				// Deferred compaction: runs stay stacked (reads fan out
+				// wider but stay correct); the next push retries.
+				s.stats.CompactionsDeferred++
+				return
+			}
 			merged := s.mergeRuns(s.levels[level])
 			s.levels[level] = nil
 			s.stats.Compactions++
@@ -300,6 +339,10 @@ func (s *Store) pushRun(level int, r *run) {
 	case Tiering:
 		// Up to SizeRatio runs per level; merge all into the next level.
 		if len(s.levels[level]) >= s.cfg.SizeRatio {
+			if s.cfg.Chaos.Fail(SiteKVCompact) != nil {
+				s.stats.CompactionsDeferred++
+				return
+			}
 			merged := s.mergeRuns(s.levels[level])
 			s.levels[level] = nil
 			s.stats.Compactions++

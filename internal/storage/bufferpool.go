@@ -30,9 +30,11 @@ type PoolStats struct {
 var ErrPoolFull = errors.New("storage: buffer pool full (all pages pinned)")
 
 // NewBufferPool creates a pool of the given frame capacity over disk.
-func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
+// It returns an error (not a panic: library code must survive bad
+// config) when capacity is not positive.
+func NewBufferPool(disk DiskManager, capacity int) (*BufferPool, error) {
 	if capacity <= 0 {
-		panic("storage: buffer pool capacity must be positive")
+		return nil, fmt.Errorf("storage: buffer pool capacity must be positive, got %d", capacity)
 	}
 	return &BufferPool{
 		disk:     disk,
@@ -40,7 +42,7 @@ func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
 		frames:   make(map[PageID]*Page),
 		lru:      list.New(),
 		lruPos:   make(map[PageID]*list.Element),
-	}
+	}, nil
 }
 
 // NewPage allocates a fresh page, pins it and returns it initialized.

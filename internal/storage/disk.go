@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -23,13 +22,10 @@ type DiskManager interface {
 }
 
 // MemDisk is an in-memory DiskManager used by tests and benchmarks.
+// Fault injection lives in ChaosDisk, not here.
 type MemDisk struct {
 	mu    sync.Mutex
 	pages [][]byte
-	// FailAfterWrites, when > 0, makes every write past that count fail.
-	// Used by fault-injection tests.
-	FailAfterWrites int
-	writes          int
 }
 
 // NewMemDisk returns an empty in-memory disk.
@@ -60,10 +56,6 @@ func (d *MemDisk) Write(id PageID, buf []byte) error {
 	defer d.mu.Unlock()
 	if int(id) >= len(d.pages) {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
-	}
-	d.writes++
-	if d.FailAfterWrites > 0 && d.writes > d.FailAfterWrites {
-		return errors.New("storage: injected write failure")
 	}
 	copy(d.pages[id], buf)
 	return nil

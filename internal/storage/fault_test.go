@@ -2,85 +2,219 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+
+	"aidb/internal/chaos"
 )
 
-// Failure injection: the buffer pool must surface disk write errors
-// instead of silently dropping dirty pages.
+// mustPool builds a buffer pool or fails the test; used by every
+// storage test since NewBufferPool returns an error for bad config.
+func mustPool(t *testing.T, disk DiskManager, capacity int) *BufferPool {
+	t.Helper()
+	bp, err := NewBufferPool(disk, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestNewBufferPoolRejectsBadCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		if _, err := NewBufferPool(NewMemDisk(), capacity); err == nil {
+			t.Errorf("capacity %d must be rejected with an error, not a panic", capacity)
+		}
+	}
+}
+
+// Failure injection now flows through the chaos injector: the buffer
+// pool must surface injected disk write errors instead of silently
+// dropping dirty pages.
 
 func TestBufferPoolEvictionSurfacesWriteFailure(t *testing.T) {
-	disk := NewMemDisk()
-	bp := NewBufferPool(disk, 2)
-	var ids []PageID
+	inj := chaos.New(1).Add(chaos.Rule{Site: SiteDiskWrite, Kind: chaos.Error})
+	disk := WrapDisk(NewMemDisk(), inj)
+	bp := mustPool(t, disk, 2)
 	for i := 0; i < 2; i++ {
 		p, err := bp.NewPage()
 		if err != nil {
 			t.Fatal(err)
 		}
 		p.Insert([]byte("x"))
-		ids = append(ids, p.ID)
 		bp.Unpin(p.ID, true)
 	}
-	// Make every write from now on fail.
-	disk.writes = 1
-	disk.FailAfterWrites = 1
 	// Allocating a third page must evict a dirty one -> write -> failure.
-	if _, err := bp.NewPage(); err == nil {
-		t.Error("eviction write failure must propagate")
+	if _, err := bp.NewPage(); !errors.Is(err, chaos.ErrInjected) {
+		t.Errorf("eviction write failure must propagate, got %v", err)
 	}
-	_ = ids
 }
 
 func TestBufferPoolFlushAllSurfacesWriteFailure(t *testing.T) {
-	disk := NewMemDisk()
-	bp := NewBufferPool(disk, 4)
+	inj := chaos.New(2).Add(chaos.Rule{Site: SiteDiskWrite, Kind: chaos.Error})
+	disk := WrapDisk(NewMemDisk(), inj)
+	bp := mustPool(t, disk, 4)
 	p, err := bp.NewPage()
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.Insert([]byte("dirty"))
 	bp.Unpin(p.ID, true)
-	disk.writes = 99
-	disk.FailAfterWrites = 1
-	if err := bp.FlushAll(); err == nil {
-		t.Error("FlushAll must propagate write failures")
+	if err := bp.FlushAll(); !errors.Is(err, chaos.ErrInjected) {
+		t.Errorf("FlushAll must propagate write failures, got %v", err)
 	}
 }
 
-// WAL corruption: a flipped bit in any record must be detected by the
-// CRC, not silently decoded.
-func TestWALDetectsCorruption(t *testing.T) {
+// The chaos schedule (After/Limit) reproduces the old FailAfterWrites
+// semantics exactly: the first N writes succeed, later ones fail.
+func TestChaosDiskFailAfterNWrites(t *testing.T) {
+	inj := chaos.New(3).Add(chaos.Rule{Site: SiteDiskWrite, Kind: chaos.Error, After: 2})
+	disk := WrapDisk(NewMemDisk(), inj)
+	buf := make([]byte, PageSize)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, err := disk.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := disk.Write(ids[0], buf); err != nil {
+		t.Fatalf("write 1 should succeed: %v", err)
+	}
+	if err := disk.Write(ids[1], buf); err != nil {
+		t.Fatalf("write 2 should succeed: %v", err)
+	}
+	if err := disk.Write(ids[2], buf); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("write 3 should fail, got %v", err)
+	}
+}
+
+// An injected read-path corruption must be visible to the caller (the
+// bytes differ) while the underlying page stays intact.
+func TestChaosDiskReadCorruption(t *testing.T) {
+	inj := chaos.New(4).Add(chaos.Rule{Site: SiteDiskRead, Kind: chaos.Corrupt, Every: 2})
+	mem := NewMemDisk()
+	disk := WrapDisk(mem, inj)
+	id, _ := disk.Allocate()
+	want := make([]byte, PageSize)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	if err := disk.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	clean := make([]byte, PageSize)
+	if err := disk.Read(id, clean); err != nil {
+		t.Fatal(err)
+	}
+	if string(clean) != string(want) {
+		t.Fatal("first read (no fault scheduled) must be clean")
+	}
+	dirty := make([]byte, PageSize)
+	if err := disk.Read(id, dirty); err != nil {
+		t.Fatal(err)
+	}
+	if string(dirty) == string(want) {
+		t.Error("second read should have been corrupted by the Every:2 rule")
+	}
+	// The media itself is untouched.
+	underlying := make([]byte, PageSize)
+	if err := mem.Read(id, underlying); err != nil {
+		t.Fatal(err)
+	}
+	if string(underlying) != string(want) {
+		t.Error("read corruption must not damage the stored page")
+	}
+}
+
+// WAL corruption: a flipped bit in a record with more log after it is
+// mid-log corruption and must fail loudly — it cannot be a torn write.
+func TestWALDetectsMidLogCorruption(t *testing.T) {
 	w := NewWAL()
-	lsn := w.Append(1, WALUpdate, []byte("important-payload"))
+	w.Append(1, WALUpdate, []byte("important-payload"))
+	lsn := w.Append(1, WALCommit, nil)
 	w.Flush(lsn)
-	// Flip one payload byte in the encoded log.
+	// Flip one payload byte in the *first* record of the encoded log.
 	w.buf[25] ^= 0xFF
 	_, err := w.Recover()
 	if err == nil || !strings.Contains(err.Error(), "CRC") {
-		t.Errorf("corrupted record not detected: err = %v", err)
+		t.Errorf("mid-log corruption not detected: err = %v", err)
 	}
 }
 
-func TestWALDetectsTruncatedTail(t *testing.T) {
+// A torn tail — the final record cut short by a crash — is a clean
+// truncation point: recovery returns every earlier record and no error.
+func TestWALTornTailIsCleanTruncation(t *testing.T) {
 	w := NewWAL()
-	lsn := w.Append(1, WALUpdate, []byte("payload"))
-	w.Flush(lsn)
-	w.buf = w.buf[:len(w.buf)-3] // torn write
-	if _, err := w.Recover(); err == nil {
-		t.Error("torn record not detected")
+	l1 := w.Append(1, WALUpdate, []byte("first"))
+	l2 := w.Append(1, WALUpdate, []byte("second"))
+	w.Flush(l2)
+	w.buf = w.buf[:len(w.buf)-3] // torn write on the final record
+	recs, info, err := w.RecoverInfo()
+	if err != nil {
+		t.Fatalf("torn tail must not fail recovery: %v", err)
+	}
+	if len(recs) != 1 || recs[0].LSN != l1 {
+		t.Fatalf("recovered %d records, want just LSN %d", len(recs), l1)
+	}
+	if !info.TornTail || info.TruncatedBytes == 0 {
+		t.Errorf("info = %+v, want a reported torn tail", info)
 	}
 }
 
-func TestWALRejectsLengthLie(t *testing.T) {
+// A CRC-corrupt *final* record is likewise a torn write, not an error.
+func TestWALCorruptFinalRecordIsTornTail(t *testing.T) {
+	w := NewWAL()
+	l1 := w.Append(1, WALUpdate, []byte("keep-me"))
+	l2 := w.Append(1, WALUpdate, []byte("torn-me"))
+	w.Flush(l2)
+	w.buf[len(w.buf)-6] ^= 0x01 // damage the final record's payload
+	recs, info, err := w.RecoverInfo()
+	if err != nil {
+		t.Fatalf("corrupt final record must truncate, not error: %v", err)
+	}
+	if len(recs) != 1 || recs[0].LSN != l1 {
+		t.Fatalf("recovered %d records, want just LSN %d", len(recs), l1)
+	}
+	if !info.TornTail {
+		t.Error("torn tail not reported")
+	}
+}
+
+// A length field inflated past the remaining bytes is indistinguishable
+// from a torn write: recovery must truncate, and above all must not
+// fabricate a phantom record from garbage.
+func TestWALLengthLieTruncates(t *testing.T) {
 	w := NewWAL()
 	lsn := w.Append(1, WALUpdate, []byte("abc"))
 	w.Flush(lsn)
-	// Inflate the recorded payload length field (offset 17..21).
 	binary.LittleEndian.PutUint32(w.buf[17:21], 1<<20)
+	recs, info, err := w.RecoverInfo()
+	if err != nil {
+		t.Fatalf("length-lie tail must truncate, not error: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("recovered %d phantom records from a corrupt length field", len(recs))
+	}
+	if !info.TornTail {
+		t.Error("torn tail not reported")
+	}
+}
+
+// Chaos-corrupted appends land damaged on media; the CRC must expose
+// them during recovery rather than let garbage decode.
+func TestWALChaosAppendCorruptionDetected(t *testing.T) {
+	w := NewWAL()
+	w.Chaos = chaos.New(5).Add(chaos.Rule{Site: SiteWALAppend, Kind: chaos.Corrupt, Every: 1, Limit: 1})
+	l1 := w.Append(1, WALUpdate, []byte("to-be-damaged"))
+	l2 := w.Append(1, WALUpdate, []byte("fine"))
+	w.Flush(l2)
+	_ = l1
+	// First record corrupt with a valid record after it: loud failure.
 	if _, err := w.Recover(); err == nil {
-		t.Error("length-field corruption not detected")
+		t.Error("chaos append corruption with a valid successor must fail recovery")
 	}
 }
 
@@ -88,7 +222,7 @@ func TestWALRejectsLengthLie(t *testing.T) {
 // fetch/unpin traffic (run with -race).
 func TestBufferPoolConcurrentAccess(t *testing.T) {
 	disk := NewMemDisk()
-	bp := NewBufferPool(disk, 8)
+	bp := mustPool(t, disk, 8)
 	var ids []PageID
 	for i := 0; i < 16; i++ {
 		p, err := bp.NewPage()

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"testing/quick"
+
+	"aidb/internal/chaos"
 )
 
 func TestPageInsertGet(t *testing.T) {
@@ -152,9 +154,12 @@ func TestMemDiskReadWrite(t *testing.T) {
 }
 
 func TestMemDiskFaultInjection(t *testing.T) {
-	d := NewMemDisk()
+	// Fault injection is the chaos injector's job now: the same
+	// fail-after-N-writes schedule, expressed as a rule on the wrapped
+	// disk instead of a bespoke counter on MemDisk.
+	inj := chaos.New(1).Add(chaos.Rule{Site: SiteDiskWrite, Kind: chaos.Error, After: 1})
+	d := WrapDisk(NewMemDisk(), inj)
 	id, _ := d.Allocate()
-	d.FailAfterWrites = 1
 	buf := make([]byte, PageSize)
 	if err := d.Write(id, buf); err != nil {
 		t.Fatal("first write should succeed:", err)
@@ -200,7 +205,7 @@ func TestFileDiskPersistence(t *testing.T) {
 }
 
 func TestBufferPoolFetchUnpin(t *testing.T) {
-	bp := NewBufferPool(NewMemDisk(), 4)
+	bp := mustPool(t, NewMemDisk(), 4)
 	p, err := bp.NewPage()
 	if err != nil {
 		t.Fatal(err)
@@ -227,7 +232,7 @@ func TestBufferPoolFetchUnpin(t *testing.T) {
 
 func TestBufferPoolEvictionWritesBack(t *testing.T) {
 	disk := NewMemDisk()
-	bp := NewBufferPool(disk, 2)
+	bp := mustPool(t, disk, 2)
 	var ids []PageID
 	for i := 0; i < 4; i++ {
 		p, err := bp.NewPage()
@@ -263,7 +268,7 @@ func TestBufferPoolEvictionWritesBack(t *testing.T) {
 }
 
 func TestBufferPoolAllPinned(t *testing.T) {
-	bp := NewBufferPool(NewMemDisk(), 2)
+	bp := mustPool(t, NewMemDisk(), 2)
 	if _, err := bp.NewPage(); err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +281,7 @@ func TestBufferPoolAllPinned(t *testing.T) {
 }
 
 func TestBufferPoolUnpinErrors(t *testing.T) {
-	bp := NewBufferPool(NewMemDisk(), 2)
+	bp := mustPool(t, NewMemDisk(), 2)
 	if err := bp.Unpin(PageID(7), false); err == nil {
 		t.Error("unpin of non-resident page should fail")
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+
+	"aidb/internal/chaos"
 )
 
 // WALRecordKind tags write-ahead log records.
@@ -38,6 +40,10 @@ type WAL struct {
 	buf     []byte
 	nextLSN uint64
 	flushed uint64 // LSN up to which records are "durable"
+
+	// Chaos, when set, corrupts appended record bytes at SiteWALAppend —
+	// the torn/bit-rotted-write model the recovery path must survive.
+	Chaos *chaos.Injector
 }
 
 // NewWAL returns an empty log.
@@ -59,8 +65,12 @@ func (w *WAL) Append(txn uint64, kind WALRecordKind, payload []byte) uint64 {
 	sum := crc32.ChecksumIEEE(rec)
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], sum)
+	start := len(w.buf)
 	w.buf = append(w.buf, rec...)
 	w.buf = append(w.buf, crc[:]...)
+	// Chaos corruption happens after the CRC is computed, modelling a
+	// write that lands damaged on media: the CRC will expose it.
+	w.Chaos.Corrupt(SiteWALAppend, w.buf[start:])
 	return lsn
 }
 
@@ -101,34 +111,89 @@ func (w *WAL) Truncate() {
 	w.nextLSN = w.flushed + 1
 }
 
-// Recover scans all durable records in order.
+// RecoveryInfo reports how a recovery scan ended.
+type RecoveryInfo struct {
+	// TornTail is true when the log ended in an incomplete or
+	// CRC-corrupt final record — the signature of a torn write during a
+	// crash — which recovery treats as a clean truncation point.
+	TornTail bool
+	// TruncatedBytes counts tail bytes dropped by the truncation.
+	TruncatedBytes int
+}
+
+// Recover scans all durable records in order. A torn tail (short final
+// record or CRC mismatch on the last record in the log) is treated as a
+// clean truncation point, not an error: that is exactly the state a
+// crash mid-write leaves behind, and failing recovery on it would make
+// every crash unrecoverable. A CRC mismatch with further log data after
+// the damaged record is *not* a torn write — it is mid-log corruption
+// and fails loudly.
 func (w *WAL) Recover() ([]WALRecord, error) {
+	recs, _, err := w.RecoverInfo()
+	return recs, err
+}
+
+// RecoverInfo is Recover plus how the scan ended.
+func (w *WAL) RecoverInfo() ([]WALRecord, RecoveryInfo, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	recs, _, info, err := scanRecords(w.buf, w.flushed)
+	return recs, info, err
+}
+
+// scanRecords decodes records with LSN <= flushed from b, classifying
+// how the scan ends. It returns the decoded records, the byte length of
+// the valid prefix, and the recovery info.
+func scanRecords(b []byte, flushed uint64) ([]WALRecord, int, RecoveryInfo, error) {
 	var recs []WALRecord
+	var info RecoveryInfo
 	off := 0
-	for off < len(w.buf) {
-		rec, n, err := decodeOne(w.buf[off:])
+	for off < len(b) {
+		rec, n, err := decodeOne(b[off:])
 		if err != nil {
-			return recs, err
+			if isTornTail(b[off:], err) {
+				info.TornTail = true
+				info.TruncatedBytes = len(b) - off
+				return recs, off, info, nil
+			}
+			return recs, off, info, fmt.Errorf("storage: WAL corrupt at offset %d (not a torn tail): %w", off, err)
 		}
-		if rec.LSN > w.flushed {
+		if rec.LSN > flushed {
 			break
 		}
 		recs = append(recs, rec)
 		off += n
 	}
-	return recs, nil
+	return recs, off, info, nil
 }
+
+// isTornTail classifies a decode failure at the end of buffer b: short
+// reads are always torn tails, and a CRC mismatch counts only when the
+// damaged record is the last thing in the log. A corrupted length field
+// that claims more bytes than remain is indistinguishable from a torn
+// write at the storage level and is likewise treated as truncation.
+func isTornTail(b []byte, err error) bool {
+	if errors.Is(err, errTruncatedRecord) {
+		return true
+	}
+	// CRC mismatch: recompute the record extent from the (unverified)
+	// length field; damage confined to the final record is a torn write.
+	plen := int(binary.LittleEndian.Uint32(b[17:21]))
+	return 21+plen+4 >= len(b)
+}
+
+// errTruncatedRecord marks a record whose bytes end before its encoding
+// says they should.
+var errTruncatedRecord = errors.New("storage: truncated WAL record")
 
 func decodeOne(b []byte) (WALRecord, int, error) {
 	if len(b) < 25 {
-		return WALRecord{}, 0, errors.New("storage: truncated WAL record header")
+		return WALRecord{}, 0, fmt.Errorf("%w (short header: %d bytes)", errTruncatedRecord, len(b))
 	}
 	plen := int(binary.LittleEndian.Uint32(b[17:21]))
 	total := 21 + plen + 4
-	if len(b) < total {
-		return WALRecord{}, 0, errors.New("storage: truncated WAL record payload")
+	if plen < 0 || len(b) < total {
+		return WALRecord{}, 0, fmt.Errorf("%w (payload length %d exceeds remaining %d bytes)", errTruncatedRecord, plen, len(b)-25)
 	}
 	want := binary.LittleEndian.Uint32(b[21+plen : total])
 	if crc32.ChecksumIEEE(b[:21+plen]) != want {
@@ -143,4 +208,45 @@ func decodeOne(b []byte) (WALRecord, int, error) {
 		rec.Payload = append([]byte(nil), b[21:21+plen]...)
 	}
 	return rec, total, nil
+}
+
+// CrashImage returns a copy of the first n encoded log bytes — the disk
+// state a crash at byte offset n would leave behind, torn tail and all.
+// n is clamped to the log length.
+func (w *WAL) CrashImage(n int) []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n > len(w.buf) {
+		n = len(w.buf)
+	}
+	return append([]byte(nil), w.buf[:n]...)
+}
+
+// Size reports the encoded log length in bytes.
+func (w *WAL) Size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// OpenWALBytes reconstructs a WAL from a crash image: everything that
+// decodes cleanly is durable (a file-backed log only contains what was
+// written), a torn tail is truncated away, and mid-log corruption is a
+// hard error. The returned WAL is ready for new appends after the valid
+// prefix.
+func OpenWALBytes(img []byte) (*WAL, RecoveryInfo, error) {
+	recs, validLen, info, err := scanRecords(img, ^uint64(0))
+	if err != nil {
+		return nil, info, err
+	}
+	w := &WAL{nextLSN: 1}
+	w.buf = append([]byte(nil), img[:validLen]...)
+	if n := len(recs); n > 0 {
+		w.flushed = recs[n-1].LSN
+		w.nextLSN = recs[n-1].LSN + 1
+	}
+	return w, info, nil
 }

@@ -1,0 +1,103 @@
+package training
+
+import (
+	"testing"
+
+	"aidb/internal/chaos"
+	"aidb/internal/ml"
+)
+
+// Chaos-scheduled crashes must be survivable exactly like explicit ones:
+// all epochs complete, redo work is bounded by the checkpoint interval.
+func TestRunChaosSurvivesInjectedCrashes(t *testing.T) {
+	const total = 60
+	inj := chaos.New(31).Add(chaos.Rule{Site: SiteTrainEpoch, Kind: chaos.Crash, Every: 17, Limit: 3})
+	net := ml.NewMLP(ml.NewRNG(8), ml.ReLU, 2, 4, 1)
+	tr := &CheckpointedTrainer{CheckpointEvery: 5}
+	executed := 0
+	crashes := tr.RunChaos(net, total, func(int) { executed++ }, inj)
+	if crashes != 3 {
+		t.Fatalf("crashes = %d, want 3 (Every:17 Limit:3)", crashes)
+	}
+	if executed != tr.EpochsExecuted {
+		t.Fatalf("step calls %d != EpochsExecuted %d", executed, tr.EpochsExecuted)
+	}
+	// Each crash redoes at most CheckpointEvery-1 epochs.
+	if redo := tr.EpochsExecuted - total; redo < 0 || redo > crashes*(tr.CheckpointEvery-1) {
+		t.Errorf("redo work = %d epochs, want 0..%d", redo, crashes*(tr.CheckpointEvery-1))
+	}
+}
+
+// Identical seeds must give identical crash schedules and redo costs.
+func TestRunChaosDeterministic(t *testing.T) {
+	run := func() (int, int) {
+		inj := chaos.New(99).Add(chaos.Rule{Site: SiteTrainEpoch, Kind: chaos.Crash, Prob: 0.05, Limit: 5})
+		net := ml.NewMLP(ml.NewRNG(9), ml.ReLU, 2, 4, 1)
+		tr := &CheckpointedTrainer{CheckpointEvery: 4}
+		return tr.RunChaos(net, 80, func(int) {}, inj), tr.EpochsExecuted
+	}
+	c1, e1 := run()
+	c2, e2 := run()
+	if c1 != c2 || e1 != e2 {
+		t.Errorf("same seed diverged: (%d crashes, %d epochs) vs (%d, %d)", c1, e1, c2, e2)
+	}
+	if c1 == 0 {
+		t.Error("schedule never crashed; test is vacuous")
+	}
+}
+
+// A nil injector is a no-op: RunChaos behaves exactly like crash-free Run.
+func TestRunChaosNilInjector(t *testing.T) {
+	net := ml.NewMLP(ml.NewRNG(10), ml.ReLU, 2, 4, 1)
+	tr := &CheckpointedTrainer{CheckpointEvery: 5}
+	if crashes := tr.RunChaos(net, 20, func(int) {}, nil); crashes != 0 {
+		t.Errorf("crashes = %d with nil injector, want 0", crashes)
+	}
+	if tr.EpochsExecuted != 20 {
+		t.Errorf("epochs = %d, want 20", tr.EpochsExecuted)
+	}
+}
+
+// An injected accelerator-launch failure degrades to CPU cost — more
+// expensive, never wrong — and healthy launches still pay accelerator
+// cost.
+func TestAcceleratedEpochCostFallsBackToCPU(t *testing.T) {
+	inj := chaos.New(41).Add(chaos.Rule{Site: SiteAccelLaunch, Kind: chaos.Error, Every: 2})
+	const n, d, cols = 100000, 8, 16
+	cpu := EpochCost(CPU(), ColumnStore, n, d, cols)
+	acc := EpochCost(Accelerator(), ColumnStore, n, d, cols)
+	fallbacks := 0
+	for i := 0; i < 10; i++ {
+		cost, fell := AcceleratedEpochCost(inj, ColumnStore, n, d, cols)
+		if fell {
+			fallbacks++
+			if cost != cpu {
+				t.Fatalf("fallback cost = %v, want CPU cost %v", cost, cpu)
+			}
+		} else if cost != acc {
+			t.Fatalf("healthy cost = %v, want accelerator cost %v", cost, acc)
+		}
+	}
+	if fallbacks != 5 {
+		t.Errorf("fallbacks = %d, want 5 (Every:2 over 10 launches)", fallbacks)
+	}
+	// At this scale the accelerator must actually be the cheaper path,
+	// or the fallback penalty the test asserts is meaningless.
+	if acc >= cpu {
+		t.Errorf("accelerator (%v) not cheaper than CPU (%v) at n=%d", acc, cpu, n)
+	}
+}
+
+// Injected latency at the launch site is charged on top of device cost.
+func TestAcceleratedEpochCostChargesLatency(t *testing.T) {
+	inj := chaos.New(42).Add(chaos.Rule{Site: SiteAccelLaunch, Kind: chaos.Latency, Delay: 250})
+	const n, d, cols = 1024, 4, 8
+	cost, fell := AcceleratedEpochCost(inj, RowStore, n, d, cols)
+	if fell {
+		t.Fatal("latency rule must not trigger fallback")
+	}
+	want := EpochCost(Accelerator(), RowStore, n, d, cols) + 250
+	if cost != want {
+		t.Errorf("cost = %v, want %v (device cost + 250 delay)", cost, want)
+	}
+}

@@ -3,7 +3,17 @@ package training
 import (
 	"errors"
 
+	"aidb/internal/chaos"
 	"aidb/internal/ml"
+)
+
+// Chaos injection sites in the training layer.
+const (
+	// SiteTrainEpoch crashes the training loop before an epoch executes.
+	SiteTrainEpoch = "training.epoch"
+	// SiteAccelLaunch fails a simulated accelerator kernel launch; the
+	// epoch falls back to the CPU device.
+	SiteAccelLaunch = "training.accel.launch"
 )
 
 // CheckpointedTrainer runs an iterative training job with periodic
@@ -36,15 +46,36 @@ var ErrCrashed = errors.New("training: injected crash")
 // resumes from the last checkpoint (or from zero without checkpointing)
 // and continues until done. It returns the number of crashes survived.
 func (c *CheckpointedTrainer) Run(net *ml.MLP, totalEpochs int, step func(epoch int), crashAt map[int]bool) int {
+	return c.run(net, totalEpochs, step, func(epoch int) bool {
+		if crashAt[epoch] {
+			delete(crashAt, epoch) // crash only on the first visit
+			return true
+		}
+		return false
+	})
+}
+
+// RunChaos is Run with crash points scheduled by the chaos injector at
+// SiteTrainEpoch instead of an explicit epoch set. The site is consulted
+// once per epoch attempt — including re-executed epochs after a recovery
+// — so rules should carry a Limit (or a bounded schedule) unless an
+// unbounded crash loop is the intent.
+func (c *CheckpointedTrainer) RunChaos(net *ml.MLP, totalEpochs int, step func(epoch int), inj *chaos.Injector) int {
+	return c.run(net, totalEpochs, step, func(int) bool {
+		return inj.Crash(SiteTrainEpoch)
+	})
+}
+
+// run drives training with crashBefore deciding, per epoch attempt,
+// whether an injected crash preempts it.
+func (c *CheckpointedTrainer) run(net *ml.MLP, totalEpochs int, step func(epoch int), crashBefore func(epoch int) bool) int {
 	c.model = net
 	if c.CheckpointEvery > 0 {
 		c.savedModel = net.Clone()
 	}
 	crashes := 0
-	crashed := map[int]bool{}
 	for c.epoch < totalEpochs {
-		if crashAt[c.epoch] && !crashed[c.epoch] {
-			crashed[c.epoch] = true
+		if crashBefore(c.epoch) {
 			crashes++
 			// Recover: restore the last checkpoint (or restart).
 			if c.CheckpointEvery > 0 && c.savedModel != nil {

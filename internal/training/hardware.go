@@ -1,5 +1,7 @@
 package training
 
+import "aidb/internal/chaos"
+
 // The hardware-acceleration experiment (E20) cannot run on a real
 // GPU/FPGA offline, so acceleration is a cost model with the structure
 // the DAnA and ColumnML papers measure: an accelerator computes much
@@ -61,6 +63,21 @@ func EpochCost(dev Device, layout Layout, n, d, totalCols int) float64 {
 		dev.LaunchCost +
 		elements*dev.TransferPerElement +
 		elements*dev.ComputePerElement
+}
+
+// AcceleratedEpochCost runs one epoch on the accelerator, consulting the
+// chaos injector at SiteAccelLaunch before the kernel launch. On an
+// injected launch failure the epoch falls back to the CPU device (the
+// guarded-degradation story: the accelerator is an optimisation, never a
+// correctness dependency). It returns the cost actually paid and whether
+// the fallback fired. Injected latency at the same site is added to the
+// cost as-is.
+func AcceleratedEpochCost(inj *chaos.Injector, layout Layout, n, d, totalCols int) (float64, bool) {
+	extra := float64(inj.Latency(SiteAccelLaunch))
+	if err := inj.Fail(SiteAccelLaunch); err != nil {
+		return EpochCost(CPU(), layout, n, d, totalCols) + extra, true
+	}
+	return EpochCost(Accelerator(), layout, n, d, totalCols) + extra, false
 }
 
 // BreakEvenRows finds the smallest row count (by doubling search) at
