@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench ci
+.PHONY: all build vet test test-race test-short bench bench-smoke ci
 
 all: build vet test
 
@@ -21,5 +21,14 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke is the CI-sized benchmark pass: 10 iterations of the hot-path
+# micro-benchmarks (executor, obs substrate, LSM) plus the new E25
+# reproduction, with a live metrics dump for the build artifact.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem \
+		./internal/exec/ ./internal/obs/ ./internal/kv/ | tee BENCH_smoke.txt
+	$(GO) test -run='^$$' -bench=BenchmarkE25 -benchtime=1x . | tee -a BENCH_smoke.txt
+	$(GO) run ./cmd/aidb-bench -e E25 -metrics BENCH_metrics.json > /dev/null
 
 ci: build vet test-race

@@ -52,3 +52,4 @@ func BenchmarkE21InferenceOperators(b *testing.B)   { benchExperiment(b, "E21") 
 func BenchmarkE22HybridInference(b *testing.B)      { benchExperiment(b, "E22") }
 func BenchmarkE23FaultTolerance(b *testing.B)       { benchExperiment(b, "E23") }
 func BenchmarkE24GuardedDegradation(b *testing.B)   { benchExperiment(b, "E24") }
+func BenchmarkE25LiveRootCause(b *testing.B)        { benchExperiment(b, "E25") }

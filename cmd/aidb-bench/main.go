@@ -12,33 +12,78 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"aidb/internal/core"
 	"aidb/internal/experiments"
 )
+
+// dumpMetrics drives a short instrumented smoke workload on a fresh DB
+// and writes its live metric registry to path ("-" = stdout; a .json
+// suffix selects the JSON exposition, anything else the text one).
+func dumpMetrics(path string) error {
+	db := core.Open()
+	script := `CREATE TABLE m (a INT, b INT);
+		INSERT INTO m VALUES (1, 10), (2, 20), (3, 30), (4, 40);
+		SELECT a, b FROM m WHERE a < 3;
+		SELECT count(*) FROM m;`
+	if _, err := db.ExecScript(script); err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".json") {
+		_, err := db.Metrics().WriteJSONTo(w)
+		return err
+	}
+	return db.WriteMetrics(w)
+}
 
 func main() {
 	var (
 		exp       = flag.String("e", "", "run a single experiment id (e.g. E7 or A2); empty runs all")
 		seed      = flag.Uint64("seed", 20260705, "deterministic seed for all experiments")
 		ablations = flag.Bool("a", false, "run the design-choice ablations (A1..A5) instead of the matrix")
+		metrics   = flag.String("metrics", "", "after the run, dump live metrics from a smoke workload to this path ('-' = stdout, '.json' suffix = JSON)")
 	)
 	flag.Parse()
-	if *exp != "" && (*exp)[0] == 'A' {
-		t, err := experiments.RunAblation(*exp, *seed)
+	code := run(*exp, *seed, *ablations)
+	if *metrics != "" {
+		if err := dumpMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics dump:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+func run(exp string, seed uint64, ablations bool) int {
+	if exp != "" && exp[0] == 'A' {
+		t, err := experiments.RunAblation(exp, seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(t.String())
 		if !t.Holds {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
-	if *ablations {
+	if ablations {
 		failed := 0
-		for _, t := range experiments.RunAllAblations(*seed) {
+		for _, t := range experiments.RunAllAblations(seed) {
 			fmt.Println(t.String())
 			if !t.Holds {
 				failed++
@@ -46,24 +91,24 @@ func main() {
 		}
 		fmt.Printf("%d/%d ablation shapes hold\n", len(experiments.AblationIDs())-failed, len(experiments.AblationIDs()))
 		if failed > 0 {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
-	if *exp != "" {
-		t, err := experiments.Run(*exp, *seed)
+	if exp != "" {
+		t, err := experiments.Run(exp, seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(t.String())
 		if !t.Holds {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	failed := 0
-	for _, t := range experiments.RunAll(*seed) {
+	for _, t := range experiments.RunAll(seed) {
 		fmt.Println(t.String())
 		if !t.Holds {
 			failed++
@@ -71,6 +116,7 @@ func main() {
 	}
 	fmt.Printf("%d/%d experiment shapes hold\n", len(experiments.IDs())-failed, len(experiments.IDs()))
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

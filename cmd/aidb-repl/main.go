@@ -24,7 +24,7 @@ const help = `Statements end with ';'. Supported:
   UPDATE / DELETE / DROP TABLE / ANALYZE t / EXPLAIN SELECT ... / SHOW TABLES;
   CREATE MODEL m PREDICT label ON t [FEATURES (...)] [WITH (kind='logistic'|'linear'|'tree', epochs=N)];
   SELECT PREDICT(m, f1, f2) FROM t;  EVALUATE MODEL m ON t;  SHOW MODELS;  DROP MODEL m;
-Meta: \q quit, \h help.`
+Meta: \q quit, \h help, \metrics live metric counters, \trace last query's span tree.`
 
 func main() {
 	db := core.Open()
@@ -48,6 +48,18 @@ func main() {
 			return
 		case `\h`, `\help`:
 			fmt.Println(help)
+			prompt()
+			continue
+		case `\metrics`:
+			db.WriteMetrics(os.Stdout)
+			prompt()
+			continue
+		case `\trace`:
+			if tr := db.LastTrace(); tr != "" {
+				fmt.Print(tr)
+			} else {
+				fmt.Println("no query traced yet")
+			}
 			prompt()
 			continue
 		}

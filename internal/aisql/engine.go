@@ -7,7 +7,9 @@ import (
 	"sync"
 
 	"aidb/internal/catalog"
+	"aidb/internal/chaos"
 	"aidb/internal/exec"
+	"aidb/internal/obs"
 	"aidb/internal/plan"
 	"aidb/internal/sql"
 	"aidb/internal/storage"
@@ -20,9 +22,30 @@ import (
 type Engine struct {
 	Cat *catalog.Catalog
 
+	// Chaos, when set, is handed to every executor this engine creates,
+	// enabling fault injection at the exec.* sites. Nil disables it.
+	Chaos *chaos.Injector
+
 	mu      sync.RWMutex
 	models  map[string]*Model
 	indexes map[string]*secondaryIndex
+
+	// Observability plane, wired by Instrument. All fields are nil-safe
+	// when the engine is uninstrumented.
+	tracer      *obs.Tracer
+	execObs     exec.Metrics
+	stmts       *obs.Counter
+	parseErrors *obs.Counter
+}
+
+// Instrument wires the engine — and every executor it creates — to the
+// observability registry and tracer. Either argument may be nil to
+// disable that half; call before serving queries.
+func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	e.tracer = tr
+	e.execObs = exec.NewMetrics(reg)
+	e.stmts = reg.Counter("sql.statements")
+	e.parseErrors = reg.Counter("sql.parse_errors")
 }
 
 // NewEngine creates an engine over an in-memory catalog.
@@ -125,19 +148,29 @@ func (e *Engine) funcs() exec.FuncRegistry {
 }
 
 // Execute parses and runs one statement, returning a result set (possibly
-// empty for DDL/DML).
+// empty for DDL/DML). Each call is one root span on the engine's tracer:
+// parse -> plan -> optimize -> exec.
 func (e *Engine) Execute(query string) (*exec.Result, error) {
+	sp := e.tracer.Start("query")
+	defer sp.Finish()
+	psp := sp.Child("parse")
 	stmt, err := sql.Parse(query)
+	psp.Finish()
+	e.stmts.Inc()
 	if err != nil {
+		e.parseErrors.Inc()
+		sp.SetTag("error", "parse")
 		return nil, err
 	}
-	return e.ExecuteStmt(stmt)
+	sp.SetTag("stmt", sql.StatementKind(stmt))
+	return e.executeStmt(stmt, sp)
 }
 
 // ExecuteScript runs a ';'-separated script, returning the last result.
 func (e *Engine) ExecuteScript(script string) (*exec.Result, error) {
 	stmts, err := sql.ParseAll(script)
 	if err != nil {
+		e.parseErrors.Inc()
 		return nil, err
 	}
 	var last *exec.Result
@@ -150,15 +183,25 @@ func (e *Engine) ExecuteScript(script string) (*exec.Result, error) {
 	return last, nil
 }
 
-// ExecuteStmt runs one parsed statement.
+// ExecuteStmt runs one parsed statement under its own trace span.
 func (e *Engine) ExecuteStmt(stmt sql.Statement) (*exec.Result, error) {
+	sp := e.tracer.Start("query")
+	defer sp.Finish()
+	sp.SetTag("stmt", sql.StatementKind(stmt))
+	e.stmts.Inc()
+	return e.executeStmt(stmt, sp)
+}
+
+// executeStmt dispatches one parsed statement, attaching child spans to
+// sp (which may be nil when tracing is off).
+func (e *Engine) executeStmt(stmt sql.Statement, sp *obs.Span) (*exec.Result, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTableStmt:
 		return e.createTable(s)
 	case *sql.InsertStmt:
 		return e.insert(s)
 	case *sql.SelectStmt:
-		return e.query(s)
+		return e.query(s, sp)
 	case *sql.UpdateStmt:
 		return e.update(s)
 	case *sql.DeleteStmt:
@@ -338,17 +381,30 @@ func rewriteExpr(ex sql.Expr) sql.Expr {
 	return ex
 }
 
-func (e *Engine) query(s *sql.SelectStmt) (*exec.Result, error) {
+func (e *Engine) query(s *sql.SelectStmt, sp *obs.Span) (*exec.Result, error) {
+	psp := sp.Child("plan")
 	p, err := plan.Build(e.Cat, e.rewritePredicts(s))
+	psp.Finish()
 	if err != nil {
 		return nil, err
 	}
+	osp := sp.Child("optimize")
 	// AI-operator pushdown: run cheap relational predicates before model
 	// invocations (the executor short-circuits conjunctions).
 	p = plan.OptimizeFilters(p)
 	// Secondary-index access paths for filters over indexed columns.
 	p = plan.UseIndexes(p, e.indexLookup())
-	return exec.New(e.funcs()).Run(p)
+	osp.Finish()
+	if sp != nil {
+		nodes, depth := plan.Summary(p)
+		sp.SetTagf("plan", "nodes=%d,depth=%d", nodes, depth)
+	}
+	esp := sp.Child("exec")
+	defer esp.Finish()
+	ex := exec.New(e.funcs())
+	ex.Chaos = e.Chaos
+	ex.Obs = e.execObs
+	return ex.Run(p)
 }
 
 func (e *Engine) update(s *sql.UpdateStmt) (*exec.Result, error) {

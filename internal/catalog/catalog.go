@@ -90,11 +90,19 @@ func New(pool *storage.BufferPool) *Catalog {
 // NewMem creates a catalog over a fresh in-memory disk and pool, sized for
 // tests and examples.
 func NewMem() *Catalog {
-	// The constant capacity is valid by construction, so the config
-	// error NewBufferPool can return is impossible here.
-	pool, _ := storage.NewBufferPool(storage.NewMemDisk(), 1024)
+	pool, err := storage.NewBufferPool(storage.NewMemDisk(), 1024)
+	if err != nil {
+		// The constant capacity is valid by construction; reaching this
+		// means NewBufferPool's contract changed under us — fail loudly
+		// instead of returning a catalog with a nil pool.
+		panic(fmt.Sprintf("catalog: NewMem pool: %v", err))
+	}
 	return New(pool)
 }
+
+// Pool exposes the catalog's buffer pool so callers can instrument it
+// (obs) or inspect hit rates.
+func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
 
 // CreateTable registers a new table.
 func (c *Catalog) CreateTable(name string, schema Schema) (*Table, error) {

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"aidb/internal/ml"
+	"aidb/internal/obs"
 )
 
 // Kind classifies a fault.
@@ -90,6 +91,10 @@ type rule struct {
 	calls uint64
 	fires uint64
 	rng   *ml.RNG
+	// ctr counts this rule's fires on the obs registry (nil when the
+	// injector is uninstrumented). Pre-resolved so the fire path never
+	// touches the registry lock while holding the injector lock.
+	ctr *obs.Counter
 }
 
 // shouldFire advances the rule's schedule by one call. Caller holds the
@@ -127,6 +132,9 @@ type Injector struct {
 	hits   map[string]uint64
 	events []Event
 	seq    uint64
+
+	reg      *obs.Registry
+	obsTotal *obs.Counter
 }
 
 // New returns an injector with no rules. Same seed + same rules + same
@@ -141,16 +149,60 @@ func New(seed uint64) *Injector {
 
 // Add installs a rule and returns the injector for chaining.
 func (in *Injector) Add(r Rule) *Injector {
-	in.mu.Lock()
-	defer in.mu.Unlock()
 	h := fnv.New64a()
 	h.Write([]byte(r.Site))
+	in.mu.Lock()
 	rr := &rule{
 		Rule: r,
 		rng:  ml.NewRNG(in.seed ^ h.Sum64() ^ uint64(r.Kind)<<32 ^ uint64(len(in.rules))<<48),
 	}
 	in.rules = append(in.rules, rr)
 	in.bySite[r.Site] = append(in.bySite[r.Site], rr)
+	reg := in.reg
+	in.mu.Unlock()
+	if reg != nil {
+		// Resolve the fire counter outside the injector lock: the
+		// registry lock is held during exposition while sampling gauge
+		// funcs of components that themselves consult this injector, so
+		// taking it under in.mu could invert lock order.
+		c := reg.Counter(fireCounterName(r.Site, r.Kind))
+		in.mu.Lock()
+		rr.ctr = c
+		in.mu.Unlock()
+	}
+	return in
+}
+
+// fireCounterName is the exposition name for one site/kind fire count.
+func fireCounterName(site string, kind Kind) string {
+	return "chaos.fires." + site + "." + kind.String()
+}
+
+// Instrument exports fired-fault counts on reg as per-site-and-kind
+// counters (chaos.fires.<site>.<kind>) plus chaos.fires.total, and
+// wires every rule added later via Add. Instrument the injector during
+// setup, before faults start firing concurrently.
+func (in *Injector) Instrument(reg *obs.Registry) *Injector {
+	if in == nil || reg == nil {
+		return in
+	}
+	total := reg.Counter("chaos.fires.total")
+	in.mu.Lock()
+	in.reg = reg
+	in.obsTotal = total
+	pending := make([]*rule, 0, len(in.rules))
+	for _, r := range in.rules {
+		if r.ctr == nil {
+			pending = append(pending, r)
+		}
+	}
+	in.mu.Unlock()
+	for _, r := range pending {
+		c := reg.Counter(fireCounterName(r.Site, r.Kind))
+		in.mu.Lock()
+		r.ctr = c
+		in.mu.Unlock()
+	}
 	return in
 }
 
@@ -170,6 +222,8 @@ func (in *Injector) fire(site string, kind Kind) *rule {
 	if fired != nil {
 		in.seq++
 		in.events = append(in.events, Event{Seq: in.seq, Site: site, Kind: kind})
+		fired.ctr.Inc()
+		in.obsTotal.Inc()
 	}
 	return fired
 }

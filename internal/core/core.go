@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -18,6 +19,7 @@ import (
 	"aidb/internal/knob"
 	"aidb/internal/ml"
 	"aidb/internal/monitor"
+	"aidb/internal/obs"
 	"aidb/internal/txnsched"
 	"aidb/internal/workload"
 )
@@ -26,6 +28,8 @@ import (
 type DB struct {
 	engine *aisql.Engine
 	rng    *ml.RNG
+	reg    *obs.Registry
+	tracer *obs.Tracer
 
 	// tuner state persists across Tune calls so the query-aware critic
 	// accumulates experience (QTune behaviour).
@@ -42,12 +46,39 @@ func Open() *DB {
 // from the given seed.
 func OpenSeeded(seed uint64) *DB {
 	rng := ml.NewRNG(seed)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(16)
+	engine := aisql.NewEngine()
+	engine.Instrument(reg, tracer)
+	engine.Cat.Pool().Instrument(reg)
 	return &DB{
-		engine:  aisql.NewEngine(),
+		engine:  engine,
 		rng:     rng,
+		reg:     reg,
+		tracer:  tracer,
 		tuner:   &knob.QTune{Rng: ml.NewRNG(seed + 1)},
 		surface: knob.NewSurface(ml.NewRNG(seed+2), 0.01),
 	}
+}
+
+// Metrics exposes the live observability registry every query and
+// storage operation reports into.
+func (db *DB) Metrics() *obs.Registry { return db.reg }
+
+// WriteMetrics writes the text exposition of every registered metric.
+func (db *DB) WriteMetrics(w io.Writer) error {
+	_, err := db.reg.WriteTo(w)
+	return err
+}
+
+// LastTrace renders the span tree of the most recent query, or "" when
+// nothing has been traced yet.
+func (db *DB) LastTrace() string {
+	s := db.tracer.Last()
+	if s == nil {
+		return ""
+	}
+	return s.Dump()
 }
 
 // Exec runs one SQL/AISQL statement.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"aidb/internal/catalog"
+	"aidb/internal/obs"
 	"aidb/internal/plan"
 	"aidb/internal/sql"
 )
@@ -76,6 +77,38 @@ func BenchmarkGroupByAggregate(b *testing.B) {
 func BenchmarkSortLimit(b *testing.B) {
 	c := benchCatalog(b, 20000)
 	benchQuery(b, c, "SELECT id FROM users ORDER BY age DESC LIMIT 100")
+}
+
+// BenchmarkExec measures the executor hot path with observability off
+// (the zero Metrics value, the default without a registry) and on,
+// guarding the contract that disabled metrics cost only nil checks.
+func BenchmarkExec(b *testing.B) {
+	c := benchCatalog(b, 20000)
+	stmt, err := sql.Parse("SELECT id FROM users WHERE age > 40")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Build(c, stmt.(*sql.SelectStmt))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("obs-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := New(nil).Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("obs-on", func(b *testing.B) {
+		m := NewMetrics(obs.NewRegistry())
+		for i := 0; i < b.N; i++ {
+			ex := New(nil)
+			ex.Obs = m
+			if _, err := ex.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkInsertThroughput(b *testing.B) {

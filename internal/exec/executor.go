@@ -31,6 +31,9 @@ type Executor struct {
 	// Chaos, when set, injects faults at SiteExecScan. Nil disables
 	// injection.
 	Chaos *chaos.Injector
+	// Obs holds pre-resolved observability metrics; the zero value
+	// disables them (see NewMetrics).
+	Obs Metrics
 }
 
 // ExecStats counts executor activity.
@@ -50,18 +53,26 @@ func New(funcs FuncRegistry) *Executor {
 
 // Run materializes the plan's output.
 func (ex *Executor) Run(n plan.Node) (*Result, error) {
+	ex.Obs.Queries.Inc()
+	if done := ex.Obs.timeQuery(); done != nil {
+		defer done()
+	}
 	rows, err := ex.exec(n)
 	if err != nil {
+		ex.Obs.QueryErrors.Inc()
 		return nil, err
 	}
 	ex.Stats.RowsOutput += uint64(len(rows))
+	ex.Obs.RowsOutput.Add(uint64(len(rows)))
 	return &Result{Columns: n.Schema(), Rows: rows}, nil
 }
 
 func (ex *Executor) exec(n plan.Node) ([]catalog.Row, error) {
 	switch v := n.(type) {
 	case *plan.ScanNode:
-		ex.Stats.InjectedDelayUnits += uint64(ex.Chaos.Latency(SiteExecScan))
+		delay := uint64(ex.Chaos.Latency(SiteExecScan))
+		ex.Stats.InjectedDelayUnits += delay
+		ex.Obs.InjectedDelay.Add(delay)
 		if err := ex.Chaos.Fail(SiteExecScan); err != nil {
 			return nil, fmt.Errorf("exec: scan %s: %w", v.Table.Name, err)
 		}
@@ -74,6 +85,7 @@ func (ex *Executor) exec(n plan.Node) ([]catalog.Row, error) {
 			return nil, err
 		}
 		ex.Stats.RowsScanned += uint64(len(rows))
+		ex.Obs.RowsScanned.Add(uint64(len(rows)))
 		return rows, nil
 	case *plan.IndexScanNode:
 		var rows []catalog.Row
@@ -85,6 +97,7 @@ func (ex *Executor) exec(n plan.Node) ([]catalog.Row, error) {
 			return nil, err
 		}
 		ex.Stats.RowsScanned += uint64(len(rows))
+		ex.Obs.RowsScanned.Add(uint64(len(rows)))
 		return rows, nil
 	case *plan.FilterNode:
 		in, err := ex.exec(v.Input)
@@ -239,6 +252,7 @@ func (ex *Executor) hashJoin(j *plan.JoinNode) ([]catalog.Row, error) {
 		}
 	}
 	ex.Stats.RowsJoined += uint64(len(out))
+	ex.Obs.RowsJoined.Add(uint64(len(out)))
 	return out, nil
 }
 

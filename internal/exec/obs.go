@@ -1,0 +1,55 @@
+package exec
+
+import (
+	"time"
+
+	"aidb/internal/obs"
+)
+
+// Metrics bundles the executor's pre-resolved observability handles.
+// The zero value disables everything: each field is a nil obs metric
+// whose methods are no-ops, so an uninstrumented executor pays one
+// predictable nil-check branch per event on the hot path (see
+// BenchmarkExec and obs.TestDisabledOverheadNanos for the bound).
+type Metrics struct {
+	Queries       *obs.Counter
+	QueryErrors   *obs.Counter
+	RowsScanned   *obs.Counter
+	RowsJoined    *obs.Counter
+	RowsOutput    *obs.Counter
+	InjectedDelay *obs.Counter
+	// QueryLatency observes wall-clock nanoseconds per Run call.
+	QueryLatency *obs.Histogram
+}
+
+// NewMetrics resolves the executor's metrics against reg. A nil
+// registry yields the zero (disabled) Metrics.
+func NewMetrics(reg *obs.Registry) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		Queries:       reg.Counter("exec.queries"),
+		QueryErrors:   reg.Counter("exec.query_errors"),
+		RowsScanned:   reg.Counter("exec.rows_scanned"),
+		RowsJoined:    reg.Counter("exec.rows_joined"),
+		RowsOutput:    reg.Counter("exec.rows_output"),
+		InjectedDelay: reg.Counter("exec.injected_delay_units"),
+		QueryLatency:  reg.Histogram("exec.query_latency_ns", latencyBuckets),
+	}
+}
+
+// latencyBuckets spans 1µs..~17s in powers of 4 — wide enough for both
+// micro-queries and chaos-slowed scans.
+var latencyBuckets = obs.ExpBuckets(1e3, 4, 12)
+
+// timeQuery starts a latency measurement when the latency histogram is
+// live; the returned func observes it. Disabled metrics skip the
+// time.Now call entirely.
+func (m *Metrics) timeQuery() func() {
+	if m.QueryLatency == nil {
+		return nil
+	}
+	start := time.Now()
+	return func() { m.QueryLatency.Observe(float64(time.Since(start))) }
+}

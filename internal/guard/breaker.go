@@ -98,6 +98,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Transition records one breaker state change, in order. Seq starts at
+// 1 and increments per transition, so gaps or duplicates are detectable.
+type Transition struct {
+	Seq  uint64
+	From State
+	To   State
+	// Cause explains the change: "drift" or "failures" for trips,
+	// "cooldown" for half-opening, "probes-healthy" for re-admission,
+	// "probe-failed" for a re-trip.
+	Cause string
+}
+
 // Stats counts breaker activity.
 type Stats struct {
 	// ModelCalls and BaselineCalls count which side served each request.
@@ -126,6 +138,9 @@ type Breaker struct {
 	probes      []float64
 	probeFailed bool
 	stats       Stats
+
+	transitions  []Transition
+	onTransition func(Transition)
 }
 
 // NewBreaker returns a Closed breaker.
@@ -152,7 +167,7 @@ func (b *Breaker) UseModel() bool {
 		b.stats.BaselineCalls++
 		b.cooldown--
 		if b.cooldown <= 0 {
-			b.state = HalfOpen
+			b.transition(HalfOpen, "cooldown")
 			b.probes = b.probes[:0]
 			b.probeFailed = false
 		}
@@ -192,7 +207,7 @@ func (b *Breaker) ObserveQError(q float64) {
 			b.wlen++
 		}
 		if b.wlen == len(b.window) && medianOf(b.window) > b.cfg.TripQError {
-			b.trip()
+			b.trip("drift")
 		}
 	case HalfOpen:
 		b.probes = append(b.probes, q)
@@ -211,7 +226,7 @@ func (b *Breaker) ObserveFailure() {
 	case Closed:
 		b.consecFails++
 		if b.consecFails >= b.cfg.TripFailures {
-			b.trip()
+			b.trip("failures")
 		}
 	case HalfOpen:
 		b.probeFailed = true
@@ -230,13 +245,41 @@ func (b *Breaker) ObserveSuccess() {
 }
 
 // trip moves to Open. Caller holds mu.
-func (b *Breaker) trip() {
-	b.state = Open
+func (b *Breaker) trip(cause string) {
+	b.transition(Open, cause)
 	b.cooldown = b.curCooldown
 	b.consecFails = 0
 	b.wlen = 0
 	b.wpos = 0
 	b.stats.Trips++
+}
+
+// transition changes state, records exactly one Transition event, and
+// notifies the listener. Caller holds mu; the listener therefore runs
+// under the breaker lock and must not call back into the breaker.
+func (b *Breaker) transition(to State, cause string) {
+	tr := Transition{Seq: uint64(len(b.transitions)) + 1, From: b.state, To: to, Cause: cause}
+	b.state = to
+	b.transitions = append(b.transitions, tr)
+	if b.onTransition != nil {
+		b.onTransition(tr)
+	}
+}
+
+// Transitions returns a copy of the state-change history in order.
+func (b *Breaker) Transitions() []Transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Transition(nil), b.transitions...)
+}
+
+// SetTransitionListener installs fn, called synchronously (under the
+// breaker lock — it must not call breaker methods) with every state
+// change. Used by obs instrumentation; pass nil to remove.
+func (b *Breaker) SetTransitionListener(fn func(Transition)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onTransition = fn
 }
 
 // maybeSettleProbes decides a finished half-open probe round. Caller
@@ -247,7 +290,7 @@ func (b *Breaker) maybeSettleProbes() {
 	}
 	if !b.probeFailed && medianOf(b.probes) <= b.cfg.TripQError {
 		// Recovered: re-admit the model with a fresh cooldown budget.
-		b.state = Closed
+		b.transition(Closed, "probes-healthy")
 		b.curCooldown = b.cfg.CooldownCalls
 		b.stats.Recoveries++
 		return
@@ -257,7 +300,7 @@ func (b *Breaker) maybeSettleProbes() {
 	if b.curCooldown > b.cfg.MaxCooldownCalls {
 		b.curCooldown = b.cfg.MaxCooldownCalls
 	}
-	b.state = Open
+	b.transition(Open, "probe-failed")
 	b.cooldown = b.curCooldown
 	b.stats.Reopens++
 }

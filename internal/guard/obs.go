@@ -1,0 +1,39 @@
+package guard
+
+import "aidb/internal/obs"
+
+// InstrumentBreaker exports b's activity on reg under guard.<name>.*:
+// one counter per state transition edge (guard.<name>.transitions.
+// <from>_to_<to>), one counter per trip/settle cause (guard.<name>.
+// cause.<cause>), and a gauge for the current state (guard.<name>.state,
+// 0=closed 1=open 2=half-open). All counters are pre-resolved here so
+// the listener — which runs under the breaker lock — only touches
+// atomics and never the registry lock.
+func InstrumentBreaker(b *Breaker, reg *obs.Registry, name string) {
+	if b == nil || reg == nil {
+		return
+	}
+	prefix := "guard." + name + "."
+	edges := make(map[[2]State]*obs.Counter, 4)
+	for _, e := range [][2]State{
+		{Closed, Open},
+		{Open, HalfOpen},
+		{HalfOpen, Closed},
+		{HalfOpen, Open},
+	} {
+		edges[e] = reg.Counter(prefix + "transitions." + e[0].String() + "_to_" + e[1].String())
+	}
+	causes := make(map[string]*obs.Counter, 5)
+	for _, c := range []string{"drift", "failures", "cooldown", "probes-healthy", "probe-failed"} {
+		causes[c] = reg.Counter(prefix + "cause." + c)
+	}
+	reg.GaugeFunc(prefix+"state", func() float64 { return float64(b.State()) })
+	b.SetTransitionListener(func(tr Transition) {
+		if c := edges[[2]State{tr.From, tr.To}]; c != nil {
+			c.Inc()
+		}
+		if c := causes[tr.Cause]; c != nil {
+			c.Inc()
+		}
+	})
+}

@@ -13,8 +13,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"aidb/internal/chaos"
+	"aidb/internal/obs"
 )
 
 // Chaos injection sites in the LSM store.
@@ -162,6 +164,40 @@ type Store struct {
 	mem    map[string]string
 	levels [][]*run // levels[i] = runs at level i, newest first
 	stats  Stats
+
+	// Observability handles, resolved by Instrument; nil (no-op) until
+	// then, so an uninstrumented store pays one nil check per event.
+	obsGets                *obs.Counter
+	obsPuts                *obs.Counter
+	obsGetLatency          *obs.Histogram
+	obsInjectedDelay       *obs.Counter
+	obsFlushes             *obs.Counter
+	obsFlushesDeferred     *obs.Counter
+	obsCompactions         *obs.Counter
+	obsCompactionsDeferred *obs.Counter
+}
+
+// Instrument registers the store's metrics on reg under the kv.*
+// namespace and resolves the hot-path handles. Structural state (run
+// fan-in, entry counts, I/O totals) is exported as gauge funcs sampled
+// at exposition time; event counts are live counters.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.obsGets = reg.Counter("kv.gets")
+	s.obsPuts = reg.Counter("kv.puts")
+	s.obsGetLatency = reg.Histogram("kv.get.latency_ns", obs.ExpBuckets(100, 4, 12))
+	s.obsInjectedDelay = reg.Counter("kv.injected_delay_units")
+	s.obsFlushes = reg.Counter("kv.flushes")
+	s.obsFlushesDeferred = reg.Counter("kv.flushes_deferred")
+	s.obsCompactions = reg.Counter("kv.compactions")
+	s.obsCompactionsDeferred = reg.Counter("kv.compactions_deferred")
+	reg.GaugeFunc("kv.runs", func() float64 { return float64(s.NumRuns()) })
+	reg.GaugeFunc("kv.entries", func() float64 { return float64(s.NumEntries()) })
+	reg.GaugeFunc("kv.bytes_written", func() float64 { return float64(s.Stats().BytesWritten) })
+	reg.GaugeFunc("kv.blocks_read", func() float64 { return float64(s.Stats().BlocksRead) })
+	reg.GaugeFunc("kv.bloom_negatives", func() float64 { return float64(s.Stats().BloomNegatives) })
 }
 
 // ErrNotFound is returned by Get for missing keys.
@@ -184,6 +220,7 @@ func (s *Store) Stats() Stats {
 
 // Put inserts or overwrites key.
 func (s *Store) Put(key, value string) {
+	s.obsPuts.Inc()
 	if strings.HasPrefix(value, tombstone) {
 		value = tombstone + value // escape, preserving round trips
 	}
@@ -209,9 +246,16 @@ func (s *Store) Delete(key string) {
 
 // Get fetches key, newest version wins.
 func (s *Store) Get(key string) (string, error) {
+	s.obsGets.Inc()
+	if s.obsGetLatency != nil {
+		start := time.Now()
+		defer func() { s.obsGetLatency.Observe(float64(time.Since(start))) }()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stats.InjectedDelayUnits += uint64(s.cfg.Chaos.Latency(SiteKVGet))
+	delay := uint64(s.cfg.Chaos.Latency(SiteKVGet))
+	s.stats.InjectedDelayUnits += delay
+	s.obsInjectedDelay.Add(delay)
 	if err := s.cfg.Chaos.Fail(SiteKVGet); err != nil {
 		return "", fmt.Errorf("kv: get %q: %w", key, err)
 	}
@@ -295,6 +339,7 @@ func (s *Store) flushLocked() {
 		// Deferred flush: the memtable stays intact (no data loss) and
 		// the next write that crosses the threshold retries.
 		s.stats.FlushesDeferred++
+		s.obsFlushesDeferred.Inc()
 		return
 	}
 	entries := make([]entry, 0, len(s.mem))
@@ -304,6 +349,7 @@ func (s *Store) flushLocked() {
 	sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
 	s.mem = map[string]string{}
 	s.stats.Flushes++
+	s.obsFlushes.Inc()
 	s.pushRun(0, newRun(entries, s.cfg.BloomBitsPerKey, s.cfg.FenceEvery))
 }
 
@@ -322,11 +368,13 @@ func (s *Store) pushRun(level int, r *run) {
 				// Deferred compaction: runs stay stacked (reads fan out
 				// wider but stay correct); the next push retries.
 				s.stats.CompactionsDeferred++
+				s.obsCompactionsDeferred.Inc()
 				return
 			}
 			merged := s.mergeRuns(s.levels[level])
 			s.levels[level] = nil
 			s.stats.Compactions++
+			s.obsCompactions.Inc()
 			if len(merged.entries) > capEntries {
 				s.pushRun(level+1, merged)
 			} else {
@@ -341,11 +389,13 @@ func (s *Store) pushRun(level int, r *run) {
 		if len(s.levels[level]) >= s.cfg.SizeRatio {
 			if s.cfg.Chaos.Fail(SiteKVCompact) != nil {
 				s.stats.CompactionsDeferred++
+				s.obsCompactionsDeferred.Inc()
 				return
 			}
 			merged := s.mergeRuns(s.levels[level])
 			s.levels[level] = nil
 			s.stats.Compactions++
+			s.obsCompactions.Inc()
 			s.pushRun(level+1, merged)
 		}
 	}

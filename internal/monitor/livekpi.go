@@ -1,0 +1,62 @@
+package monitor
+
+import "aidb/internal/obs"
+
+// KPIDim maps one KPI dimension onto observability metrics: the named
+// registry snapshot entries are summed, divided by Scale, and clamped to
+// [0,1]. By default the dimension measures the *delta* of that sum since
+// the previous window — the right reading for cumulative counters (and
+// for gauge funcs backed by monotone totals); set Level to read the
+// current value instead, for true level gauges like hit rates.
+type KPIDim struct {
+	Metrics []string
+	Scale   float64
+	Level   bool
+}
+
+// LiveKPIs turns obs registry snapshots into the [NumKPIs]float64
+// vectors the diagnosers consume, closing the loop between the measured
+// system and the learned monitor: instead of synthetic kpiSignature
+// draws, each window is a normalized reading of real counters.
+type LiveKPIs struct {
+	reg  *obs.Registry
+	dims [NumKPIs]KPIDim
+	prev map[string]float64
+}
+
+// NewLiveKPIs starts a window sequence over reg. The baseline for the
+// first Window call is the registry state at construction time.
+func NewLiveKPIs(reg *obs.Registry, dims [NumKPIs]KPIDim) *LiveKPIs {
+	return &LiveKPIs{reg: reg, dims: dims, prev: reg.Snapshot()}
+}
+
+// Window reads the registry, folds each dimension's metrics into one
+// normalized value per KPIDim, and advances the delta baseline so the
+// next call measures the next window.
+func (l *LiveKPIs) Window() [NumKPIs]float64 {
+	cur := l.reg.Snapshot()
+	var out [NumKPIs]float64
+	for i, d := range l.dims {
+		var sum float64
+		for _, m := range d.Metrics {
+			sum += cur[m]
+			if !d.Level {
+				sum -= l.prev[m]
+			}
+		}
+		scale := d.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		v := sum / scale
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	l.prev = cur
+	return out
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency/value histogram. Bucket bounds are
+// immutable after construction; Observe is lock-free (one atomic add per
+// bucket hit plus a CAS loop for the running sum), so concurrent
+// observers never lose counts. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	// bounds are inclusive upper bounds, strictly increasing. counts has
+	// len(bounds)+1 entries; the last is the overflow (+Inf) bucket.
+	bounds []float64
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	if len(bs) == 0 {
+		bs = DefBuckets
+	}
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// DefBuckets is the default bound set: exponential from 1 to ~1e9,
+// suitable for nanosecond latencies and generic magnitudes alike.
+var DefBuckets = ExpBuckets(1, 4, 16)
+
+// ExpBuckets returns n exponentially growing upper bounds starting at
+// start and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time histogram summary.
+type HistogramSnapshot struct {
+	Count         uint64
+	Sum           float64
+	P50, P95, P99 float64
+	// Bounds[i] pairs with BucketCounts[i]; the final count (one longer
+	// than Bounds) is the overflow bucket.
+	Bounds       []float64
+	BucketCounts []uint64
+}
+
+// Snapshot summarizes the histogram. Quantiles are estimated by linear
+// interpolation inside the containing bucket (the standard
+// fixed-bucket estimate). Returns the zero snapshot on nil.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds:       h.bounds,
+		BucketCounts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.BucketCounts[i] = h.counts[i].Load()
+		s.Count += s.BucketCounts[i]
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	s.P50 = h.quantile(s, 0.50)
+	s.P95 = h.quantile(s, 0.95)
+	s.P99 = h.quantile(s, 0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from current bucket
+// counts. Returns 0 on nil or when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.quantile(h.Snapshot(), q)
+}
+
+func (h *Histogram) quantile(s HistogramSnapshot, q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.BucketCounts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i >= len(h.bounds) {
+				// Overflow bucket has no upper bound; report its lower
+				// edge rather than inventing a value.
+				return h.bounds[len(h.bounds)-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,311 @@
+// Package obs is aidb's observability substrate: a zero-dependency
+// (stdlib-only) metrics registry plus lightweight span tracing. It is
+// the observation/feedback plane that Baihe and NeurDB argue an
+// AI-driven database needs — the learned monitor (internal/monitor)
+// consumes KPI vectors derived from live registry snapshots instead of
+// synthetic streams, and every perf experiment reads its baseline from
+// the same counters the engine itself maintains.
+//
+// Design rules:
+//
+//   - Disabled must be (nearly) free. Every metric type is a pointer
+//     whose methods are no-ops on a nil receiver, so an uninstrumented
+//     component pays one predictable-branch nil check per event. Hot
+//     paths hold pre-resolved *Counter/*Histogram fields; the registry
+//     map is only consulted at construction time.
+//   - Updates are lock-free. Counters and histogram buckets are
+//     sync/atomic; the registry mutex guards registration only.
+//   - Exposition is text-first (WriteTo, expvar-style `name value`
+//     lines) with a JSON form (WriteJSONTo) for machine consumers.
+//
+// Metric names are dotted paths ("kv.get.injected_delay_units");
+// variable parts (site names, breaker names) are appended as further
+// dotted segments rather than label maps, keeping the exposition flat
+// and greppable.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// no-ops (or zero) on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value stored atomically. All
+// methods are no-ops (or zero) on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry holds named metrics. The zero value is unusable; create one
+// with NewRegistry. A nil *Registry is a valid "observability disabled"
+// registry: every lookup returns a nil metric whose methods are no-ops.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string]func() float64{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. On a nil
+// registry it returns nil (a valid disabled counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-registry
+// safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (later calls reuse the existing
+// buckets). Nil-registry safe.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a callback evaluated at exposition/snapshot time —
+// the cheap way to export state owned elsewhere (breaker positions,
+// chaos delay totals) without a write path. Nil-registry safe.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot returns every scalar metric as name -> value: counters,
+// gauges, gauge funcs, and per-histogram count/sum. Monotonic names
+// (counters, hist counts/sums) can be diffed across snapshots to form
+// rates. Returns nil on a nil registry.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.funcs)+2*len(r.hists))
+	for n, c := range r.counters {
+		out[n] = float64(c.Value())
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, fn := range r.funcs {
+		out[n] = fn()
+	}
+	for n, h := range r.hists {
+		s := h.Snapshot()
+		out[n+".count"] = float64(s.Count)
+		out[n+".sum"] = s.Sum
+	}
+	return out
+}
+
+// expoLine is one rendered exposition row.
+type expoLine struct {
+	name, kind, rest string
+}
+
+func (r *Registry) lines() []expoLine {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	lines := make([]expoLine, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
+	for n, c := range r.counters {
+		lines = append(lines, expoLine{n, "counter", fmt.Sprintf("%d", c.Value())})
+	}
+	for n, g := range r.gauges {
+		lines = append(lines, expoLine{n, "gauge", fmt.Sprintf("%g", g.Value())})
+	}
+	for n, fn := range r.funcs {
+		lines = append(lines, expoLine{n, "gauge", fmt.Sprintf("%g", fn())})
+	}
+	for n, h := range r.hists {
+		s := h.Snapshot()
+		lines = append(lines, expoLine{n, "histogram",
+			fmt.Sprintf("count=%d sum=%g p50=%g p95=%g p99=%g", s.Count, s.Sum, s.P50, s.P95, s.P99)})
+	}
+	sort.Slice(lines, func(a, b int) bool { return lines[a].name < lines[b].name })
+	return lines
+}
+
+// WriteTo renders the registry as sorted text, one metric per line:
+//
+//	counter exec.rows_scanned 12345
+//	histogram kv.get.latency_ns count=90 sum=1.2e+06 p50=800 p95=9000 p99=14000
+//
+// It implements io.WriterTo. A nil registry writes a disabled marker.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		n, err := io.WriteString(w, "# obs: registry disabled\n")
+		return int64(n), err
+	}
+	var total int64
+	for _, l := range r.lines() {
+		n, err := fmt.Fprintf(w, "%s %s %s\n", l.kind, l.name, l.rest)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// WriteJSONTo renders the registry as a single sorted JSON object:
+// scalars as numbers, histograms as {count, sum, p50, p95, p99}.
+func (r *Registry) WriteJSONTo(w io.Writer) (int64, error) {
+	if r == nil {
+		n, err := io.WriteString(w, "{}\n")
+		return int64(n), err
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
+	type entry struct {
+		val string
+	}
+	vals := map[string]entry{}
+	for n, c := range r.counters {
+		names = append(names, n)
+		vals[n] = entry{fmt.Sprintf("%d", c.Value())}
+	}
+	for n, g := range r.gauges {
+		names = append(names, n)
+		vals[n] = entry{jsonNum(g.Value())}
+	}
+	for n, fn := range r.funcs {
+		names = append(names, n)
+		vals[n] = entry{jsonNum(fn())}
+	}
+	for n, h := range r.hists {
+		s := h.Snapshot()
+		names = append(names, n)
+		vals[n] = entry{fmt.Sprintf(`{"count":%d,"sum":%s,"p50":%s,"p95":%s,"p99":%s}`,
+			s.Count, jsonNum(s.Sum), jsonNum(s.P50), jsonNum(s.P95), jsonNum(s.P99))}
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	var total int64
+	write := func(s string) error {
+		n, err := io.WriteString(w, s)
+		total += int64(n)
+		return err
+	}
+	if err := write("{\n"); err != nil {
+		return total, err
+	}
+	for i, n := range names {
+		sep := ","
+		if i == len(names)-1 {
+			sep = ""
+		}
+		if err := write(fmt.Sprintf("  %q: %s%s\n", n, vals[n].val, sep)); err != nil {
+			return total, err
+		}
+	}
+	err := write("}\n")
+	return total, err
+}
+
+// jsonNum formats a float as a JSON-legal number (JSON has no NaN/Inf).
+func jsonNum(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose per-access instrumentation dwarfs the nanosecond
+// bounds the timing tests assert.
+const raceEnabled = true

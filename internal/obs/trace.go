@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer collects finished root spans in a bounded ring (newest kept).
+// A nil *Tracer is a valid "tracing disabled" tracer: Start returns a
+// nil span whose whole API is a no-op, so instrumented paths pay one
+// nil check when tracing is off.
+type Tracer struct {
+	mu    sync.Mutex
+	cap   int
+	roots []*Span
+}
+
+// NewTracer returns a tracer retaining the last keep root spans
+// (default 16 when keep <= 0).
+func NewTracer(keep int) *Tracer {
+	if keep <= 0 {
+		keep = 16
+	}
+	return &Tracer{cap: keep}
+}
+
+// Start opens a root span. Nil-tracer safe.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, Name: name, start: time.Now()}
+}
+
+// record files a finished root span. Called from Span.Finish.
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roots = append(t.roots, s)
+	if len(t.roots) > t.cap {
+		t.roots = t.roots[len(t.roots)-t.cap:]
+	}
+}
+
+// Last returns the most recently finished root span (nil when none).
+func (t *Tracer) Last() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.roots) == 0 {
+		return nil
+	}
+	return t.roots[len(t.roots)-1]
+}
+
+// Roots returns the retained root spans, oldest first.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Span is one timed region with tags and child spans. Spans are built
+// by one goroutine at a time (the query path is sequential per query);
+// the tracer's ring is what synchronizes cross-goroutine access, and a
+// span is published there only after Finish. All methods are no-ops on
+// a nil receiver.
+type Span struct {
+	tr   *Tracer
+	Name string
+
+	start    time.Time
+	dur      time.Duration
+	parent   *Span
+	children []*Span
+	tags     []spanTag
+}
+
+type spanTag struct{ k, v string }
+
+// Child opens a sub-span. Nil-safe: a nil parent yields a nil child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, start: time.Now(), parent: s}
+	s.children = append(s.children, c)
+	return c
+}
+
+// SetTag attaches a key/value annotation.
+func (s *Span) SetTag(k, v string) {
+	if s != nil {
+		s.tags = append(s.tags, spanTag{k, v})
+	}
+}
+
+// SetTagf attaches a formatted annotation.
+func (s *Span) SetTagf(k, format string, args ...any) {
+	if s != nil {
+		s.tags = append(s.tags, spanTag{k, fmt.Sprintf(format, args...)})
+	}
+}
+
+// Finish closes the span, recording its duration. Finishing a root span
+// files it with its tracer.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.dur = time.Since(s.start)
+	if s.parent == nil && s.tr != nil {
+		s.tr.record(s)
+	}
+}
+
+// Duration reports the span's measured duration (0 until Finish).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Dump renders the span tree as indented text, one span per line:
+//
+//	query 412µs {stmt=SELECT}
+//	  parse 18µs
+//	  plan 33µs {nodes=4 depth=3}
+//	  exec 344µs
+func (s *Span) Dump() string {
+	if s == nil {
+		return "(no trace)\n"
+	}
+	var sb strings.Builder
+	s.dump(&sb, 0)
+	return sb.String()
+}
+
+func (s *Span) dump(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(s.Name)
+	sb.WriteByte(' ')
+	sb.WriteString(s.dur.Round(time.Microsecond).String())
+	if len(s.tags) > 0 {
+		tags := make([]string, len(s.tags))
+		for i, t := range s.tags {
+			tags[i] = t.k + "=" + t.v
+		}
+		sort.Strings(tags)
+		sb.WriteString(" {" + strings.Join(tags, " ") + "}")
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.children {
+		c.dump(sb, depth+1)
+	}
+}

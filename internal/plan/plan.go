@@ -363,3 +363,20 @@ func Explain(n Node) string {
 	walk(n, 0)
 	return sb.String()
 }
+
+// Summary walks the plan and reports its operator count and depth —
+// cheap shape tags for query-path tracing.
+func Summary(n Node) (nodes, depth int) {
+	if n == nil {
+		return 0, 0
+	}
+	nodes, depth = 1, 1
+	for _, c := range n.Children() {
+		cn, cd := Summary(c)
+		nodes += cn
+		if cd+1 > depth {
+			depth = cd + 1
+		}
+	}
+	return nodes, depth
+}

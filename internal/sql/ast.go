@@ -247,3 +247,38 @@ func (*ExplainStmt) stmt() {}
 type AnalyzeStmt struct{ Table string }
 
 func (*AnalyzeStmt) stmt() {}
+
+// StatementKind names a statement's type for tracing and metrics
+// ("SELECT", "INSERT", ...). Unknown statement types report "UNKNOWN".
+func StatementKind(s Statement) string {
+	switch v := s.(type) {
+	case *SelectStmt:
+		return "SELECT"
+	case *InsertStmt:
+		return "INSERT"
+	case *UpdateStmt:
+		return "UPDATE"
+	case *DeleteStmt:
+		return "DELETE"
+	case *CreateTableStmt:
+		return "CREATE TABLE"
+	case *DropTableStmt:
+		return "DROP TABLE"
+	case *CreateIndexStmt:
+		return "CREATE INDEX"
+	case *CreateModelStmt:
+		return "CREATE MODEL"
+	case *EvaluateModelStmt:
+		return "EVALUATE MODEL"
+	case *DropModelStmt:
+		return "DROP MODEL"
+	case *ShowStmt:
+		return "SHOW"
+	case *AnalyzeStmt:
+		return "ANALYZE"
+	case *ExplainStmt:
+		return "EXPLAIN " + StatementKind(v.Inner)
+	default:
+		return "UNKNOWN"
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"aidb/internal/obs"
 )
 
 // BufferPool caches pages in memory with LRU eviction of unpinned frames.
@@ -21,9 +24,28 @@ type BufferPool struct {
 	Stats PoolStats
 }
 
-// PoolStats counts buffer-pool events.
+// PoolStats counts buffer-pool events. The counters are atomic so
+// exported readers (monitoring, obs gauge funcs) never race mutators
+// and the counts are overflow-safe by wrap-around rather than torn
+// reads; read them with Load, or grab a plain-struct copy via
+// Snapshot.
 type PoolStats struct {
+	Hits, Misses, Evictions, Flushes atomic.Uint64
+}
+
+// PoolStatsSnapshot is a point-in-time plain-value copy of PoolStats.
+type PoolStatsSnapshot struct {
 	Hits, Misses, Evictions, Flushes uint64
+}
+
+// Snapshot copies the counters.
+func (s *PoolStats) Snapshot() PoolStatsSnapshot {
+	return PoolStatsSnapshot{
+		Hits:      s.Hits.Load(),
+		Misses:    s.Misses.Load(),
+		Evictions: s.Evictions.Load(),
+		Flushes:   s.Flushes.Load(),
+	}
 }
 
 // ErrPoolFull is returned when every frame is pinned.
@@ -68,12 +90,12 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if p, ok := bp.frames[id]; ok {
-		bp.Stats.Hits++
+		bp.Stats.Hits.Add(1)
 		p.pinCount++
 		bp.touch(id)
 		return p, nil
 	}
-	bp.Stats.Misses++
+	bp.Stats.Misses.Add(1)
 	if err := bp.ensureFrame(); err != nil {
 		return nil, err
 	}
@@ -114,7 +136,7 @@ func (bp *BufferPool) FlushAll() error {
 				return err
 			}
 			p.dirty = false
-			bp.Stats.Flushes++
+			bp.Stats.Flushes.Add(1)
 		}
 	}
 	return nil
@@ -127,15 +149,30 @@ func (bp *BufferPool) Resident() int {
 	return len(bp.frames)
 }
 
-// HitRate returns hits / (hits + misses), or 0 before any access.
+// HitRate returns hits / (hits + misses), or 0 before any access. It
+// reads the atomic counters directly, so it is safe to call from
+// monitoring threads without touching the pool lock.
 func (bp *BufferPool) HitRate() float64 {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	total := bp.Stats.Hits + bp.Stats.Misses
+	hits := bp.Stats.Hits.Load()
+	total := hits + bp.Stats.Misses.Load()
 	if total == 0 {
 		return 0
 	}
-	return float64(bp.Stats.Hits) / float64(total)
+	return float64(hits) / float64(total)
+}
+
+// Instrument exports the pool's counters and hit rate on reg under the
+// storage.bufferpool.* namespace, sampled at exposition time.
+func (bp *BufferPool) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("storage.bufferpool.hits", func() float64 { return float64(bp.Stats.Hits.Load()) })
+	reg.GaugeFunc("storage.bufferpool.misses", func() float64 { return float64(bp.Stats.Misses.Load()) })
+	reg.GaugeFunc("storage.bufferpool.evictions", func() float64 { return float64(bp.Stats.Evictions.Load()) })
+	reg.GaugeFunc("storage.bufferpool.flushes", func() float64 { return float64(bp.Stats.Flushes.Load()) })
+	reg.GaugeFunc("storage.bufferpool.hit_rate", bp.HitRate)
+	reg.GaugeFunc("storage.bufferpool.resident", func() float64 { return float64(bp.Resident()) })
 }
 
 // touch moves id to the MRU position. Caller holds mu.
@@ -163,12 +200,12 @@ func (bp *BufferPool) ensureFrame() error {
 			if err := bp.disk.Write(id, p.Data[:]); err != nil {
 				return err
 			}
-			bp.Stats.Flushes++
+			bp.Stats.Flushes.Add(1)
 		}
 		delete(bp.frames, id)
 		bp.lru.Remove(el)
 		delete(bp.lruPos, id)
-		bp.Stats.Evictions++
+		bp.Stats.Evictions.Add(1)
 		return nil
 	}
 	return ErrPoolFull

@@ -225,8 +225,8 @@ func TestBufferPoolFetchUnpin(t *testing.T) {
 		t.Errorf("fetched page lost data: %q %v", got, err)
 	}
 	bp.Unpin(p.ID, false)
-	if bp.Stats.Hits != 1 {
-		t.Errorf("hits = %d, want 1", bp.Stats.Hits)
+	if got := bp.Stats.Hits.Load(); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
 	}
 }
 
@@ -250,7 +250,7 @@ func TestBufferPoolEvictionWritesBack(t *testing.T) {
 	if bp.Resident() > 2 {
 		t.Errorf("resident = %d, want <= 2", bp.Resident())
 	}
-	if bp.Stats.Evictions == 0 {
+	if bp.Stats.Evictions.Load() == 0 {
 		t.Error("expected evictions")
 	}
 	// Every page must survive the round trip through disk.

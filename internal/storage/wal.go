@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"aidb/internal/chaos"
+	"aidb/internal/obs"
 )
 
 // WALRecordKind tags write-ahead log records.
@@ -44,6 +45,24 @@ type WAL struct {
 	// Chaos, when set, corrupts appended record bytes at SiteWALAppend —
 	// the torn/bit-rotted-write model the recovery path must survive.
 	Chaos *chaos.Injector
+
+	// Observability handles, resolved by Instrument; nil (no-op) until
+	// then.
+	obsAppends *obs.Counter
+	obsBytes   *obs.Counter
+	obsFlushes *obs.Counter
+}
+
+// Instrument registers the log's metrics on reg under storage.wal.*.
+func (w *WAL) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	w.obsAppends = reg.Counter("storage.wal.appends")
+	w.obsBytes = reg.Counter("storage.wal.appended_bytes")
+	w.obsFlushes = reg.Counter("storage.wal.flushes")
+	reg.GaugeFunc("storage.wal.size_bytes", func() float64 { return float64(w.Size()) })
+	reg.GaugeFunc("storage.wal.flushed_lsn", func() float64 { return float64(w.FlushedLSN()) })
 }
 
 // NewWAL returns an empty log.
@@ -71,6 +90,8 @@ func (w *WAL) Append(txn uint64, kind WALRecordKind, payload []byte) uint64 {
 	// Chaos corruption happens after the CRC is computed, modelling a
 	// write that lands damaged on media: the CRC will expose it.
 	w.Chaos.Corrupt(SiteWALAppend, w.buf[start:])
+	w.obsAppends.Inc()
+	w.obsBytes.Add(uint64(len(rec) + 4))
 	return lsn
 }
 
@@ -78,6 +99,7 @@ func (w *WAL) Append(txn uint64, kind WALRecordKind, payload []byte) uint64 {
 func (w *WAL) Flush(lsn uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.obsFlushes.Inc()
 	if lsn > w.flushed {
 		w.flushed = lsn
 	}
