@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-smoke ci
+.PHONY: all build vet test test-race test-short bench bench-smoke bench-compare ci
 
 all: build vet test
 
@@ -30,5 +30,13 @@ bench-smoke:
 		./internal/exec/ ./internal/obs/ ./internal/kv/ | tee BENCH_smoke.txt
 	$(GO) test -run='^$$' -bench=BenchmarkE25 -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) run ./cmd/aidb-bench -e E25 -metrics BENCH_metrics.json > /dev/null
+
+# bench-compare pits the serial executor against the morsel-parallel one:
+# the BenchmarkExec serial/parallel sub-benchmarks (text) plus the
+# aidb-bench timing harness (JSON speedup ratios per operator class).
+bench-compare:
+	$(GO) test -run='^$$' -bench='BenchmarkExec/(scan|join|agg)' -benchtime=5x \
+		./internal/exec/ | tee BENCH_exec.txt
+	$(GO) run ./cmd/aidb-bench -bench-exec BENCH_exec.json
 
 ci: build vet test-race

@@ -53,3 +53,4 @@ func BenchmarkE22HybridInference(b *testing.B)      { benchExperiment(b, "E22") 
 func BenchmarkE23FaultTolerance(b *testing.B)       { benchExperiment(b, "E23") }
 func BenchmarkE24GuardedDegradation(b *testing.B)   { benchExperiment(b, "E24") }
 func BenchmarkE25LiveRootCause(b *testing.B)        { benchExperiment(b, "E25") }
+func BenchmarkE26MorselParallelism(b *testing.B)    { benchExperiment(b, "E26") }

@@ -1,15 +1,17 @@
 // Command aidb-bench regenerates the experiment tables from DESIGN.md's
-// matrix (E1–E23, plus the E24 robustness experiment) and prints them,
-// one per experiment.
+// matrix (E1–E23, plus the E24 robustness, E25 observability and E26
+// morsel-parallelism experiments) and prints them, one per experiment.
 //
 // Usage:
 //
-//	aidb-bench                # run everything
-//	aidb-bench -e E7          # run one experiment
-//	aidb-bench -seed 123      # change the deterministic seed
+//	aidb-bench                        # run everything
+//	aidb-bench -e E7                  # run one experiment
+//	aidb-bench -seed 123              # change the deterministic seed
+//	aidb-bench -bench-exec out.json   # time serial vs parallel execution
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +21,28 @@ import (
 	"aidb/internal/core"
 	"aidb/internal/experiments"
 )
+
+// benchExecCompare times the executor's serial vs parallel modes over a
+// 100k-row catalog and writes the rows as JSON ("-" = stdout). Used by
+// `make bench-compare`; CI uploads the result as BENCH_exec.json.
+func benchExecCompare(path string, seed uint64) error {
+	rows, err := experiments.RunExecBench(seed, 100000, 3, nil)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
 
 // dumpMetrics drives a short instrumented smoke workload on a fresh DB
 // and writes its live metric registry to path ("-" = stdout; a .json
@@ -54,8 +78,16 @@ func main() {
 		seed      = flag.Uint64("seed", 20260705, "deterministic seed for all experiments")
 		ablations = flag.Bool("a", false, "run the design-choice ablations (A1..A5) instead of the matrix")
 		metrics   = flag.String("metrics", "", "after the run, dump live metrics from a smoke workload to this path ('-' = stdout, '.json' suffix = JSON)")
+		benchExec = flag.String("bench-exec", "", "instead of experiments, time serial-vs-parallel execution and write JSON to this path ('-' = stdout)")
 	)
 	flag.Parse()
+	if *benchExec != "" {
+		if err := benchExecCompare(*benchExec, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-exec:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	code := run(*exp, *seed, *ablations)
 	if *metrics != "" {
 		if err := dumpMetrics(*metrics); err != nil {

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"aidb/internal/core"
@@ -24,7 +25,8 @@ const help = `Statements end with ';'. Supported:
   UPDATE / DELETE / DROP TABLE / ANALYZE t / EXPLAIN SELECT ... / SHOW TABLES;
   CREATE MODEL m PREDICT label ON t [FEATURES (...)] [WITH (kind='logistic'|'linear'|'tree', epochs=N)];
   SELECT PREDICT(m, f1, f2) FROM t;  EVALUATE MODEL m ON t;  SHOW MODELS;  DROP MODEL m;
-Meta: \q quit, \h help, \metrics live metric counters, \trace last query's span tree.`
+Meta: \q quit, \h help, \metrics live metric counters, \trace last query's span tree,
+      \parallel [n] show or set the morsel worker budget (0 auto, 1 serial).`
 
 func main() {
 	db := core.Open()
@@ -59,6 +61,19 @@ func main() {
 				fmt.Print(tr)
 			} else {
 				fmt.Println("no query traced yet")
+			}
+			prompt()
+			continue
+		}
+		if rest, ok := strings.CutPrefix(trimmed, `\parallel`); ok {
+			rest = strings.TrimSpace(rest)
+			if rest == "" {
+				fmt.Printf("parallelism: %d (0 = auto/NumCPU, 1 = serial)\n", db.Parallelism())
+			} else if n, err := strconv.Atoi(rest); err != nil || n < 0 {
+				fmt.Println("usage: \\parallel [n]  (n >= 0; 0 auto, 1 serial)")
+			} else {
+				db.SetParallelism(n)
+				fmt.Printf("parallelism set to %d\n", n)
 			}
 			prompt()
 			continue

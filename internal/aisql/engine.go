@@ -26,6 +26,11 @@ type Engine struct {
 	// enabling fault injection at the exec.* sites. Nil disables it.
 	Chaos *chaos.Injector
 
+	// Parallelism is handed to every executor this engine creates (see
+	// exec.Executor.Parallelism: 0 = auto/NumCPU, 1 = serial). Set it
+	// between queries, not concurrently with them.
+	Parallelism int
+
 	mu      sync.RWMutex
 	models  map[string]*Model
 	indexes map[string]*secondaryIndex
@@ -404,6 +409,7 @@ func (e *Engine) query(s *sql.SelectStmt, sp *obs.Span) (*exec.Result, error) {
 	ex := exec.New(e.funcs())
 	ex.Chaos = e.Chaos
 	ex.Obs = e.execObs
+	ex.Parallelism = e.Parallelism
 	return ex.Run(p)
 }
 

@@ -309,12 +309,28 @@ func (t *Table) NumRows() int {
 	return t.rows
 }
 
+// PageIDs returns a point-in-time copy of the table's page list in heap
+// order. It is the partitioning handle for morsel-driven scans: split
+// the list with storage.PartitionPages and hand each range to ScanPages
+// on its own worker.
+func (t *Table) PageIDs() []storage.PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]storage.PageID(nil), t.pages...)
+}
+
 // Scan streams every live row (with its record id) to fn; returning false
 // stops the scan.
 func (t *Table) Scan(fn func(rid storage.RecordID, row Row) bool) error {
-	t.mu.RLock()
-	pages := append([]storage.PageID(nil), t.pages...)
-	t.mu.RUnlock()
+	return t.ScanPages(t.PageIDs(), fn)
+}
+
+// ScanPages streams the live rows of just the given pages to fn in page
+// order; returning false stops the scan. It is safe to call concurrently
+// from multiple goroutines over disjoint page ranges — the buffer pool
+// and page decode path are shared-read safe — which is how the parallel
+// executor scans one morsel per worker.
+func (t *Table) ScanPages(pages []storage.PageID, fn func(rid storage.RecordID, row Row) bool) error {
 	for _, id := range pages {
 		p, err := t.pool.Fetch(id)
 		if err != nil {

@@ -65,6 +65,15 @@ func OpenSeeded(seed uint64) *DB {
 // storage operation reports into.
 func (db *DB) Metrics() *obs.Registry { return db.reg }
 
+// SetParallelism sets the morsel worker budget for subsequent queries:
+// 0 selects runtime.NumCPU() (auto), 1 pins the serial baseline, larger
+// values an explicit worker count. Not safe to call concurrently with
+// in-flight queries.
+func (db *DB) SetParallelism(workers int) { db.engine.Parallelism = workers }
+
+// Parallelism reports the current morsel worker budget setting.
+func (db *DB) Parallelism() int { return db.engine.Parallelism }
+
 // WriteMetrics writes the text exposition of every registered metric.
 func (db *DB) WriteMetrics(w io.Writer) error {
 	_, err := db.reg.WriteTo(w)

@@ -109,6 +109,46 @@ func BenchmarkExec(b *testing.B) {
 			}
 		}
 	})
+
+	// Serial-vs-parallel dimension: the same plans at Parallelism=1 (the
+	// pinned serial baseline) and Parallelism=0 (auto, NumCPU workers).
+	// `make bench-compare` runs these and aidb-bench -bench-exec turns
+	// the same comparison into BENCH_exec.json speedup ratios.
+	benchModes := func(b *testing.B, p plan.Node) {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(mode.name, func(b *testing.B) {
+				ex := New(nil)
+				ex.Parallelism = mode.workers
+				for i := 0; i < b.N; i++ {
+					if _, err := ex.Run(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	big := benchCatalog(b, 100000)
+	for _, bc := range []struct {
+		name  string
+		query string
+	}{
+		{"scan-filter-100k", "SELECT id FROM users WHERE age > 40"},
+		{"join-100k", "SELECT users.id FROM orders JOIN users ON orders.uid = users.id"},
+		{"agg-100k", "SELECT age, COUNT(*), AVG(id) FROM users GROUP BY age"},
+	} {
+		stmt, err := sql.Parse(bc.query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := plan.Build(big, stmt.(*sql.SelectStmt))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bc.name, func(b *testing.B) { benchModes(b, p) })
+	}
 }
 
 func BenchmarkInsertThroughput(b *testing.B) {

@@ -36,11 +36,11 @@ func TestScanFaultInjection(t *testing.T) {
 	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("second scan: err = %v, want wrapped chaos.ErrInjected", err)
 	}
-	scanned := ex.Stats.RowsScanned
+	scanned := ex.Stats.RowsScanned.Load()
 	if _, err := ex.Run(p); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("third scan: err = %v, want wrapped chaos.ErrInjected", err)
 	}
-	if ex.Stats.RowsScanned != scanned {
+	if ex.Stats.RowsScanned.Load() != scanned {
 		t.Error("failed scans must not charge RowsScanned")
 	}
 }
@@ -59,7 +59,7 @@ func TestScanLatencyInjection(t *testing.T) {
 			t.Fatalf("run %d returned %d rows, want 10", i, len(res.Rows))
 		}
 	}
-	if got := ex.Stats.InjectedDelayUnits; got != 21 {
+	if got := ex.Stats.InjectedDelayUnits.Load(); got != 21 {
 		t.Errorf("delay = %d units, want 21 (7 units on every 2nd of 6 scans)", got)
 	}
 }
@@ -75,7 +75,7 @@ func TestScanNilChaosTransparent(t *testing.T) {
 	if len(res.Rows) != 5 {
 		t.Fatalf("rows = %d, want 5", len(res.Rows))
 	}
-	if ex.Stats.InjectedDelayUnits != 0 {
-		t.Errorf("phantom delay units: %d", ex.Stats.InjectedDelayUnits)
+	if got := ex.Stats.InjectedDelayUnits.Load(); got != 0 {
+		t.Errorf("phantom delay units: %d", got)
 	}
 }

@@ -1,8 +1,15 @@
 // Package exec executes logical plans from internal/plan against catalog
-// tables using the volcano (iterator) model: scan, filter, hash join,
-// project, aggregate, sort, distinct and limit operators, plus an
-// expression evaluator with a pluggable scalar-function registry (which is
-// how AISQL's PREDICT() reaches trained models without an import cycle).
+// tables with a morsel-driven parallel materializing executor: scans
+// split page/key ranges into fixed-size morsels pulled by a
+// runtime.NumCPU()-bounded worker set, filters and projections run
+// per-morsel, hash joins build hash(key)-partitioned tables with no
+// shared-map locking, and aggregation merges per-morsel partial states
+// — all concatenating morsel outputs in order so parallel results are
+// identical to serial ones (Executor.Parallelism = 1 pins the serial
+// baseline). The expression evaluator has a pluggable scalar-function
+// registry (which is how AISQL's PREDICT() reaches trained models
+// without an import cycle); registered functions must be safe for
+// concurrent use under parallelism.
 package exec
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"aidb/internal/catalog"
 	"aidb/internal/chaos"
@@ -13,8 +14,16 @@ import (
 )
 
 // SiteExecScan is the chaos injection site for table scans: Error rules
-// fail the scan, Latency rules accrue virtual delay in the stats.
+// fail the scan, Latency rules accrue virtual delay in the stats. The
+// site is consulted once per scan morsel, in morsel order, on the
+// coordinating goroutine before workers are dispatched — so the fault
+// schedule depends only on table size and morsel configuration, never
+// on worker interleaving or the Parallelism knob.
 const SiteExecScan = "exec.scan"
+
+// minIndexMorselWidth is the smallest key-space width, per subrange,
+// worth splitting an index scan over.
+const minIndexMorselWidth = 16
 
 // Result is a materialized query result.
 type Result struct {
@@ -22,7 +31,10 @@ type Result struct {
 	Rows    []catalog.Row
 }
 
-// Executor runs logical plans.
+// Executor runs logical plans. One executor may serve concurrent Run
+// calls (stats are atomic); scalar functions in Funcs must be safe for
+// concurrent use whenever Parallelism != 1, because data-parallel
+// operators evaluate expressions from multiple workers.
 type Executor struct {
 	Funcs FuncRegistry
 	// Stats counts rows produced per operator type, for the monitoring
@@ -34,13 +46,44 @@ type Executor struct {
 	// Obs holds pre-resolved observability metrics; the zero value
 	// disables them (see NewMetrics).
 	Obs Metrics
+
+	// Parallelism is the morsel worker budget: 0 selects
+	// runtime.NumCPU() (auto), 1 pins the serial path (the comparison
+	// baseline and the guard-degradation fallback), larger values set
+	// an explicit worker count.
+	Parallelism int
+	// MorselSize is the rows-per-morsel for row-partitioned operators
+	// (filter, project, join build/probe, aggregation); 0 selects
+	// DefaultMorselRows.
+	MorselSize int
+	// ScanMorselPages is the heap-pages-per-morsel for table scans; 0
+	// selects DefaultScanMorselPages.
+	ScanMorselPages int
 }
 
-// ExecStats counts executor activity.
+// ExecStats counts executor activity. Counters are atomic: they are
+// mutated on the hot path by concurrent morsel workers and concurrent
+// Run calls, and read by monitors — read them with Load, or grab a
+// plain-value copy via Snapshot.
 type ExecStats struct {
-	RowsScanned, RowsJoined, RowsOutput uint64
+	RowsScanned, RowsJoined, RowsOutput atomic.Uint64
 	// InjectedDelayUnits accumulates virtual latency charged by chaos.
-	InjectedDelayUnits uint64
+	InjectedDelayUnits atomic.Uint64
+}
+
+// ExecStatsSnapshot is a point-in-time plain-value copy of ExecStats.
+type ExecStatsSnapshot struct {
+	RowsScanned, RowsJoined, RowsOutput, InjectedDelayUnits uint64
+}
+
+// Snapshot copies the counters.
+func (s *ExecStats) Snapshot() ExecStatsSnapshot {
+	return ExecStatsSnapshot{
+		RowsScanned:        s.RowsScanned.Load(),
+		RowsJoined:         s.RowsJoined.Load(),
+		RowsOutput:         s.RowsOutput.Load(),
+		InjectedDelayUnits: s.InjectedDelayUnits.Load(),
+	}
 }
 
 // New creates an executor with the given scalar functions (nil is fine).
@@ -62,7 +105,7 @@ func (ex *Executor) Run(n plan.Node) (*Result, error) {
 		ex.Obs.QueryErrors.Inc()
 		return nil, err
 	}
-	ex.Stats.RowsOutput += uint64(len(rows))
+	ex.Stats.RowsOutput.Add(uint64(len(rows)))
 	ex.Obs.RowsOutput.Add(uint64(len(rows)))
 	return &Result{Columns: n.Schema(), Rows: rows}, nil
 }
@@ -70,52 +113,29 @@ func (ex *Executor) Run(n plan.Node) (*Result, error) {
 func (ex *Executor) exec(n plan.Node) ([]catalog.Row, error) {
 	switch v := n.(type) {
 	case *plan.ScanNode:
-		delay := uint64(ex.Chaos.Latency(SiteExecScan))
-		ex.Stats.InjectedDelayUnits += delay
-		ex.Obs.InjectedDelay.Add(delay)
-		if err := ex.Chaos.Fail(SiteExecScan); err != nil {
-			return nil, fmt.Errorf("exec: scan %s: %w", v.Table.Name, err)
-		}
-		var rows []catalog.Row
-		err := v.Table.Scan(func(_ storage.RecordID, r catalog.Row) bool {
-			rows = append(rows, r)
-			return true
-		})
-		if err != nil {
-			return nil, err
-		}
-		ex.Stats.RowsScanned += uint64(len(rows))
-		ex.Obs.RowsScanned.Add(uint64(len(rows)))
-		return rows, nil
+		return ex.scan(v)
 	case *plan.IndexScanNode:
-		var rows []catalog.Row
-		err := v.Fetch(v.Lo, v.Hi, func(r catalog.Row) bool {
-			rows = append(rows, r)
-			return true
-		})
-		if err != nil {
-			return nil, err
-		}
-		ex.Stats.RowsScanned += uint64(len(rows))
-		ex.Obs.RowsScanned.Add(uint64(len(rows)))
-		return rows, nil
+		return ex.indexScan(v)
 	case *plan.FilterNode:
 		in, err := ex.exec(v.Input)
 		if err != nil {
 			return nil, err
 		}
 		scope := NewScope(v.Input.Schema())
-		out := in[:0:0]
-		for _, r := range in {
-			ok, err := EvalBool(v.Cond, scope, r, ex.Funcs)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, r)
-			}
+		chunks := chunkBounds(len(in), ex.morselRows())
+		if len(chunks) <= 1 || ex.workers() == 1 {
+			return ex.filterRows(in, v.Cond, scope)
 		}
-		return out, nil
+		outs := make([][]catalog.Row, len(chunks))
+		err = ex.runMorsels(len(chunks), func(m int) error {
+			o, ferr := ex.filterRows(in[chunks[m][0]:chunks[m][1]], v.Cond, scope)
+			outs[m] = o
+			return ferr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return concatRows(outs), nil
 	case *plan.JoinNode:
 		return ex.hashJoin(v)
 	case *plan.ProjectNode:
@@ -206,6 +226,91 @@ func (ex *Executor) exec(n plan.Node) ([]catalog.Row, error) {
 	}
 }
 
+// scan reads a heap table, splitting its page list into morsels and
+// scanning them on the worker pool. Morsel outputs concatenate in page
+// order, so parallel scans return rows in exactly the serial order.
+func (ex *Executor) scan(v *plan.ScanNode) ([]catalog.Row, error) {
+	morsels := storage.PartitionPages(v.Table.PageIDs(), ex.scanMorselPages())
+	// Chaos fires per morsel (at least once per scan, so empty tables
+	// keep their schedule), consulted serially before dispatch.
+	consult := len(morsels)
+	if consult == 0 {
+		consult = 1
+	}
+	for m := 0; m < consult; m++ {
+		delay := uint64(ex.Chaos.Latency(SiteExecScan))
+		ex.Stats.InjectedDelayUnits.Add(delay)
+		ex.Obs.InjectedDelay.Add(delay)
+		if err := ex.Chaos.Fail(SiteExecScan); err != nil {
+			return nil, fmt.Errorf("exec: scan %s: %w", v.Table.Name, err)
+		}
+	}
+	var rows []catalog.Row
+	if len(morsels) <= 1 || ex.workers() == 1 {
+		err := v.Table.Scan(func(_ storage.RecordID, r catalog.Row) bool {
+			rows = append(rows, r)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		outs := make([][]catalog.Row, len(morsels))
+		err := ex.runMorsels(len(morsels), func(m int) error {
+			return v.Table.ScanPages(morsels[m], func(_ storage.RecordID, r catalog.Row) bool {
+				outs[m] = append(outs[m], r)
+				return true
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = concatRows(outs)
+	}
+	ex.Stats.RowsScanned.Add(uint64(len(rows)))
+	ex.Obs.RowsScanned.Add(uint64(len(rows)))
+	return rows, nil
+}
+
+// indexScan reads an index range, splitting [Lo, Hi] into key subranges
+// scanned on the worker pool. Subranges concatenate in ascending key
+// order, matching the serial scan exactly. Fetch closures are
+// shared-read safe (the index takes a read lock per call).
+func (ex *Executor) indexScan(v *plan.IndexScanNode) ([]catalog.Row, error) {
+	var rows []catalog.Row
+	w := ex.workers()
+	subs := splitKeyRange(v.Lo, v.Hi, w*2, minIndexMorselWidth)
+	if len(subs) <= 1 || w == 1 {
+		err := v.Fetch(v.Lo, v.Hi, func(r catalog.Row) bool {
+			rows = append(rows, r)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		outs := make([][]catalog.Row, len(subs))
+		err := ex.runMorsels(len(subs), func(m int) error {
+			return v.Fetch(subs[m][0], subs[m][1], func(r catalog.Row) bool {
+				outs[m] = append(outs[m], r)
+				return true
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = concatRows(outs)
+	}
+	ex.Stats.RowsScanned.Add(uint64(len(rows)))
+	ex.Obs.RowsScanned.Add(uint64(len(rows)))
+	return rows, nil
+}
+
+// hashJoin is a partitioned parallel hash join: the smaller side builds
+// hash(key)-partitioned tables (per-worker partition lists, merged one
+// partition per worker — no shared-map locking), the larger side probes
+// them in parallel morsels. Output order matches the serial join: probe
+// order outer, build-input order within a key.
 func (ex *Executor) hashJoin(j *plan.JoinNode) ([]catalog.Row, error) {
 	left, err := ex.exec(j.Left)
 	if err != nil {
@@ -234,24 +339,33 @@ func (ex *Executor) hashJoin(j *plan.JoinNode) ([]catalog.Row, error) {
 		buildIdx, probeIdx = rIdx, lIdx
 		buildIsLeft = false
 	}
-	ht := make(map[string][]catalog.Row, len(buildRows))
-	for _, r := range buildRows {
-		k := valKey(r[buildIdx])
-		ht[k] = append(ht[k], r)
-	}
 	var out []catalog.Row
-	for _, pr := range probeRows {
-		for _, br := range ht[valKey(pr[probeIdx])] {
-			var joined catalog.Row
-			if buildIsLeft {
-				joined = append(append(catalog.Row{}, br...), pr...)
-			} else {
-				joined = append(append(catalog.Row{}, pr...), br...)
-			}
-			out = append(out, joined)
+	w := ex.workers()
+	if w == 1 || len(buildRows)+len(probeRows) <= ex.morselRows() {
+		ht := make(map[string][]catalog.Row, len(buildRows))
+		for _, r := range buildRows {
+			k := valKey(r[buildIdx])
+			ht[k] = append(ht[k], r)
 		}
+		for _, pr := range probeRows {
+			for _, br := range ht[valKey(pr[probeIdx])] {
+				var joined catalog.Row
+				if buildIsLeft {
+					joined = append(append(catalog.Row{}, br...), pr...)
+				} else {
+					joined = append(append(catalog.Row{}, pr...), br...)
+				}
+				out = append(out, joined)
+			}
+		}
+	} else {
+		tables, berr := ex.buildPartitioned(buildRows, buildIdx, w)
+		if berr != nil {
+			return nil, berr
+		}
+		out = ex.probePartitioned(tables, probeRows, probeIdx, buildIsLeft)
 	}
-	ex.Stats.RowsJoined += uint64(len(out))
+	ex.Stats.RowsJoined.Add(uint64(len(out)))
 	ex.Obs.RowsJoined.Add(uint64(len(out)))
 	return out, nil
 }
@@ -262,23 +376,20 @@ func (ex *Executor) project(p *plan.ProjectNode) ([]catalog.Row, error) {
 		return nil, err
 	}
 	scope := NewScope(p.Input.Schema())
-	out := make([]catalog.Row, 0, len(in))
-	for _, r := range in {
-		var row catalog.Row
-		for _, it := range p.Items {
-			if _, ok := it.Expr.(*sql.Star); ok {
-				row = append(row, r...)
-				continue
-			}
-			v, err := Eval(it.Expr, scope, r, ex.Funcs)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, v)
-		}
-		out = append(out, row)
+	chunks := chunkBounds(len(in), ex.morselRows())
+	if len(chunks) <= 1 || ex.workers() == 1 {
+		return ex.projectRows(in, p.Items, scope)
 	}
-	return out, nil
+	outs := make([][]catalog.Row, len(chunks))
+	err = ex.runMorsels(len(chunks), func(m int) error {
+		o, perr := ex.projectRows(in[chunks[m][0]:chunks[m][1]], p.Items, scope)
+		outs[m] = o
+		return perr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatRows(outs), nil
 }
 
 type aggState struct {
@@ -290,15 +401,47 @@ type aggState struct {
 	counts   map[int]int64
 }
 
+// aggregate computes grouped aggregates with per-morsel partial states
+// (composable sum/count/min/max; AVG finalizes as sum/count) merged in
+// morsel order, so group output order is global first-occurrence order,
+// identical to the serial accumulation.
 func (ex *Executor) aggregate(a *plan.AggregateNode) ([]catalog.Row, error) {
 	in, err := ex.exec(a.Input)
 	if err != nil {
 		return nil, err
 	}
 	scope := NewScope(a.Input.Schema())
-	groups := map[string]*aggState{}
-	var order []string
-	for _, r := range in {
+	chunks := chunkBounds(len(in), ex.morselRows())
+	var merged *aggPartial
+	if len(chunks) <= 1 || ex.workers() == 1 {
+		merged, err = ex.aggregateChunk(a, scope, in)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		partials := make([]*aggPartial, len(chunks))
+		err = ex.runMorsels(len(chunks), func(m int) error {
+			p, aerr := ex.aggregateChunk(a, scope, in[chunks[m][0]:chunks[m][1]])
+			partials[m] = p
+			return aerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		merged = partials[0]
+		for _, p := range partials[1:] {
+			if err := mergeAgg(merged, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ex.finalizeAgg(a, merged)
+}
+
+// aggregateChunk folds one morsel of rows into a fresh partial state.
+func (ex *Executor) aggregateChunk(a *plan.AggregateNode, scope *Scope, rows []catalog.Row) (*aggPartial, error) {
+	part := newAggPartial()
+	for _, r := range rows {
 		var key catalog.Row
 		for _, g := range a.GroupBy {
 			v, err := Eval(g, scope, r, ex.Funcs)
@@ -308,7 +451,7 @@ func (ex *Executor) aggregate(a *plan.AggregateNode) ([]catalog.Row, error) {
 			key = append(key, v)
 		}
 		ks := rowKey(key)
-		st, ok := groups[ks]
+		st, ok := part.groups[ks]
 		if !ok {
 			st = &aggState{
 				groupKey: key,
@@ -317,8 +460,8 @@ func (ex *Executor) aggregate(a *plan.AggregateNode) ([]catalog.Row, error) {
 				maxs:     map[int]catalog.Value{},
 				counts:   map[int]int64{},
 			}
-			groups[ks] = st
-			order = append(order, ks)
+			part.groups[ks] = st
+			part.order = append(part.order, ks)
 		}
 		st.count++
 		for i, it := range a.Items {
@@ -367,14 +510,19 @@ func (ex *Executor) aggregate(a *plan.AggregateNode) ([]catalog.Row, error) {
 			}
 		}
 	}
-	if len(a.GroupBy) == 0 && len(order) == 0 {
+	return part, nil
+}
+
+// finalizeAgg renders the merged partial into output rows.
+func (ex *Executor) finalizeAgg(a *plan.AggregateNode, part *aggPartial) ([]catalog.Row, error) {
+	if len(a.GroupBy) == 0 && len(part.order) == 0 {
 		// Aggregates over an empty input still produce one row.
-		groups[""] = &aggState{sums: map[int]float64{}, mins: map[int]catalog.Value{}, maxs: map[int]catalog.Value{}, counts: map[int]int64{}}
-		order = append(order, "")
+		part.groups[""] = &aggState{sums: map[int]float64{}, mins: map[int]catalog.Value{}, maxs: map[int]catalog.Value{}, counts: map[int]int64{}}
+		part.order = append(part.order, "")
 	}
 	var out []catalog.Row
-	for _, ks := range order {
-		st := groups[ks]
+	for _, ks := range part.order {
+		st := part.groups[ks]
 		var row catalog.Row
 		for i, it := range a.Items {
 			if fc, ok := it.Expr.(*sql.FuncCall); ok {

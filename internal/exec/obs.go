@@ -20,6 +20,22 @@ type Metrics struct {
 	InjectedDelay *obs.Counter
 	// QueryLatency observes wall-clock nanoseconds per Run call.
 	QueryLatency *obs.Histogram
+
+	// Morsel-driven parallelism counters: morsels dispatched (serial or
+	// parallel — the serial path runs the same per-morsel logic),
+	// worker goroutines launched, and operator instances that actually
+	// fanned out to more than one worker.
+	Morsels      *obs.Counter
+	WorkerSpawns *obs.Counter
+	ParallelOps  *obs.Counter
+
+	// Per-operator parallel-speedup histograms (serial time / parallel
+	// time, dimensionless). The executor never runs both modes itself;
+	// comparison harnesses — E26 and `aidb-bench -bench-exec` — feed
+	// them through ObserveSpeedup.
+	ScanSpeedup *obs.Histogram
+	JoinSpeedup *obs.Histogram
+	AggSpeedup  *obs.Histogram
 }
 
 // NewMetrics resolves the executor's metrics against reg. A nil
@@ -36,12 +52,37 @@ func NewMetrics(reg *obs.Registry) Metrics {
 		RowsOutput:    reg.Counter("exec.rows_output"),
 		InjectedDelay: reg.Counter("exec.injected_delay_units"),
 		QueryLatency:  reg.Histogram("exec.query_latency_ns", latencyBuckets),
+		Morsels:       reg.Counter("exec.morsels"),
+		WorkerSpawns:  reg.Counter("exec.worker_spawns"),
+		ParallelOps:   reg.Counter("exec.parallel_ops"),
+		ScanSpeedup:   reg.Histogram("exec.speedup.scan", speedupBuckets),
+		JoinSpeedup:   reg.Histogram("exec.speedup.join", speedupBuckets),
+		AggSpeedup:    reg.Histogram("exec.speedup.agg", speedupBuckets),
 	}
 }
 
 // latencyBuckets spans 1µs..~17s in powers of 4 — wide enough for both
 // micro-queries and chaos-slowed scans.
 var latencyBuckets = obs.ExpBuckets(1e3, 4, 12)
+
+// speedupBuckets spans 0.25x..32x in powers of 2: sub-1 buckets catch
+// parallel regressions, the top buckets near-linear scaling on wide
+// machines.
+var speedupBuckets = obs.ExpBuckets(0.25, 2, 8)
+
+// ObserveSpeedup records a measured serial/parallel wall-clock ratio
+// for one operator class: "scan", "join" or "agg" (anything else is
+// dropped). No-op on disabled metrics.
+func (m *Metrics) ObserveSpeedup(op string, x float64) {
+	switch op {
+	case "scan":
+		m.ScanSpeedup.Observe(x)
+	case "join":
+		m.JoinSpeedup.Observe(x)
+	case "agg":
+		m.AggSpeedup.Observe(x)
+	}
+}
 
 // timeQuery starts a latency measurement when the latency histogram is
 // live; the returned func observes it. Disabled metrics skip the

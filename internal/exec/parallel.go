@@ -1,0 +1,374 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"aidb/internal/catalog"
+	"aidb/internal/sql"
+)
+
+// Morsel-driven parallel execution (Leis et al., "Morsel-Driven
+// Parallelism", adapted to this materializing executor): every
+// data-parallel operator splits its input into fixed-size morsels —
+// page ranges for heap scans, key subranges for index scans, row ranges
+// for filter/project/join/aggregate — and a NumCPU()-bounded worker set
+// pulls morsels from a shared cursor (work stealing, no per-morsel
+// goroutine). Each worker writes into its own output slot, and slots
+// are concatenated in morsel order, so parallel output order is
+// identical to the serial order and results never need re-sorting.
+
+// DefaultMorselRows is the default morsel size, in rows, for
+// row-partitioned operators (filter, project, join build/probe,
+// aggregation). Small enough to stay cache-resident per worker, large
+// enough to amortize dispatch.
+const DefaultMorselRows = 1024
+
+// DefaultScanMorselPages is the default morsel size, in heap pages, for
+// table scans (a 4KiB page holds on the order of a couple hundred small
+// rows, so this is roughly DefaultMorselRows worth of decode work).
+const DefaultScanMorselPages = 4
+
+// workers resolves the Parallelism knob: 1 (or any negative value)
+// pins the serial path, 0 selects runtime.NumCPU(), larger values are
+// an explicit worker budget.
+func (ex *Executor) workers() int {
+	switch {
+	case ex.Parallelism == 0:
+		return runtime.NumCPU()
+	case ex.Parallelism < 1:
+		return 1
+	default:
+		return ex.Parallelism
+	}
+}
+
+// morselRows resolves the MorselSize knob.
+func (ex *Executor) morselRows() int {
+	if ex.MorselSize > 0 {
+		return ex.MorselSize
+	}
+	return DefaultMorselRows
+}
+
+// scanMorselPages resolves the ScanMorselPages knob.
+func (ex *Executor) scanMorselPages() int {
+	if ex.ScanMorselPages > 0 {
+		return ex.ScanMorselPages
+	}
+	return DefaultScanMorselPages
+}
+
+// chunkBounds splits [0, n) into [lo, hi) ranges of at most size each.
+// nil when n == 0.
+func chunkBounds(n, size int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if size < 1 {
+		size = 1
+	}
+	out := make([][2]int, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// runMorsels executes fn(m) for every morsel index in [0, n), on up to
+// ex.workers() goroutines pulling indices from a shared atomic cursor.
+// The first error wins and remaining morsels are skipped; fn instances
+// run concurrently and must only write state owned by their morsel.
+// With one worker (or one morsel) it degenerates to a plain loop — the
+// serial path shares this code, so Parallelism=1 exercises the exact
+// per-morsel logic without goroutines.
+func (ex *Executor) runMorsels(n int, fn func(m int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := ex.workers()
+	if workers > n {
+		workers = n
+	}
+	ex.Obs.Morsels.Add(uint64(n))
+	if workers <= 1 {
+		for m := 0; m < n; m++ {
+			if err := fn(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ex.Obs.ParallelOps.Inc()
+	ex.Obs.WorkerSpawns.Add(uint64(workers))
+	var (
+		cursor   atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(cursor.Add(1)) - 1
+				if m >= n || failed.Load() {
+					return
+				}
+				if err := fn(m); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// concatRows flattens per-morsel outputs in morsel order, preserving
+// the serial output order.
+func concatRows(outs [][]catalog.Row) []catalog.Row {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make([]catalog.Row, 0, total)
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all
+}
+
+// filterRows evaluates cond over rows and returns the survivors. The
+// output never aliases the input's backing array: rows[:0:0] has zero
+// length AND zero capacity, so the first append allocates fresh
+// storage. Do not "simplify" it to rows[:0] — that would compact
+// survivors into the caller's slice in place, which is unsound once
+// morsels of one input slice are filtered concurrently (and corrupts
+// any operator that re-reads its materialized input).
+func (ex *Executor) filterRows(rows []catalog.Row, cond sql.Expr, scope *Scope) ([]catalog.Row, error) {
+	out := rows[:0:0]
+	for _, r := range rows {
+		ok, err := EvalBool(cond, scope, r, ex.Funcs)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// projectRows computes the projection items for each row.
+func (ex *Executor) projectRows(rows []catalog.Row, items []sql.SelectItem, scope *Scope) ([]catalog.Row, error) {
+	out := make([]catalog.Row, 0, len(rows))
+	for _, r := range rows {
+		var row catalog.Row
+		for _, it := range items {
+			if _, ok := it.Expr.(*sql.Star); ok {
+				row = append(row, r...)
+				continue
+			}
+			v, err := Eval(it.Expr, scope, r, ex.Funcs)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// hashKey is FNV-1a over the already-type-tagged value key, used to
+// assign join keys to partitions.
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// joinEntry is one build-side row tagged with its join key.
+type joinEntry struct {
+	key string
+	row catalog.Row
+}
+
+// buildPartitioned builds P per-partition hash tables from buildRows in
+// two lock-free parallel phases: (1) each build morsel splits its rows
+// by hash(key) % P into morsel-local partition lists; (2) one worker
+// per partition merges that partition's lists in morsel order, so rows
+// within a key keep build-input order and the probe output matches the
+// serial join exactly. No shared map is ever written concurrently.
+func (ex *Executor) buildPartitioned(buildRows []catalog.Row, buildIdx, numParts int) ([]map[string][]catalog.Row, error) {
+	chunks := chunkBounds(len(buildRows), ex.morselRows())
+	split := make([][][]joinEntry, len(chunks))
+	err := ex.runMorsels(len(chunks), func(m int) error {
+		local := make([][]joinEntry, numParts)
+		for _, r := range buildRows[chunks[m][0]:chunks[m][1]] {
+			k := valKey(r[buildIdx])
+			p := int(hashKey(k) % uint64(numParts))
+			local[p] = append(local[p], joinEntry{key: k, row: r})
+		}
+		split[m] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]map[string][]catalog.Row, numParts)
+	err = ex.runMorsels(numParts, func(p int) error {
+		n := 0
+		for m := range split {
+			n += len(split[m][p])
+		}
+		ht := make(map[string][]catalog.Row, n)
+		for m := range split {
+			for _, e := range split[m][p] {
+				ht[e.key] = append(ht[e.key], e.row)
+			}
+		}
+		tables[p] = ht
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// probePartitioned probes the partitioned hash tables with probeRows in
+// parallel morsels, concatenating per-morsel outputs in probe order.
+func (ex *Executor) probePartitioned(tables []map[string][]catalog.Row, probeRows []catalog.Row, probeIdx int, buildIsLeft bool) []catalog.Row {
+	numParts := uint64(len(tables))
+	chunks := chunkBounds(len(probeRows), ex.morselRows())
+	outs := make([][]catalog.Row, len(chunks))
+	// Probe never errors; runMorsels' error path is unused here.
+	_ = ex.runMorsels(len(chunks), func(m int) error {
+		var out []catalog.Row
+		for _, pr := range probeRows[chunks[m][0]:chunks[m][1]] {
+			k := valKey(pr[probeIdx])
+			for _, br := range tables[hashKey(k)%numParts][k] {
+				var joined catalog.Row
+				if buildIsLeft {
+					joined = append(append(catalog.Row{}, br...), pr...)
+				} else {
+					joined = append(append(catalog.Row{}, pr...), br...)
+				}
+				out = append(out, joined)
+			}
+		}
+		outs[m] = out
+		return nil
+	})
+	return concatRows(outs)
+}
+
+// splitKeyRange splits the inclusive key range [lo, hi] into up to k
+// inclusive subranges in ascending order, each at least minWidth keys
+// wide. Width arithmetic is done in uint64 so open-ended planner ranges
+// (math.MinInt64, math.MaxInt64) cannot overflow. Concatenating
+// subrange scans in order preserves global key order.
+func splitKeyRange(lo, hi int64, k int, minWidth uint64) [][2]int64 {
+	if lo > hi {
+		return nil
+	}
+	width := uint64(hi) - uint64(lo) // inclusive range holds width+1 keys
+	if k > 1 && width/minWidth < uint64(k) {
+		k = int(width / minWidth)
+	}
+	if k <= 1 {
+		return [][2]int64{{lo, hi}}
+	}
+	step := width/uint64(k) + 1
+	out := make([][2]int64, 0, k)
+	cur := lo
+	for {
+		rem := uint64(hi) - uint64(cur)
+		if rem < step {
+			out = append(out, [2]int64{cur, hi})
+			return out
+		}
+		out = append(out, [2]int64{cur, int64(uint64(cur) + step - 1)})
+		cur = int64(uint64(cur) + step)
+	}
+}
+
+// aggPartial is one morsel's partial aggregation state: composable
+// per-group partials (count, sum, min, max — AVG finalizes as
+// sum/count) plus the group keys in first-seen order.
+type aggPartial struct {
+	groups map[string]*aggState
+	order  []string
+}
+
+func newAggPartial() *aggPartial {
+	return &aggPartial{groups: map[string]*aggState{}}
+}
+
+// mergeAgg folds src into dst. Morsels cover contiguous input ranges
+// and are merged in morsel order, so a group's final position is its
+// global first occurrence — identical to the serial accumulation order.
+func mergeAgg(dst, src *aggPartial) error {
+	for _, ks := range src.order {
+		s := src.groups[ks]
+		d, ok := dst.groups[ks]
+		if !ok {
+			dst.groups[ks] = s
+			dst.order = append(dst.order, ks)
+			continue
+		}
+		d.count += s.count
+		for i, v := range s.sums {
+			d.sums[i] += v
+		}
+		for i, v := range s.counts {
+			d.counts[i] += v
+		}
+		for i, v := range s.mins {
+			cur, ok := d.mins[i]
+			if !ok {
+				d.mins[i] = v
+				continue
+			}
+			c, err := compare(v, cur)
+			if err != nil {
+				return err
+			}
+			if c < 0 {
+				d.mins[i] = v
+			}
+		}
+		for i, v := range s.maxs {
+			cur, ok := d.maxs[i]
+			if !ok {
+				d.maxs[i] = v
+				continue
+			}
+			c, err := compare(v, cur)
+			if err != nil {
+				return err
+			}
+			if c > 0 {
+				d.maxs[i] = v
+			}
+		}
+	}
+	return nil
+}

@@ -104,24 +104,46 @@ func TestExecutorMatchesBruteForce(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			res, err := New(nil).Run(p)
-			if err != nil {
-				return false
-			}
 			want := 0
 			for _, r := range rows {
 				if q.eval(r.a, r.b) {
 					want++
 				}
 			}
-			if len(res.Rows) != want {
-				t.Logf("seed %d: WHERE %s returned %d rows, brute force %d", seed, q.where, len(res.Rows), want)
-				return false
-			}
-			// Every returned row must satisfy the predicate.
-			for _, r := range res.Rows {
-				if !q.eval(r[0].(int64), r[1].(int64)) {
+			// Every case runs serial, 2-way and NumCPU-way (0 = auto), with
+			// tiny morsels so even these small tables actually fan out; all
+			// modes must agree with brute force and, order-normalized, with
+			// each other (morsel ordering makes them equal row-for-row too).
+			var serialNorm []string
+			for _, workers := range []int{1, 2, 0} {
+				ex := New(nil)
+				ex.Parallelism = workers
+				ex.MorselSize = 7
+				ex.ScanMorselPages = 1
+				res, err := ex.Run(p)
+				if err != nil {
 					return false
+				}
+				if len(res.Rows) != want {
+					t.Logf("seed %d workers %d: WHERE %s returned %d rows, brute force %d", seed, workers, q.where, len(res.Rows), want)
+					return false
+				}
+				// Every returned row must satisfy the predicate.
+				for _, r := range res.Rows {
+					if !q.eval(r[0].(int64), r[1].(int64)) {
+						return false
+					}
+				}
+				norm := normRows(res.Rows)
+				if workers == 1 {
+					serialNorm = norm
+					continue
+				}
+				for i := range norm {
+					if norm[i] != serialNorm[i] {
+						t.Logf("seed %d workers %d: WHERE %s diverged from serial", seed, workers, q.where)
+						return false
+					}
 				}
 			}
 		}
@@ -155,17 +177,25 @@ func TestAggregateMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := New(nil).Run(p)
-		if err != nil {
-			return false
-		}
-		if len(res.Rows) != len(sums) {
-			return false
-		}
-		for _, r := range res.Rows {
-			g := r[0].(int64)
-			if r[1].(int64) != counts[g] || int64(r[2].(float64)) != sums[g] {
+		// Aggregation must agree with brute force at every parallelism:
+		// partial-state merging may not lose or double-count groups.
+		for _, workers := range []int{1, 2, 0} {
+			ex := New(nil)
+			ex.Parallelism = workers
+			ex.MorselSize = 7
+			ex.ScanMorselPages = 1
+			res, err := ex.Run(p)
+			if err != nil {
 				return false
+			}
+			if len(res.Rows) != len(sums) {
+				return false
+			}
+			for _, r := range res.Rows {
+				g := r[0].(int64)
+				if r[1].(int64) != counts[g] || int64(r[2].(float64)) != sums[g] {
+					return false
+				}
 			}
 		}
 		return true

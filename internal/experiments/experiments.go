@@ -1,6 +1,7 @@
 // Package experiments is the reproduction harness: one runner per
 // experiment in DESIGN.md's matrix (E1–E23) plus the robustness
-// experiment E24. Each runner regenerates its
+// experiment E24, the live root-cause experiment E25, and the morsel
+// parallelism experiment E26. Each runner regenerates its
 // table — workload, learned method, baseline, and the measured shape —
 // and returns it as a printable Table. cmd/aidb-bench prints them;
 // bench_test.go wraps them as testing.B benchmarks; EXPERIMENTS.md

@@ -1,0 +1,25 @@
+package storage
+
+// PartitionPages splits a page list into contiguous ranges of at most
+// perMorsel pages each, preserving order. It is the storage half of the
+// morsel-driven scan API: the executor dispatches each returned range to
+// a worker, and concatenating the per-range outputs in slice order
+// reproduces the order of a single sequential scan. An empty input
+// yields no partitions; perMorsel values below 1 are treated as 1.
+func PartitionPages(pages []PageID, perMorsel int) [][]PageID {
+	if len(pages) == 0 {
+		return nil
+	}
+	if perMorsel < 1 {
+		perMorsel = 1
+	}
+	out := make([][]PageID, 0, (len(pages)+perMorsel-1)/perMorsel)
+	for lo := 0; lo < len(pages); lo += perMorsel {
+		hi := lo + perMorsel
+		if hi > len(pages) {
+			hi = len(pages)
+		}
+		out = append(out, pages[lo:hi])
+	}
+	return out
+}
