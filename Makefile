@@ -23,13 +23,17 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-smoke is the CI-sized benchmark pass: 10 iterations of the hot-path
-# micro-benchmarks (executor, obs substrate, LSM) plus the new E25
-# reproduction, with a live metrics dump for the build artifact.
-bench-smoke:
+# micro-benchmarks (executor, obs substrate, LSM) plus the E25/E27
+# observability reproductions, with live metrics, a sample EXPLAIN
+# ANALYZE profile, and the smoke workload's slow-query log as build
+# artifacts. Depends on vet so the artifacts never come from a
+# vet-dirty tree.
+bench-smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem \
 		./internal/exec/ ./internal/obs/ ./internal/kv/ | tee BENCH_smoke.txt
-	$(GO) test -run='^$$' -bench=BenchmarkE25 -benchtime=1x . | tee -a BENCH_smoke.txt
+	$(GO) test -run='^$$' -bench='BenchmarkE2[57]' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) run ./cmd/aidb-bench -e E25 -metrics BENCH_metrics.json > /dev/null
+	$(GO) run ./cmd/aidb-bench -e E27 -explain BENCH_explain.txt -slowlog BENCH_slowlog.json > /dev/null
 
 # bench-compare pits the serial executor against the morsel-parallel one:
 # the BenchmarkExec serial/parallel sub-benchmarks (text) plus the

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"aidb/internal/core"
+	"aidb/internal/exec"
 	"aidb/internal/experiments"
 )
 
@@ -44,32 +45,86 @@ func benchExecCompare(path string, seed uint64) error {
 	return enc.Encode(rows)
 }
 
-// dumpMetrics drives a short instrumented smoke workload on a fresh DB
-// and writes its live metric registry to path ("-" = stdout; a .json
-// suffix selects the JSON exposition, anything else the text one).
-func dumpMetrics(path string) error {
+// smokeDB drives a short instrumented smoke workload — DDL, DML, plain
+// SELECTs and an EXPLAIN ANALYZE — on a fresh DB and returns it with
+// metrics, trace, slow-query log and profile populated.
+func smokeDB() (*core.DB, *exec.Result, error) {
 	db := core.Open()
 	script := `CREATE TABLE m (a INT, b INT);
 		INSERT INTO m VALUES (1, 10), (2, 20), (3, 30), (4, 40);
 		SELECT a, b FROM m WHERE a < 3;
 		SELECT count(*) FROM m;`
 	if _, err := db.ExecScript(script); err != nil {
+		return nil, nil, err
+	}
+	res, err := db.Exec(`EXPLAIN ANALYZE SELECT a, b FROM m WHERE a < 3;`)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, res, nil
+}
+
+// outWriter resolves an output path ("-" = stdout).
+func outWriter(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// dumpMetrics writes the smoke workload's live metric registry to path
+// ("-" = stdout; a .json suffix selects the JSON exposition, anything
+// else the text one).
+func dumpMetrics(path string) error {
+	db, _, err := smokeDB()
+	if err != nil {
 		return err
 	}
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	w, done, err := outWriter(path)
+	if err != nil {
+		return err
 	}
+	defer done()
 	if strings.HasSuffix(path, ".json") {
 		_, err := db.Metrics().WriteJSONTo(w)
 		return err
 	}
 	return db.WriteMetrics(w)
+}
+
+// dumpExplain writes the smoke workload's EXPLAIN ANALYZE profile table
+// to path ("-" = stdout). CI uploads it as BENCH_explain.txt.
+func dumpExplain(path string) error {
+	_, res, err := smokeDB()
+	if err != nil {
+		return err
+	}
+	w, done, err := outWriter(path)
+	if err != nil {
+		return err
+	}
+	defer done()
+	_, err = io.WriteString(w, core.Format(res))
+	return err
+}
+
+// dumpSlowLog writes the smoke workload's slow-query log as JSON to
+// path ("-" = stdout). CI uploads it as BENCH_slowlog.json.
+func dumpSlowLog(path string) error {
+	db, _, err := smokeDB()
+	if err != nil {
+		return err
+	}
+	w, done, err := outWriter(path)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return db.WriteSlowLogJSON(w)
 }
 
 func main() {
@@ -78,6 +133,8 @@ func main() {
 		seed      = flag.Uint64("seed", 20260705, "deterministic seed for all experiments")
 		ablations = flag.Bool("a", false, "run the design-choice ablations (A1..A5) instead of the matrix")
 		metrics   = flag.String("metrics", "", "after the run, dump live metrics from a smoke workload to this path ('-' = stdout, '.json' suffix = JSON)")
+		explain   = flag.String("explain", "", "after the run, dump a sample EXPLAIN ANALYZE profile from a smoke workload to this path ('-' = stdout)")
+		slowlog   = flag.String("slowlog", "", "after the run, dump the smoke workload's slow-query log as JSON to this path ('-' = stdout)")
 		benchExec = flag.String("bench-exec", "", "instead of experiments, time serial-vs-parallel execution and write JSON to this path ('-' = stdout)")
 	)
 	flag.Parse()
@@ -89,9 +146,21 @@ func main() {
 		return
 	}
 	code := run(*exp, *seed, *ablations)
-	if *metrics != "" {
-		if err := dumpMetrics(*metrics); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics dump:", err)
+	dumps := []struct {
+		name string
+		path string
+		fn   func(string) error
+	}{
+		{"metrics", *metrics, dumpMetrics},
+		{"explain", *explain, dumpExplain},
+		{"slowlog", *slowlog, dumpSlowLog},
+	}
+	for _, d := range dumps {
+		if d.path == "" {
+			continue
+		}
+		if err := d.fn(d.path); err != nil {
+			fmt.Fprintln(os.Stderr, d.name+" dump:", err)
 			if code == 0 {
 				code = 1
 			}

@@ -25,7 +25,9 @@ const help = `Statements end with ';'. Supported:
   UPDATE / DELETE / DROP TABLE / ANALYZE t / EXPLAIN SELECT ... / SHOW TABLES;
   CREATE MODEL m PREDICT label ON t [FEATURES (...)] [WITH (kind='logistic'|'linear'|'tree', epochs=N)];
   SELECT PREDICT(m, f1, f2) FROM t;  EVALUATE MODEL m ON t;  SHOW MODELS;  DROP MODEL m;
+  EXPLAIN ANALYZE SELECT ...;   per-operator est vs actual rows, time, morsel/worker counts
 Meta: \q quit, \h help, \metrics live metric counters, \trace last query's span tree,
+      \slowlog captured query log (latency, fingerprint, profile, chaos fires),
       \parallel [n] show or set the morsel worker budget (0 auto, 1 serial).`
 
 func main() {
@@ -61,6 +63,14 @@ func main() {
 				fmt.Print(tr)
 			} else {
 				fmt.Println("no query traced yet")
+			}
+			prompt()
+			continue
+		case `\slowlog`:
+			if dump := db.SlowLog().Dump(); dump != "" {
+				fmt.Print(dump)
+			} else {
+				fmt.Println("slow-query log is empty")
 			}
 			prompt()
 			continue

@@ -1,0 +1,76 @@
+package aisql
+
+import (
+	"strings"
+	"time"
+
+	"aidb/internal/cardest"
+	"aidb/internal/catalog"
+	"aidb/internal/exec"
+	"aidb/internal/obs"
+	"aidb/internal/plan"
+	"aidb/internal/sql"
+)
+
+// explainAnalyze is the EXPLAIN ANALYZE <select> path: it plans the
+// statement exactly as the normal query path would, executes it with a
+// per-operator QueryProfile attached, and returns one result row per
+// operator with the optimizer's estimate next to the measured truth.
+// Side effects beyond the result table:
+//
+//   - the profile tree is grafted under the exec span as op:* child
+//     spans, so \trace shows per-operator timings;
+//   - every operator's (estimated, actual) cardinality pair is recorded
+//     on e.Feedback, feeding the learned-estimator feedback loop;
+//   - the slow-query log entry carries the full profile summary and any
+//     chaos faults that fired during the run.
+func (e *Engine) explainAnalyze(s *sql.SelectStmt, sp *obs.Span, text string) (*exec.Result, error) {
+	start := time.Now()
+	chaosBefore := e.Chaos.FireCounts()
+	psp := sp.Child("plan")
+	p, err := plan.Build(e.Cat, e.rewritePredicts(s))
+	psp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	osp := sp.Child("optimize")
+	p = plan.OptimizeFilters(p)
+	p = plan.UseIndexes(p, e.indexLookup())
+	osp.Finish()
+	prof := exec.NewQueryProfile(p, plan.HistogramEstimator{})
+	esp := sp.Child("exec")
+	ex := exec.New(e.funcs())
+	ex.Chaos = e.Chaos
+	ex.Obs = e.execObs
+	ex.Parallelism = e.Parallelism
+	ex.Profile = prof
+	res, err := ex.Run(p)
+	prof.AttachSpans(esp)
+	esp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	latency := time.Since(start)
+
+	out := &exec.Result{Columns: []string{
+		"operator", "est_rows", "actual_rows", "time_us", "morsels", "workers", "util",
+	}}
+	prof.Walk(func(op *exec.OpProfile, depth int) {
+		e.Feedback.Record(cardest.ObservedCardinality{
+			Op:     op.Op,
+			Est:    op.EstRows,
+			Actual: float64(op.ActualRows()),
+		})
+		out.Rows = append(out.Rows, catalog.Row{
+			strings.Repeat("  ", depth) + op.Op,
+			int64(op.EstRows + 0.5),
+			op.ActualRows(),
+			float64(op.Wall().Microseconds()),
+			op.Morsels(),
+			op.WorkerSpawns(),
+			op.Utilization(),
+		})
+	})
+	e.recordSlow(text, "EXPLAIN ANALYZE SELECT", plan.Fingerprint(p), latency, len(res.Rows), prof.Summary(), chaosBefore)
+	return out, nil
+}

@@ -1,0 +1,291 @@
+package aisql
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"aidb/internal/cardest"
+	"aidb/internal/catalog"
+	"aidb/internal/chaos"
+	"aidb/internal/exec"
+	"aidb/internal/ml"
+	"aidb/internal/obs"
+)
+
+// analyzeEngine builds an instrumented engine with a populated table
+// big enough to exercise multi-morsel parallelism.
+func analyzeEngine(t *testing.T, rows int) (*Engine, *obs.Tracer) {
+	t.Helper()
+	tr := obs.NewTracer(8)
+	e := NewEngine()
+	e.Instrument(obs.NewRegistry(), tr)
+	if _, err := e.Execute("CREATE TABLE big (a INT, b INT)"); err != nil {
+		t.Fatal(err)
+	}
+	rng := ml.NewRNG(7)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO big VALUES ")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, rng.Intn(100))
+	}
+	if _, err := e.Execute(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("ANALYZE big"); err != nil {
+		t.Fatal(err)
+	}
+	return e, tr
+}
+
+func TestExplainAnalyzeColumnsAndRows(t *testing.T) {
+	e, _ := analyzeEngine(t, 2000)
+	res, err := e.Execute("EXPLAIN ANALYZE SELECT a, b FROM big WHERE b < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"operator", "est_rows", "actual_rows", "time_us", "morsels", "workers", "util"}
+	if fmt.Sprint(res.Columns) != fmt.Sprint(want) {
+		t.Fatalf("columns = %v, want %v", res.Columns, want)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("%d operator rows, want >= 3 (project/filter/scan)", len(res.Rows))
+	}
+	// The plain SELECT's row count must match the profiled actual at the
+	// root operator.
+	plain, err := e.Execute("SELECT a, b FROM big WHERE b < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root := res.Rows[0][2].(int64); root != int64(len(plain.Rows)) {
+		t.Errorf("root actual_rows = %d, plain SELECT returns %d", root, len(plain.Rows))
+	}
+	var scan catalog.Row
+	for _, r := range res.Rows {
+		if strings.Contains(r[0].(string), "Scan") {
+			scan = r
+		}
+	}
+	if scan == nil {
+		t.Fatal("no Scan row in EXPLAIN ANALYZE output")
+	}
+	if scan[2].(int64) != 2000 {
+		t.Errorf("scan actual_rows = %v, want 2000", scan[2])
+	}
+	if est := scan[1].(int64); est != 2000 {
+		t.Errorf("scan est_rows = %v, want 2000 (post-ANALYZE statistics)", est)
+	}
+}
+
+// TestExplainAnalyzeParallelIdentity checks the per-operator actuals
+// are identical at parallelism 1, 2 and NumCPU (acceptance criterion:
+// identical row counts serial vs parallel).
+func TestExplainAnalyzeParallelIdentity(t *testing.T) {
+	e, _ := analyzeEngine(t, 4000)
+	const q = "EXPLAIN ANALYZE SELECT a FROM big WHERE b < 30"
+	var base []string
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		e.Parallelism = workers
+		res, err := e.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var actuals []string
+		for _, r := range res.Rows {
+			actuals = append(actuals, fmt.Sprint(r[2]))
+		}
+		if base == nil {
+			base = actuals
+		} else if fmt.Sprint(actuals) != fmt.Sprint(base) {
+			t.Errorf("actual_rows @%d workers = %v, serial = %v", workers, actuals, base)
+		}
+	}
+}
+
+// TestExplainAnalyzeSpanTree asserts the query's span tree shape —
+// parse, plan, optimize, exec with one op:* child per plan operator —
+// and that no span is double-finished, at parallelism 1, 2 and NumCPU.
+// Running under -race makes double-Finish across goroutines detectable
+// via the plain finishes counter.
+func TestExplainAnalyzeSpanTree(t *testing.T) {
+	e, tr := analyzeEngine(t, 4000)
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		e.Parallelism = workers
+		if _, err := e.Execute("EXPLAIN ANALYZE SELECT a FROM big WHERE b < 30"); err != nil {
+			t.Fatal(err)
+		}
+		root := tr.Last()
+		if root == nil || root.Name != "query" {
+			t.Fatalf("@%d workers: last span = %+v, want query root", workers, root)
+		}
+		var names []string
+		for _, c := range root.Children() {
+			names = append(names, c.Name)
+		}
+		if fmt.Sprint(names) != "[parse plan optimize exec]" {
+			t.Fatalf("@%d workers: query children = %v", workers, names)
+		}
+		execSp := root.Children()[3]
+		ops := 0
+		var walk func(s *obs.Span)
+		walk = func(s *obs.Span) {
+			for _, c := range s.Children() {
+				if !strings.HasPrefix(c.Name, "op:") {
+					t.Errorf("@%d workers: unexpected span %q under exec", workers, c.Name)
+				}
+				ops++
+				walk(c)
+			}
+		}
+		walk(execSp)
+		if ops < 3 {
+			t.Errorf("@%d workers: %d op spans under exec, want >= 3", workers, ops)
+		}
+		var check func(s *obs.Span)
+		check = func(s *obs.Span) {
+			if got := s.Finishes(); got != 1 {
+				t.Errorf("@%d workers: span %q finished %d times", workers, s.Name, got)
+			}
+			for _, c := range s.Children() {
+				check(c)
+			}
+		}
+		check(root)
+	}
+}
+
+// TestExplainAnalyzeFeedback checks profiled runs stream per-operator
+// (est, actual) pairs into the engine's feedback log.
+func TestExplainAnalyzeFeedback(t *testing.T) {
+	e, _ := analyzeEngine(t, 1000)
+	fb := cardest.NewFeedbackLog(0)
+	e.Feedback = fb
+	if _, err := e.Execute("EXPLAIN ANALYZE SELECT a FROM big WHERE b < 10"); err != nil {
+		t.Fatal(err)
+	}
+	entries := fb.Entries()
+	if len(entries) < 3 {
+		t.Fatalf("%d feedback observations, want >= 3", len(entries))
+	}
+	sawScan := false
+	for _, o := range entries {
+		if strings.HasPrefix(o.Op, "Scan") {
+			sawScan = true
+			if o.Actual != 1000 {
+				t.Errorf("scan actual = %v, want 1000", o.Actual)
+			}
+			if o.Est <= 0 {
+				t.Errorf("scan est = %v, want positive", o.Est)
+			}
+		}
+	}
+	if !sawScan {
+		t.Error("no Scan observation in feedback log")
+	}
+	// Plain SELECTs must not pollute the feedback channel.
+	before := fb.Total()
+	if _, err := e.Execute("SELECT a FROM big WHERE b < 10"); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Total() != before {
+		t.Error("unprofiled SELECT recorded feedback")
+	}
+}
+
+// TestSlowLogCapturesQueries checks plain and profiled SELECTs land in
+// the slow-query log with fingerprint, latency and (for EXPLAIN
+// ANALYZE) the profile summary.
+func TestSlowLogCapturesQueries(t *testing.T) {
+	e, _ := analyzeEngine(t, 500)
+	start := e.SlowLog().Len()
+	if _, err := e.Execute("SELECT a FROM big WHERE b < 10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("EXPLAIN ANALYZE SELECT a FROM big WHERE b < 10"); err != nil {
+		t.Fatal(err)
+	}
+	es := e.SlowLog().Entries()
+	if len(es)-start != 2 {
+		t.Fatalf("slowlog grew by %d entries, want 2", len(es)-start)
+	}
+	plain, analyzed := es[len(es)-2], es[len(es)-1]
+	if plain.Fingerprint != analyzed.Fingerprint {
+		t.Errorf("fingerprints differ: %q vs %q", plain.Fingerprint, analyzed.Fingerprint)
+	}
+	if !strings.Contains(plain.Fingerprint, "Scan(big)") {
+		t.Errorf("fingerprint %q missing Scan(big)", plain.Fingerprint)
+	}
+	if plain.Profile != "" {
+		t.Error("plain SELECT captured a profile")
+	}
+	if !strings.Contains(analyzed.Profile, "Scan big") {
+		t.Errorf("EXPLAIN ANALYZE entry missing profile:\n%q", analyzed.Profile)
+	}
+	if plain.LatencyNs <= 0 || analyzed.LatencyNs <= 0 {
+		t.Error("latency not recorded")
+	}
+	if !strings.HasPrefix(analyzed.Query, "EXPLAIN ANALYZE") {
+		t.Errorf("query text = %q", analyzed.Query)
+	}
+}
+
+// TestSlowLogChaosAttribution is the chaos-interplay check: when a
+// fault fires during a query, the slow-query entry names the site and
+// fire count; quiet queries carry no chaos annotation.
+func TestSlowLogChaosAttribution(t *testing.T) {
+	tr := obs.NewTracer(4)
+	e := NewEngine()
+	e.Instrument(obs.NewRegistry(), tr)
+	// Latency faults on every other scan consult: alternating queries
+	// absorb a fault, so attribution must be per-query, not cumulative.
+	e.Chaos = chaos.New(3).Add(chaos.Rule{
+		Site: exec.SiteExecScan, Kind: chaos.Latency, Every: 2, Delay: 5,
+	})
+	if _, err := e.Execute("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("INSERT INTO t VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	var withFault, without int
+	for i := 0; i < 6; i++ {
+		if _, err := e.Execute("SELECT a FROM t WHERE a > 0"); err != nil {
+			t.Fatal(err)
+		}
+		es := e.SlowLog().Entries()
+		last := es[len(es)-1]
+		if n := last.ChaosFires[exec.SiteExecScan]; n > 0 {
+			withFault++
+			if n != 1 {
+				t.Errorf("query %d attributed %d fires, want 1", i, n)
+			}
+		} else {
+			if len(last.ChaosFires) != 0 {
+				t.Errorf("query %d has spurious chaos annotation %v", i, last.ChaosFires)
+			}
+			without++
+		}
+	}
+	if withFault != 3 || without != 3 {
+		t.Errorf("fault attribution split %d/%d, want 3/3 (Every:2 over 6 queries)", withFault, without)
+	}
+}
+
+// TestExplainAnalyzeLegacyTableForm keeps the old `EXPLAIN ANALYZE t`
+// spelling (statistics refresh) working.
+func TestExplainAnalyzeLegacyTableForm(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Execute("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("INSERT INTO t VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("EXPLAIN ANALYZE t"); err != nil {
+		t.Fatalf("legacy EXPLAIN ANALYZE <table>: %v", err)
+	}
+}

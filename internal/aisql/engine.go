@@ -5,7 +5,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"aidb/internal/cardest"
 	"aidb/internal/catalog"
 	"aidb/internal/chaos"
 	"aidb/internal/exec"
@@ -31,6 +33,12 @@ type Engine struct {
 	// between queries, not concurrently with them.
 	Parallelism int
 
+	// Feedback, when set, receives one (estimated, actual) cardinality
+	// observation per profiled operator after every EXPLAIN ANALYZE —
+	// the estimation-error channel learned estimators retrain from. Nil
+	// disables feedback collection.
+	Feedback *cardest.FeedbackLog
+
 	mu      sync.RWMutex
 	models  map[string]*Model
 	indexes map[string]*secondaryIndex
@@ -41,17 +49,24 @@ type Engine struct {
 	execObs     exec.Metrics
 	stmts       *obs.Counter
 	parseErrors *obs.Counter
+	slowlog     *obs.SlowQueryLog
 }
 
 // Instrument wires the engine — and every executor it creates — to the
-// observability registry and tracer. Either argument may be nil to
-// disable that half; call before serving queries.
+// observability registry and tracer, and attaches a slow-query log
+// (capture-everything by default; raise its Threshold to filter). Either
+// argument may be nil to disable that half; call before serving queries.
 func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	e.tracer = tr
 	e.execObs = exec.NewMetrics(reg)
 	e.stmts = reg.Counter("sql.statements")
 	e.parseErrors = reg.Counter("sql.parse_errors")
+	e.slowlog = obs.NewSlowQueryLog(0, 0)
 }
+
+// SlowLog returns the engine's slow-query log (nil when the engine is
+// uninstrumented).
+func (e *Engine) SlowLog() *obs.SlowQueryLog { return e.slowlog }
 
 // NewEngine creates an engine over an in-memory catalog.
 func NewEngine() *Engine {
@@ -168,7 +183,7 @@ func (e *Engine) Execute(query string) (*exec.Result, error) {
 		return nil, err
 	}
 	sp.SetTag("stmt", sql.StatementKind(stmt))
-	return e.executeStmt(stmt, sp)
+	return e.executeStmt(stmt, sp, query)
 }
 
 // ExecuteScript runs a ';'-separated script, returning the last result.
@@ -194,19 +209,21 @@ func (e *Engine) ExecuteStmt(stmt sql.Statement) (*exec.Result, error) {
 	defer sp.Finish()
 	sp.SetTag("stmt", sql.StatementKind(stmt))
 	e.stmts.Inc()
-	return e.executeStmt(stmt, sp)
+	return e.executeStmt(stmt, sp, "")
 }
 
 // executeStmt dispatches one parsed statement, attaching child spans to
-// sp (which may be nil when tracing is off).
-func (e *Engine) executeStmt(stmt sql.Statement, sp *obs.Span) (*exec.Result, error) {
+// sp (which may be nil when tracing is off). text is the raw query text
+// when the statement came in through Execute, "" for pre-parsed
+// statements — the slow-query log falls back to the statement kind.
+func (e *Engine) executeStmt(stmt sql.Statement, sp *obs.Span, text string) (*exec.Result, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTableStmt:
 		return e.createTable(s)
 	case *sql.InsertStmt:
 		return e.insert(s)
 	case *sql.SelectStmt:
-		return e.query(s, sp)
+		return e.query(s, sp, text)
 	case *sql.UpdateStmt:
 		return e.update(s)
 	case *sql.DeleteStmt:
@@ -247,9 +264,18 @@ func (e *Engine) executeStmt(stmt sql.Statement, sp *obs.Span) (*exec.Result, er
 		}
 		return res, nil
 	case *sql.ExplainStmt:
+		if a, ok := s.Inner.(*sql.AnalyzeStmt); ok {
+			// Legacy spelling: `EXPLAIN ANALYZE t` (bare table name)
+			// parses as EXPLAIN over ANALYZE — run the statistics
+			// refresh rather than profiling.
+			return e.executeStmt(a, sp, text)
+		}
 		sel, ok := s.Inner.(*sql.SelectStmt)
 		if !ok {
 			return nil, fmt.Errorf("aisql: EXPLAIN supports only SELECT")
+		}
+		if s.Analyze {
+			return e.explainAnalyze(sel, sp, text)
 		}
 		p, err := plan.Build(e.Cat, e.rewritePredicts(sel))
 		if err != nil {
@@ -386,7 +412,9 @@ func rewriteExpr(ex sql.Expr) sql.Expr {
 	return ex
 }
 
-func (e *Engine) query(s *sql.SelectStmt, sp *obs.Span) (*exec.Result, error) {
+func (e *Engine) query(s *sql.SelectStmt, sp *obs.Span, text string) (*exec.Result, error) {
+	start := time.Now()
+	chaosBefore := e.Chaos.FireCounts()
 	psp := sp.Child("plan")
 	p, err := plan.Build(e.Cat, e.rewritePredicts(s))
 	psp.Finish()
@@ -405,12 +433,47 @@ func (e *Engine) query(s *sql.SelectStmt, sp *obs.Span) (*exec.Result, error) {
 		sp.SetTagf("plan", "nodes=%d,depth=%d", nodes, depth)
 	}
 	esp := sp.Child("exec")
-	defer esp.Finish()
 	ex := exec.New(e.funcs())
 	ex.Chaos = e.Chaos
 	ex.Obs = e.execObs
 	ex.Parallelism = e.Parallelism
-	return ex.Run(p)
+	res, err := ex.Run(p)
+	esp.Finish()
+	if err == nil {
+		e.recordSlow(text, "SELECT", plan.Fingerprint(p), time.Since(start), len(res.Rows), "", chaosBefore)
+	}
+	return res, err
+}
+
+// recordSlow files one slow-query log entry, attributing any chaos
+// faults that fired between the before snapshot and now to this query.
+// No-op when the engine is uninstrumented.
+func (e *Engine) recordSlow(text, kind, fp string, latency time.Duration, rows int, profile string, chaosBefore map[string]uint64) {
+	if e.slowlog == nil {
+		return
+	}
+	if text == "" {
+		text = kind
+	}
+	var fires map[string]uint64
+	if after := e.Chaos.FireCounts(); after != nil {
+		for site, n := range after {
+			if d := n - chaosBefore[site]; d > 0 {
+				if fires == nil {
+					fires = make(map[string]uint64)
+				}
+				fires[site] = d
+			}
+		}
+	}
+	e.slowlog.Record(obs.SlowLogEntry{
+		Query:       text,
+		Fingerprint: fp,
+		LatencyNs:   latency.Nanoseconds(),
+		Rows:        int64(rows),
+		Profile:     profile,
+		ChaosFires:  fires,
+	})
 }
 
 func (e *Engine) update(s *sql.UpdateStmt) (*exec.Result, error) {

@@ -1,0 +1,130 @@
+package cardest
+
+import (
+	"testing"
+
+	"aidb/internal/ml"
+	"aidb/internal/workload"
+)
+
+func TestFeedbackLogRingAndWindow(t *testing.T) {
+	f := NewFeedbackLog(4)
+	for i := 1; i <= 6; i++ {
+		f.Record(ObservedCardinality{Op: "Filter", Est: 10, Actual: float64(10 * i)})
+	}
+	if f.Total() != 6 {
+		t.Errorf("total = %d, want 6", f.Total())
+	}
+	es := f.Entries()
+	if len(es) != 4 {
+		t.Fatalf("retained %d, want 4", len(es))
+	}
+	if es[0].Actual != 30 || es[3].Actual != 60 {
+		t.Errorf("ring kept %v..%v, want 30..60", es[0].Actual, es[3].Actual)
+	}
+	// Window(2) sees actuals 50, 60 against est 10: q-errors 5 and 6.
+	w := f.Window(2)
+	if w.Median != 5.5 || w.Max != 6 {
+		t.Errorf("window stats = %+v, want median 5.5 / max 6 over q-errors {5, 6}", w)
+	}
+}
+
+func TestFeedbackLogObserverAndNil(t *testing.T) {
+	var calls []float64
+	f := NewFeedbackLog(0)
+	f.SetObserver(func(est, actual float64) { calls = append(calls, est, actual) })
+	f.Record(ObservedCardinality{Est: 2, Actual: 8})
+	if len(calls) != 2 || calls[0] != 2 || calls[1] != 8 {
+		t.Errorf("observer saw %v", calls)
+	}
+
+	var nilLog *FeedbackLog
+	nilLog.Record(ObservedCardinality{})
+	nilLog.SetObserver(nil)
+	if nilLog.Total() != 0 || nilLog.Entries() != nil {
+		t.Error("nil log not inert")
+	}
+	if s := nilLog.Window(5); s.Mean != 0 {
+		t.Errorf("nil window = %+v", s)
+	}
+}
+
+func TestObservedCardinalityQError(t *testing.T) {
+	o := ObservedCardinality{Est: 5, Actual: 50}
+	if q := o.QError(); q != 10 {
+		t.Errorf("q-error = %v, want 10", q)
+	}
+}
+
+// TestFeedbackEstimatorRetrainImproves trains a model on one
+// distribution, drifts the data, and checks retraining on recorded
+// (query, actual) pairs beats the frozen copy — the core loop E27
+// exercises end to end through the engine.
+func TestFeedbackEstimatorRetrainImproves(t *testing.T) {
+	spec := workload.TableSpec{
+		Name: "t",
+		Rows: 3000,
+		Columns: []workload.Column{
+			{Name: "a", NDV: 80, CorrelatedWith: -1},
+			{Name: "b", NDV: 80, CorrelatedWith: 0, CorrNoise: 35},
+		},
+	}
+	specNew := spec
+	specNew.Columns = append([]workload.Column(nil), spec.Columns...)
+	specNew.Columns[1].CorrNoise = 2
+	tabOld := workload.Generate(ml.NewRNG(1), spec)
+	tabNew := workload.Generate(ml.NewRNG(2), specNew)
+
+	gen := workload.NewQueryGen(ml.NewRNG(3), spec)
+	gen.MinPreds, gen.MaxPreds = 2, 2
+	train := make([]workload.Query, 300)
+	truths := make([]int, 300)
+	for i := range train {
+		train[i] = gen.Next()
+		truths[i] = workload.TrueCardinality(tabOld, train[i])
+	}
+	newModel := func() *MLPEstimator {
+		m := NewMLPEstimator(ml.NewRNG(4), spec, 32)
+		if err := m.Train(ml.NewRNG(5), train, truths, 60); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	frozen := newModel()
+	fb := NewFeedbackEstimator(newModel())
+	if fb.Name() != "learned-mlp+feedback" {
+		t.Errorf("name = %q", fb.Name())
+	}
+
+	for i := 0; i < 120; i++ {
+		q := gen.Next()
+		fb.Record(q, workload.TrueCardinality(tabNew, q))
+	}
+	if fb.Pending() != 120 {
+		t.Fatalf("pending = %d, want 120", fb.Pending())
+	}
+	if err := fb.Retrain(ml.NewRNG(6), 60); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Pending() != 0 {
+		t.Errorf("pending after retrain = %d, want 0", fb.Pending())
+	}
+
+	medianQ := func(est Estimator) float64 {
+		qs := make([]float64, 100)
+		for i := range qs {
+			q := gen.Next()
+			qs[i] = ml.QError(est.Estimate(q), float64(workload.TrueCardinality(tabNew, q)))
+		}
+		return ml.SummarizeQErrors(qs).Median
+	}
+	fz, corr := medianQ(frozen), medianQ(fb)
+	if corr >= fz {
+		t.Errorf("feedback median q-error %v not better than frozen %v", corr, fz)
+	}
+
+	// Retrain with nothing buffered is a no-op, not an error.
+	if err := fb.Retrain(ml.NewRNG(7), 10); err != nil {
+		t.Errorf("empty retrain: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"aidb/internal/aisql"
+	"aidb/internal/cardest"
 	"aidb/internal/catalog"
 	"aidb/internal/exec"
 	"aidb/internal/idxadvisor"
@@ -30,6 +31,13 @@ type DB struct {
 	rng    *ml.RNG
 	reg    *obs.Registry
 	tracer *obs.Tracer
+
+	// feedback/qerr close the cardinality-estimation feedback loop:
+	// profiled executions stream per-operator (est, actual) pairs into
+	// feedback, which forwards each pair to qerr, the monitor-side
+	// drift KPI (exposed as the cardest.qerror.window_median gauge).
+	feedback *cardest.FeedbackLog
+	qerr     *monitor.QErrorWindow
 
 	// tuner state persists across Tune calls so the query-aware critic
 	// accumulates experience (QTune behaviour).
@@ -51,13 +59,21 @@ func OpenSeeded(seed uint64) *DB {
 	engine := aisql.NewEngine()
 	engine.Instrument(reg, tracer)
 	engine.Cat.Pool().Instrument(reg)
+	feedback := cardest.NewFeedbackLog(0)
+	qerr := monitor.NewQErrorWindow(0)
+	feedback.SetObserver(qerr.Observe)
+	engine.Feedback = feedback
+	reg.GaugeFunc("cardest.feedback.total", func() float64 { return float64(feedback.Total()) })
+	reg.GaugeFunc("cardest.qerror.window_median", qerr.Median)
 	return &DB{
-		engine:  engine,
-		rng:     rng,
-		reg:     reg,
-		tracer:  tracer,
-		tuner:   &knob.QTune{Rng: ml.NewRNG(seed + 1)},
-		surface: knob.NewSurface(ml.NewRNG(seed+2), 0.01),
+		engine:   engine,
+		rng:      rng,
+		reg:      reg,
+		tracer:   tracer,
+		feedback: feedback,
+		qerr:     qerr,
+		tuner:    &knob.QTune{Rng: ml.NewRNG(seed + 1)},
+		surface:  knob.NewSurface(ml.NewRNG(seed+2), 0.01),
 	}
 }
 
@@ -79,6 +95,23 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 	_, err := db.reg.WriteTo(w)
 	return err
 }
+
+// SlowLog exposes the engine's slow-query log.
+func (db *DB) SlowLog() *obs.SlowQueryLog { return db.engine.SlowLog() }
+
+// WriteSlowLogJSON dumps the slow-query log as a JSON array.
+func (db *DB) WriteSlowLogJSON(w io.Writer) error {
+	_, err := db.engine.SlowLog().WriteJSONTo(w)
+	return err
+}
+
+// Feedback exposes the cardinality-feedback log profiled executions
+// report into.
+func (db *DB) Feedback() *cardest.FeedbackLog { return db.feedback }
+
+// QErrorWindow exposes the monitor's sliding window over feedback
+// q-errors, the drift KPI for learned cardinality estimation.
+func (db *DB) QErrorWindow() *monitor.QErrorWindow { return db.qerr }
 
 // LastTrace renders the span tree of the most recent query, or "" when
 // nothing has been traced yet.

@@ -13,7 +13,7 @@ import (
 // Engine micro-benchmarks: scan/filter, hash join and aggregation
 // throughput of the volcano executor over heap tables.
 
-func benchCatalog(b *testing.B, rows int) *catalog.Catalog {
+func benchCatalog(b testing.TB, rows int) *catalog.Catalog {
 	b.Helper()
 	c := catalog.NewMem()
 	users, err := c.CreateTable("users", catalog.Schema{Columns: []catalog.Column{
@@ -104,6 +104,27 @@ func BenchmarkExec(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ex := New(nil)
 			ex.Obs = m
+			if _, err := ex.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Profiling dimension: profile-off is the default every normal query
+	// takes (one nil check per operator — the <2% overhead contract that
+	// TestProfileOffOverhead asserts); profile-on is the EXPLAIN ANALYZE
+	// path with per-operator timing and cardinality capture.
+	b.Run("profile-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := New(nil).Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("profile-on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ex := New(nil)
+			ex.Profile = NewQueryProfile(p, nil)
 			if _, err := ex.Run(p); err != nil {
 				b.Fatal(err)
 			}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"aidb/internal/catalog"
 	"aidb/internal/chaos"
@@ -46,6 +47,13 @@ type Executor struct {
 	// Obs holds pre-resolved observability metrics; the zero value
 	// disables them (see NewMetrics).
 	Obs Metrics
+
+	// Profile, when set, collects per-operator runtime profiles (actual
+	// rows, wall time, morsel and worker counts) for the next Run call —
+	// the EXPLAIN ANALYZE path. A profile instruments exactly one Run;
+	// nil (the default) disables profiling at the cost of one nil check
+	// per operator.
+	Profile *QueryProfile
 
 	// Parallelism is the morsel worker budget: 0 selects
 	// runtime.NumCPU() (auto), 1 pins the serial path (the comparison
@@ -110,7 +118,25 @@ func (ex *Executor) Run(n plan.Node) (*Result, error) {
 	return &Result{Columns: n.Schema(), Rows: rows}, nil
 }
 
+// exec runs one operator, recording its profile when profiling is on.
+// Wall time is inclusive (children recurse through exec themselves).
 func (ex *Executor) exec(n plan.Node) ([]catalog.Row, error) {
+	if ex.Profile == nil {
+		return ex.execNode(n)
+	}
+	op := ex.Profile.enter(n)
+	if op == nil {
+		return ex.execNode(n)
+	}
+	start := time.Now()
+	rows, err := ex.execNode(n)
+	op.wallNs.Add(time.Since(start).Nanoseconds())
+	op.actualRows.Add(int64(len(rows)))
+	ex.Profile.exit()
+	return rows, err
+}
+
+func (ex *Executor) execNode(n plan.Node) ([]catalog.Row, error) {
 	switch v := n.(type) {
 	case *plan.ScanNode:
 		return ex.scan(v)

@@ -96,6 +96,12 @@ func (ex *Executor) runMorsels(n int, fn func(m int) error) error {
 		workers = n
 	}
 	ex.Obs.Morsels.Add(uint64(n))
+	// op is the operator this morsel run belongs to (nil when
+	// profiling is off); workers update its counters atomically.
+	op := ex.Profile.cur()
+	if op != nil {
+		op.morsels.Add(int64(n))
+	}
 	if workers <= 1 {
 		for m := 0; m < n; m++ {
 			if err := fn(m); err != nil {
@@ -106,6 +112,9 @@ func (ex *Executor) runMorsels(n int, fn func(m int) error) error {
 	}
 	ex.Obs.ParallelOps.Inc()
 	ex.Obs.WorkerSpawns.Add(uint64(workers))
+	if op != nil {
+		op.workerSpawns.Add(int64(workers))
+	}
 	var (
 		cursor   atomic.Int64
 		failed   atomic.Bool
@@ -117,16 +126,21 @@ func (ex *Executor) runMorsels(n int, fn func(m int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			processed := 0
 			for {
 				m := int(cursor.Add(1)) - 1
 				if m >= n || failed.Load() {
-					return
+					break
 				}
+				processed++
 				if err := fn(m); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
-					return
+					break
 				}
+			}
+			if op != nil && processed > 0 {
+				op.busyWorkers.Add(1)
 			}
 		}()
 	}

@@ -1,0 +1,218 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"aidb/internal/obs"
+	"aidb/internal/plan"
+	"aidb/internal/sql"
+)
+
+func profPlan(t testing.TB, q string) (plan.Node, *Executor) {
+	t.Helper()
+	c := benchCatalog(t, 4000)
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(c, stmt.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = plan.OptimizeFilters(p)
+	return p, New(nil)
+}
+
+// TestProfileTree checks that a profiled run fills in every operator:
+// actual rows at the root match the result, leaf scans see the table
+// cardinality, and estimates are frozen from the planner's cost model.
+func TestProfileTree(t *testing.T) {
+	p, ex := profPlan(t, "SELECT id FROM users WHERE age > 40")
+	prof := NewQueryProfile(p, nil)
+	ex.Profile = prof
+	res, err := ex.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Root == nil {
+		t.Fatal("no profile root")
+	}
+	if got := prof.Root.ActualRows(); got != int64(len(res.Rows)) {
+		t.Errorf("root actual rows = %d, result has %d", got, len(res.Rows))
+	}
+	ops := 0
+	var scan *OpProfile
+	prof.Walk(func(op *OpProfile, depth int) {
+		ops++
+		if op.Kind == "Scan" {
+			scan = op
+		}
+		if op.EstRows <= 0 {
+			t.Errorf("%s: estimate %v not positive", op.Kind, op.EstRows)
+		}
+	})
+	if ops < 3 {
+		t.Fatalf("profile tree has %d operators, want >= 3 (project/filter/scan)", ops)
+	}
+	if scan == nil {
+		t.Fatal("no Scan operator in profile")
+	}
+	if scan.ActualRows() != 4000 {
+		t.Errorf("scan actual rows = %d, want 4000", scan.ActualRows())
+	}
+	if s := prof.Summary(); s == "" {
+		t.Error("empty profile summary")
+	}
+}
+
+// TestProfileParallelIdentity runs the same profiled plans at
+// parallelism 1, 2 and NumCPU and requires identical per-operator
+// actual row counts — the morsel contract (serial-identical results)
+// extended to the profile plane. Run under -race this also exercises
+// the worker-side atomic counters.
+func TestProfileParallelIdentity(t *testing.T) {
+	for _, q := range []string{
+		"SELECT id FROM users WHERE age > 40",
+		"SELECT users.id FROM orders JOIN users ON orders.uid = users.id",
+		"SELECT age, COUNT(*), AVG(id) FROM users GROUP BY age",
+	} {
+		p, _ := profPlan(t, q)
+		type run struct {
+			rows    []int64
+			results int
+		}
+		runs := map[int]run{}
+		for _, workers := range []int{1, 2, runtime.NumCPU()} {
+			ex := New(nil)
+			ex.Parallelism = workers
+			ex.MorselSize = 256 // force multi-morsel dispatch on 4k rows
+			prof := NewQueryProfile(p, nil)
+			ex.Profile = prof
+			res, err := ex.Run(p)
+			if err != nil {
+				t.Fatalf("%s @%d: %v", q, workers, err)
+			}
+			var rows []int64
+			prof.Walk(func(op *OpProfile, _ int) { rows = append(rows, op.ActualRows()) })
+			runs[workers] = run{rows: rows, results: len(res.Rows)}
+		}
+		base := runs[1]
+		for workers, r := range runs {
+			if r.results != base.results {
+				t.Errorf("%s: %d results @%d workers, %d serially", q, r.results, workers, base.results)
+			}
+			if fmt.Sprint(r.rows) != fmt.Sprint(base.rows) {
+				t.Errorf("%s: per-operator actuals @%d workers = %v, serial = %v", q, workers, r.rows, base.rows)
+			}
+		}
+	}
+}
+
+// TestProfileMorselAttribution checks that morsel and worker counts land
+// on the operator that dispatched them.
+func TestProfileMorselAttribution(t *testing.T) {
+	p, ex := profPlan(t, "SELECT id FROM users WHERE age > 40")
+	ex.Parallelism = 4
+	ex.MorselSize = 256
+	ex.ScanMorselPages = 1
+	prof := NewQueryProfile(p, nil)
+	ex.Profile = prof
+	if _, err := ex.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	var filter *OpProfile
+	prof.Walk(func(op *OpProfile, _ int) {
+		if op.Kind == "Filter" {
+			filter = op
+		}
+	})
+	if filter == nil {
+		t.Fatal("no Filter operator")
+	}
+	// 4000 input rows at MorselSize 256 => 16 morsels on the filter.
+	if got := filter.Morsels(); got != 16 {
+		t.Errorf("filter morsels = %d, want 16", got)
+	}
+	if got := filter.WorkerSpawns(); got != 4 {
+		t.Errorf("filter worker spawns = %d, want 4", got)
+	}
+	if u := filter.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v outside (0,1]", u)
+	}
+}
+
+// TestProfileAttachSpans grafts a profile under a span and checks the
+// span tree mirrors the operator tree with singly-finished spans.
+func TestProfileAttachSpans(t *testing.T) {
+	p, ex := profPlan(t, "SELECT id FROM users WHERE age > 40")
+	prof := NewQueryProfile(p, nil)
+	ex.Profile = prof
+	if _, err := ex.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(4)
+	sp := tr.Start("exec")
+	prof.AttachSpans(sp)
+	sp.Finish()
+	var count func(s *obs.Span) int
+	count = func(s *obs.Span) int {
+		n := 0
+		for _, c := range s.Children() {
+			if c.Finishes() != 1 {
+				t.Errorf("span %s finished %d times", c.Name, c.Finishes())
+			}
+			n += 1 + count(c)
+		}
+		return n
+	}
+	ops := 0
+	prof.Walk(func(*OpProfile, int) { ops++ })
+	if got := count(sp); got != ops {
+		t.Errorf("span tree has %d op spans, profile has %d operators", got, ops)
+	}
+}
+
+// TestProfileOffOverhead guards the EXPLAIN ANALYZE bargain: a query
+// run without a profile must cost within 2% of the pre-profiling call
+// path (execNode directly, which is the executor body the profile
+// wrapper was wrapped around). Measured as min-of-batches to shed
+// scheduler noise, with one remeasure before declaring failure.
+func TestProfileOffOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	p, _ := profPlan(t, "SELECT id FROM users WHERE age > 40")
+	measure := func(fn func() error) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for batch := 0; batch < 8; batch++ {
+			start := time.Now()
+			for i := 0; i < 10; i++ {
+				if err := fn(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	wrapped := func() error { _, err := New(nil).Run(p); return err }
+	direct := func() error { _, err := New(nil).execNode(p); return err }
+	// Warm caches on both paths before timing.
+	_ = wrapped()
+	_ = direct()
+	for attempt := 0; ; attempt++ {
+		ratio := float64(measure(wrapped)) / float64(measure(direct))
+		if ratio <= 1.02 {
+			return
+		}
+		if attempt >= 2 {
+			t.Errorf("profile-off path is %.1f%% slower than the unwrapped executor, want <= 2%%", (ratio-1)*100)
+			return
+		}
+	}
+}

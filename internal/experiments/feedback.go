@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"aidb/internal/aisql"
+	"aidb/internal/cardest"
+	"aidb/internal/ml"
+	"aidb/internal/obs"
+	"aidb/internal/workload"
+)
+
+func init() {
+	register("E27", runE27CardinalityFeedback)
+}
+
+// e27NewEngine mirrors a generated workload table into a real AISQL
+// engine (schema, rows, ANALYZE statistics) wired to a feedback log, so
+// EXPLAIN ANALYZE runs produce genuine per-operator actuals.
+func e27NewEngine(tab *workload.Table, fb *cardest.FeedbackLog) (*aisql.Engine, error) {
+	eng := aisql.NewEngine()
+	eng.Instrument(obs.NewRegistry(), nil)
+	eng.Feedback = fb
+	if _, err := eng.Execute("CREATE TABLE corr (a INT, b INT)"); err != nil {
+		return nil, err
+	}
+	n := tab.NumRows()
+	const chunk = 500
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO corr VALUES ")
+		for r := lo; r < hi; r++ {
+			if r > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", tab.Cols[0][r], tab.Cols[1][r])
+		}
+		if _, err := eng.Execute(sb.String()); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := eng.Execute("ANALYZE corr"); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// e27SQL renders a conjunctive range query as EXPLAIN ANALYZE SQL.
+func e27SQL(q workload.Query) string {
+	cols := [...]string{"a", "b"}
+	var sb strings.Builder
+	sb.WriteString("EXPLAIN ANALYZE SELECT a, b FROM corr WHERE ")
+	for i, p := range q.Preds {
+		if i > 0 {
+			sb.WriteString(" AND ")
+		}
+		fmt.Fprintf(&sb, "%s BETWEEN %d AND %d", cols[p.Column], p.Lo, p.Hi)
+	}
+	return sb.String()
+}
+
+// runE27CardinalityFeedback closes the cardinality-estimation feedback
+// loop end to end: a learned estimator is trained on yesterday's data
+// distribution, the data drifts (same schema and spec, different
+// correlation draw), and profiled EXPLAIN ANALYZE executions stream
+// per-operator (estimated, actual) pairs through the engine's feedback
+// channel. Fine-tuning on those observed truths must cut the median
+// q-error versus the frozen model — the NeurDB-style observe→adapt
+// cycle, with actuals measured by the real executor rather than
+// computed offline.
+func runE27CardinalityFeedback(seed uint64) *Table {
+	t := &Table{
+		ID:     "E27",
+		Title:  "Cardinality feedback from EXPLAIN ANALYZE profiles",
+		Claim:  "per-operator actuals captured by runtime profiling let a drifted learned estimator correct itself, cutting median q-error versus the frozen model (§2.1 cost estimation + §4 observe-adapt loop)",
+		Header: []string{"estimator", "median q-error", "p95 q-error", "max q-error"},
+	}
+	// Yesterday's data vs today's: same schema and domains, but the a→b
+	// correlation tightens from ±40 to ±2 — the kind of workload drift
+	// (§2.3 "data is dynamically updated") that silently invalidates a
+	// learned estimator's training distribution.
+	spec := workload.TableSpec{
+		Name: "corr",
+		Rows: 6000,
+		Columns: []workload.Column{
+			{Name: "a", NDV: 100, CorrelatedWith: -1},
+			{Name: "b", NDV: 100, CorrelatedWith: 0, CorrNoise: 40},
+		},
+	}
+	specNew := spec
+	specNew.Columns = append([]workload.Column(nil), spec.Columns...)
+	specNew.Columns[1].CorrNoise = 2
+	tabOld := workload.Generate(ml.NewRNG(seed), spec)
+	tabNew := workload.Generate(ml.NewRNG(seed+1), specNew)
+
+	gen := workload.NewQueryGen(ml.NewRNG(seed+2), spec)
+	gen.MinPreds, gen.MaxPreds = 2, 2
+	train := make([]workload.Query, 400)
+	truthsOld := make([]int, 400)
+	for i := range train {
+		train[i] = gen.Next()
+		truthsOld[i] = workload.TrueCardinality(tabOld, train[i])
+	}
+
+	// Two byte-identical models from the same seeds: one stays frozen,
+	// one receives the feedback fine-tune.
+	newModel := func() *cardest.MLPEstimator {
+		m := cardest.NewMLPEstimator(ml.NewRNG(seed+3), spec, 32)
+		_ = m.Train(ml.NewRNG(seed+4), train, truthsOld, 60)
+		return m
+	}
+	frozen := newModel()
+	corrected := cardest.NewFeedbackEstimator(newModel())
+
+	fb := cardest.NewFeedbackLog(0)
+	eng, err := e27NewEngine(tabNew, fb)
+	if err != nil {
+		t.Note = "engine setup failed: " + err.Error()
+		return t
+	}
+
+	// Serve 120 profiled queries on the drifted data. Each EXPLAIN
+	// ANALYZE records its per-operator pairs on the feedback log; the
+	// outermost Filter's measured output is the conjunction's true
+	// cardinality, which the corrected model buffers for retraining.
+	const served = 120
+	for i := 0; i < served; i++ {
+		q := gen.Next()
+		before := len(fb.Entries())
+		if _, err := eng.Execute(e27SQL(q)); err != nil {
+			t.Note = "profiled query failed: " + err.Error()
+			return t
+		}
+		for _, o := range fb.Entries()[before:] {
+			if strings.HasPrefix(o.Op, "Filter") {
+				corrected.Record(q, int(o.Actual))
+				break // outermost Filter = full conjunction
+			}
+		}
+	}
+	if corrected.Pending() < 100 {
+		t.Note = fmt.Sprintf("only %d/100 feedback pairs captured", corrected.Pending())
+		return t
+	}
+	if err := corrected.Retrain(ml.NewRNG(seed+5), 60); err != nil {
+		t.Note = "retrain failed: " + err.Error()
+		return t
+	}
+
+	// Held-out evaluation against today's distribution.
+	test := make([]workload.Query, 100)
+	for i := range test {
+		test[i] = gen.Next()
+	}
+	res := map[string]ml.QErrorStats{}
+	for name, est := range map[string]cardest.Estimator{
+		"frozen-mlp": frozen, "feedback-mlp": corrected,
+	} {
+		qs := make([]float64, len(test))
+		for i, q := range test {
+			truth := workload.TrueCardinality(tabNew, q)
+			qs[i] = ml.QError(est.Estimate(q), float64(truth))
+		}
+		res[name] = ml.SummarizeQErrors(qs)
+	}
+	for _, name := range []string{"frozen-mlp", "feedback-mlp"} {
+		s := res[name]
+		t.Rows = append(t.Rows, []string{name, f2(s.Median), f2(s.P95), f2(s.Max)})
+	}
+	t.Holds = res["feedback-mlp"].Median < res["frozen-mlp"].Median
+	t.Note = fmt.Sprintf(
+		"%d EXPLAIN ANALYZE runs streamed %d operator pairs through the feedback channel; corrected median %.2f vs frozen %.2f on held-out drifted data",
+		served, fb.Total(), res["feedback-mlp"].Median, res["frozen-mlp"].Median)
+	return t
+}

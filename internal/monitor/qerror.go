@@ -1,0 +1,79 @@
+package monitor
+
+import (
+	"sort"
+	"sync"
+
+	"aidb/internal/ml"
+)
+
+// QErrorWindow is a sliding window over per-operator cardinality
+// q-errors, the monitor-side consumer of the estimation-error feedback
+// channel: the engine's profiled executions stream (est, actual) pairs
+// in, and the window's median becomes a drift KPI — a learned estimator
+// whose workload has shifted shows a rising median q-error long before
+// plan quality visibly collapses. Safe for concurrent use; methods are
+// no-ops (or identity values) on a nil receiver.
+type QErrorWindow struct {
+	mu    sync.Mutex
+	cap   int
+	total uint64
+	qs    []float64
+}
+
+// NewQErrorWindow returns a window over the last n observations
+// (default 256 when n <= 0).
+func NewQErrorWindow(n int) *QErrorWindow {
+	if n <= 0 {
+		n = 256
+	}
+	return &QErrorWindow{cap: n}
+}
+
+// Observe records one (estimated, actual) cardinality pair.
+func (w *QErrorWindow) Observe(est, actual float64) {
+	if w == nil {
+		return
+	}
+	q := ml.QError(est, actual)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.total++
+	w.qs = append(w.qs, q)
+	if len(w.qs) > w.cap {
+		w.qs = append(w.qs[:0], w.qs[len(w.qs)-w.cap:]...)
+	}
+}
+
+// Count reports the total number of observations ever recorded.
+func (w *QErrorWindow) Count() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Median is the median q-error of the current window. A perfect
+// estimator scores 1; an empty window also reports 1 (no evidence of
+// error), which keeps the derived KPI gauge quiet before traffic.
+func (w *QErrorWindow) Median() float64 {
+	if w == nil {
+		return 1
+	}
+	w.mu.Lock()
+	qs := append([]float64(nil), w.qs...)
+	w.mu.Unlock()
+	if len(qs) == 0 {
+		return 1
+	}
+	sort.Float64s(qs)
+	return qs[len(qs)/2]
+}
+
+// Drifted reports whether the window's median q-error exceeds
+// threshold — the trigger condition for scheduling a feedback retrain.
+func (w *QErrorWindow) Drifted(threshold float64) bool {
+	return w.Median() > threshold
+}

@@ -1,0 +1,67 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQErrorWindowMedianAndDrift(t *testing.T) {
+	w := NewQErrorWindow(8)
+	if w.Median() != 1 {
+		t.Errorf("empty median = %v, want 1", w.Median())
+	}
+	if w.Drifted(2) {
+		t.Error("empty window reports drift")
+	}
+	// Perfect estimates: q-error 1 each.
+	for i := 0; i < 8; i++ {
+		w.Observe(100, 100)
+	}
+	if w.Median() != 1 {
+		t.Errorf("median = %v, want 1", w.Median())
+	}
+	// Slide in bad estimates (q-error 10); the window must forget the
+	// good ones and cross the drift threshold.
+	for i := 0; i < 8; i++ {
+		w.Observe(10, 100)
+	}
+	if w.Median() != 10 {
+		t.Errorf("median after drift = %v, want 10", w.Median())
+	}
+	if !w.Drifted(2) {
+		t.Error("drift not detected at threshold 2")
+	}
+	if w.Count() != 16 {
+		t.Errorf("count = %d, want 16", w.Count())
+	}
+}
+
+func TestQErrorWindowNilSafe(t *testing.T) {
+	var w *QErrorWindow
+	w.Observe(1, 2)
+	if w.Median() != 1 || w.Count() != 0 || w.Drifted(2) {
+		t.Error("nil window not inert")
+	}
+}
+
+func TestQErrorWindowConcurrent(t *testing.T) {
+	w := NewQErrorWindow(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Observe(50, 100)
+				_ = w.Median()
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Count() != 1600 {
+		t.Errorf("count = %d, want 1600", w.Count())
+	}
+	if w.Median() != 2 {
+		t.Errorf("median = %v, want 2", w.Median())
+	}
+}

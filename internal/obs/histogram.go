@@ -15,6 +15,7 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits of the largest observed value
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -22,7 +23,9 @@ func newHistogram(bounds []float64) *Histogram {
 	if len(bs) == 0 {
 		bs = DefBuckets
 	}
-	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	h := &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // DefBuckets is the default bound set: exponential from 1 to ~1e9,
@@ -52,6 +55,15 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.counts[i].Add(1)
 	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
 		old := h.sum.Load()
 		nw := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, nw) {
@@ -65,6 +77,10 @@ type HistogramSnapshot struct {
 	Count         uint64
 	Sum           float64
 	P50, P95, P99 float64
+	// Max is the largest value observed so far (0 when empty). Quantile
+	// estimates are clamped to it, so the overflow bucket never reports
+	// a value no observation ever reached.
+	Max float64
 	// Bounds[i] pairs with BucketCounts[i]; the final count (one longer
 	// than Bounds) is the overflow bucket.
 	Bounds       []float64
@@ -87,6 +103,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Count += s.BucketCounts[i]
 	}
 	s.Sum = math.Float64frombits(h.sum.Load())
+	if m := math.Float64frombits(h.max.Load()); !math.IsInf(m, -1) {
+		s.Max = m
+	}
 	s.P50 = h.quantile(s, 0.50)
 	s.P95 = h.quantile(s, 0.95)
 	s.P99 = h.quantile(s, 0.99)
@@ -106,6 +125,15 @@ func (h *Histogram) quantile(s HistogramSnapshot, q float64) float64 {
 	if s.Count == 0 {
 		return 0
 	}
+	// No estimate may exceed the largest value actually observed: the
+	// overflow bucket has no upper bound, and interpolation inside the
+	// containing bucket can overshoot a one-sided distribution.
+	clamp := func(v float64) float64 {
+		if v > s.Max {
+			return s.Max
+		}
+		return v
+	}
 	rank := q * float64(s.Count)
 	var cum float64
 	for i, c := range s.BucketCounts {
@@ -116,15 +144,15 @@ func (h *Histogram) quantile(s HistogramSnapshot, q float64) float64 {
 				lo = h.bounds[i-1]
 			}
 			if i >= len(h.bounds) {
-				// Overflow bucket has no upper bound; report its lower
-				// edge rather than inventing a value.
-				return h.bounds[len(h.bounds)-1]
+				// Overflow bucket: the max observed value is the only
+				// honest upper estimate.
+				return s.Max
 			}
 			hi := h.bounds[i]
 			frac := (rank - cum) / float64(c)
-			return lo + (hi-lo)*frac
+			return clamp(lo + (hi-lo)*frac)
 		}
 		cum = next
 	}
-	return h.bounds[len(h.bounds)-1]
+	return clamp(h.bounds[len(h.bounds)-1])
 }

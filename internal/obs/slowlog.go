@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SlowLogEntry is one captured query: text, plan fingerprint, latency,
+// an optional per-operator profile summary, and the chaos injection
+// sites that fired while the query ran (empty when no fault fired).
+type SlowLogEntry struct {
+	// Seq is the capture sequence number, assigned by the log (1-based,
+	// monotonic across evictions).
+	Seq uint64 `json:"seq"`
+	// Query is the statement text (or a statement-kind tag when the raw
+	// text was not available, e.g. pre-parsed statements).
+	Query string `json:"query"`
+	// Fingerprint is the canonical plan-shape string (plan.Fingerprint),
+	// the key for grouping repeated shapes in workload analysis.
+	Fingerprint string `json:"fingerprint"`
+	LatencyNs   int64  `json:"latency_ns"`
+	Rows        int64  `json:"rows"`
+	// Profile is the compact per-operator runtime summary for profiled
+	// (EXPLAIN ANALYZE) executions, "" otherwise.
+	Profile string `json:"profile,omitempty"`
+	// ChaosFires maps injection site -> faults fired at it during this
+	// query, joining the slow-query record against internal/chaos so a
+	// chaos-slowed query is attributable to its fault site.
+	ChaosFires map[string]uint64 `json:"chaos_fires,omitempty"`
+}
+
+// SlowQueryLog is a bounded in-memory ring of captured queries — the
+// workload-capture half of the self-monitoring loop. Entries at or
+// above Threshold are kept, newest first evicting oldest; a zero
+// threshold captures every query (pure workload capture). All methods
+// are safe for concurrent use and no-ops on a nil receiver.
+type SlowQueryLog struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	dropped uint64
+	entries []SlowLogEntry
+
+	// Threshold is the minimum latency a query must reach to be
+	// recorded. Set before serving queries.
+	Threshold time.Duration
+}
+
+// NewSlowQueryLog returns a log retaining the last keep entries
+// (default 128 when keep <= 0) at or above threshold.
+func NewSlowQueryLog(keep int, threshold time.Duration) *SlowQueryLog {
+	if keep <= 0 {
+		keep = 128
+	}
+	return &SlowQueryLog{cap: keep, Threshold: threshold}
+}
+
+// Record captures one query, reporting whether it was kept (false when
+// below threshold or the log is nil). The entry's Seq is assigned here.
+func (l *SlowQueryLog) Record(e SlowLogEntry) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.LatencyNs < int64(l.Threshold) {
+		return false
+	}
+	l.seq++
+	e.Seq = l.seq
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.cap {
+		over := len(l.entries) - l.cap
+		l.dropped += uint64(over)
+		l.entries = append(l.entries[:0], l.entries[over:]...)
+	}
+	return true
+}
+
+// Entries returns the retained entries, oldest first.
+func (l *SlowQueryLog) Entries() []SlowLogEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]SlowLogEntry(nil), l.entries...)
+}
+
+// Len reports the number of retained entries.
+func (l *SlowQueryLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Dropped reports how many entries have been evicted by the ring bound.
+func (l *SlowQueryLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// WriteJSONTo renders the retained entries as an indented JSON array,
+// oldest first (map keys inside entries are emitted sorted, so output
+// for a fixed capture is byte-stable). A nil log writes an empty array.
+func (l *SlowQueryLog) WriteJSONTo(w io.Writer) (int64, error) {
+	entries := l.Entries()
+	if entries == nil {
+		entries = []SlowLogEntry{}
+	}
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	buf = append(buf, '\n')
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// Dump renders the log as text, oldest first, one header line per entry
+// with the profile block (if any) indented under it. "" when empty.
+func (l *SlowQueryLog) Dump() string {
+	entries := l.Entries()
+	if len(entries) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "#%d %s rows=%d fp=%s",
+			e.Seq, time.Duration(e.LatencyNs).Round(time.Microsecond), e.Rows, e.Fingerprint)
+		if len(e.ChaosFires) > 0 {
+			sites := make([]string, 0, len(e.ChaosFires))
+			for s := range e.ChaosFires {
+				sites = append(sites, s)
+			}
+			sort.Strings(sites)
+			parts := make([]string, len(sites))
+			for i, s := range sites {
+				parts[i] = fmt.Sprintf("%s:%d", s, e.ChaosFires[s])
+			}
+			fmt.Fprintf(&sb, " chaos=[%s]", strings.Join(parts, " "))
+		}
+		fmt.Fprintf(&sb, " %s\n", e.Query)
+		if e.Profile != "" {
+			for _, line := range strings.Split(strings.TrimRight(e.Profile, "\n"), "\n") {
+				sb.WriteString("    ")
+				sb.WriteString(line)
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String()
+}

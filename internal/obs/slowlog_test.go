@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogRecordAndRing(t *testing.T) {
+	l := NewSlowQueryLog(3, 0)
+	for i := 1; i <= 5; i++ {
+		ok := l.Record(SlowLogEntry{Query: strings.Repeat("q", i), LatencyNs: int64(i)})
+		if !ok {
+			t.Fatalf("entry %d not recorded", i)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("ring holds %d entries, want 3", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", l.Dropped())
+	}
+	es := l.Entries()
+	if es[0].Seq != 3 || es[2].Seq != 5 {
+		t.Errorf("ring kept seqs %d..%d, want 3..5", es[0].Seq, es[2].Seq)
+	}
+	if es[0].Query != "qqq" {
+		t.Errorf("oldest retained query = %q", es[0].Query)
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowQueryLog(8, 10*time.Millisecond)
+	if l.Record(SlowLogEntry{LatencyNs: int64(time.Millisecond)}) {
+		t.Error("sub-threshold query recorded")
+	}
+	if !l.Record(SlowLogEntry{LatencyNs: int64(20 * time.Millisecond)}) {
+		t.Error("slow query not recorded")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len = %d, want 1", l.Len())
+	}
+}
+
+func TestSlowLogNilSafe(t *testing.T) {
+	var l *SlowQueryLog
+	if l.Record(SlowLogEntry{}) {
+		t.Error("nil log recorded an entry")
+	}
+	if l.Entries() != nil || l.Len() != 0 || l.Dropped() != 0 {
+		t.Error("nil log not empty")
+	}
+	if l.Dump() != "" {
+		t.Error("nil log dump not empty")
+	}
+	if _, err := l.WriteJSONTo(&strings.Builder{}); err != nil {
+		t.Errorf("nil log WriteJSONTo: %v", err)
+	}
+}
+
+func TestSlowLogJSONAndDump(t *testing.T) {
+	l := NewSlowQueryLog(8, 0)
+	l.Record(SlowLogEntry{
+		Query:       "SELECT a FROM t WHERE a < 3",
+		Fingerprint: "Project(Filter(Scan(t)))",
+		LatencyNs:   1500,
+		Rows:        2,
+		Profile:     "Scan t (est=4 act=4 rows)\n",
+		ChaosFires:  map[string]uint64{"exec.scan": 2},
+	})
+	var sb strings.Builder
+	if _, err := l.WriteJSONTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []SlowLogEntry
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("JSON dump does not round-trip: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].ChaosFires["exec.scan"] != 2 {
+		t.Errorf("round-trip lost data: %+v", decoded)
+	}
+	d := l.Dump()
+	for _, want := range []string{"SELECT a FROM t", "Project(Filter(Scan(t)))", "exec.scan:2", "Scan t"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowQueryLog(64, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(SlowLogEntry{Query: "q", LatencyNs: 1})
+				_ = l.Entries()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 64 {
+		t.Errorf("len = %d, want 64", l.Len())
+	}
+	es := l.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].Seq != es[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d then %d", i, es[i-1].Seq, es[i].Seq)
+		}
+	}
+}
+
+// TestHistogramQuantileOverflowClamp is the regression test for the
+// overflow-bucket bug: quantiles that land past the largest bucket
+// boundary must clamp to the maximum observed value instead of
+// reporting the bucket's (unbounded) upper edge.
+func TestHistogramQuantileOverflowClamp(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	// Everything lands in the overflow bucket (> 100).
+	for i := 0; i < 50; i++ {
+		h.Observe(250)
+	}
+	s := h.Snapshot()
+	if s.Max != 250 {
+		t.Fatalf("snapshot max = %v, want 250", s.Max)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 250 {
+			t.Errorf("Quantile(%v) = %v, want clamp to max observed 250", q, got)
+		}
+	}
+	// Mixed case: the interpolated tail quantile must never exceed the
+	// observed max even when in-range buckets are populated.
+	h2 := r.Histogram("lat2", []float64{1, 10, 100})
+	for i := 0; i < 90; i++ {
+		h2.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(120)
+	}
+	if got := h2.Quantile(0.99); got > 120 {
+		t.Errorf("P99 = %v exceeds max observed 120", got)
+	}
+}
+
+// TestExpositionSorted is the determinism regression test for CI
+// artifact diffs: text and JSON expositions must list metrics in
+// sorted name order no matter the registration order.
+func TestExpositionSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta.z", "alpha.a", "mid.m", "beta.b"} {
+		r.Counter(name).Inc()
+	}
+	var txt strings.Builder
+	if _, err := r.WriteTo(&txt); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(txt.String()), "\n")
+	var names []string
+	for _, ln := range lines {
+		names = append(names, strings.Fields(ln)[0])
+	}
+	if !sortedStrings(names) {
+		t.Errorf("text exposition not sorted: %v", names)
+	}
+
+	var js strings.Builder
+	if _, err := r.WriteJSONTo(&js); err != nil {
+		t.Fatal(err)
+	}
+	out := js.String()
+	order := []string{"alpha.a", "beta.b", "mid.m", "zeta.z"}
+	prev := -1
+	for _, n := range order {
+		idx := strings.Index(out, `"`+n+`"`)
+		if idx < 0 {
+			t.Fatalf("JSON exposition missing %q:\n%s", n, out)
+		}
+		if idx < prev {
+			t.Errorf("JSON exposition out of order at %q:\n%s", n, out)
+		}
+		prev = idx
+	}
+	// Identical registries must produce byte-identical dumps.
+	var js2 strings.Builder
+	if _, err := r.WriteJSONTo(&js2); err != nil {
+		t.Fatal(err)
+	}
+	if js2.String() != out {
+		t.Error("JSON exposition not deterministic across calls")
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}

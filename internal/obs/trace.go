@@ -82,6 +82,7 @@ type Span struct {
 	parent   *Span
 	children []*Span
 	tags     []spanTag
+	finishes int32
 }
 
 type spanTag struct{ k, v string }
@@ -92,6 +93,20 @@ func (s *Span) Child(name string) *Span {
 		return nil
 	}
 	c := &Span{Name: name, start: time.Now(), parent: s}
+	s.children = append(s.children, c)
+	return c
+}
+
+// Graft attaches an already-measured child span with an explicit
+// duration — the hook for timings collected outside the span API, such
+// as per-operator executor profiles. The child is created finished
+// (Finish on it is unnecessary and would count as a double close);
+// further Graft calls on the returned span build a subtree. Nil-safe.
+func (s *Span) Graft(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, parent: s, dur: d, finishes: 1}
 	s.children = append(s.children, c)
 	return c
 }
@@ -111,11 +126,13 @@ func (s *Span) SetTagf(k, format string, args ...any) {
 }
 
 // Finish closes the span, recording its duration. Finishing a root span
-// files it with its tracer.
+// files it with its tracer. Each Finish call is counted so tests can
+// assert spans close exactly once (see Finishes).
 func (s *Span) Finish() {
 	if s == nil {
 		return
 	}
+	s.finishes++
 	s.dur = time.Since(s.start)
 	if s.parent == nil && s.tr != nil {
 		s.tr.record(s)
@@ -128,6 +145,24 @@ func (s *Span) Duration() time.Duration {
 		return 0
 	}
 	return s.dur
+}
+
+// Finishes reports how many times Finish has run on this span (grafted
+// spans are born with 1). Anything other than 1 on a published span is
+// a lifecycle bug.
+func (s *Span) Finishes() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.finishes)
+}
+
+// Children returns the span's direct child spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	return s.children
 }
 
 // Dump renders the span tree as indented text, one span per line:

@@ -364,6 +364,54 @@ func Explain(n Node) string {
 	return sb.String()
 }
 
+// Fingerprint renders the plan's canonical shape string — operator
+// kinds, base tables and join keys, but no cardinalities or constants —
+// so repeated executions of the same plan shape collapse to one key in
+// the slow-query log and workload-capture tooling.
+func Fingerprint(n Node) string {
+	var sb strings.Builder
+	var walk func(n Node)
+	walk = func(n Node) {
+		switch v := n.(type) {
+		case *ScanNode:
+			fmt.Fprintf(&sb, "Scan(%s)", v.Table.Name)
+			return
+		case *IndexScanNode:
+			fmt.Fprintf(&sb, "IndexScan(%s.%s)", v.Table.Name, v.Table.Schema.Columns[v.Column].Name)
+			return
+		case *FilterNode:
+			sb.WriteString("Filter")
+		case *JoinNode:
+			fmt.Fprintf(&sb, "HashJoin[%s=%s]", v.LeftCol, v.RightCol)
+		case *ProjectNode:
+			sb.WriteString("Project")
+		case *AggregateNode:
+			sb.WriteString("Aggregate")
+		case *SortNode:
+			sb.WriteString("Sort")
+		case *LimitNode:
+			sb.WriteString("Limit")
+		case *DistinctNode:
+			sb.WriteString("Distinct")
+		default:
+			fmt.Fprintf(&sb, "%T", n)
+		}
+		sb.WriteByte('(')
+		for i, c := range n.Children() {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			walk(c)
+		}
+		sb.WriteByte(')')
+	}
+	if n == nil {
+		return ""
+	}
+	walk(n)
+	return sb.String()
+}
+
 // Summary walks the plan and reports its operator count and depth —
 // cheap shape tags for query-path tracing.
 func Summary(n Node) (nodes, depth int) {

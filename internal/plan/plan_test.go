@@ -214,3 +214,29 @@ func TestExplainIndentation(t *testing.T) {
 		t.Errorf("children not indented:\n%s", out)
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	c := buildCatalog(t)
+	for _, tc := range []struct {
+		q, want string
+	}{
+		{"SELECT id FROM users WHERE age > 40", "Project(Filter(Scan(users)))"},
+		{"SELECT age, COUNT(*) FROM users GROUP BY age", "Aggregate(Scan(users))"},
+		{"SELECT users.id FROM orders JOIN users ON orders.uid = users.id",
+			"Project(HashJoin[orders.uid=users.id](Scan(orders),Scan(users)))"},
+		{"SELECT DISTINCT age FROM users ORDER BY age LIMIT 3",
+			"Limit(Sort(Distinct(Project(Scan(users)))))"},
+	} {
+		p := buildPlan(t, c, tc.q)
+		if got := Fingerprint(p); got != tc.want {
+			t.Errorf("Fingerprint(%q) = %q, want %q", tc.q, got, tc.want)
+		}
+	}
+	// Same shape, different constants: one fingerprint (the grouping key
+	// property workload capture relies on).
+	a := Fingerprint(buildPlan(t, c, "SELECT id FROM users WHERE age > 10"))
+	b := Fingerprint(buildPlan(t, c, "SELECT age FROM users WHERE age > 99"))
+	if a != b {
+		t.Errorf("same-shape queries fingerprint differently: %q vs %q", a, b)
+	}
+}

@@ -238,8 +238,13 @@ type ShowStmt struct{ What string }
 
 func (*ShowStmt) stmt() {}
 
-// ExplainStmt wraps another statement for plan display.
-type ExplainStmt struct{ Inner Statement }
+// ExplainStmt wraps another statement for plan display. Analyze selects
+// EXPLAIN ANALYZE: execute the statement and report per-operator
+// runtime profiles alongside the optimizer's estimates.
+type ExplainStmt struct {
+	Inner   Statement
+	Analyze bool
+}
 
 func (*ExplainStmt) stmt() {}
 
@@ -277,6 +282,9 @@ func StatementKind(s Statement) string {
 	case *AnalyzeStmt:
 		return "ANALYZE"
 	case *ExplainStmt:
+		if v.Analyze {
+			return "EXPLAIN ANALYZE " + StatementKind(v.Inner)
+		}
 		return "EXPLAIN " + StatementKind(v.Inner)
 	default:
 		return "UNKNOWN"

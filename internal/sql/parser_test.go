@@ -193,9 +193,34 @@ func TestParseExplainAnalyze(t *testing.T) {
 	if _, ok := e.Inner.(*SelectStmt); !ok {
 		t.Errorf("inner = %T", e.Inner)
 	}
+	if e.Analyze {
+		t.Error("plain EXPLAIN parsed as ANALYZE")
+	}
 	a := mustParse(t, "ANALYZE t").(*AnalyzeStmt)
 	if a.Table != "t" {
 		t.Errorf("analyze = %+v", a)
+	}
+
+	// EXPLAIN ANALYZE over a statement profiles it...
+	ea := mustParse(t, "EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1").(*ExplainStmt)
+	if !ea.Analyze {
+		t.Error("EXPLAIN ANALYZE did not set Analyze")
+	}
+	if _, ok := ea.Inner.(*SelectStmt); !ok {
+		t.Errorf("EXPLAIN ANALYZE inner = %T", ea.Inner)
+	}
+	if got := StatementKind(ea); got != "EXPLAIN ANALYZE SELECT" {
+		t.Errorf("kind = %q", got)
+	}
+	// ...while the legacy `EXPLAIN ANALYZE <table>` spelling still
+	// resolves to EXPLAIN over a statistics refresh.
+	legacy := mustParse(t, "EXPLAIN ANALYZE t").(*ExplainStmt)
+	inner, ok := legacy.Inner.(*AnalyzeStmt)
+	if !ok || inner.Table != "t" {
+		t.Errorf("legacy form inner = %#v", legacy.Inner)
+	}
+	if legacy.Analyze {
+		t.Error("legacy table form should not set Analyze")
 	}
 }
 
