@@ -31,16 +31,20 @@ bench:
 bench-smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem \
 		./internal/exec/ ./internal/obs/ ./internal/kv/ | tee BENCH_smoke.txt
-	$(GO) test -run='^$$' -bench='BenchmarkE2[57]' -benchtime=1x . | tee -a BENCH_smoke.txt
+	$(GO) test -run='^$$' -bench='BenchmarkE2[578]' -benchtime=1x . | tee -a BENCH_smoke.txt
+	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) run ./cmd/aidb-bench -e E25 -metrics BENCH_metrics.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -e E27 -explain BENCH_explain.txt -slowlog BENCH_slowlog.json > /dev/null
 
-# bench-compare pits the serial executor against the morsel-parallel one:
-# the BenchmarkExec serial/parallel sub-benchmarks (text) plus the
-# aidb-bench timing harness (JSON speedup ratios per operator class).
+# bench-compare pits each optimized path against its baseline: the
+# serial executor vs the morsel-parallel one (BENCH_exec.*) and the
+# batched/parallel ML kernels vs their per-row and naive counterparts
+# (BENCH_ml.*) — Go benchmark text plus aidb-bench JSON speedup ratios.
 bench-compare:
 	$(GO) test -run='^$$' -bench='BenchmarkExec/(scan|join|agg)' -benchtime=5x \
 		./internal/exec/ | tee BENCH_exec.txt
 	$(GO) run ./cmd/aidb-bench -bench-exec BENCH_exec.json
+	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=5x . | tee BENCH_ml.txt
+	$(GO) run ./cmd/aidb-bench -bench-ml BENCH_ml.json
 
 ci: build vet test-race

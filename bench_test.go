@@ -10,9 +10,11 @@ package aidb_test
 //	go test -bench=. -benchmem ./...
 
 import (
+	"fmt"
 	"testing"
 
 	"aidb/internal/experiments"
+	"aidb/internal/ml"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -55,3 +57,92 @@ func BenchmarkE24GuardedDegradation(b *testing.B)   { benchExperiment(b, "E24") 
 func BenchmarkE25LiveRootCause(b *testing.B)        { benchExperiment(b, "E25") }
 func BenchmarkE26MorselParallelism(b *testing.B)    { benchExperiment(b, "E26") }
 func BenchmarkE27CardinalityFeedback(b *testing.B) { benchExperiment(b, "E27") }
+func BenchmarkE28BatchedKernels(b *testing.B)      { benchExperiment(b, "E28") }
+
+// --- ML kernel micro-benchmarks ---
+//
+// The BenchmarkML* suite pits each batched/parallel kernel against its
+// per-row or naive baseline: GEMM (naive ijk vs cache-blocked vs
+// row-parallel), MLP inference (Predict1 per row vs one batched forward
+// pass), and training (per-example SGD vs chunk-parallel minibatch).
+// `make bench-compare` captures it as BENCH_ml.txt alongside the
+// aidb-bench -bench-ml JSON speedup table.
+
+func benchRandMatrix(rng *ml.RNG, rows, cols int) *ml.Matrix {
+	m := ml.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMLGEMM(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		rng := ml.NewRNG(20260705)
+		x := benchRandMatrix(rng, n, n)
+		y := benchRandMatrix(rng, n, n)
+		out := ml.NewMatrix(n, n)
+		b.Run(fmt.Sprintf("naive-%dx%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ml.MatMulNaive(x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked-%dx%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ml.MatMulInto(out, x, y, 1)
+			}
+		})
+		b.Run(fmt.Sprintf("parallel-%dx%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ml.MatMulInto(out, x, y, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkMLMLPInfer(b *testing.B) {
+	rng := ml.NewRNG(20260705)
+	net := ml.NewMLP(rng, ml.ReLU, 24, 128, 128, 1)
+	for _, batch := range []int{64, 256} {
+		x := benchRandMatrix(rng, batch, 24)
+		b.Run(fmt.Sprintf("per-row-%d", batch), func(b *testing.B) {
+			out := make([]float64, batch)
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < batch; r++ {
+					out[r] = net.Predict1(x.Row(r))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batched-%d", batch), func(b *testing.B) {
+			var s ml.MLPScratch
+			var out []float64
+			for i := 0; i < b.N; i++ {
+				out = net.Predict1Batch(&s, x, out)
+			}
+		})
+	}
+}
+
+func BenchmarkMLTrain(b *testing.B) {
+	const rows = 256
+	rng := ml.NewRNG(20260705)
+	x := benchRandMatrix(rng, rows, 24)
+	y := benchRandMatrix(rng, rows, 1)
+	b.Run("sgd-epoch-256", func(b *testing.B) {
+		net := ml.NewMLP(ml.NewRNG(1), ml.ReLU, 24, 48, 48, 1)
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rows; r++ {
+				net.TrainStep(x.Row(r), y.Row(r), 0.01)
+			}
+		}
+	})
+	b.Run("minibatch-epoch-256", func(b *testing.B) {
+		net := ml.NewMLP(ml.NewRNG(1), ml.ReLU, 24, 48, 48, 1)
+		var s ml.MLPScratch
+		for i := 0; i < b.N; i++ {
+			for lo := 0; lo < rows; lo += 64 {
+				net.TrainMinibatch(&s, x.RowSlice(lo, lo+64), y.RowSlice(lo, lo+64), 0.01, 0)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@
 //	aidb-bench -e E7                  # run one experiment
 //	aidb-bench -seed 123              # change the deterministic seed
 //	aidb-bench -bench-exec out.json   # time serial vs parallel execution
+//	aidb-bench -bench-ml out.json     # time batched vs per-row ML kernels
 package main
 
 import (
@@ -28,6 +29,29 @@ import (
 // `make bench-compare`; CI uploads the result as BENCH_exec.json.
 func benchExecCompare(path string, seed uint64) error {
 	rows, err := experiments.RunExecBench(seed, 100000, 3, nil)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// benchMLCompare times the batched/parallel ML kernels against their
+// per-row and naive baselines and writes the rows as JSON ("-" =
+// stdout). Used by `make bench-compare`; CI uploads the result as
+// BENCH_ml.json.
+func benchMLCompare(path string, seed uint64) error {
+	rows, err := experiments.RunMLBench(seed, 3)
 	if err != nil {
 		return err
 	}
@@ -136,11 +160,19 @@ func main() {
 		explain   = flag.String("explain", "", "after the run, dump a sample EXPLAIN ANALYZE profile from a smoke workload to this path ('-' = stdout)")
 		slowlog   = flag.String("slowlog", "", "after the run, dump the smoke workload's slow-query log as JSON to this path ('-' = stdout)")
 		benchExec = flag.String("bench-exec", "", "instead of experiments, time serial-vs-parallel execution and write JSON to this path ('-' = stdout)")
+		benchML   = flag.String("bench-ml", "", "instead of experiments, time batched-vs-per-row ML kernels and write JSON to this path ('-' = stdout)")
 	)
 	flag.Parse()
 	if *benchExec != "" {
 		if err := benchExecCompare(*benchExec, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-exec:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchML != "" {
+		if err := benchMLCompare(*benchML, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-ml:", err)
 			os.Exit(1)
 		}
 		return

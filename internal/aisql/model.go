@@ -192,6 +192,42 @@ func (m *Model) PredictProba(f []float64) (float64, error) {
 	return m.logistic.PredictProba(m.scale(f)), nil
 }
 
+// PredictBatch applies the model to every row of x in one batched pass
+// per kind (scaling in place for gradient-trained kinds — x must be
+// caller-owned). Outputs are identical to calling Predict per row.
+func (m *Model) PredictBatch(x *ml.Matrix) ([]float64, error) {
+	if x.Cols != len(m.Features) {
+		return nil, fmt.Errorf("aisql: model %q expects %d features, got %d", m.Name, len(m.Features), x.Cols)
+	}
+	switch m.Kind {
+	case Logistic:
+		m.scaleMatrix(x)
+		return m.logistic.PredictBatch(x), nil
+	case Linear:
+		return m.linear.PredictBatch(x), nil
+	default:
+		classes := m.tree.PredictBatch(x)
+		out := make([]float64, len(classes))
+		for i, c := range classes {
+			out[i] = float64(c)
+		}
+		return out, nil
+	}
+}
+
+// scaleMatrix applies the fitted feature scaler to every row in place.
+func (m *Model) scaleMatrix(x *ml.Matrix) {
+	if m.means == nil {
+		return
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			row[j] = (v - m.means[j]) / m.stds[j]
+		}
+	}
+}
+
 // Metrics holds EVALUATE MODEL output.
 type Metrics struct {
 	Rows     int
@@ -199,7 +235,8 @@ type Metrics struct {
 	MSE      float64 // regression kinds
 }
 
-// Evaluate scores the model against a labelled table.
+// Evaluate scores the model against a labelled table with one batched
+// prediction pass instead of a per-row loop.
 func (m *Model) Evaluate(t *catalog.Table) (Metrics, error) {
 	x, y, err := trainingData(t, m.Features, m.Label)
 	if err != nil {
@@ -207,13 +244,9 @@ func (m *Model) Evaluate(t *catalog.Table) (Metrics, error) {
 	}
 	var met Metrics
 	met.Rows = x.Rows
-	preds := make([]float64, x.Rows)
-	for i := 0; i < x.Rows; i++ {
-		p, err := m.Predict(x.Row(i))
-		if err != nil {
-			return Metrics{}, err
-		}
-		preds[i] = p
+	preds, err := m.PredictBatch(x)
+	if err != nil {
+		return Metrics{}, err
 	}
 	switch m.Kind {
 	case Linear:

@@ -1,0 +1,166 @@
+package cardest
+
+import (
+	"sync"
+
+	"aidb/internal/obs"
+	"aidb/internal/workload"
+)
+
+// EstimateCache memoizes an estimator's predictions on the query hot
+// path. The optimizer asks for the same predicate shapes over and over
+// (every candidate plan re-costs the same scans), and an MLP forward
+// pass per ask is pure waste when the weights have not moved — so
+// entries carry the generation of the model they were computed under,
+// and fine-tuning bumps the generation, lazily invalidating every
+// cached estimate at once without touching the map.
+//
+// The cache is bounded: at capacity, an insert evicts in FIFO order —
+// cheap, and good enough for the plateaued key population the optimizer
+// produces. Safe for concurrent use.
+type EstimateCache struct {
+	base Estimator
+	cap  int
+
+	mu      sync.Mutex
+	gen     uint64
+	entries map[string]cacheEntry
+	order   []string // insertion order, for FIFO eviction
+
+	hits          *obs.Counter
+	misses        *obs.Counter
+	invalidations *obs.Counter
+}
+
+type cacheEntry struct {
+	gen uint64
+	est float64
+}
+
+// retrainNotifier is implemented by estimators (FeedbackEstimator) that
+// can announce in-place model updates.
+type retrainNotifier interface {
+	OnRetrain(func())
+}
+
+// NewEstimateCache wraps base with a cache of at most capacity entries
+// (default 1024 when capacity <= 0). When base can announce retrains
+// (FeedbackEstimator.OnRetrain), the cache hooks itself up so feedback
+// fine-tuning invalidates it automatically.
+func NewEstimateCache(base Estimator, capacity int) *EstimateCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	c := &EstimateCache{
+		base:    base,
+		cap:     capacity,
+		entries: make(map[string]cacheEntry),
+	}
+	if n, ok := base.(retrainNotifier); ok {
+		n.OnRetrain(c.Invalidate)
+	}
+	return c
+}
+
+// Instrument registers the cache's hit/miss/invalidation counters on
+// reg under cardest.cache.*. Call during wiring, before traffic.
+func (c *EstimateCache) Instrument(reg *obs.Registry) {
+	c.hits = reg.Counter("cardest.cache.hits")
+	c.misses = reg.Counter("cardest.cache.misses")
+	c.invalidations = reg.Counter("cardest.cache.invalidations")
+}
+
+// Name implements Estimator.
+func (c *EstimateCache) Name() string { return c.base.Name() + "+cache" }
+
+// Estimate implements Estimator: it returns the cached value for q's
+// fingerprint when one exists at the current model generation, and
+// otherwise computes, caches, and returns the base estimate.
+func (c *EstimateCache) Estimate(q workload.Query) float64 {
+	key := q.String()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && e.gen == c.gen {
+		c.mu.Unlock()
+		c.hits.Inc()
+		return e.est
+	}
+	c.mu.Unlock()
+	c.misses.Inc()
+	est := c.base.Estimate(q)
+	c.put(key, est)
+	return est
+}
+
+// EstimateBatch implements BatchEstimator: cached queries are served
+// from the map, and the misses go through the base estimator's batched
+// path in one call (when it has one).
+func (c *EstimateCache) EstimateBatch(queries []workload.Query) []float64 {
+	out := make([]float64, len(queries))
+	keys := make([]string, len(queries))
+	var missIdx []int
+	c.mu.Lock()
+	for i, q := range queries {
+		keys[i] = q.String()
+		if e, ok := c.entries[keys[i]]; ok && e.gen == c.gen {
+			out[i] = e.est
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	c.mu.Unlock()
+	c.hits.Add(uint64(len(queries) - len(missIdx)))
+	c.misses.Add(uint64(len(missIdx)))
+	if len(missIdx) == 0 {
+		return out
+	}
+	missQ := make([]workload.Query, len(missIdx))
+	for j, i := range missIdx {
+		missQ[j] = queries[i]
+	}
+	var ests []float64
+	if be, ok := c.base.(BatchEstimator); ok {
+		ests = be.EstimateBatch(missQ)
+	} else {
+		ests = make([]float64, len(missQ))
+		for j, q := range missQ {
+			ests[j] = c.base.Estimate(q)
+		}
+	}
+	for j, i := range missIdx {
+		out[i] = ests[j]
+		c.put(keys[i], ests[j])
+	}
+	return out
+}
+
+// put inserts key at the current generation, evicting the oldest entry
+// when at capacity. Stale same-key entries are overwritten in place.
+func (c *EstimateCache) put(key string, est float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		for len(c.entries) >= c.cap && len(c.order) > 0 {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = cacheEntry{gen: c.gen, est: est}
+}
+
+// Invalidate drops every cached estimate by bumping the model
+// generation; entries are reclaimed lazily as their keys are reused or
+// evicted.
+func (c *EstimateCache) Invalidate() {
+	c.mu.Lock()
+	c.gen++
+	c.mu.Unlock()
+	c.invalidations.Inc()
+}
+
+// Len reports the number of resident entries (live and stale).
+func (c *EstimateCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

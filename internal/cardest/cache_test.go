@@ -1,0 +1,153 @@
+package cardest
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aidb/internal/ml"
+	"aidb/internal/obs"
+	"aidb/internal/workload"
+)
+
+func trainedEstimator(t *testing.T, seed uint64) (*MLPEstimator, *workload.Table, []workload.Query) {
+	t.Helper()
+	rng := ml.NewRNG(seed)
+	spec := indepSpec(5000)
+	tab := workload.Generate(rng, spec)
+	qs := genQueries(rng, spec, 120, 2)
+	est := NewMLPEstimator(ml.NewRNG(seed+1), spec, 16)
+	if err := est.Train(ml.NewRNG(seed+2), qs[:80], truthsFor(tab, qs[:80]), 30); err != nil {
+		t.Fatal(err)
+	}
+	return est, tab, qs
+}
+
+func TestEstimateBatchMatchesEstimate(t *testing.T) {
+	est, _, qs := trainedEstimator(t, 91)
+	batch := est.EstimateBatch(qs)
+	for i, q := range qs {
+		if math.Float64bits(batch[i]) != math.Float64bits(est.Estimate(q)) {
+			t.Fatalf("query %d: batch %v, per-query %v", i, batch[i], est.Estimate(q))
+		}
+	}
+	if est.EstimateBatch(nil) != nil {
+		t.Fatal("EstimateBatch(nil) should be nil")
+	}
+}
+
+func TestFeaturizeIntoMatchesFeaturize(t *testing.T) {
+	est, _, qs := trainedEstimator(t, 92)
+	scratch := make([]float64, est.FeatureWidth())
+	for _, q := range qs[:20] {
+		want := est.Featurize(q)
+		got := est.FeaturizeInto(scratch, q)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("feature %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEstimateCacheHitsAndInvalidation(t *testing.T) {
+	est, tab, qs := trainedEstimator(t, 93)
+	fe := NewFeedbackEstimator(est)
+	cache := NewEstimateCache(fe, 64)
+	reg := obs.NewRegistry()
+	cache.Instrument(reg)
+
+	q := qs[100]
+	first := cache.Estimate(q)
+	second := cache.Estimate(q)
+	if math.Float64bits(first) != math.Float64bits(second) {
+		t.Fatalf("cached estimate %v differs from first %v", second, first)
+	}
+	snap := reg.Snapshot()
+	if snap["cardest.cache.misses"] != 1 || snap["cardest.cache.hits"] != 1 {
+		t.Fatalf("counters after repeat: %+v", snap)
+	}
+
+	// Feedback fine-tuning must invalidate: the next Estimate is a miss
+	// and reflects the updated weights.
+	fe.Record(q, workload.TrueCardinality(tab, q))
+	if err := fe.Retrain(ml.NewRNG(7), 20); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if snap["cardest.cache.invalidations"] != 1 {
+		t.Fatalf("expected 1 invalidation, got %+v", snap)
+	}
+	after := cache.Estimate(q)
+	snap = reg.Snapshot()
+	if snap["cardest.cache.misses"] != 2 {
+		t.Fatalf("post-invalidation estimate should miss: %+v", snap)
+	}
+	if math.Float64bits(after) != math.Float64bits(est.Estimate(q)) {
+		t.Fatalf("post-retrain cache %v, model %v", after, est.Estimate(q))
+	}
+
+	// An empty-buffer Retrain is a no-op and must NOT invalidate.
+	if err := fe.Retrain(ml.NewRNG(8), 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot()["cardest.cache.invalidations"]; got != 1 {
+		t.Fatalf("no-op retrain invalidated: %v", got)
+	}
+}
+
+func TestEstimateCacheBatchPathAndEviction(t *testing.T) {
+	est, _, qs := trainedEstimator(t, 94)
+	cache := NewEstimateCache(est, 8)
+	cache.Instrument(obs.NewRegistry())
+
+	want := est.EstimateBatch(qs[:8])
+	got := cache.EstimateBatch(qs[:8]) // all misses, one batched base call
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("batch miss %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	again := cache.EstimateBatch(qs[:8]) // all hits
+	for i := range want {
+		if math.Float64bits(again[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("batch hit %d: %v vs %v", i, again[i], want[i])
+		}
+	}
+	if cache.Len() != 8 {
+		t.Fatalf("cache len %d, want 8", cache.Len())
+	}
+	// Capacity 8: inserting more evicts FIFO, never grows past cap.
+	cache.EstimateBatch(qs[8:24])
+	if cache.Len() > 8 {
+		t.Fatalf("cache exceeded capacity: %d", cache.Len())
+	}
+	// Mixed hit/miss batch still matches the uncached model everywhere.
+	mixed := append(append([]workload.Query(nil), qs[16:24]...), qs[:4]...)
+	gotMixed := cache.EstimateBatch(mixed)
+	wantMixed := est.EstimateBatch(mixed)
+	for i := range wantMixed {
+		if math.Float64bits(gotMixed[i]) != math.Float64bits(wantMixed[i]) {
+			t.Fatalf("mixed batch %d: %v vs %v", i, gotMixed[i], wantMixed[i])
+		}
+	}
+}
+
+func TestEstimateCacheName(t *testing.T) {
+	est, _, _ := trainedEstimator(t, 95)
+	cache := NewEstimateCache(est, 0)
+	if !strings.HasSuffix(cache.Name(), "+cache") {
+		t.Fatalf("cache name %q", cache.Name())
+	}
+}
+
+func TestFeedbackEstimatorBatchDelegates(t *testing.T) {
+	est, _, qs := trainedEstimator(t, 96)
+	fe := NewFeedbackEstimator(est)
+	got := fe.EstimateBatch(qs[:10])
+	for i, q := range qs[:10] {
+		if math.Float64bits(got[i]) != math.Float64bits(est.Estimate(q)) {
+			t.Fatalf("query %d: %v vs %v", i, got[i], est.Estimate(q))
+		}
+	}
+}

@@ -180,7 +180,13 @@ func NewMLPEstimator(rng *ml.RNG, spec workload.TableSpec, hidden int) *MLPEstim
 // Featurize encodes a query: per column normalized (lo, hi, width), with
 // unused columns encoded as the full range.
 func (e *MLPEstimator) Featurize(q workload.Query) []float64 {
-	f := make([]float64, 3*e.numCols)
+	return e.FeaturizeInto(make([]float64, 3*e.numCols), q)
+}
+
+// FeaturizeInto is Featurize writing into a caller-owned scratch slice
+// (which must have length 3*numCols), so estimation loops stop
+// allocating one feature vector per query.
+func (e *MLPEstimator) FeaturizeInto(f []float64, q workload.Query) []float64 {
 	for c := 0; c < e.numCols; c++ {
 		f[3*c] = 0
 		f[3*c+1] = 1
@@ -197,6 +203,10 @@ func (e *MLPEstimator) Featurize(q workload.Query) []float64 {
 	return f
 }
 
+// FeatureWidth returns the length of the feature vector FeaturizeInto
+// expects.
+func (e *MLPEstimator) FeatureWidth() int { return 3 * e.numCols }
+
 // Train fits the network on queries with known true cardinalities.
 func (e *MLPEstimator) Train(rng *ml.RNG, queries []workload.Query, truths []int, epochs int) error {
 	if len(queries) != len(truths) {
@@ -208,7 +218,7 @@ func (e *MLPEstimator) Train(rng *ml.RNG, queries []workload.Query, truths []int
 	x := ml.NewMatrix(len(queries), 3*e.numCols)
 	y := make([]float64, len(queries))
 	for i, q := range queries {
-		copy(x.Row(i), e.Featurize(q))
+		e.FeaturizeInto(x.Row(i), q)
 		y[i] = math.Log1p(float64(truths[i]))
 	}
 	e.net.Epochs = epochs
@@ -222,6 +232,11 @@ func (e *MLPEstimator) Name() string { return "learned-mlp" }
 // Estimate implements Estimator.
 func (e *MLPEstimator) Estimate(q workload.Query) float64 {
 	logCard := e.net.Predict1(e.Featurize(q))
+	return e.clamp(logCard)
+}
+
+// clamp maps a predicted log(1+card) to a cardinality in [0, rows].
+func (e *MLPEstimator) clamp(logCard float64) float64 {
 	card := math.Expm1(logCard)
 	if card < 0 {
 		card = 0
@@ -232,8 +247,39 @@ func (e *MLPEstimator) Estimate(q workload.Query) float64 {
 	return card
 }
 
+// EstimateBatch returns the predicted cardinality of every query with a
+// single featurize+forward pass over the whole batch — one matrix
+// multiply per plan instead of one small forward per operator. Outputs
+// are bitwise identical to calling Estimate per query.
+func (e *MLPEstimator) EstimateBatch(queries []workload.Query) []float64 {
+	if len(queries) == 0 {
+		return nil
+	}
+	x := ml.NewMatrix(len(queries), 3*e.numCols)
+	for i, q := range queries {
+		e.FeaturizeInto(x.Row(i), q)
+	}
+	var s ml.MLPScratch
+	out := e.net.Predict1Batch(&s, x, nil)
+	for i, logCard := range out {
+		out[i] = e.clamp(logCard)
+	}
+	return out
+}
+
+// BatchEstimator is an Estimator that can amortize featurization and
+// model forward passes over a whole query batch.
+type BatchEstimator interface {
+	Estimator
+	// EstimateBatch returns one estimate per query, identical to
+	// calling Estimate on each.
+	EstimateBatch(queries []workload.Query) []float64
+}
+
 // Evaluate runs every estimator over the query set and returns q-error
-// summaries keyed by estimator name.
+// summaries keyed by estimator name. Estimators implementing
+// BatchEstimator are driven through one batched call instead of a
+// per-query loop.
 func Evaluate(t *workload.Table, queries []workload.Query, ests ...Estimator) map[string]ml.QErrorStats {
 	out := make(map[string]ml.QErrorStats, len(ests))
 	truths := make([]float64, len(queries))
@@ -242,8 +288,14 @@ func Evaluate(t *workload.Table, queries []workload.Query, ests ...Estimator) ma
 	}
 	for _, e := range ests {
 		qs := make([]float64, len(queries))
-		for i, q := range queries {
-			qs[i] = ml.QError(e.Estimate(q), truths[i])
+		if be, ok := e.(BatchEstimator); ok {
+			for i, est := range be.EstimateBatch(queries) {
+				qs[i] = ml.QError(est, truths[i])
+			}
+		} else {
+			for i, q := range queries {
+				qs[i] = ml.QError(e.Estimate(q), truths[i])
+			}
 		}
 		out[e.Name()] = ml.SummarizeQErrors(qs)
 	}

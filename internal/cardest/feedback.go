@@ -113,9 +113,20 @@ func (f *FeedbackLog) Window(n int) ml.QErrorStats {
 type FeedbackEstimator struct {
 	Base *MLPEstimator
 
-	mu      sync.Mutex
-	queries []workload.Query
-	truths  []int
+	mu        sync.Mutex
+	queries   []workload.Query
+	truths    []int
+	onRetrain []func()
+}
+
+// OnRetrain registers a callback fired (synchronously, outside the
+// lock) after every Retrain that actually updated the model — the hook
+// estimate caches use to invalidate themselves when the model's weights
+// change underneath them.
+func (e *FeedbackEstimator) OnRetrain(fn func()) {
+	e.mu.Lock()
+	e.onRetrain = append(e.onRetrain, fn)
+	e.mu.Unlock()
 }
 
 // NewFeedbackEstimator wraps base with an empty replay buffer.
@@ -145,15 +156,28 @@ func (e *FeedbackEstimator) Retrain(rng *ml.RNG, epochs int) error {
 	e.mu.Lock()
 	queries, truths := e.queries, e.truths
 	e.queries, e.truths = nil, nil
+	hooks := e.onRetrain
 	e.mu.Unlock()
 	if len(queries) == 0 {
 		return nil
 	}
-	return e.Base.Train(rng, queries, truths, epochs)
+	if err := e.Base.Train(rng, queries, truths, epochs); err != nil {
+		return err
+	}
+	for _, fn := range hooks {
+		fn()
+	}
+	return nil
 }
 
 // Estimate implements Estimator.
 func (e *FeedbackEstimator) Estimate(q workload.Query) float64 { return e.Base.Estimate(q) }
+
+// EstimateBatch implements BatchEstimator by delegating to the base
+// model's batched featurize+forward path.
+func (e *FeedbackEstimator) EstimateBatch(queries []workload.Query) []float64 {
+	return e.Base.EstimateBatch(queries)
+}
 
 // Name implements Estimator.
 func (e *FeedbackEstimator) Name() string { return "learned-mlp+feedback" }

@@ -42,7 +42,7 @@ func (e *MLPEstimator) FineTune(rng *ml.RNG, queries []workload.Query, truths []
 	x := ml.NewMatrix(len(queries), 3*e.numCols)
 	y := make([]float64, len(queries))
 	for i, q := range queries {
-		copy(x.Row(i), e.Featurize(q))
+		e.FeaturizeInto(x.Row(i), q)
 		y[i] = math.Log1p(float64(truths[i]))
 	}
 	e.net.Epochs = epochs
@@ -72,10 +72,14 @@ func EvaluateDrift(rng *ml.RNG, stale *MLPEstimator, newTable *workload.Table,
 	}
 	// The three models share the Estimator name "learned-mlp", so score
 	// them individually rather than through Evaluate's name-keyed map.
-	qerr := func(e Estimator) float64 {
+	truths := make([]float64, len(test))
+	for i, q := range test {
+		truths[i] = float64(workload.TrueCardinality(newTable, q))
+	}
+	qerr := func(e *MLPEstimator) float64 {
 		qs := make([]float64, len(test))
-		for i, q := range test {
-			qs[i] = ml.QError(e.Estimate(q), float64(workload.TrueCardinality(newTable, q)))
+		for i, est := range e.EstimateBatch(test) {
+			qs[i] = ml.QError(est, truths[i])
 		}
 		return ml.SummarizeQErrors(qs).Median
 	}

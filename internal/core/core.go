@@ -109,6 +109,17 @@ func (db *DB) WriteSlowLogJSON(w io.Writer) error {
 // report into.
 func (db *DB) Feedback() *cardest.FeedbackLog { return db.feedback }
 
+// NewEstimatorCache wraps base in a bounded estimate cache whose
+// hit/miss/invalidation counters report into this database's metrics
+// registry (visible in the REPL's \metrics). When base is a
+// FeedbackEstimator, feedback fine-tuning invalidates the cache
+// automatically.
+func (db *DB) NewEstimatorCache(base cardest.Estimator, capacity int) *cardest.EstimateCache {
+	c := cardest.NewEstimateCache(base, capacity)
+	c.Instrument(db.reg)
+	return c
+}
+
 // QErrorWindow exposes the monitor's sliding window over feedback
 // q-errors, the drift KPI for learned cardinality estimation.
 func (db *DB) QErrorWindow() *monitor.QErrorWindow { return db.qerr }

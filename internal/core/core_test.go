@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"aidb/internal/cardest"
 	"aidb/internal/knob"
 	"aidb/internal/ml"
 	"aidb/internal/monitor"
@@ -132,5 +133,36 @@ func TestDiagnose(t *testing.T) {
 		if wrong > 3 {
 			t.Errorf("diagnosis wrong %d/10 times", wrong)
 		}
+	}
+}
+
+func TestEstimatorCacheCountersInMetrics(t *testing.T) {
+	db := OpenSeeded(11)
+	spec := workload.TableSpec{
+		Name: "t",
+		Rows: 1000,
+		Columns: []workload.Column{
+			{Name: "a", NDV: 50, CorrelatedWith: -1},
+			{Name: "b", NDV: 50, CorrelatedWith: -1},
+		},
+	}
+	base := cardest.NewMLPEstimator(ml.NewRNG(3), spec, 8)
+	cache := db.NewEstimatorCache(cardest.NewFeedbackEstimator(base), 16)
+	g := workload.NewQueryGen(ml.NewRNG(4), spec)
+	q := g.Next()
+	cache.Estimate(q)
+	cache.Estimate(q)
+	var sb strings.Builder
+	if err := db.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"cardest.cache.hits", "cardest.cache.misses", "cardest.cache.invalidations"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("metrics exposition missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "cardest.cache.hits 1") || !strings.Contains(out, "cardest.cache.misses 1") {
+		t.Fatalf("unexpected cache counter values:\n%s", out)
 	}
 }

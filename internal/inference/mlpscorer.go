@@ -1,0 +1,49 @@
+package inference
+
+import (
+	"sync/atomic"
+
+	"aidb/internal/ml"
+)
+
+// MLPScorer applies a trained MLP during in-database inference, pairing
+// the per-row UDF invocation style against the batched matrix-forward
+// operator built on ml's blocked GEMM kernels — the nonlinear-model
+// counterpart of LinearScorer's E21 comparison. FLOPs are counted per
+// multiply-add so the comparison has an architecture-independent cost
+// metric.
+type MLPScorer struct {
+	Net   *ml.MLP
+	flops atomic.Uint64
+}
+
+// NewMLPScorer wraps a trained network.
+func NewMLPScorer(net *ml.MLP) *MLPScorer { return &MLPScorer{Net: net} }
+
+// FLOPs returns the multiply-adds executed so far.
+func (s *MLPScorer) FLOPs() uint64 { return s.flops.Load() }
+
+// ResetFLOPs zeroes the counter.
+func (s *MLPScorer) ResetFLOPs() { s.flops.Store(0) }
+
+// ScorePerRowUDF scores each row through a scalar call the way a SQL
+// UDF is invoked: one full forward pass, with its per-layer
+// allocations, per row.
+func (s *MLPScorer) ScorePerRowUDF(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = s.Net.Predict1(r)
+	}
+	s.flops.Add(uint64(len(rows)) * uint64(s.Net.NumParams()))
+	return out
+}
+
+// ScoreBatch scores the whole batch with one matrix forward pass per
+// layer — the vectorized in-database operator. Outputs are bitwise
+// identical to ScorePerRowUDF on the same rows.
+func (s *MLPScorer) ScoreBatch(x *ml.Matrix) []float64 {
+	var sc ml.MLPScratch
+	out := s.Net.Predict1Batch(&sc, x, nil)
+	s.flops.Add(uint64(x.Rows) * uint64(s.Net.NumParams()))
+	return out
+}

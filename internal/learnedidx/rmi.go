@@ -8,6 +8,8 @@ package learnedidx
 import (
 	"errors"
 	"sort"
+
+	"aidb/internal/ml"
 )
 
 // ErrNotFound is returned for missing keys.
@@ -44,6 +46,15 @@ func fitLinear(keys []int64, positions []float64) linearModel {
 
 func (m linearModel) predict(key int64) float64 {
 	return m.slope*float64(key) + m.intercept
+}
+
+// regression adapts the model to the shared ml batched-prediction
+// kernel. A one-feature dot product accumulates slope*x then adds the
+// intercept — the same order predict uses — so batched build-time
+// predictions are bitwise identical to per-key ones and the error
+// bounds they produce stay valid for per-key lookups.
+func (m linearModel) regression() *ml.LinearRegression {
+	return &ml.LinearRegression{Weights: []float64{m.slope}, Intercept: m.intercept}
 }
 
 // RMI is a two-stage recursive model index over a sorted key array: a
@@ -95,10 +106,18 @@ func BuildRMI(keys []int64, values []uint64, numLeaves int) *RMI {
 		positions[i] = float64(i) / float64(n) * float64(numLeaves)
 	}
 	r.root = fitLinear(keys, positions)
+	// Batch every build-time model evaluation: the keys become an n x 1
+	// feature matrix once, and the root and each leaf predict over their
+	// (sub)range in one PredictBatch call instead of per key.
+	xk := ml.NewMatrix(n, 1)
+	for i, k := range keys {
+		xk.Data[i] = float64(k)
+	}
 	// Partition keys by predicted leaf.
 	assign := make([]int, n)
-	for i, k := range keys {
-		l := int(r.root.predict(k))
+	preds := r.root.regression().PredictBatch(xk)
+	for i, p := range preds {
+		l := int(p)
 		if l < 0 {
 			l = 0
 		}
@@ -124,10 +143,11 @@ func BuildRMI(keys []int64, values []uint64, numLeaves int) *RMI {
 				pos[i] = float64(start + i)
 			}
 			leaf.model = fitLinear(sub, pos)
-			// Record error bounds.
-			for i, k := range sub {
-				pred := int(leaf.model.predict(k))
-				diff := (start + i) - pred
+			// Record error bounds from one batched pass over the leaf's
+			// rows of the shared feature matrix.
+			preds = leaf.model.regression().PredictBatchInto(preds, xk.RowSlice(start, end))
+			for i, p := range preds {
+				diff := (start + i) - int(p)
 				if diff < leaf.minErr {
 					leaf.minErr = diff
 				}

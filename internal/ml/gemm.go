@@ -1,0 +1,241 @@
+package ml
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the batched kernel layer every learned component runs on:
+// loop-reordered (ikj) cache-blocked GEMM with a NumCPU-bounded
+// row-parallel path above a size threshold, a fused multiply-add-bias
+// kernel for MLP forward passes, and in-place/scratch variants so hot
+// paths stop allocating per call.
+//
+// Determinism contract: for every output element, contributions are
+// accumulated in ascending k order starting from the initial value (zero
+// or the bias), one add at a time — exactly the order the per-row code
+// paths use. Blocking tiles the k loop but visits tiles in ascending
+// order, and the parallel path partitions *rows* (each output row is
+// computed by exactly one worker with the serial kernel), so results are
+// bitwise identical at any parallelism and any blocking factor.
+
+const (
+	// gemmBlockK is the k-tile edge: one tile of b (gemmBlockK rows)
+	// stays cache-resident while every output row streams over it.
+	gemmBlockK = 64
+	// gemmParallelFlops is the a.Rows*a.Cols*b.Cols threshold above
+	// which MatMul fans rows out across workers. Below it, goroutine
+	// dispatch costs more than the multiply.
+	gemmParallelFlops = 1 << 17
+)
+
+// MatMulNaive is the reference triple-loop kernel (row-major ijk with a
+// zero skip). It is kept as the benchmark baseline and as the oracle the
+// blocked/parallel kernels are equality-tested against; production paths
+// use MatMul.
+func MatMulNaive(a, b *Matrix) *Matrix {
+	checkMulShape(a, b)
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMul returns a*b using the blocked kernel, going row-parallel across
+// min(NumCPU, rows) workers when the multiply is large enough to pay for
+// the fan-out. It panics on dimension mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	return MatMulWorkers(a, b, 0)
+}
+
+// MatMulWorkers is MatMul with an explicit worker budget: 0 selects
+// automatically (serial below the size threshold, NumCPU above), 1 pins
+// the serial kernel, larger values an explicit worker count. Results are
+// bitwise identical at every setting.
+func MatMulWorkers(a, b *Matrix, workers int) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	return MatMulInto(out, a, b, workers)
+}
+
+// MatMulInto computes a*b into dst (which must be a.Rows x b.Cols; its
+// prior contents are overwritten) and returns dst. It is the
+// no-allocation scratch variant of MatMulWorkers.
+func MatMulInto(dst, a, b *Matrix, workers int) *Matrix {
+	checkMulShape(a, b)
+	checkDstShape(dst, a.Rows, b.Cols, "MatMulInto")
+	zero(dst.Data)
+	parallelRows(a.Rows, gemmWork(a, b), workers, func(r0, r1 int) {
+		gemmRange(dst, a, b, r0, r1)
+	})
+	return dst
+}
+
+// MatMulAddBias returns a*w + bias, with bias (length w.Cols) broadcast
+// to every row — the fused MLP pre-activation kernel.
+func MatMulAddBias(a, w *Matrix, bias []float64) *Matrix {
+	out := NewMatrix(a.Rows, w.Cols)
+	return MatMulAddBiasInto(out, a, w, bias, 0)
+}
+
+// MatMulAddBiasInto computes a*w + bias into dst (a.Rows x w.Cols,
+// overwritten) and returns dst. Accumulation order per element matches
+// the per-row forward pass: bias first, then k ascending.
+func MatMulAddBiasInto(dst, a, w *Matrix, bias []float64, workers int) *Matrix {
+	checkMulShape(a, w)
+	checkDstShape(dst, a.Rows, w.Cols, "MatMulAddBiasInto")
+	if len(bias) != w.Cols {
+		panic(fmt.Sprintf("ml: MatMulAddBias bias length %d != %d columns", len(bias), w.Cols))
+	}
+	for i := 0; i < dst.Rows; i++ {
+		copy(dst.Row(i), bias)
+	}
+	parallelRows(a.Rows, gemmWork(a, w), workers, func(r0, r1 int) {
+		gemmRange(dst, a, w, r0, r1)
+	})
+	return dst
+}
+
+// gemmRange accumulates rows [r0, r1) of a*b onto dst, which already
+// holds each element's initial value (zero or a bias). The k loop is
+// tiled so a gemmBlockK-row slab of b stays cache-resident while the
+// rows of the range stream over it, and unrolled 8x so each output
+// element is loaded and stored once per group of eight k's instead of
+// once per k. Per output element the accumulation remains one add at a
+// time in ascending k order — the unroll batches memory traffic, not
+// floating-point adds — so results stay bitwise identical to the
+// per-row paths.
+func gemmRange(dst, a, b *Matrix, r0, r1 int) {
+	n := b.Cols
+	for kb := 0; kb < a.Cols; kb += gemmBlockK {
+		kEnd := kb + gemmBlockK
+		if kEnd > a.Cols {
+			kEnd = a.Cols
+		}
+		for i := r0; i < r1; i++ {
+			arow := a.Row(i)
+			orow := dst.Row(i)[:n]
+			k := kb
+			for ; k+7 < kEnd; k += 8 {
+				av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				av4, av5, av6, av7 := arow[k+4], arow[k+5], arow[k+6], arow[k+7]
+				b0 := b.Row(k)[:n]
+				b1 := b.Row(k + 1)[:n]
+				b2 := b.Row(k + 2)[:n]
+				b3 := b.Row(k + 3)[:n]
+				b4 := b.Row(k + 4)[:n]
+				b5 := b.Row(k + 5)[:n]
+				b6 := b.Row(k + 6)[:n]
+				b7 := b.Row(k + 7)[:n]
+				for j := range orow {
+					acc := orow[j]
+					acc += av0 * b0[j]
+					acc += av1 * b1[j]
+					acc += av2 * b2[j]
+					acc += av3 * b3[j]
+					acc += av4 * b4[j]
+					acc += av5 * b5[j]
+					acc += av6 * b6[j]
+					acc += av7 * b7[j]
+					orow[j] = acc
+				}
+			}
+			for ; k+3 < kEnd; k += 4 {
+				av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				b0 := b.Row(k)[:n]
+				b1 := b.Row(k + 1)[:n]
+				b2 := b.Row(k + 2)[:n]
+				b3 := b.Row(k + 3)[:n]
+				for j := range orow {
+					acc := orow[j]
+					acc += av0 * b0[j]
+					acc += av1 * b1[j]
+					acc += av2 * b2[j]
+					acc += av3 * b3[j]
+					orow[j] = acc
+				}
+			}
+			for ; k < kEnd; k++ {
+				av := arow[k]
+				brow := b.Row(k)[:n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// gemmWork estimates the multiply-add count of a*b for the parallel
+// threshold.
+func gemmWork(a, b *Matrix) int { return a.Rows * a.Cols * b.Cols }
+
+// parallelRows runs fn over [0, rows) split into at most `workers`
+// contiguous ranges. workers <= 0 selects automatically: serial when the
+// estimated work is below the fan-out threshold, min(NumCPU, rows)
+// otherwise. fn must treat its range as exclusively owned; because every
+// row is produced by exactly one invocation of the serial kernel, the
+// result is independent of the partitioning.
+func parallelRows(rows, work, workers int, fn func(r0, r1 int)) {
+	if workers <= 0 {
+		workers = 1
+		if work >= gemmParallelFlops {
+			workers = runtime.NumCPU()
+		}
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			fn(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+func zero(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func checkMulShape(a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("ml: MatMul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func checkDstShape(dst *Matrix, rows, cols int, op string) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("ml: %s needs a %dx%d destination, got %dx%d", op, rows, cols, dst.Rows, dst.Cols))
+	}
+}

@@ -44,6 +44,16 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns a view (not a copy) of row i.
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// RowSlice returns a view of rows [i, j) as a matrix sharing m's
+// storage — the zero-copy way to hand a contiguous row chunk to a
+// batched kernel.
+func (m *Matrix) RowSlice(i, j int) *Matrix {
+	if i < 0 || j < i || j > m.Rows {
+		panic(fmt.Sprintf("ml: RowSlice [%d, %d) out of range for %d rows", i, j, m.Rows))
+	}
+	return &Matrix{Rows: j - i, Cols: m.Cols, Data: m.Data[i*m.Cols : j*m.Cols]}
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.Rows, m.Cols)
@@ -60,29 +70,6 @@ func (m *Matrix) T() *Matrix {
 		}
 	}
 	return t
-}
-
-// MatMul returns a*b. It panics on dimension mismatch.
-func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("ml: MatMul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range brow {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-	return out
 }
 
 // Add returns a+b element-wise.

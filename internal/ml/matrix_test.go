@@ -237,3 +237,80 @@ func TestNormFloat64Moments(t *testing.T) {
 		t.Errorf("normal variance = %v, want ~1", varr)
 	}
 }
+
+func TestMatMulShapeMismatchVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *Matrix
+	}{
+		{"square vs wide", NewMatrix(3, 3), NewMatrix(2, 3)},
+		{"vector mismatch", NewMatrix(1, 4), NewMatrix(5, 1)},
+		{"empty vs nonempty", NewMatrix(0, 0), NewMatrix(1, 1)},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected dimension-mismatch panic", c.name)
+				}
+			}()
+			MatMul(c.a, c.b)
+		}()
+	}
+}
+
+func TestTransposeRowAndColumnVectors(t *testing.T) {
+	row := MatrixFromRows([][]float64{{1, 2, 3, 4}})
+	col := row.T()
+	if col.Rows != 4 || col.Cols != 1 {
+		t.Fatalf("T() of 1x4 = %dx%d, want 4x1", col.Rows, col.Cols)
+	}
+	for i := 0; i < 4; i++ {
+		if col.At(i, 0) != float64(i+1) {
+			t.Fatalf("T()[%d][0] = %v, want %v", i, col.At(i, 0), i+1)
+		}
+	}
+	back := col.T()
+	if back.Rows != 1 || back.Cols != 4 || back.At(0, 2) != 3 {
+		t.Fatalf("double transpose = %dx%d (%v)", back.Rows, back.Cols, back.Row(0))
+	}
+}
+
+func TestEmptyMatrixOperations(t *testing.T) {
+	e := NewMatrix(0, 0)
+	if tr := e.T(); tr.Rows != 0 || tr.Cols != 0 {
+		t.Fatalf("T() of empty = %dx%d", tr.Rows, tr.Cols)
+	}
+	if c := e.Clone(); c.Rows != 0 || len(c.Data) != 0 {
+		t.Fatalf("Clone of empty = %dx%d len %d", c.Rows, c.Cols, len(c.Data))
+	}
+	// 0-row times 0-col product: inner dims agree (0x3 * 3x0 -> 0x0),
+	// and a 3x0 * 0x3 product is a legal all-zero 3x3.
+	if p := MatMul(NewMatrix(0, 3), NewMatrix(3, 0)); p.Rows != 0 || p.Cols != 0 {
+		t.Fatalf("0x3 * 3x0 = %dx%d", p.Rows, p.Cols)
+	}
+	p := MatMul(NewMatrix(3, 0), NewMatrix(0, 3))
+	if p.Rows != 3 || p.Cols != 3 {
+		t.Fatalf("3x0 * 0x3 = %dx%d", p.Rows, p.Cols)
+	}
+	for _, v := range p.Data {
+		if v != 0 {
+			t.Fatalf("3x0 * 0x3 has nonzero element %v", v)
+		}
+	}
+	if got := MatrixFromRows(nil); got.Rows != 0 || got.Cols != 0 {
+		t.Fatalf("MatrixFromRows(nil) = %dx%d", got.Rows, got.Cols)
+	}
+	if s := e.String(); s != "" {
+		t.Fatalf("empty String() = %q", s)
+	}
+}
+
+func TestNegativeDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	NewMatrix(-1, 2)
+}

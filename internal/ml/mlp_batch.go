@@ -1,0 +1,388 @@
+package ml
+
+import "errors"
+
+// This file is the whole-minibatch half of the MLP: matrix forward
+// passes over the batched GEMM kernels, scratch reuse so steady-state
+// inference allocates nothing, and data-parallel minibatch training
+// whose gradients are accumulated per fixed-size row chunk and merged in
+// chunk order — making trained weights bitwise reproducible at any
+// parallelism.
+//
+// Equality contract with the per-row path: Predict/Predict1 accumulate
+// each pre-activation as bias + sum_i x[i]*w[i][j] in ascending i order.
+// MatMulAddBiasInto uses exactly that order per output element, so
+// PredictBatch(x).Row(r) is bitwise equal to Predict(x.Row(r)) — the
+// property ml's batch equality tests pin down.
+
+// trainChunkRows is the fixed gradient-accumulation granule for
+// TrainMinibatch. Chunk boundaries depend only on the batch size, never
+// on the worker count, so the chunk-ordered merge gives identical
+// gradients at any parallelism.
+const trainChunkRows = 64
+
+// inferChunkRows is the row-block size for batched inference. Above it,
+// PredictBatchInto runs the whole layer stack one block at a time so a
+// block's activations stay cache-resident across layers instead of the
+// full batch's activation matrices streaming through L2 between every
+// layer pair. Rows are independent, so blocking changes nothing about
+// the result — only the memory-traffic pattern.
+const inferChunkRows = 128
+
+// MLPScratch holds the per-layer activation matrices (and training
+// buffers) a batched forward/backward pass writes into. One scratch
+// serves any batch size: buffers grow on demand and are reused when
+// they already fit. A scratch must not be shared between concurrent
+// calls; the zero value is ready to use.
+type MLPScratch struct {
+	acts   []*Matrix // activations per layer; acts[0] is the input
+	deltas []*Matrix // backprop deltas per non-input layer
+	gradW  []*Matrix // merged weight gradients per layer
+	gradB  [][]float64
+
+	// per-chunk gradient accumulators, merged in chunk order
+	chunkW [][]*Matrix
+	chunkB [][][]float64
+
+	// out collects block results when inference is row-blocked
+	out *Matrix
+}
+
+// ensure sizes the scratch for a batch of n rows through m's layers.
+func (s *MLPScratch) ensure(m *MLP, n int, training bool) {
+	layers := len(m.sizes)
+	if len(s.acts) < layers {
+		s.acts = append(s.acts, make([]*Matrix, layers-len(s.acts))...)
+	}
+	for l := 1; l < layers; l++ {
+		s.acts[l] = ensureMatrix(s.acts[l], n, m.sizes[l])
+	}
+	if !training {
+		return
+	}
+	if len(s.deltas) < layers-1 {
+		s.deltas = append(s.deltas, make([]*Matrix, layers-1-len(s.deltas))...)
+		s.gradW = append(s.gradW, make([]*Matrix, layers-1-len(s.gradW))...)
+		s.gradB = append(s.gradB, make([][]float64, layers-1-len(s.gradB))...)
+	}
+	for l := 0; l < layers-1; l++ {
+		s.deltas[l] = ensureMatrix(s.deltas[l], n, m.sizes[l+1])
+		s.gradW[l] = ensureMatrix(s.gradW[l], m.sizes[l], m.sizes[l+1])
+		if len(s.gradB[l]) < m.sizes[l+1] {
+			s.gradB[l] = make([]float64, m.sizes[l+1])
+		}
+	}
+}
+
+// ensureMatrix reshapes m to rows x cols, reusing its backing array when
+// large enough.
+func ensureMatrix(m *Matrix, rows, cols int) *Matrix {
+	need := rows * cols
+	if m == nil || cap(m.Data) < need {
+		return NewMatrix(rows, cols)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:need]
+	return m
+}
+
+// ForwardBatch runs the whole batch x (n x inputs) through the network,
+// returning the activations of every layer (layer 0 is x itself). The
+// returned matrices are owned by s and are valid until its next use.
+func (m *MLP) ForwardBatch(s *MLPScratch, x *Matrix) []*Matrix {
+	return m.forwardBatch(s, x, 0)
+}
+
+func (m *MLP) forwardBatch(s *MLPScratch, x *Matrix, workers int) []*Matrix {
+	if s == nil {
+		s = &MLPScratch{}
+	}
+	s.ensure(m, x.Rows, false)
+	s.acts[0] = x
+	cur := x
+	for l, w := range m.weights {
+		next := s.acts[l+1]
+		MatMulAddBiasInto(next, cur, w, m.biases[l], workers)
+		if l < len(m.weights)-1 {
+			applyActivation(m.act, next.Data)
+		}
+		cur = next
+	}
+	return s.acts[:len(m.sizes)]
+}
+
+// applyActivation applies act in place. The switch is hoisted out of the
+// element loop so ReLU (the common case) runs branch-only.
+func applyActivation(act Activation, data []float64) {
+	switch act {
+	case ReLU:
+		for i, v := range data {
+			if v <= 0 {
+				data[i] = 0 // also canonicalizes -0, matching apply
+			}
+		}
+	default:
+		for i, v := range data {
+			data[i] = act.apply(v)
+		}
+	}
+}
+
+// PredictBatch returns the network outputs for every row of x as a
+// freshly allocated n x outputs matrix — the whole-minibatch counterpart
+// of calling Predict per row, with bitwise-identical results.
+func (m *MLP) PredictBatch(x *Matrix) *Matrix {
+	var s MLPScratch
+	return m.PredictBatchInto(&s, x).Clone()
+}
+
+// PredictBatchInto is PredictBatch with caller-owned scratch: the
+// returned matrix aliases s and is valid until s's next use. Steady-state
+// calls with a warm scratch allocate nothing. Batches larger than
+// inferChunkRows are processed block-by-block through the whole layer
+// stack (see inferChunkRows); results are bitwise identical either way.
+func (m *MLP) PredictBatchInto(s *MLPScratch, x *Matrix) *Matrix {
+	if x.Rows <= inferChunkRows {
+		acts := m.forwardBatch(s, x, 0)
+		return acts[len(acts)-1]
+	}
+	if s == nil {
+		s = &MLPScratch{}
+	}
+	cols := m.sizes[len(m.sizes)-1]
+	s.out = ensureMatrix(s.out, x.Rows, cols)
+	for lo := 0; lo < x.Rows; lo += inferChunkRows {
+		hi := lo + inferChunkRows
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		acts := m.forwardBatch(s, x.RowSlice(lo, hi), 0)
+		copy(s.out.Data[lo*cols:hi*cols], acts[len(acts)-1].Data)
+	}
+	return s.out
+}
+
+// Predict1Batch returns the first output per row, the batched
+// counterpart of Predict1, writing into dst when it has capacity.
+func (m *MLP) Predict1Batch(s *MLPScratch, x *Matrix, dst []float64) []float64 {
+	out := m.PredictBatchInto(s, x)
+	if cap(dst) < x.Rows {
+		dst = make([]float64, x.Rows)
+	}
+	dst = dst[:x.Rows]
+	for i := range dst {
+		dst[i] = out.At(i, 0)
+	}
+	return dst
+}
+
+// TrainMinibatch performs one gradient step on the minibatch (x, y) with
+// squared-error loss, averaging the gradient over the batch, and returns
+// the pre-update mean loss. Gradients are computed per trainChunkRows-row
+// chunk — in parallel across min(workers, chunks) goroutines when
+// workers != 1 (0 = NumCPU) — and merged in chunk-index order, so the
+// update is bitwise identical at any parallelism.
+func (m *MLP) TrainMinibatch(s *MLPScratch, x, y *Matrix, lrate float64, workers int) float64 {
+	if x.Rows != y.Rows {
+		panic("ml: TrainMinibatch row mismatch")
+	}
+	if y.Cols != m.sizes[len(m.sizes)-1] {
+		panic("ml: TrainMinibatch target width mismatch")
+	}
+	if x.Rows == 0 {
+		return 0
+	}
+	if s == nil {
+		s = &MLPScratch{}
+	}
+	layers := len(m.weights)
+	chunks := (x.Rows + trainChunkRows - 1) / trainChunkRows
+	if len(s.chunkW) < chunks {
+		s.chunkW = append(s.chunkW, make([][]*Matrix, chunks-len(s.chunkW))...)
+		s.chunkB = append(s.chunkB, make([][][]float64, chunks-len(s.chunkB))...)
+	}
+	losses := make([]float64, chunks)
+	// Per-chunk gradient computation; each chunk owns its accumulators
+	// and its own forward scratch, so chunks are fully independent.
+	parallelRows(chunks, chunks*trainChunkRows*m.NumParams(), workers, func(c0, c1 int) {
+		var cs MLPScratch
+		for c := c0; c < c1; c++ {
+			r0 := c * trainChunkRows
+			r1 := r0 + trainChunkRows
+			if r1 > x.Rows {
+				r1 = x.Rows
+			}
+			if len(s.chunkW[c]) < layers {
+				s.chunkW[c] = make([]*Matrix, layers)
+				s.chunkB[c] = make([][]float64, layers)
+			}
+			for l := 0; l < layers; l++ {
+				s.chunkW[c][l] = ensureMatrix(s.chunkW[c][l], m.sizes[l], m.sizes[l+1])
+				zero(s.chunkW[c][l].Data)
+				if len(s.chunkB[c][l]) < m.sizes[l+1] {
+					s.chunkB[c][l] = make([]float64, m.sizes[l+1])
+				}
+				zero(s.chunkB[c][l])
+			}
+			losses[c] = m.chunkGradients(&cs, x.RowSlice(r0, r1), y.RowSlice(r0, r1), s.chunkW[c], s.chunkB[c])
+		}
+	})
+	// Merge in chunk-index order (determinism), then apply the averaged
+	// gradient.
+	loss := 0.0
+	for l := 0; l < layers; l++ {
+		gw, gb := s.gradW, s.gradB
+		if len(gw) <= l {
+			s.ensure(m, 1, true)
+			gw, gb = s.gradW, s.gradB
+		}
+		zero(gw[l].Data)
+		zero(gb[l])
+		for c := 0; c < chunks; c++ {
+			dst, src := gw[l].Data, s.chunkW[c][l].Data
+			for i := range dst {
+				dst[i] += src[i]
+			}
+			for j := range gb[l][:m.sizes[l+1]] {
+				gb[l][j] += s.chunkB[c][l][j]
+			}
+		}
+		scale := lrate / float64(x.Rows)
+		w := m.weights[l]
+		for i := range w.Data {
+			w.Data[i] -= scale * gw[l].Data[i]
+		}
+		for j := range m.biases[l] {
+			m.biases[l][j] -= scale * gb[l][j]
+		}
+	}
+	for c := 0; c < chunks; c++ {
+		loss += losses[c]
+	}
+	return loss / float64(x.Rows)
+}
+
+// chunkGradients runs forward+backward over one row chunk, accumulating
+// (unaveraged) weight and bias gradient sums into gradW/gradB, and
+// returns the chunk's summed per-example loss.
+func (m *MLP) chunkGradients(cs *MLPScratch, x, y *Matrix, gradW []*Matrix, gradB [][]float64) float64 {
+	cs.ensure(m, x.Rows, true)
+	acts := m.forwardBatch(cs, x, 1)
+	out := acts[len(acts)-1]
+	// Output delta (linear layer): dL/dz = out - target.
+	delta := cs.deltas[len(m.weights)-1]
+	loss := 0.0
+	for i := range delta.Data {
+		d := out.Data[i] - y.Data[i]
+		delta.Data[i] = d
+		loss += d * d
+	}
+	loss /= float64(y.Cols)
+	for l := len(m.weights) - 1; l >= 0; l-- {
+		prev := acts[l]
+		d := cs.deltas[l]
+		// gradW[l] += prev^T * d, accumulated row-by-row (rank-1 updates
+		// in ascending row order).
+		for r := 0; r < prev.Rows; r++ {
+			prow := prev.Row(r)
+			drow := d.Row(r)
+			for i, pv := range prow {
+				if pv == 0 {
+					continue
+				}
+				grow := gradW[l].Row(i)
+				for j, dv := range drow {
+					grow[j] += pv * dv
+				}
+			}
+			for j, dv := range drow {
+				gradB[l][j] += dv
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// nextDelta[r][i] = (sum_j d[r][j] * w[i][j]) * act'(prev[r][i])
+		w := m.weights[l]
+		nd := cs.deltas[l-1]
+		for r := 0; r < prev.Rows; r++ {
+			prow := prev.Row(r)
+			drow := d.Row(r)
+			nrow := nd.Row(r)
+			for i := range nrow {
+				wrow := w.Row(i)
+				sum := 0.0
+				for j, dv := range drow {
+					sum += dv * wrow[j]
+				}
+				nrow[i] = sum * m.act.deriv(prow[i])
+			}
+		}
+	}
+	return loss
+}
+
+// TrainBatched fits the network with shuffled minibatch gradient descent
+// (batch size m.BatchSize, default 16) using the chunk-parallel
+// TrainMinibatch step, and returns the mean loss of the final epoch. It
+// is the batched counterpart of Train: one weight update per minibatch
+// instead of per example, so wall-clock per epoch drops by roughly the
+// batch size while epochs-to-loss stays comparable — the §2.2 data
+// batching lever. workers as in TrainMinibatch; results are bitwise
+// reproducible for a fixed rng at any parallelism.
+func (m *MLP) TrainBatched(rng *RNG, x, y *Matrix, workers int) (float64, error) {
+	if x.Rows != y.Rows {
+		return 0, errors.New("ml: MLP.TrainBatched row mismatch")
+	}
+	if x.Rows == 0 {
+		return 0, errors.New("ml: MLP.TrainBatched with no samples")
+	}
+	lrate := m.LearningRate
+	if lrate == 0 {
+		lrate = 0.01
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 50
+	}
+	batch := m.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	if batch > x.Rows {
+		batch = x.Rows
+	}
+	var s MLPScratch
+	bx := NewMatrix(batch, x.Cols)
+	by := NewMatrix(batch, y.Cols)
+	last := 0.0
+	for e := 0; e < epochs; e++ {
+		perm := rng.Perm(x.Rows)
+		total := 0.0
+		for lo := 0; lo < len(perm); lo += batch {
+			hi := lo + batch
+			if hi > len(perm) {
+				hi = len(perm)
+			}
+			n := hi - lo
+			bx = ensureMatrix(bx, n, x.Cols)
+			by = ensureMatrix(by, n, y.Cols)
+			for i, r := range perm[lo:hi] {
+				copy(bx.Row(i), x.Row(r))
+				copy(by.Row(i), y.Row(r))
+			}
+			total += m.TrainMinibatch(&s, bx, by, lrate, workers) * float64(n)
+		}
+		last = total / float64(x.Rows)
+	}
+	return last, nil
+}
+
+// TrainBatchedScalar is TrainBatched for single-output regression
+// targets.
+func (m *MLP) TrainBatchedScalar(rng *RNG, x *Matrix, y []float64, workers int) (float64, error) {
+	ym := NewMatrix(len(y), 1)
+	for i, v := range y {
+		ym.Set(i, 0, v)
+	}
+	return m.TrainBatched(rng, x, ym, workers)
+}

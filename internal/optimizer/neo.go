@@ -55,6 +55,13 @@ type Neo struct {
 
 	net *ml.MLP
 	n   int
+
+	// Batched value-network scratch: bestAction scores every candidate
+	// action with one PredictBatch call instead of a forward pass per
+	// candidate, and these buffers make the steady state allocation-free.
+	feats   *ml.Matrix
+	scratch ml.MLPScratch
+	vals    []float64
 }
 
 // NewNeo creates a planner for n-relation queries.
@@ -66,6 +73,14 @@ func NewNeo(rng *ml.RNG, n int) *Neo {
 
 func (neo *Neo) features(set uint64, candidate, depth int) []float64 {
 	f := make([]float64, 2*neo.n+1)
+	neo.featuresInto(f, set, candidate, depth)
+	return f
+}
+
+func (neo *Neo) featuresInto(f []float64, set uint64, candidate, depth int) {
+	for i := range f {
+		f[i] = 0
+	}
 	for i := 0; i < neo.n; i++ {
 		if set&(1<<i) != 0 {
 			f[i] = 1
@@ -73,7 +88,6 @@ func (neo *Neo) features(set uint64, candidate, depth int) []float64 {
 	}
 	f[neo.n+candidate] = 1
 	f[2*neo.n] = float64(depth) / float64(neo.n)
-	return f
 }
 
 // Train learns from execution feedback on the true graph. bootstrap
@@ -142,11 +156,25 @@ func (neo *Neo) remaining(set uint64) []int {
 	return out
 }
 
+// bestAction scores every remaining action with one batched forward
+// pass (one candidate per row) and returns the lowest-predicted-cost
+// one. The batch kernels are bitwise-equal to per-row Predict1, so the
+// greedy policy is identical to scoring candidates one at a time.
 func (neo *Neo) bestAction(set uint64, acts []int, depth int) int {
+	width := 2*neo.n + 1
+	if neo.feats == nil || cap(neo.feats.Data) < len(acts)*width {
+		neo.feats = ml.NewMatrix(len(acts), width)
+	}
+	neo.feats.Rows, neo.feats.Cols = len(acts), width
+	neo.feats.Data = neo.feats.Data[:len(acts)*width]
+	for i, a := range acts {
+		neo.featuresInto(neo.feats.Row(i), set, a, depth)
+	}
+	neo.vals = neo.net.Predict1Batch(&neo.scratch, neo.feats, neo.vals)
 	best, bestV := acts[0], math.Inf(1)
-	for _, a := range acts {
-		if v := neo.net.Predict1(neo.features(set, a, depth)); v < bestV {
-			bestV, best = v, a
+	for i, v := range neo.vals {
+		if v < bestV {
+			bestV, best = v, acts[i]
 		}
 	}
 	return best

@@ -1,0 +1,111 @@
+package training
+
+import (
+	"fmt"
+
+	"aidb/internal/ml"
+)
+
+// This file is the real (non-simulated) model-selection path: candidate
+// MLPs are trained with the batched minibatch kernels and scored with
+// one PredictBatch pass over the validation set, fanned across
+// RunConcurrent's worker pool. The simulated schedulers above predict
+// makespans; SelectMLP actually burns the FLOPs.
+
+// MLPCandidate is one architecture/hyperparameter point in a real
+// model-selection sweep.
+type MLPCandidate struct {
+	Hidden    int     // width of both hidden layers
+	BatchSize int     // minibatch size (0 = MLP default)
+	LearnRate float64 // 0 = MLP default
+	Epochs    int     // 0 = MLP default
+}
+
+// Describe renders the candidate for reports.
+func (c MLPCandidate) Describe() string {
+	return fmt.Sprintf("mlp(h=%d,b=%d,lr=%g,e=%d)", c.Hidden, c.BatchSize, c.LearnRate, c.Epochs)
+}
+
+// CandidateResult is one trained and validated candidate.
+type CandidateResult struct {
+	Candidate MLPCandidate
+	Model     *ml.MLP
+	// ValLoss is the mean squared error of one batched forward pass
+	// over the validation rows.
+	ValLoss   float64
+	TrainLoss float64
+	Err       error
+}
+
+// SelectMLP trains every candidate on (trainX, trainY) with the
+// chunk-parallel batched trainer and scores it on (valX, valY) with a
+// single PredictBatch, running candidates concurrently across `workers`
+// goroutines. Each candidate derives its RNG from seed and its own
+// index, and results are collected per candidate slot, so the outcome
+// is deterministic at any worker count. Returns all results plus the
+// index of the lowest-validation-loss candidate (-1 when every
+// candidate failed).
+func SelectMLP(seed uint64, cands []MLPCandidate, trainX *ml.Matrix, trainY []float64, valX *ml.Matrix, valY []float64, workers int) ([]CandidateResult, int) {
+	results := make([]CandidateResult, len(cands))
+	tasks := make([]func(), len(cands))
+	for i := range cands {
+		i := i
+		tasks[i] = func() {
+			results[i] = trainCandidate(seed+uint64(i)*0x9e3779b97f4a7c15, cands[i], trainX, trainY, valX, valY)
+		}
+	}
+	RunConcurrent(workers, tasks)
+	best := -1
+	for i, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if best < 0 || r.ValLoss < results[best].ValLoss {
+			best = i
+		}
+	}
+	return results, best
+}
+
+func trainCandidate(seed uint64, c MLPCandidate, trainX *ml.Matrix, trainY []float64, valX *ml.Matrix, valY []float64) CandidateResult {
+	rng := ml.NewRNG(seed)
+	hidden := c.Hidden
+	if hidden <= 0 {
+		hidden = 16
+	}
+	net := ml.NewMLP(rng, ml.ReLU, trainX.Cols, hidden, hidden, 1)
+	if c.LearnRate > 0 {
+		net.LearningRate = c.LearnRate
+	}
+	if c.BatchSize > 0 {
+		net.BatchSize = c.BatchSize
+	}
+	if c.Epochs > 0 {
+		net.Epochs = c.Epochs
+	}
+	res := CandidateResult{Candidate: c, Model: net}
+	// Candidates already saturate the pool, so each trains serially
+	// (workers=1) — parallelism across candidates, not within one.
+	res.TrainLoss, res.Err = net.TrainBatchedScalar(rng, trainX, trainY, 1)
+	if res.Err != nil {
+		return res
+	}
+	res.ValLoss = ValLossBatch(net, valX, valY)
+	return res
+}
+
+// ValLossBatch scores a trained scalar-output network on (x, y) with a
+// single batched forward pass, returning mean squared error.
+func ValLossBatch(net *ml.MLP, x *ml.Matrix, y []float64) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	var s ml.MLPScratch
+	preds := net.Predict1Batch(&s, x, nil)
+	loss := 0.0
+	for i, p := range preds {
+		d := p - y[i]
+		loss += d * d
+	}
+	return loss / float64(x.Rows)
+}
