@@ -24,17 +24,19 @@ bench:
 
 # bench-smoke is the CI-sized benchmark pass: 10 iterations of the hot-path
 # micro-benchmarks (executor, obs substrate, LSM) plus the E25/E27
-# observability reproductions, with live metrics, a sample EXPLAIN
-# ANALYZE profile, and the smoke workload's slow-query log as build
-# artifacts. Depends on vet so the artifacts never come from a
+# observability and E29 overload-governance reproductions, with live
+# metrics, a sample EXPLAIN ANALYZE profile, the smoke workload's
+# slow-query log, and the cancel-to-stop/overload-shedding measurements
+# as build artifacts. Depends on vet so the artifacts never come from a
 # vet-dirty tree.
 bench-smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem \
 		./internal/exec/ ./internal/obs/ ./internal/kv/ | tee BENCH_smoke.txt
-	$(GO) test -run='^$$' -bench='BenchmarkE2[578]' -benchtime=1x . | tee -a BENCH_smoke.txt
+	$(GO) test -run='^$$' -bench='BenchmarkE2[5789]' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) run ./cmd/aidb-bench -e E25 -metrics BENCH_metrics.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -e E27 -explain BENCH_explain.txt -slowlog BENCH_slowlog.json > /dev/null
+	$(GO) run ./cmd/aidb-bench -bench-cancel BENCH_cancel.json
 
 # bench-compare pits each optimized path against its baseline: the
 # serial executor vs the morsel-parallel one (BENCH_exec.*) and the

@@ -56,8 +56,9 @@ func BenchmarkE23FaultTolerance(b *testing.B)       { benchExperiment(b, "E23") 
 func BenchmarkE24GuardedDegradation(b *testing.B)   { benchExperiment(b, "E24") }
 func BenchmarkE25LiveRootCause(b *testing.B)        { benchExperiment(b, "E25") }
 func BenchmarkE26MorselParallelism(b *testing.B)    { benchExperiment(b, "E26") }
-func BenchmarkE27CardinalityFeedback(b *testing.B) { benchExperiment(b, "E27") }
-func BenchmarkE28BatchedKernels(b *testing.B)      { benchExperiment(b, "E28") }
+func BenchmarkE27CardinalityFeedback(b *testing.B)  { benchExperiment(b, "E27") }
+func BenchmarkE28BatchedKernels(b *testing.B)       { benchExperiment(b, "E28") }
+func BenchmarkE29OverloadGovernance(b *testing.B)   { benchExperiment(b, "E29") }
 
 // --- ML kernel micro-benchmarks ---
 //

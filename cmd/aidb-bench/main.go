@@ -1,6 +1,8 @@
 // Command aidb-bench regenerates the experiment tables from DESIGN.md's
-// matrix (E1–E23, plus the E24 robustness, E25 observability and E26
-// morsel-parallelism experiments) and prints them, one per experiment.
+// matrix (E1–E23, plus the E24 robustness, E25 observability, E26
+// morsel-parallelism, E27 cardinality-feedback, E28 batched-ML-kernel
+// and E29 overload-governance experiments) and prints them, one per
+// experiment.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 //	aidb-bench -seed 123              # change the deterministic seed
 //	aidb-bench -bench-exec out.json   # time serial vs parallel execution
 //	aidb-bench -bench-ml out.json     # time batched vs per-row ML kernels
+//	aidb-bench -bench-cancel out.json # time cancel-to-stop + overload shedding
 package main
 
 import (
@@ -67,6 +70,30 @@ func benchMLCompare(path string, seed uint64) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
+}
+
+// benchCancelCompare measures the cancel-to-stop latency of a
+// mid-scan cancellation and the shed behaviour of deadline-aware vs
+// FIFO admission under open-loop overload, writing the result as JSON
+// ("-" = stdout). Used by `make bench-smoke`; CI uploads the result as
+// BENCH_cancel.json.
+func benchCancelCompare(path string, seed uint64) error {
+	res, err := experiments.RunCancelBench(seed, 100000, 5, nil)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
 }
 
 // smokeDB drives a short instrumented smoke workload — DDL, DML, plain
@@ -161,6 +188,7 @@ func main() {
 		slowlog   = flag.String("slowlog", "", "after the run, dump the smoke workload's slow-query log as JSON to this path ('-' = stdout)")
 		benchExec = flag.String("bench-exec", "", "instead of experiments, time serial-vs-parallel execution and write JSON to this path ('-' = stdout)")
 		benchML   = flag.String("bench-ml", "", "instead of experiments, time batched-vs-per-row ML kernels and write JSON to this path ('-' = stdout)")
+		benchCxl  = flag.String("bench-cancel", "", "instead of experiments, time cancel-to-stop latency and overload shedding and write JSON to this path ('-' = stdout)")
 	)
 	flag.Parse()
 	if *benchExec != "" {
@@ -173,6 +201,13 @@ func main() {
 	if *benchML != "" {
 		if err := benchMLCompare(*benchML, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-ml:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchCxl != "" {
+		if err := benchCancelCompare(*benchCxl, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-cancel:", err)
 			os.Exit(1)
 		}
 		return

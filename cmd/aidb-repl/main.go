@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"aidb/internal/core"
 )
@@ -28,7 +29,10 @@ const help = `Statements end with ';'. Supported:
   EXPLAIN ANALYZE SELECT ...;   per-operator est vs actual rows, time, morsel/worker counts
 Meta: \q quit, \h help, \metrics live metric counters, \trace last query's span tree,
       \slowlog captured query log (latency, fingerprint, profile, chaos fires),
-      \parallel [n] show or set the morsel worker budget (0 auto, 1 serial).`
+      \parallel [n] show or set the morsel worker budget (0 auto, 1 serial),
+      \timeout [dur] show or set the default statement timeout (e.g. 500ms; 0 none),
+      \maxconcurrent [n] show or set the admission-gate concurrency bound (0 unlimited),
+      \maxmem [bytes] show or set the per-query memory budget (0 unlimited).`
 
 func main() {
 	db := core.Open()
@@ -84,6 +88,69 @@ func main() {
 			} else {
 				db.SetParallelism(n)
 				fmt.Printf("parallelism set to %d\n", n)
+			}
+			prompt()
+			continue
+		}
+		if rest, ok := strings.CutPrefix(trimmed, `\timeout`); ok {
+			rest = strings.TrimSpace(rest)
+			if rest == "" {
+				if d := db.Timeout(); d > 0 {
+					fmt.Printf("timeout: %v\n", d)
+				} else {
+					fmt.Println("timeout: none")
+				}
+			} else if d, err := time.ParseDuration(rest); err != nil || d < 0 {
+				fmt.Println("usage: \\timeout [duration]  (e.g. 500ms, 2s; 0 disables)")
+			} else {
+				db.SetTimeout(d)
+				if d > 0 {
+					fmt.Printf("timeout set to %v\n", d)
+				} else {
+					fmt.Println("timeout disabled")
+				}
+			}
+			prompt()
+			continue
+		}
+		if rest, ok := strings.CutPrefix(trimmed, `\maxconcurrent`); ok {
+			rest = strings.TrimSpace(rest)
+			if rest == "" {
+				if n := db.MaxConcurrent(); n > 0 {
+					fmt.Printf("max concurrent statements: %d\n", n)
+				} else {
+					fmt.Println("max concurrent statements: unlimited")
+				}
+			} else if n, err := strconv.Atoi(rest); err != nil || n < 0 {
+				fmt.Println("usage: \\maxconcurrent [n]  (n >= 0; 0 unlimited)")
+			} else {
+				db.SetMaxConcurrent(n)
+				if n > 0 {
+					fmt.Printf("max concurrent statements set to %d\n", n)
+				} else {
+					fmt.Println("admission bound removed")
+				}
+			}
+			prompt()
+			continue
+		}
+		if rest, ok := strings.CutPrefix(trimmed, `\maxmem`); ok {
+			rest = strings.TrimSpace(rest)
+			if rest == "" {
+				if b := db.MemBudget(); b > 0 {
+					fmt.Printf("per-query memory budget: %d bytes\n", b)
+				} else {
+					fmt.Println("per-query memory budget: unlimited")
+				}
+			} else if b, err := strconv.ParseInt(rest, 10, 64); err != nil || b < 0 {
+				fmt.Println("usage: \\maxmem [bytes]  (0 unlimited)")
+			} else {
+				db.SetMemBudget(b)
+				if b > 0 {
+					fmt.Printf("per-query memory budget set to %d bytes\n", b)
+				} else {
+					fmt.Println("per-query memory budget removed")
+				}
 			}
 			prompt()
 			continue

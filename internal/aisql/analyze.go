@@ -1,6 +1,7 @@
 package aisql
 
 import (
+	"context"
 	"strings"
 	"time"
 
@@ -24,7 +25,7 @@ import (
 //     on e.Feedback, feeding the learned-estimator feedback loop;
 //   - the slow-query log entry carries the full profile summary and any
 //     chaos faults that fired during the run.
-func (e *Engine) explainAnalyze(s *sql.SelectStmt, sp *obs.Span, text string) (*exec.Result, error) {
+func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, sp *obs.Span, text string) (*exec.Result, error) {
 	start := time.Now()
 	chaosBefore := e.Chaos.FireCounts()
 	psp := sp.Child("plan")
@@ -44,7 +45,7 @@ func (e *Engine) explainAnalyze(s *sql.SelectStmt, sp *obs.Span, text string) (*
 	ex.Obs = e.execObs
 	ex.Parallelism = e.Parallelism
 	ex.Profile = prof
-	res, err := ex.Run(p)
+	res, err := ex.RunContext(ctx, p)
 	prof.AttachSpans(esp)
 	esp.Finish()
 	if err != nil {

@@ -1,6 +1,7 @@
 package aisql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"aidb/internal/catalog"
 	"aidb/internal/chaos"
 	"aidb/internal/exec"
+	"aidb/internal/governance"
 	"aidb/internal/obs"
 	"aidb/internal/plan"
 	"aidb/internal/sql"
@@ -39,6 +41,12 @@ type Engine struct {
 	// disables feedback collection.
 	Feedback *cardest.FeedbackLog
 
+	// MemLimit, when positive, caps the bytes any single query may
+	// materialize: each query gets a fresh governance.MemBudget of this
+	// size and aborts with governance.ErrMemBudget on overrun. Zero
+	// disables per-query budgets. Set it between queries.
+	MemLimit int64
+
 	mu      sync.RWMutex
 	models  map[string]*Model
 	indexes map[string]*secondaryIndex
@@ -47,6 +55,7 @@ type Engine struct {
 	// when the engine is uninstrumented.
 	tracer      *obs.Tracer
 	execObs     exec.Metrics
+	govObs      governance.Metrics
 	stmts       *obs.Counter
 	parseErrors *obs.Counter
 	slowlog     *obs.SlowQueryLog
@@ -59,6 +68,7 @@ type Engine struct {
 func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	e.tracer = tr
 	e.execObs = exec.NewMetrics(reg)
+	e.govObs = governance.NewMetrics(reg)
 	e.stmts = reg.Counter("sql.statements")
 	e.parseErrors = reg.Counter("sql.parse_errors")
 	e.slowlog = obs.NewSlowQueryLog(0, 0)
@@ -167,10 +177,18 @@ func (e *Engine) funcs() exec.FuncRegistry {
 	}
 }
 
-// Execute parses and runs one statement, returning a result set (possibly
-// empty for DDL/DML). Each call is one root span on the engine's tracer:
-// parse -> plan -> optimize -> exec.
+// Execute parses and runs one statement without a cancellation context
+// (equivalent to ExecuteContext with context.Background()).
 func (e *Engine) Execute(query string) (*exec.Result, error) {
+	return e.ExecuteContext(context.Background(), query)
+}
+
+// ExecuteContext parses and runs one statement, returning a result set
+// (possibly empty for DDL/DML). ctx cancellation or deadline expiry
+// aborts execution cooperatively — SELECTs stop within about one morsel
+// per worker and return no partial result. Each call is one root span
+// on the engine's tracer: parse -> plan -> optimize -> exec.
+func (e *Engine) ExecuteContext(ctx context.Context, query string) (*exec.Result, error) {
 	sp := e.tracer.Start("query")
 	defer sp.Finish()
 	psp := sp.Child("parse")
@@ -183,14 +201,26 @@ func (e *Engine) Execute(query string) (*exec.Result, error) {
 		return nil, err
 	}
 	sp.SetTag("stmt", sql.StatementKind(stmt))
-	return e.executeStmt(stmt, sp, query)
+	return e.executeStmt(ctx, stmt, sp, query)
+}
+
+// ParseScript parses a ';'-separated script into statements, counting
+// parse failures like Execute does. Callers that need per-statement
+// control (timeouts, admission) parse once and run each statement
+// through ExecuteStmtContext.
+func (e *Engine) ParseScript(script string) ([]sql.Statement, error) {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		e.parseErrors.Inc()
+		return nil, err
+	}
+	return stmts, nil
 }
 
 // ExecuteScript runs a ';'-separated script, returning the last result.
 func (e *Engine) ExecuteScript(script string) (*exec.Result, error) {
-	stmts, err := sql.ParseAll(script)
+	stmts, err := e.ParseScript(script)
 	if err != nil {
-		e.parseErrors.Inc()
 		return nil, err
 	}
 	var last *exec.Result
@@ -205,25 +235,39 @@ func (e *Engine) ExecuteScript(script string) (*exec.Result, error) {
 
 // ExecuteStmt runs one parsed statement under its own trace span.
 func (e *Engine) ExecuteStmt(stmt sql.Statement) (*exec.Result, error) {
+	return e.ExecuteStmtContext(context.Background(), stmt)
+}
+
+// ExecuteStmtContext runs one parsed statement under its own trace
+// span, honouring ctx like ExecuteContext.
+func (e *Engine) ExecuteStmtContext(ctx context.Context, stmt sql.Statement) (*exec.Result, error) {
 	sp := e.tracer.Start("query")
 	defer sp.Finish()
 	sp.SetTag("stmt", sql.StatementKind(stmt))
 	e.stmts.Inc()
-	return e.executeStmt(stmt, sp, "")
+	return e.executeStmt(ctx, stmt, sp, "")
 }
 
 // executeStmt dispatches one parsed statement, attaching child spans to
 // sp (which may be nil when tracing is off). text is the raw query text
 // when the statement came in through Execute, "" for pre-parsed
 // statements — the slow-query log falls back to the statement kind.
-func (e *Engine) executeStmt(stmt sql.Statement, sp *obs.Span, text string) (*exec.Result, error) {
+func (e *Engine) executeStmt(ctx context.Context, stmt sql.Statement, sp *obs.Span, text string) (*exec.Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			// Cancelled before any work: count it on the same metric the
+			// executor uses so \metrics sees every cancelled statement.
+			e.execObs.CancelRequests.Inc()
+			return nil, err
+		}
+	}
 	switch s := stmt.(type) {
 	case *sql.CreateTableStmt:
 		return e.createTable(s)
 	case *sql.InsertStmt:
 		return e.insert(s)
 	case *sql.SelectStmt:
-		return e.query(s, sp, text)
+		return e.query(ctx, s, sp, text)
 	case *sql.UpdateStmt:
 		return e.update(s)
 	case *sql.DeleteStmt:
@@ -268,14 +312,14 @@ func (e *Engine) executeStmt(stmt sql.Statement, sp *obs.Span, text string) (*ex
 			// Legacy spelling: `EXPLAIN ANALYZE t` (bare table name)
 			// parses as EXPLAIN over ANALYZE — run the statistics
 			// refresh rather than profiling.
-			return e.executeStmt(a, sp, text)
+			return e.executeStmt(ctx, a, sp, text)
 		}
 		sel, ok := s.Inner.(*sql.SelectStmt)
 		if !ok {
 			return nil, fmt.Errorf("aisql: EXPLAIN supports only SELECT")
 		}
 		if s.Analyze {
-			return e.explainAnalyze(sel, sp, text)
+			return e.explainAnalyze(ctx, sel, sp, text)
 		}
 		p, err := plan.Build(e.Cat, e.rewritePredicts(sel))
 		if err != nil {
@@ -412,7 +456,7 @@ func rewriteExpr(ex sql.Expr) sql.Expr {
 	return ex
 }
 
-func (e *Engine) query(s *sql.SelectStmt, sp *obs.Span, text string) (*exec.Result, error) {
+func (e *Engine) query(ctx context.Context, s *sql.SelectStmt, sp *obs.Span, text string) (*exec.Result, error) {
 	start := time.Now()
 	chaosBefore := e.Chaos.FireCounts()
 	psp := sp.Child("plan")
@@ -437,7 +481,10 @@ func (e *Engine) query(s *sql.SelectStmt, sp *obs.Span, text string) (*exec.Resu
 	ex.Chaos = e.Chaos
 	ex.Obs = e.execObs
 	ex.Parallelism = e.Parallelism
-	res, err := ex.Run(p)
+	if e.MemLimit > 0 {
+		ex.Mem = governance.NewMemBudget(e.MemLimit, e.govObs)
+	}
+	res, err := ex.RunContext(ctx, p)
 	esp.Finish()
 	if err == nil {
 		e.recordSlow(text, "SELECT", plan.Fingerprint(p), time.Since(start), len(res.Rows), "", chaosBefore)

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSleepLatencyVirtualByDefault pins the satellite fix's baseline:
+// without a time unit, SleepLatency matches Latency's schedule and
+// returns instantly — injected latency never sleeps unconditionally.
+func TestSleepLatencyVirtualByDefault(t *testing.T) {
+	in := New(7).Add(Rule{Site: "s", Kind: Latency, Every: 2, Delay: 3})
+	ref := New(7).Add(Rule{Site: "s", Kind: Latency, Every: 2, Delay: 3})
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		d, err := in.SleepLatency(context.Background(), "s")
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if want := ref.Latency("s"); d != want {
+			t.Fatalf("call %d: SleepLatency delay %d diverges from Latency %d", i, d, want)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("virtual latency slept for %v", elapsed)
+	}
+}
+
+// TestSleepLatencyCancellable is the satellite fix: with a real time
+// unit configured, a cancelled context interrupts the injected sleep
+// instead of waiting it out.
+func TestSleepLatencyCancellable(t *testing.T) {
+	in := New(7).Add(Rule{Site: "s", Kind: Latency, Delay: 1})
+	in.SetTimeUnit(time.Hour) // unskippable if the select is broken
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := in.SleepLatency(ctx, "s")
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("injected latency outlived the cancelled query")
+	}
+}
+
+// TestSleepLatencyExpiredContextSkipsSleep: a context already past its
+// deadline must not absorb any real sleep, but the schedule still
+// advances so determinism holds for subsequent calls.
+func TestSleepLatencyExpiredContextSkipsSleep(t *testing.T) {
+	in := New(7).Add(Rule{Site: "s", Kind: Latency, Delay: 5})
+	in.SetTimeUnit(time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	d, err := in.SleepLatency(ctx, "s")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d != 5 {
+		t.Fatalf("delay = %d, want 5 (schedule must advance)", d)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("expired context still slept")
+	}
+	if in.Fires("s") != 1 {
+		t.Fatalf("fires = %d, want 1", in.Fires("s"))
+	}
+}
+
+func TestSleepLatencyRealSleep(t *testing.T) {
+	in := New(7).Add(Rule{Site: "s", Kind: Latency, Delay: 2})
+	in.SetTimeUnit(time.Millisecond)
+	start := time.Now()
+	d, err := in.SleepLatency(context.Background(), "s")
+	if err != nil || d != 2 {
+		t.Fatalf("d=%d err=%v", d, err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("slept only %v, want >= 2ms", elapsed)
+	}
+}
+
+func TestSleepLatencyNilInjector(t *testing.T) {
+	var in *Injector
+	if d, err := in.SleepLatency(context.Background(), "s"); d != 0 || err != nil {
+		t.Fatalf("nil injector: d=%d err=%v", d, err)
+	}
+}

@@ -17,10 +17,12 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"aidb/internal/ml"
 	"aidb/internal/obs"
@@ -135,6 +137,12 @@ type Injector struct {
 
 	reg      *obs.Registry
 	obsTotal *obs.Counter
+
+	// timeUnit is the wall-clock duration of one injected latency unit
+	// for SleepLatency. Zero (the default) keeps latency purely virtual:
+	// schedules and accounting are identical, nothing sleeps, and every
+	// experiment stays deterministic.
+	timeUnit time.Duration
 }
 
 // New returns an injector with no rules. Same seed + same rules + same
@@ -262,6 +270,73 @@ func (in *Injector) Latency(site string) int {
 		return 1
 	}
 	return r.Delay
+}
+
+// SetTimeUnit makes injected latency real: SleepLatency sleeps d per
+// delay unit. Zero restores purely virtual latency. Real-time latency
+// is for cancellation and overload harnesses; schedule determinism is
+// unaffected (only whether anything sleeps changes).
+func (in *Injector) SetTimeUnit(d time.Duration) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	in.timeUnit = d
+	in.mu.Unlock()
+}
+
+// SleepLatency draws the latency schedule at site exactly like Latency
+// — same rules, same per-site call sequence, same delay accounting —
+// and, when a real time unit is configured, sleeps delay*unit. The
+// sleep selects on ctx, so injected latency can never outlive a
+// cancelled query: cancellation mid-sleep returns ctx.Err()
+// immediately with the remaining delay unslept. A nil or expired
+// context still advances the schedule (determinism) but skips the
+// sleep.
+func (in *Injector) SleepLatency(ctx context.Context, site string) (int, error) {
+	if in == nil {
+		return 0, nil
+	}
+	in.mu.Lock()
+	r := in.fire(site, Latency)
+	unit := in.timeUnit
+	in.mu.Unlock()
+	if r == nil {
+		return 0, ctxErr(ctx)
+	}
+	delay := r.Delay
+	if delay <= 0 {
+		delay = 1
+	}
+	if unit <= 0 {
+		return delay, ctxErr(ctx)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return delay, err
+	}
+	t := time.NewTimer(time.Duration(delay) * unit)
+	defer t.Stop()
+	if ctx == nil {
+		<-t.C
+		return delay, nil
+	}
+	select {
+	case <-t.C:
+		return delay, nil
+	case <-ctx.Done():
+		return delay, ctx.Err()
+	}
+}
+
+// ctxErr is a nil-tolerant ctx.Err().
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Corrupt flips one pseudo-random bit of buf in place when a Corrupt

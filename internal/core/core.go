@@ -7,15 +7,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"aidb/internal/aisql"
 	"aidb/internal/cardest"
 	"aidb/internal/catalog"
 	"aidb/internal/exec"
+	"aidb/internal/governance"
+	"aidb/internal/guard"
 	"aidb/internal/idxadvisor"
 	"aidb/internal/knob"
 	"aidb/internal/ml"
@@ -43,6 +47,15 @@ type DB struct {
 	// accumulates experience (QTune behaviour).
 	tuner   *knob.QTune
 	surface *knob.Surface
+
+	// Overload-governance plane: every ExecContext passes the admission
+	// gate (unlimited by default), inherits the default statement
+	// timeout (0 = none), and transient faults can be retried through
+	// ExecRetry with this policy.
+	gate    *governance.AdmissionGate
+	govObs  governance.Metrics
+	timeout time.Duration
+	retry   governance.RetryPolicy
 }
 
 // Open creates an in-memory database seeded deterministically.
@@ -65,6 +78,11 @@ func OpenSeeded(seed uint64) *DB {
 	engine.Feedback = feedback
 	reg.GaugeFunc("cardest.feedback.total", func() float64 { return float64(feedback.Total()) })
 	reg.GaugeFunc("cardest.qerror.window_median", qerr.Median)
+	govObs := governance.NewMetrics(reg)
+	gate := governance.NewAdmissionGate(0)
+	gate.Instrument(govObs)
+	reg.GaugeFunc("admission.active", func() float64 { return float64(gate.Active()) })
+	reg.GaugeFunc("admission.queue_depth", func() float64 { return float64(gate.Queued()) })
 	return &DB{
 		engine:   engine,
 		rng:      rng,
@@ -74,6 +92,9 @@ func OpenSeeded(seed uint64) *DB {
 		qerr:     qerr,
 		tuner:    &knob.QTune{Rng: ml.NewRNG(seed + 1)},
 		surface:  knob.NewSurface(ml.NewRNG(seed+2), 0.01),
+		gate:     gate,
+		govObs:   govObs,
+		retry:    governance.RetryPolicy{Seed: seed + 3},
 	}
 }
 
@@ -134,14 +155,131 @@ func (db *DB) LastTrace() string {
 	return s.Dump()
 }
 
-// Exec runs one SQL/AISQL statement.
-func (db *DB) Exec(query string) (*exec.Result, error) {
-	return db.engine.Execute(query)
+// SetTimeout sets the default statement timeout applied by ExecContext
+// when the caller's context carries no deadline of its own (the REPL's
+// \timeout knob). Zero disables the default.
+func (db *DB) SetTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	db.timeout = d
 }
 
-// ExecScript runs a ';'-separated script, returning the last result.
+// Timeout reports the default statement timeout (0 = none).
+func (db *DB) Timeout() time.Duration { return db.timeout }
+
+// SetMaxConcurrent bounds the number of statements executing at once;
+// excess callers queue FIFO at the admission gate and are shed when
+// their deadline would expire before admission. 0 removes the bound
+// (the default). Raising the bound grants queued waiters immediately.
+func (db *DB) SetMaxConcurrent(n int) { db.gate.SetMaxConcurrent(n) }
+
+// MaxConcurrent reports the admission bound (0 = unlimited).
+func (db *DB) MaxConcurrent() int { return db.gate.MaxConcurrent() }
+
+// AdmissionGate exposes the gate for harnesses (aidb-bench, E29).
+func (db *DB) AdmissionGate() *governance.AdmissionGate { return db.gate }
+
+// SetMemBudget caps the bytes a single query may materialize; queries
+// that exceed it abort with governance.ErrMemBudget. 0 disables (the
+// default). Not safe to call concurrently with in-flight queries.
+func (db *DB) SetMemBudget(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	db.engine.MemLimit = bytes
+}
+
+// MemBudget reports the per-query memory cap (0 = unlimited).
+func (db *DB) MemBudget() int64 { return db.engine.MemLimit }
+
+// Exec runs one SQL/AISQL statement without external cancellation
+// (equivalent to ExecContext with context.Background()).
+func (db *DB) Exec(query string) (*exec.Result, error) {
+	return db.ExecContext(context.Background(), query)
+}
+
+// ExecContext runs one SQL/AISQL statement under ctx: the statement
+// first passes the admission gate (queueing when the concurrency bound
+// is reached, shed with governance.ErrShed when its deadline would
+// expire first), then executes with cooperative cancellation — ctx
+// cancellation or deadline expiry stops the query within about one
+// morsel per worker with no partial result. When the database has a
+// default timeout and ctx carries no deadline, the default applies.
+func (db *DB) ExecContext(ctx context.Context, query string) (*exec.Result, error) {
+	return db.govern(ctx, func(ctx context.Context) (*exec.Result, error) {
+		return db.engine.ExecuteContext(ctx, query)
+	})
+}
+
+// govern applies the per-statement governance plane — default timeout
+// when ctx has no deadline, then the admission gate — around one unit
+// of execution.
+func (db *DB) govern(ctx context.Context, run func(context.Context) (*exec.Result, error)) (*exec.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if db.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, db.timeout)
+			defer cancel()
+		}
+	}
+	release, err := db.gate.Admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return run(ctx)
+}
+
+// ExecRetry runs one statement like ExecContext, retrying transient
+// faults (injected chaos errors, lock timeouts, deadlock aborts — see
+// guard.Classify) with exponential backoff plus deterministic jitter.
+// Permanent errors and ctx cancellation fail immediately; retry
+// attempts and exhaustion are visible as retry.* metrics.
+func (db *DB) ExecRetry(ctx context.Context, query string) (*exec.Result, error) {
+	var res *exec.Result
+	err := governance.Retry(ctx, db.retry, db.govObs, guard.IsTransient, func() error {
+		var ferr error
+		res, ferr = db.ExecContext(ctx, query)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ExecScript runs a ';'-separated script, returning the last result
+// (equivalent to ExecScriptContext with context.Background()).
 func (db *DB) ExecScript(script string) (*exec.Result, error) {
-	return db.engine.ExecuteScript(script)
+	return db.ExecScriptContext(context.Background(), script)
+}
+
+// ExecScriptContext runs a ';'-separated script under ctx, returning
+// the last result. Each statement passes the governance plane
+// individually — the default timeout applies per statement and every
+// statement takes its own turn through the admission gate — so the
+// REPL and script paths observe the same timeouts, concurrency bounds
+// and metrics as ExecContext.
+func (db *DB) ExecScriptContext(ctx context.Context, script string) (*exec.Result, error) {
+	stmts, err := db.engine.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	var last *exec.Result
+	for _, s := range stmts {
+		s := s
+		last, err = db.govern(ctx, func(ctx context.Context) (*exec.Result, error) {
+			return db.engine.ExecuteStmtContext(ctx, s)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
 }
 
 // Catalog exposes the underlying catalog for advanced callers.

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +11,7 @@ import (
 
 	"aidb/internal/catalog"
 	"aidb/internal/chaos"
+	"aidb/internal/governance"
 	"aidb/internal/plan"
 	"aidb/internal/sql"
 	"aidb/internal/storage"
@@ -54,6 +57,13 @@ type Executor struct {
 	// nil (the default) disables profiling at the cost of one nil check
 	// per operator.
 	Profile *QueryProfile
+
+	// Mem, when set, is the per-query memory budget charged at row-
+	// materialization sites (scan/filter/projection/join outputs and
+	// aggregation state); exceeding it aborts the query with an error
+	// wrapping governance.ErrMemBudget. Like Profile it applies to
+	// exactly one Run; nil (the default) disables accounting.
+	Mem *governance.MemBudget
 
 	// Parallelism is the morsel worker budget: 0 selects
 	// runtime.NumCPU() (auto), 1 pins the serial path (the comparison
@@ -102,15 +112,40 @@ func New(funcs FuncRegistry) *Executor {
 	return &Executor{Funcs: funcs}
 }
 
-// Run materializes the plan's output.
+// Run materializes the plan's output without a cancellation context
+// (equivalent to RunContext with context.Background()).
 func (ex *Executor) Run(n plan.Node) (*Result, error) {
+	return ex.RunContext(context.Background(), n)
+}
+
+// IsCancellation reports whether err is a context cancellation or
+// deadline expiry (possibly wrapped).
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunContext materializes the plan's output, checking ctx cooperatively
+// at every morsel boundary (and every ctxCheckRows rows inside
+// monolithic serial loops), so a cancelled query stops within about one
+// morsel of work per worker and never returns a partial result. The
+// returned error wraps ctx.Err() when the run was cancelled;
+// cancel.requests counts such runs and cancel.latency_ns observes the
+// cancellation-observed-to-return teardown latency.
+func (ex *Executor) RunContext(ctx context.Context, n plan.Node) (*Result, error) {
 	ex.Obs.Queries.Inc()
 	if done := ex.Obs.timeQuery(); done != nil {
 		defer done()
 	}
-	rows, err := ex.exec(n)
+	rc := &runCtx{ctx: ctx, mem: ex.Mem}
+	rows, err := ex.exec(rc, n)
 	if err != nil {
 		ex.Obs.QueryErrors.Inc()
+		if IsCancellation(err) {
+			ex.Obs.CancelRequests.Inc()
+			if at := rc.cancelAt.Load(); at != 0 {
+				ex.Obs.CancelLatency.Observe(float64(time.Now().UnixNano() - at))
+			}
+		}
 		return nil, err
 	}
 	ex.Stats.RowsOutput.Add(uint64(len(rows)))
@@ -118,59 +153,136 @@ func (ex *Executor) Run(n plan.Node) (*Result, error) {
 	return &Result{Columns: n.Schema(), Rows: rows}, nil
 }
 
+// runCtx carries one Run's cancellation and resource state down the
+// operator tree. It is per-run (never stored on the Executor), so one
+// executor can serve concurrent RunContext calls with different
+// contexts and budgets racing nothing.
+type runCtx struct {
+	ctx context.Context
+	mem *governance.MemBudget
+	// cancelAt is the unix-nano timestamp of the first observed
+	// cancellation, feeding the cancel.latency_ns teardown histogram.
+	cancelAt atomic.Int64
+}
+
+// ctxCheckRows is the cooperative-cancellation stride inside monolithic
+// row loops (serial scans, filters, probes): one context check per this
+// many rows keeps cancellation latency at sub-morsel granularity for
+// about one predictable branch per row of overhead.
+const ctxCheckRows = 1024
+
+// err checks the run's context, stamping the first cancellation
+// observation for latency accounting. Nil-receiver and nil-context
+// safe (both mean "not cancellable").
+func (rc *runCtx) err() error {
+	if rc == nil || rc.ctx == nil {
+		return nil
+	}
+	if err := rc.ctx.Err(); err != nil {
+		rc.cancelAt.CompareAndSwap(0, time.Now().UnixNano())
+		return err
+	}
+	return nil
+}
+
+// stamp records the cancellation-observation time when err is a context
+// error surfaced by a callee (e.g. an interrupted chaos sleep) rather
+// than by rc.err itself, then returns err unchanged.
+func (rc *runCtx) stamp(err error) error {
+	if rc != nil && IsCancellation(err) {
+		rc.cancelAt.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	return err
+}
+
+// charge bills rows against the run's memory budget.
+func (rc *runCtx) charge(rows []catalog.Row) error {
+	if rc == nil || rc.mem == nil || len(rows) == 0 {
+		return nil
+	}
+	return rc.mem.Charge(approxRowsBytes(rows))
+}
+
+// approxRowsBytes estimates the materialized size of rows: slice
+// headers plus a boxed-word cost per value plus string payloads. The
+// point is a stable, cheap proxy for allocation appetite, not exact
+// accounting.
+func approxRowsBytes(rows []catalog.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += 24 + 16*int64(len(r))
+		for _, v := range r {
+			if s, ok := v.(string); ok {
+				n += int64(len(s))
+			}
+		}
+	}
+	return n
+}
+
 // exec runs one operator, recording its profile when profiling is on.
 // Wall time is inclusive (children recurse through exec themselves).
-func (ex *Executor) exec(n plan.Node) ([]catalog.Row, error) {
+func (ex *Executor) exec(rc *runCtx, n plan.Node) ([]catalog.Row, error) {
 	if ex.Profile == nil {
-		return ex.execNode(n)
+		return ex.execNode(rc, n)
 	}
 	op := ex.Profile.enter(n)
 	if op == nil {
-		return ex.execNode(n)
+		return ex.execNode(rc, n)
 	}
 	start := time.Now()
-	rows, err := ex.execNode(n)
+	rows, err := ex.execNode(rc, n)
 	op.wallNs.Add(time.Since(start).Nanoseconds())
 	op.actualRows.Add(int64(len(rows)))
 	ex.Profile.exit()
 	return rows, err
 }
 
-func (ex *Executor) execNode(n plan.Node) ([]catalog.Row, error) {
+func (ex *Executor) execNode(rc *runCtx, n plan.Node) ([]catalog.Row, error) {
 	switch v := n.(type) {
 	case *plan.ScanNode:
-		return ex.scan(v)
+		return ex.scan(rc, v)
 	case *plan.IndexScanNode:
-		return ex.indexScan(v)
+		return ex.indexScan(rc, v)
 	case *plan.FilterNode:
-		in, err := ex.exec(v.Input)
+		in, err := ex.exec(rc, v.Input)
 		if err != nil {
 			return nil, err
 		}
 		scope := NewScope(v.Input.Schema())
 		chunks := chunkBounds(len(in), ex.morselRows())
 		if len(chunks) <= 1 || ex.workers() == 1 {
-			return ex.filterRows(in, v.Cond, scope)
+			out, ferr := ex.filterRows(rc, in, v.Cond, scope)
+			if ferr != nil {
+				return nil, ferr
+			}
+			return out, rc.charge(out)
 		}
 		outs := make([][]catalog.Row, len(chunks))
-		err = ex.runMorsels(len(chunks), func(m int) error {
-			o, ferr := ex.filterRows(in[chunks[m][0]:chunks[m][1]], v.Cond, scope)
+		err = ex.runMorsels(rc, len(chunks), func(m int) error {
+			o, ferr := ex.filterRows(rc, in[chunks[m][0]:chunks[m][1]], v.Cond, scope)
+			if ferr != nil {
+				return ferr
+			}
 			outs[m] = o
-			return ferr
+			return rc.charge(o)
 		})
 		if err != nil {
 			return nil, err
 		}
 		return concatRows(outs), nil
 	case *plan.JoinNode:
-		return ex.hashJoin(v)
+		return ex.hashJoin(rc, v)
 	case *plan.ProjectNode:
-		return ex.project(v)
+		return ex.project(rc, v)
 	case *plan.AggregateNode:
-		return ex.aggregate(v)
+		return ex.aggregate(rc, v)
 	case *plan.SortNode:
-		in, err := ex.exec(v.Input)
+		in, err := ex.exec(rc, v.Input)
 		if err != nil {
+			return nil, err
+		}
+		if err := rc.err(); err != nil {
 			return nil, err
 		}
 		schema := v.Input.Schema()
@@ -224,7 +336,7 @@ func (ex *Executor) execNode(n plan.Node) ([]catalog.Row, error) {
 		})
 		return in, sortErr
 	case *plan.LimitNode:
-		in, err := ex.exec(v.Input)
+		in, err := ex.exec(rc, v.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +345,7 @@ func (ex *Executor) execNode(n plan.Node) ([]catalog.Row, error) {
 		}
 		return in, nil
 	case *plan.DistinctNode:
-		in, err := ex.exec(v.Input)
+		in, err := ex.exec(rc, v.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -255,38 +367,66 @@ func (ex *Executor) execNode(n plan.Node) ([]catalog.Row, error) {
 // scan reads a heap table, splitting its page list into morsels and
 // scanning them on the worker pool. Morsel outputs concatenate in page
 // order, so parallel scans return rows in exactly the serial order.
-func (ex *Executor) scan(v *plan.ScanNode) ([]catalog.Row, error) {
+func (ex *Executor) scan(rc *runCtx, v *plan.ScanNode) ([]catalog.Row, error) {
 	morsels := storage.PartitionPages(v.Table.PageIDs(), ex.scanMorselPages())
 	// Chaos fires per morsel (at least once per scan, so empty tables
-	// keep their schedule), consulted serially before dispatch.
+	// keep their schedule), consulted serially before dispatch. Injected
+	// latency selects on the run's context: a cancelled query never
+	// waits out a sleep it no longer needs (satellite fix — the old path
+	// slept unconditionally once real-time units were configured).
 	consult := len(morsels)
 	if consult == 0 {
 		consult = 1
 	}
+	var ctx context.Context
+	if rc != nil {
+		ctx = rc.ctx
+	}
 	for m := 0; m < consult; m++ {
-		delay := uint64(ex.Chaos.Latency(SiteExecScan))
-		ex.Stats.InjectedDelayUnits.Add(delay)
-		ex.Obs.InjectedDelay.Add(delay)
+		delay, cerr := ex.Chaos.SleepLatency(ctx, SiteExecScan)
+		ex.Stats.InjectedDelayUnits.Add(uint64(delay))
+		ex.Obs.InjectedDelay.Add(uint64(delay))
+		if cerr != nil {
+			return nil, fmt.Errorf("exec: scan %s: %w", v.Table.Name, rc.stamp(cerr))
+		}
 		if err := ex.Chaos.Fail(SiteExecScan); err != nil {
 			return nil, fmt.Errorf("exec: scan %s: %w", v.Table.Name, err)
 		}
 	}
 	var rows []catalog.Row
 	if len(morsels) <= 1 || ex.workers() == 1 {
+		var scanErr error
+		i := 0
 		err := v.Table.Scan(func(_ storage.RecordID, r catalog.Row) bool {
+			if i%ctxCheckRows == 0 {
+				if scanErr = rc.err(); scanErr != nil {
+					return false
+				}
+			}
+			i++
 			rows = append(rows, r)
 			return true
 		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
 		if err != nil {
+			return nil, err
+		}
+		if err := rc.charge(rows); err != nil {
 			return nil, err
 		}
 	} else {
 		outs := make([][]catalog.Row, len(morsels))
-		err := ex.runMorsels(len(morsels), func(m int) error {
-			return v.Table.ScanPages(morsels[m], func(_ storage.RecordID, r catalog.Row) bool {
+		err := ex.runMorsels(rc, len(morsels), func(m int) error {
+			serr := v.Table.ScanPages(morsels[m], func(_ storage.RecordID, r catalog.Row) bool {
 				outs[m] = append(outs[m], r)
 				return true
 			})
+			if serr != nil {
+				return serr
+			}
+			return rc.charge(outs[m])
 		})
 		if err != nil {
 			return nil, err
@@ -302,25 +442,43 @@ func (ex *Executor) scan(v *plan.ScanNode) ([]catalog.Row, error) {
 // scanned on the worker pool. Subranges concatenate in ascending key
 // order, matching the serial scan exactly. Fetch closures are
 // shared-read safe (the index takes a read lock per call).
-func (ex *Executor) indexScan(v *plan.IndexScanNode) ([]catalog.Row, error) {
+func (ex *Executor) indexScan(rc *runCtx, v *plan.IndexScanNode) ([]catalog.Row, error) {
 	var rows []catalog.Row
 	w := ex.workers()
 	subs := splitKeyRange(v.Lo, v.Hi, w*2, minIndexMorselWidth)
 	if len(subs) <= 1 || w == 1 {
+		var scanErr error
+		i := 0
 		err := v.Fetch(v.Lo, v.Hi, func(r catalog.Row) bool {
+			if i%ctxCheckRows == 0 {
+				if scanErr = rc.err(); scanErr != nil {
+					return false
+				}
+			}
+			i++
 			rows = append(rows, r)
 			return true
 		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
 		if err != nil {
+			return nil, err
+		}
+		if err := rc.charge(rows); err != nil {
 			return nil, err
 		}
 	} else {
 		outs := make([][]catalog.Row, len(subs))
-		err := ex.runMorsels(len(subs), func(m int) error {
-			return v.Fetch(subs[m][0], subs[m][1], func(r catalog.Row) bool {
+		err := ex.runMorsels(rc, len(subs), func(m int) error {
+			ferr := v.Fetch(subs[m][0], subs[m][1], func(r catalog.Row) bool {
 				outs[m] = append(outs[m], r)
 				return true
 			})
+			if ferr != nil {
+				return ferr
+			}
+			return rc.charge(outs[m])
 		})
 		if err != nil {
 			return nil, err
@@ -337,12 +495,12 @@ func (ex *Executor) indexScan(v *plan.IndexScanNode) ([]catalog.Row, error) {
 // partition per worker — no shared-map locking), the larger side probes
 // them in parallel morsels. Output order matches the serial join: probe
 // order outer, build-input order within a key.
-func (ex *Executor) hashJoin(j *plan.JoinNode) ([]catalog.Row, error) {
-	left, err := ex.exec(j.Left)
+func (ex *Executor) hashJoin(rc *runCtx, j *plan.JoinNode) ([]catalog.Row, error) {
+	left, err := ex.exec(rc, j.Left)
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.exec(j.Right)
+	right, err := ex.exec(rc, j.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -369,11 +527,21 @@ func (ex *Executor) hashJoin(j *plan.JoinNode) ([]catalog.Row, error) {
 	w := ex.workers()
 	if w == 1 || len(buildRows)+len(probeRows) <= ex.morselRows() {
 		ht := make(map[string][]catalog.Row, len(buildRows))
-		for _, r := range buildRows {
+		for i, r := range buildRows {
+			if i%ctxCheckRows == 0 {
+				if err := rc.err(); err != nil {
+					return nil, err
+				}
+			}
 			k := valKey(r[buildIdx])
 			ht[k] = append(ht[k], r)
 		}
-		for _, pr := range probeRows {
+		for i, pr := range probeRows {
+			if i%ctxCheckRows == 0 {
+				if err := rc.err(); err != nil {
+					return nil, err
+				}
+			}
 			for _, br := range ht[valKey(pr[probeIdx])] {
 				var joined catalog.Row
 				if buildIsLeft {
@@ -384,33 +552,46 @@ func (ex *Executor) hashJoin(j *plan.JoinNode) ([]catalog.Row, error) {
 				out = append(out, joined)
 			}
 		}
+		if err := rc.charge(out); err != nil {
+			return nil, err
+		}
 	} else {
-		tables, berr := ex.buildPartitioned(buildRows, buildIdx, w)
+		tables, berr := ex.buildPartitioned(rc, buildRows, buildIdx, w)
 		if berr != nil {
 			return nil, berr
 		}
-		out = ex.probePartitioned(tables, probeRows, probeIdx, buildIsLeft)
+		out, err = ex.probePartitioned(rc, tables, probeRows, probeIdx, buildIsLeft)
+		if err != nil {
+			return nil, err
+		}
 	}
 	ex.Stats.RowsJoined.Add(uint64(len(out)))
 	ex.Obs.RowsJoined.Add(uint64(len(out)))
 	return out, nil
 }
 
-func (ex *Executor) project(p *plan.ProjectNode) ([]catalog.Row, error) {
-	in, err := ex.exec(p.Input)
+func (ex *Executor) project(rc *runCtx, p *plan.ProjectNode) ([]catalog.Row, error) {
+	in, err := ex.exec(rc, p.Input)
 	if err != nil {
 		return nil, err
 	}
 	scope := NewScope(p.Input.Schema())
 	chunks := chunkBounds(len(in), ex.morselRows())
 	if len(chunks) <= 1 || ex.workers() == 1 {
-		return ex.projectRows(in, p.Items, scope)
+		out, perr := ex.projectRows(rc, in, p.Items, scope)
+		if perr != nil {
+			return nil, perr
+		}
+		return out, rc.charge(out)
 	}
 	outs := make([][]catalog.Row, len(chunks))
-	err = ex.runMorsels(len(chunks), func(m int) error {
-		o, perr := ex.projectRows(in[chunks[m][0]:chunks[m][1]], p.Items, scope)
+	err = ex.runMorsels(rc, len(chunks), func(m int) error {
+		o, perr := ex.projectRows(rc, in[chunks[m][0]:chunks[m][1]], p.Items, scope)
+		if perr != nil {
+			return perr
+		}
 		outs[m] = o
-		return perr
+		return rc.charge(o)
 	})
 	if err != nil {
 		return nil, err
@@ -431,8 +612,8 @@ type aggState struct {
 // (composable sum/count/min/max; AVG finalizes as sum/count) merged in
 // morsel order, so group output order is global first-occurrence order,
 // identical to the serial accumulation.
-func (ex *Executor) aggregate(a *plan.AggregateNode) ([]catalog.Row, error) {
-	in, err := ex.exec(a.Input)
+func (ex *Executor) aggregate(rc *runCtx, a *plan.AggregateNode) ([]catalog.Row, error) {
+	in, err := ex.exec(rc, a.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -440,14 +621,14 @@ func (ex *Executor) aggregate(a *plan.AggregateNode) ([]catalog.Row, error) {
 	chunks := chunkBounds(len(in), ex.morselRows())
 	var merged *aggPartial
 	if len(chunks) <= 1 || ex.workers() == 1 {
-		merged, err = ex.aggregateChunk(a, scope, in)
+		merged, err = ex.aggregateChunk(rc, a, scope, in)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		partials := make([]*aggPartial, len(chunks))
-		err = ex.runMorsels(len(chunks), func(m int) error {
-			p, aerr := ex.aggregateChunk(a, scope, in[chunks[m][0]:chunks[m][1]])
+		err = ex.runMorsels(rc, len(chunks), func(m int) error {
+			p, aerr := ex.aggregateChunk(rc, a, scope, in[chunks[m][0]:chunks[m][1]])
 			partials[m] = p
 			return aerr
 		})
@@ -465,9 +646,14 @@ func (ex *Executor) aggregate(a *plan.AggregateNode) ([]catalog.Row, error) {
 }
 
 // aggregateChunk folds one morsel of rows into a fresh partial state.
-func (ex *Executor) aggregateChunk(a *plan.AggregateNode, scope *Scope, rows []catalog.Row) (*aggPartial, error) {
+func (ex *Executor) aggregateChunk(rc *runCtx, a *plan.AggregateNode, scope *Scope, rows []catalog.Row) (*aggPartial, error) {
 	part := newAggPartial()
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%ctxCheckRows == 0 {
+			if err := rc.err(); err != nil {
+				return nil, err
+			}
+		}
 		var key catalog.Row
 		for _, g := range a.GroupBy {
 			v, err := Eval(g, scope, r, ex.Funcs)

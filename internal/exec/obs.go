@@ -29,6 +29,13 @@ type Metrics struct {
 	WorkerSpawns *obs.Counter
 	ParallelOps  *obs.Counter
 
+	// Cancellation accounting: runs that returned a context error, and
+	// the teardown latency from the first cooperative check that saw the
+	// cancellation to RunContext returning (how long a cancelled query
+	// kept running — bounded by about one morsel per worker).
+	CancelRequests *obs.Counter
+	CancelLatency  *obs.Histogram
+
 	// Per-operator parallel-speedup histograms (serial time / parallel
 	// time, dimensionless). The executor never runs both modes itself;
 	// comparison harnesses — E26 and `aidb-bench -bench-exec` — feed
@@ -45,19 +52,21 @@ func NewMetrics(reg *obs.Registry) Metrics {
 		return Metrics{}
 	}
 	return Metrics{
-		Queries:       reg.Counter("exec.queries"),
-		QueryErrors:   reg.Counter("exec.query_errors"),
-		RowsScanned:   reg.Counter("exec.rows_scanned"),
-		RowsJoined:    reg.Counter("exec.rows_joined"),
-		RowsOutput:    reg.Counter("exec.rows_output"),
-		InjectedDelay: reg.Counter("exec.injected_delay_units"),
-		QueryLatency:  reg.Histogram("exec.query_latency_ns", latencyBuckets),
-		Morsels:       reg.Counter("exec.morsels"),
-		WorkerSpawns:  reg.Counter("exec.worker_spawns"),
-		ParallelOps:   reg.Counter("exec.parallel_ops"),
-		ScanSpeedup:   reg.Histogram("exec.speedup.scan", speedupBuckets),
-		JoinSpeedup:   reg.Histogram("exec.speedup.join", speedupBuckets),
-		AggSpeedup:    reg.Histogram("exec.speedup.agg", speedupBuckets),
+		Queries:        reg.Counter("exec.queries"),
+		QueryErrors:    reg.Counter("exec.query_errors"),
+		RowsScanned:    reg.Counter("exec.rows_scanned"),
+		RowsJoined:     reg.Counter("exec.rows_joined"),
+		RowsOutput:     reg.Counter("exec.rows_output"),
+		InjectedDelay:  reg.Counter("exec.injected_delay_units"),
+		QueryLatency:   reg.Histogram("exec.query_latency_ns", latencyBuckets),
+		CancelRequests: reg.Counter("cancel.requests"),
+		CancelLatency:  reg.Histogram("cancel.latency_ns", latencyBuckets),
+		Morsels:        reg.Counter("exec.morsels"),
+		WorkerSpawns:   reg.Counter("exec.worker_spawns"),
+		ParallelOps:    reg.Counter("exec.parallel_ops"),
+		ScanSpeedup:    reg.Histogram("exec.speedup.scan", speedupBuckets),
+		JoinSpeedup:    reg.Histogram("exec.speedup.join", speedupBuckets),
+		AggSpeedup:     reg.Histogram("exec.speedup.agg", speedupBuckets),
 	}
 }
 

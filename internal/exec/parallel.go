@@ -86,8 +86,11 @@ func chunkBounds(n, size int) [][2]int {
 // run concurrently and must only write state owned by their morsel.
 // With one worker (or one morsel) it degenerates to a plain loop — the
 // serial path shares this code, so Parallelism=1 exercises the exact
-// per-morsel logic without goroutines.
-func (ex *Executor) runMorsels(n int, fn func(m int) error) error {
+// per-morsel logic without goroutines. rc's context is checked before
+// every morsel (in both the serial loop and each worker's pull loop),
+// so a cancelled run stops within one in-flight morsel per worker and
+// workers always drain back through the WaitGroup — no leaks.
+func (ex *Executor) runMorsels(rc *runCtx, n int, fn func(m int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -104,6 +107,9 @@ func (ex *Executor) runMorsels(n int, fn func(m int) error) error {
 	}
 	if workers <= 1 {
 		for m := 0; m < n; m++ {
+			if err := rc.err(); err != nil {
+				return err
+			}
 			if err := fn(m); err != nil {
 				return err
 			}
@@ -130,6 +136,11 @@ func (ex *Executor) runMorsels(n int, fn func(m int) error) error {
 			for {
 				m := int(cursor.Add(1)) - 1
 				if m >= n || failed.Load() {
+					break
+				}
+				if err := rc.err(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
 					break
 				}
 				processed++
@@ -172,9 +183,14 @@ func concatRows(outs [][]catalog.Row) []catalog.Row {
 // survivors into the caller's slice in place, which is unsound once
 // morsels of one input slice are filtered concurrently (and corrupts
 // any operator that re-reads its materialized input).
-func (ex *Executor) filterRows(rows []catalog.Row, cond sql.Expr, scope *Scope) ([]catalog.Row, error) {
+func (ex *Executor) filterRows(rc *runCtx, rows []catalog.Row, cond sql.Expr, scope *Scope) ([]catalog.Row, error) {
 	out := rows[:0:0]
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%ctxCheckRows == 0 {
+			if err := rc.err(); err != nil {
+				return nil, err
+			}
+		}
 		ok, err := EvalBool(cond, scope, r, ex.Funcs)
 		if err != nil {
 			return nil, err
@@ -187,9 +203,14 @@ func (ex *Executor) filterRows(rows []catalog.Row, cond sql.Expr, scope *Scope) 
 }
 
 // projectRows computes the projection items for each row.
-func (ex *Executor) projectRows(rows []catalog.Row, items []sql.SelectItem, scope *Scope) ([]catalog.Row, error) {
+func (ex *Executor) projectRows(rc *runCtx, rows []catalog.Row, items []sql.SelectItem, scope *Scope) ([]catalog.Row, error) {
 	out := make([]catalog.Row, 0, len(rows))
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%ctxCheckRows == 0 {
+			if err := rc.err(); err != nil {
+				return nil, err
+			}
+		}
 		var row catalog.Row
 		for _, it := range items {
 			if _, ok := it.Expr.(*sql.Star); ok {
@@ -230,10 +251,10 @@ type joinEntry struct {
 // per partition merges that partition's lists in morsel order, so rows
 // within a key keep build-input order and the probe output matches the
 // serial join exactly. No shared map is ever written concurrently.
-func (ex *Executor) buildPartitioned(buildRows []catalog.Row, buildIdx, numParts int) ([]map[string][]catalog.Row, error) {
+func (ex *Executor) buildPartitioned(rc *runCtx, buildRows []catalog.Row, buildIdx, numParts int) ([]map[string][]catalog.Row, error) {
 	chunks := chunkBounds(len(buildRows), ex.morselRows())
 	split := make([][][]joinEntry, len(chunks))
-	err := ex.runMorsels(len(chunks), func(m int) error {
+	err := ex.runMorsels(rc, len(chunks), func(m int) error {
 		local := make([][]joinEntry, numParts)
 		for _, r := range buildRows[chunks[m][0]:chunks[m][1]] {
 			k := valKey(r[buildIdx])
@@ -247,7 +268,7 @@ func (ex *Executor) buildPartitioned(buildRows []catalog.Row, buildIdx, numParts
 		return nil, err
 	}
 	tables := make([]map[string][]catalog.Row, numParts)
-	err = ex.runMorsels(numParts, func(p int) error {
+	err = ex.runMorsels(rc, numParts, func(p int) error {
 		n := 0
 		for m := range split {
 			n += len(split[m][p])
@@ -269,12 +290,12 @@ func (ex *Executor) buildPartitioned(buildRows []catalog.Row, buildIdx, numParts
 
 // probePartitioned probes the partitioned hash tables with probeRows in
 // parallel morsels, concatenating per-morsel outputs in probe order.
-func (ex *Executor) probePartitioned(tables []map[string][]catalog.Row, probeRows []catalog.Row, probeIdx int, buildIsLeft bool) []catalog.Row {
+// Errors only on cancellation or a blown memory budget.
+func (ex *Executor) probePartitioned(rc *runCtx, tables []map[string][]catalog.Row, probeRows []catalog.Row, probeIdx int, buildIsLeft bool) ([]catalog.Row, error) {
 	numParts := uint64(len(tables))
 	chunks := chunkBounds(len(probeRows), ex.morselRows())
 	outs := make([][]catalog.Row, len(chunks))
-	// Probe never errors; runMorsels' error path is unused here.
-	_ = ex.runMorsels(len(chunks), func(m int) error {
+	err := ex.runMorsels(rc, len(chunks), func(m int) error {
 		var out []catalog.Row
 		for _, pr := range probeRows[chunks[m][0]:chunks[m][1]] {
 			k := valKey(pr[probeIdx])
@@ -289,9 +310,12 @@ func (ex *Executor) probePartitioned(tables []map[string][]catalog.Row, probeRow
 			}
 		}
 		outs[m] = out
-		return nil
+		return rc.charge(out)
 	})
-	return concatRows(outs)
+	if err != nil {
+		return nil, err
+	}
+	return concatRows(outs), nil
 }
 
 // splitKeyRange splits the inclusive key range [lo, hi] into up to k

@@ -176,7 +176,7 @@ func TestFilterRowsNeverAliasInput(t *testing.T) {
 	for i := range in {
 		in[i] = catalog.Row{int64(i)}
 	}
-	out, err := ex.filterRows(in, where, scope)
+	out, err := ex.filterRows(nil, in, where, scope)
 	if err != nil {
 		t.Fatal(err)
 	}

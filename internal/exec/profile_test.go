@@ -201,7 +201,7 @@ func TestProfileOffOverhead(t *testing.T) {
 		return best
 	}
 	wrapped := func() error { _, err := New(nil).Run(p); return err }
-	direct := func() error { _, err := New(nil).execNode(p); return err }
+	direct := func() error { _, err := New(nil).execNode(nil, p); return err }
 	// Warm caches on both paths before timing.
 	_ = wrapped()
 	_ = direct()

@@ -1,0 +1,69 @@
+package governance
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrMemBudget is returned (wrapped) when a query's materialized rows
+// exceed its memory budget. The executor aborts the query at the next
+// charge site; nothing partial is returned.
+var ErrMemBudget = errors.New("governance: query memory budget exceeded")
+
+// MemBudget is one query's memory allowance, charged by the executor at
+// row-materialization sites (scan outputs, filter/projection outputs,
+// join results, aggregation state). Charges are approximate — the point
+// is bounding the engine's materialization appetite under concurrency,
+// not byte-exact accounting. All methods are safe for concurrent use
+// (morsel workers charge concurrently) and no-ops on a nil receiver, so
+// an unbudgeted executor pays one nil check per charge.
+type MemBudget struct {
+	limit int64
+	used  atomic.Int64
+	m     Metrics
+}
+
+// NewMemBudget creates a budget of limit bytes (<= 0 means unlimited:
+// charges are still accounted and metered, but never abort). Metrics
+// may be the zero value to disable instrumentation.
+func NewMemBudget(limit int64, m Metrics) *MemBudget {
+	return &MemBudget{limit: limit, m: m}
+}
+
+// Charge records n more bytes of materialized rows, returning an error
+// wrapping ErrMemBudget once the running total passes the limit. The
+// first failing charge counts one mem.aborts; callers propagate the
+// error and stop, so one query aborts at most once.
+func (b *MemBudget) Charge(n int64) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	used := b.used.Add(n)
+	b.m.MemCharged.Add(uint64(n))
+	if b.limit > 0 && used > b.limit {
+		// Only the crossing charge reports the abort: earlier charges
+		// left used <= limit, and the query stops on the first error.
+		if used-n <= b.limit {
+			b.m.MemAborts.Inc()
+		}
+		return fmt.Errorf("%w: %d of %d bytes", ErrMemBudget, used, b.limit)
+	}
+	return nil
+}
+
+// Used reports the bytes charged so far.
+func (b *MemBudget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Limit reports the budget's byte limit (0 = unlimited).
+func (b *MemBudget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}

@@ -1,0 +1,101 @@
+package governance
+
+import (
+	"context"
+	"time"
+
+	"aidb/internal/ml"
+)
+
+// RetryPolicy configures Retry: exponential backoff with deterministic
+// jitter, applied only to faults the classifier calls transient. Zero
+// fields take the stated defaults.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, including the first (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 100ms).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per retry (default 2).
+	Multiplier float64
+	// Jitter is the +/- fraction of each delay drawn uniformly (default
+	// 0.2), decorrelating retry storms across queued queries.
+	Jitter float64
+	// Seed feeds the deterministic jitter stream (default 1).
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Retry runs fn up to p.MaxAttempts times, sleeping an exponentially
+// growing, jittered backoff between attempts — cancellably: the backoff
+// sleep selects on ctx, so a cancelled caller never waits out a delay.
+// Only errors transient(err) == true are retried (the caller supplies
+// the classifier, typically guard.Transient, keeping this package free
+// of fault-taxonomy knowledge); permanent errors and context errors
+// return immediately. Metrics: m.RetryAttempts counts re-attempts,
+// m.RetryExhausted retries that ran out of budget still failing.
+func Retry(ctx context.Context, p RetryPolicy, m Metrics, transient func(error) bool, fn func() error) error {
+	p = p.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rng := ml.NewRNG(p.Seed)
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if transient == nil || !transient(err) {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			m.RetryExhausted.Inc()
+			return err
+		}
+		// Jittered backoff: delay * (1 +/- Jitter).
+		d := delay
+		if p.Jitter > 0 {
+			f := 1 + p.Jitter*(2*rng.Float64()-1)
+			d = time.Duration(float64(d) * f)
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+		m.RetryAttempts.Inc()
+	}
+}

@@ -1,0 +1,76 @@
+package guard
+
+import (
+	"context"
+	"errors"
+
+	"aidb/internal/chaos"
+	"aidb/internal/txn"
+)
+
+// FaultClass partitions failures by what a caller should do next. The
+// guard package owns the taxonomy because it already sits at the
+// boundary between learned/faulty components and the callers that must
+// survive them; the governance retry wrapper consults it so backoff is
+// spent only where a fresh attempt can plausibly succeed.
+type FaultClass int
+
+const (
+	// Permanent faults will not heal by retrying: planner errors, type
+	// errors, budget aborts, unknown failures (the conservative default).
+	Permanent FaultClass = iota
+	// Transient faults are expected to clear: injected chaos faults,
+	// lock-wait timeouts, and deadlock aborts (the classic retry-after-
+	// abort cases).
+	Transient
+	// Cancelled faults are the caller's own context expiring; retrying
+	// against a dead context is wasted work.
+	Cancelled
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case Permanent:
+		return "permanent"
+	case Transient:
+		return "transient"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return "invalid"
+	}
+}
+
+// TransientError marks an error as retryable regardless of its concrete
+// type; wrap site-specific faults with it to opt into retry.
+type TransientError interface {
+	error
+	Transient() bool
+}
+
+// Classify buckets err. Context errors win over everything (a cancelled
+// query often surfaces wrapped chaos or lock errors on the way out);
+// nil is Permanent by convention — callers check err != nil first.
+func Classify(err error) FaultClass {
+	if err == nil {
+		return Permanent
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Cancelled
+	}
+	var te TransientError
+	if errors.As(err, &te) && te.Transient() {
+		return Transient
+	}
+	switch {
+	case errors.Is(err, chaos.ErrInjected),
+		errors.Is(err, txn.ErrLockTimeout),
+		errors.Is(err, txn.ErrDeadlock):
+		return Transient
+	}
+	return Permanent
+}
+
+// IsTransient reports whether err should be retried — the adapter the
+// governance retry wrapper plugs in directly.
+func IsTransient(err error) bool { return Classify(err) == Transient }

@@ -1,0 +1,51 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"aidb/internal/chaos"
+	"aidb/internal/txn"
+)
+
+type wrappedTransient struct{ error }
+
+func (wrappedTransient) Transient() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want FaultClass
+	}{
+		{"nil", nil, Permanent},
+		{"injected", chaos.ErrInjected, Transient},
+		{"injected-wrapped", fmt.Errorf("exec: scan t: %w", chaos.ErrInjected), Transient},
+		{"lock-timeout", fmt.Errorf("%w: txn 7", txn.ErrLockTimeout), Transient},
+		{"deadlock", txn.ErrDeadlock, Transient},
+		{"aborted", txn.ErrAborted, Permanent},
+		{"cancelled", context.Canceled, Cancelled},
+		{"deadline", fmt.Errorf("query: %w", context.DeadlineExceeded), Cancelled},
+		{"marker-interface", wrappedTransient{errors.New("blip")}, Transient},
+		{"unknown", errors.New("syntax error"), Permanent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCancelledBeatsTransient: a cancelled query surfacing a wrapped
+// transient fault on the way out must not be retried.
+func TestCancelledBeatsTransient(t *testing.T) {
+	err := fmt.Errorf("%w while handling %w", context.Canceled, chaos.ErrInjected)
+	if Classify(err) != Cancelled {
+		t.Fatalf("Classify = %v, want Cancelled", Classify(err))
+	}
+	if IsTransient(err) {
+		t.Fatal("IsTransient reported true for a cancelled query")
+	}
+}

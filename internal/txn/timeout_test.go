@@ -1,0 +1,164 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAcquireGrantsImmediately(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(context.Background(), 1, "k", Exclusive); err != nil {
+		t.Fatalf("uncontended acquire: %v", err)
+	}
+	if lm.HeldLocks(1) != 1 {
+		t.Fatalf("held = %d, want 1", lm.HeldLocks(1))
+	}
+	lm.Release(1)
+}
+
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(context.Background(), 1, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- lm.Acquire(context.Background(), 2, "k", Exclusive) }()
+	// The waiter must be queued (wait edge recorded), not granted.
+	deadline := time.Now().Add(2 * time.Second)
+	for !lm.Waiting(2) {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	lm.Release(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("blocked acquire after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("release did not wake the waiter")
+	}
+	lm.Release(2)
+}
+
+func TestAcquireDeadlineReturnsLockTimeout(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(context.Background(), 1, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := lm.Acquire(ctx, 2, "k", Shared)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v, want ErrLockTimeout", err)
+	}
+	if lm.Waiting(2) {
+		t.Fatal("timed-out waiter left wait-for edges (ghost edge)")
+	}
+	lm.Release(1)
+}
+
+// TestTimeoutLeavesNoGhostEdges is the false-deadlock regression: txn 2
+// times out waiting for txn 1, then txn 1 requests a lock held by txn 3
+// while txn 3 requests the key txn 2 was queued on. If txn 2's departed
+// wait edge (2 -> 1) survived, the graph 3 -> (2's key) ... would close
+// a phantom cycle; with the edge removed there is no deadlock.
+func TestTimeoutLeavesNoGhostEdges(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(context.Background(), 1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	err := lm.Acquire(ctx, 2, "a", Exclusive)
+	cancel()
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("setup: err = %v, want ErrLockTimeout", err)
+	}
+	// txn 3 holds "b"; txn 1 queues on "b" (edge 1 -> 3). Were 2 -> 1
+	// still present, any txn-3 wait on keys 2 touched could cascade; at
+	// minimum the graph must not report a cycle for 3 -> a -> (holder 1)
+	// because 2 is gone and "a" is held only by 1.
+	if err := lm.Acquire(context.Background(), 3, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := lm.TryAcquire(1, "b", Exclusive)
+	if ok || err != nil {
+		t.Fatalf("txn 1 should queue behind txn 3: ok=%v err=%v", ok, err)
+	}
+	// 3 requests "a" (held by 1): real cycle 3 -> 1 -> 3 exists NOW, and
+	// must be detected from the live edges...
+	if _, err := lm.TryAcquire(3, "a", Exclusive); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("live cycle undetected: %v", err)
+	}
+	// ...but after 1 stops waiting, 3's retry must NOT see a deadlock
+	// through the departed txn 2.
+	lm.dropWaiter(1)
+	ok, err = lm.TryAcquire(3, "a", Exclusive)
+	if err != nil {
+		t.Fatalf("false deadlock via ghost edge: %v", err)
+	}
+	if ok {
+		t.Fatal("txn 3 granted a lock txn 1 still holds")
+	}
+}
+
+func TestAcquireAbortedWakesPromptly(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(context.Background(), 1, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		got <- lm.Acquire(context.Background(), 2, "k", Exclusive)
+	}()
+	<-started
+	deadline := time.Now().Add(2 * time.Second)
+	for !lm.Waiting(2) {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	lm.MarkAborted(2)
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("MarkAborted did not wake the waiter")
+	}
+	lm.Release(1)
+}
+
+func TestAcquireConcurrentContention(t *testing.T) {
+	lm := NewLockManager()
+	const n = 8
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		go func() {
+			err := lm.Acquire(context.Background(), id, "hot", Exclusive)
+			if err == nil {
+				lm.Release(id)
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("contended acquire: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("contended acquires did not all complete")
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,6 +30,13 @@ var ErrDeadlock = errors.New("txn: deadlock detected")
 // ErrAborted is returned for operations on an aborted transaction.
 var ErrAborted = errors.New("txn: transaction aborted")
 
+// ErrLockTimeout is returned by Acquire when the caller's context
+// expires while the transaction is queued for a lock. The waiter is
+// removed from the wait-for graph before returning, so a timed-out
+// transaction never leaves ghost edges that would make later requests
+// see false deadlocks.
+var ErrLockTimeout = errors.New("txn: lock wait timeout")
+
 type lockState struct {
 	holders map[uint64]LockMode
 }
@@ -42,6 +50,12 @@ type LockManager struct {
 	waits   map[uint64]map[uint64]bool // waiter -> holders blocking it
 	held    map[uint64]map[string]LockMode
 	aborted map[uint64]bool
+	// notify is closed and replaced whenever locks are released (or a
+	// transaction is marked aborted), waking every blocked Acquire to
+	// re-attempt its grant. A broadcast channel keeps the waiter set
+	// free of per-key bookkeeping that a timed-out waiter would have to
+	// unwind.
+	notify chan struct{}
 }
 
 // NewLockManager creates an empty lock manager.
@@ -51,6 +65,7 @@ func NewLockManager() *LockManager {
 		waits:   map[uint64]map[uint64]bool{},
 		held:    map[uint64]map[string]LockMode{},
 		aborted: map[uint64]bool{},
+		notify:  make(chan struct{}),
 	}
 }
 
@@ -147,6 +162,62 @@ func (lm *LockManager) cycleFrom(start uint64) bool {
 	return false
 }
 
+// Acquire grants txn the lock on key in the given mode, blocking while
+// other holders conflict. It returns nil on grant, ErrDeadlock when
+// waiting would create a wait-for cycle, ErrAborted for an aborted
+// transaction, and an error wrapping ErrLockTimeout (and ctx.Err())
+// when ctx expires while queued — in which case the waiter's edges are
+// removed from the wait-for graph first, so the timed-out transaction
+// cannot appear as a phantom blocker in later deadlock checks.
+func (lm *LockManager) Acquire(ctx context.Context, txn uint64, key string, mode LockMode) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		ok, err := lm.TryAcquire(txn, key, mode)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		// Queued: TryAcquire recorded our wait-for edges. Sleep until the
+		// next release broadcast or the deadline, whichever first.
+		lm.mu.Lock()
+		ch := lm.notify
+		lm.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			lm.dropWaiter(txn)
+			return fmt.Errorf("%w: txn %d waiting for %q: %v", ErrLockTimeout, txn, key, ctx.Err())
+		}
+	}
+}
+
+// dropWaiter removes txn's wait-for edges (deadline expiry while
+// queued). Leaving them would be a ghost edge: a departed waiter still
+// "blocking" on holders, turning unrelated requests into false
+// deadlock cycles.
+func (lm *LockManager) dropWaiter(txn uint64) {
+	lm.mu.Lock()
+	delete(lm.waits, txn)
+	lm.mu.Unlock()
+}
+
+// Waiting reports whether txn currently has wait-for edges recorded.
+func (lm *LockManager) Waiting(txn uint64) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.waits[txn]) > 0
+}
+
+// broadcastLocked wakes every blocked Acquire. Caller holds mu.
+func (lm *LockManager) broadcastLocked() {
+	close(lm.notify)
+	lm.notify = make(chan struct{})
+}
+
 // Release drops all locks held by txn (commit or abort).
 func (lm *LockManager) Release(txn uint64) {
 	lm.mu.Lock()
@@ -163,13 +234,17 @@ func (lm *LockManager) Release(txn uint64) {
 	delete(lm.held, txn)
 	delete(lm.waits, txn)
 	delete(lm.aborted, txn)
+	lm.broadcastLocked()
 }
 
-// MarkAborted flags txn so further acquisitions fail fast.
+// MarkAborted flags txn so further acquisitions fail fast. Blocked
+// waiters are woken so an aborted transaction's Acquire fails promptly
+// instead of waiting out its deadline.
 func (lm *LockManager) MarkAborted(txn uint64) {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	lm.aborted[txn] = true
+	lm.broadcastLocked()
 }
 
 // HeldLocks reports how many locks txn currently holds.
