@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-smoke bench-compare ci
+.PHONY: all build vet lint test test-race test-short bench bench-smoke bench-compare ci
 
 all: build vet test
 
@@ -9,6 +9,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs vet plus staticcheck when the binary is available (CI
+# installs it; local environments without it still get a clean run).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not found; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -24,19 +33,21 @@ bench:
 
 # bench-smoke is the CI-sized benchmark pass: 10 iterations of the hot-path
 # micro-benchmarks (executor, obs substrate, LSM) plus the E25/E27
-# observability and E29 overload-governance reproductions, with live
-# metrics, a sample EXPLAIN ANALYZE profile, the smoke workload's
-# slow-query log, and the cancel-to-stop/overload-shedding measurements
-# as build artifacts. Depends on vet so the artifacts never come from a
+# observability, E29 overload-governance and E30 anomaly-alert
+# reproductions, with live metrics, a sample EXPLAIN ANALYZE profile,
+# the smoke workload's slow-query log, the cancel-to-stop/overload-
+# shedding measurements, and the telemetry sampler/scrape overheads as
+# build artifacts. Depends on vet so the artifacts never come from a
 # vet-dirty tree.
 bench-smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem \
 		./internal/exec/ ./internal/obs/ ./internal/kv/ | tee BENCH_smoke.txt
-	$(GO) test -run='^$$' -bench='BenchmarkE2[5789]' -benchtime=1x . | tee -a BENCH_smoke.txt
+	$(GO) test -run='^$$' -bench='BenchmarkE(2[5789]|30)' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) run ./cmd/aidb-bench -e E25 -metrics BENCH_metrics.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -e E27 -explain BENCH_explain.txt -slowlog BENCH_slowlog.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -bench-cancel BENCH_cancel.json
+	$(GO) run ./cmd/aidb-bench -bench-obs BENCH_obs.json
 
 # bench-compare pits each optimized path against its baseline: the
 # serial executor vs the morsel-parallel one (BENCH_exec.*) and the
@@ -49,4 +60,4 @@ bench-compare:
 	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=5x . | tee BENCH_ml.txt
 	$(GO) run ./cmd/aidb-bench -bench-ml BENCH_ml.json
 
-ci: build vet test-race
+ci: build vet lint test-race

@@ -59,6 +59,7 @@ func BenchmarkE26MorselParallelism(b *testing.B)    { benchExperiment(b, "E26") 
 func BenchmarkE27CardinalityFeedback(b *testing.B)  { benchExperiment(b, "E27") }
 func BenchmarkE28BatchedKernels(b *testing.B)       { benchExperiment(b, "E28") }
 func BenchmarkE29OverloadGovernance(b *testing.B)   { benchExperiment(b, "E29") }
+func BenchmarkE30AnomalyAlerts(b *testing.B)        { benchExperiment(b, "E30") }
 
 // --- ML kernel micro-benchmarks ---
 //

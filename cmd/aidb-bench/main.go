@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"aidb/internal/core"
 	"aidb/internal/exec"
@@ -91,6 +93,82 @@ func benchCancelCompare(path string, seed uint64) error {
 		defer f.Close()
 		w = f
 	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// obsBenchResult is the telemetry-plane overhead measurement written by
+// -bench-obs (CI uploads it as BENCH_obs.json).
+type obsBenchResult struct {
+	// Series/Windows describe the sampled store the scrapes read.
+	Series  int    `json:"series"`
+	Windows uint64 `json:"windows"`
+	// SampleNsPerOp is the mean cost of one full sampler window
+	// (snapshot every metric, push every derived series).
+	SampleNsPerOp int64 `json:"sample_ns_per_op"`
+	// Scrape*Ns time one HTTP GET of each exposition endpoint against a
+	// live server, including encoding.
+	ScrapePromNs       int64 `json:"scrape_prom_ns"`
+	ScrapeJSONNs       int64 `json:"scrape_json_ns"`
+	ScrapeTimeseriesNs int64 `json:"scrape_timeseries_ns"`
+}
+
+// benchObs measures the telemetry plane's own overhead: sampler cost
+// per window on a warmed smoke DB, then scrape latency for the three
+// main expositions over a real HTTP round trip. Used by
+// `make bench-smoke`.
+func benchObs(path string) error {
+	db, _, err := smokeDB()
+	if err != nil {
+		return err
+	}
+	const samples = 200
+	ts := db.Series()
+	start := time.Now()
+	for i := 0; i < samples; i++ {
+		ts.SampleOnce()
+	}
+	sampleNs := time.Since(start).Nanoseconds() / samples
+
+	srv, err := db.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	scrape := func(p string) (int64, error) {
+		start := time.Now()
+		resp, err := http.Get("http://" + srv.Addr() + p)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("GET %s: %s", p, resp.Status)
+		}
+		return time.Since(start).Nanoseconds(), nil
+	}
+	res := obsBenchResult{Series: ts.SeriesCount(), Windows: ts.Windows(), SampleNsPerOp: sampleNs}
+	for _, m := range []struct {
+		path string
+		dst  *int64
+	}{
+		{"/metrics", &res.ScrapePromNs},
+		{"/metrics?format=json", &res.ScrapeJSONNs},
+		{"/timeseries?name=exec.queries", &res.ScrapeTimeseriesNs},
+	} {
+		if *m.dst, err = scrape(m.path); err != nil {
+			return err
+		}
+	}
+	w, done, err := outWriter(path)
+	if err != nil {
+		return err
+	}
+	defer done()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
@@ -189,8 +267,17 @@ func main() {
 		benchExec = flag.String("bench-exec", "", "instead of experiments, time serial-vs-parallel execution and write JSON to this path ('-' = stdout)")
 		benchML   = flag.String("bench-ml", "", "instead of experiments, time batched-vs-per-row ML kernels and write JSON to this path ('-' = stdout)")
 		benchCxl  = flag.String("bench-cancel", "", "instead of experiments, time cancel-to-stop latency and overload shedding and write JSON to this path ('-' = stdout)")
+		benchOb   = flag.String("bench-obs", "", "instead of experiments, time the telemetry sampler and HTTP scrape latency and write JSON to this path ('-' = stdout)")
+		serve     = flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080) while the experiments run")
 	)
 	flag.Parse()
+	if *benchOb != "" {
+		if err := benchObs(*benchOb); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-obs:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchExec != "" {
 		if err := benchExecCompare(*benchExec, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-exec:", err)
@@ -211,6 +298,20 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *serve != "" {
+		db, _, err := smokeDB()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		srv, err := db.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/\n", srv.Addr())
+		defer db.Close()
 	}
 	code := run(*exp, *seed, *ablations)
 	dumps := []struct {

@@ -6,11 +6,14 @@
 //	SELECT a, PREDICT(m, a, b) FROM t;
 //	EVALUATE MODEL m ON t;
 //
-// Type \q to quit, \h for help.
+// Type \q to quit, \h for help. With -serve ADDR the shell also exposes
+// live telemetry (metrics, time series, slow log, traces, alerts,
+// pprof) over HTTP while it runs.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -29,13 +32,25 @@ const help = `Statements end with ';'. Supported:
   EXPLAIN ANALYZE SELECT ...;   per-operator est vs actual rows, time, morsel/worker counts
 Meta: \q quit, \h help, \metrics live metric counters, \trace last query's span tree,
       \slowlog captured query log (latency, fingerprint, profile, chaos fires),
+      \alerts KPI anomaly alerts (telemetry sampler runs when -serve is set),
       \parallel [n] show or set the morsel worker budget (0 auto, 1 serial),
       \timeout [dur] show or set the default statement timeout (e.g. 500ms; 0 none),
       \maxconcurrent [n] show or set the admission-gate concurrency bound (0 unlimited),
       \maxmem [bytes] show or set the per-query memory budget (0 unlimited).`
 
 func main() {
+	serve := flag.String("serve", "", "expose live telemetry over HTTP on this address (e.g. :8080)")
+	flag.Parse()
 	db := core.Open()
+	if *serve != "" {
+		srv, err := db.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: http://%s/\n", srv.Addr())
+		defer db.Close()
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -75,6 +90,14 @@ func main() {
 				fmt.Print(dump)
 			} else {
 				fmt.Println("slow-query log is empty")
+			}
+			prompt()
+			continue
+		case `\alerts`:
+			if dump := db.Alerts().Dump(); dump != "" {
+				fmt.Print(dump)
+			} else {
+				fmt.Println("no anomaly alerts")
 			}
 			prompt()
 			continue

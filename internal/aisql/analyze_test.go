@@ -197,8 +197,9 @@ func TestExplainAnalyzeFeedback(t *testing.T) {
 }
 
 // TestSlowLogCapturesQueries checks plain and profiled SELECTs land in
-// the slow-query log with fingerprint, latency and (for EXPLAIN
-// ANALYZE) the profile summary.
+// the slow-query log with fingerprint and latency, and that a repeated
+// plan shape folds into one entry (occurrence count, first-seen text)
+// that the EXPLAIN ANALYZE run enriches with the profile summary.
 func TestSlowLogCapturesQueries(t *testing.T) {
 	e, _ := analyzeEngine(t, 500)
 	start := e.SlowLog().Len()
@@ -209,27 +210,27 @@ func TestSlowLogCapturesQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	es := e.SlowLog().Entries()
-	if len(es)-start != 2 {
-		t.Fatalf("slowlog grew by %d entries, want 2", len(es)-start)
+	if len(es)-start != 1 {
+		t.Fatalf("slowlog grew by %d entries, want 1 (same fingerprint folds)", len(es)-start)
 	}
-	plain, analyzed := es[len(es)-2], es[len(es)-1]
-	if plain.Fingerprint != analyzed.Fingerprint {
-		t.Errorf("fingerprints differ: %q vs %q", plain.Fingerprint, analyzed.Fingerprint)
+	entry := es[len(es)-1]
+	if entry.Count != 2 {
+		t.Errorf("occurrence count = %d, want 2", entry.Count)
 	}
-	if !strings.Contains(plain.Fingerprint, "Scan(big)") {
-		t.Errorf("fingerprint %q missing Scan(big)", plain.Fingerprint)
+	if entry.LastSeq != entry.Seq+1 {
+		t.Errorf("first/last seen = #%d/#%d, want consecutive seqs", entry.Seq, entry.LastSeq)
 	}
-	if plain.Profile != "" {
-		t.Error("plain SELECT captured a profile")
+	if !strings.Contains(entry.Fingerprint, "Scan(big)") {
+		t.Errorf("fingerprint %q missing Scan(big)", entry.Fingerprint)
 	}
-	if !strings.Contains(analyzed.Profile, "Scan big") {
-		t.Errorf("EXPLAIN ANALYZE entry missing profile:\n%q", analyzed.Profile)
+	if !strings.Contains(entry.Profile, "Scan big") {
+		t.Errorf("EXPLAIN ANALYZE fold missing profile:\n%q", entry.Profile)
 	}
-	if plain.LatencyNs <= 0 || analyzed.LatencyNs <= 0 {
-		t.Error("latency not recorded")
+	if entry.LatencyNs <= 0 || entry.MaxLatencyNs < entry.LatencyNs {
+		t.Errorf("latency not tracked: last=%d max=%d", entry.LatencyNs, entry.MaxLatencyNs)
 	}
-	if !strings.HasPrefix(analyzed.Query, "EXPLAIN ANALYZE") {
-		t.Errorf("query text = %q", analyzed.Query)
+	if !strings.HasPrefix(entry.Query, "SELECT") {
+		t.Errorf("canonical query text = %q, want first-seen SELECT", entry.Query)
 	}
 }
 

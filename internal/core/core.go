@@ -56,6 +56,14 @@ type DB struct {
 	govObs  governance.Metrics
 	timeout time.Duration
 	retry   governance.RetryPolicy
+
+	// Telemetry plane: a background sampler turns registry snapshots
+	// into bounded time series, the anomaly detector watches each
+	// window, and Serve exposes the whole monitoring surface over HTTP.
+	series   *obs.TimeSeries
+	alerts   *monitor.AlertLog
+	detector *monitor.AnomalyDetector
+	httpSrv  *obs.Server
 }
 
 // Open creates an in-memory database seeded deterministically.
@@ -83,6 +91,11 @@ func OpenSeeded(seed uint64) *DB {
 	gate.Instrument(govObs)
 	reg.GaugeFunc("admission.active", func() float64 { return float64(gate.Active()) })
 	reg.GaugeFunc("admission.queue_depth", func() float64 { return float64(gate.Queued()) })
+	tracer.EnableExport(64)
+	series := obs.NewTimeSeries(reg, 0)
+	alerts := monitor.NewAlertLog(0)
+	detector := monitor.NewAnomalyDetector(series, alerts, monitor.DetectorConfig{})
+	series.SetOnSample(func(uint64) { detector.Observe() })
 	return &DB{
 		engine:   engine,
 		rng:      rng,
@@ -95,7 +108,64 @@ func OpenSeeded(seed uint64) *DB {
 		gate:     gate,
 		govObs:   govObs,
 		retry:    governance.RetryPolicy{Seed: seed + 3},
+		series:   series,
+		alerts:   alerts,
+		detector: detector,
 	}
+}
+
+// Series exposes the metric time-series store the telemetry sampler
+// fills (empty until StartTelemetry or a manual SampleOnce).
+func (db *DB) Series() *obs.TimeSeries { return db.series }
+
+// Alerts exposes the KPI anomaly-alert ring.
+func (db *DB) Alerts() *monitor.AlertLog { return db.alerts }
+
+// StartTelemetry starts the background metric sampler: every interval
+// (default 1s when <= 0) the registry is snapshotted into the
+// time-series store and the anomaly detector inspects the new window.
+// Idempotent while running.
+func (db *DB) StartTelemetry(interval time.Duration) { db.series.Start(interval) }
+
+// StopTelemetry stops the background sampler, waiting for the
+// in-flight tick (if any) to finish. Safe when not running.
+func (db *DB) StopTelemetry() { db.series.Stop() }
+
+// Telemetry bundles this database's observability surfaces into an
+// http.Handler (see obs.Telemetry for the endpoint map).
+func (db *DB) Telemetry() *obs.Telemetry {
+	return &obs.Telemetry{
+		Registry: db.reg,
+		Series:   db.series,
+		SlowLog:  db.engine.SlowLog(),
+		Tracer:   db.tracer,
+		Alerts:   db.alerts,
+	}
+}
+
+// Serve starts the telemetry HTTP server on addr (":0" picks a free
+// port) and the background sampler if it is not already running. The
+// returned server's Addr reports the bound address; Close it (or call
+// db.Close) when done.
+func (db *DB) Serve(addr string) (*obs.Server, error) {
+	srv, err := obs.Serve(addr, db.Telemetry())
+	if err != nil {
+		return nil, err
+	}
+	if !db.series.Running() {
+		db.series.Start(0)
+	}
+	db.httpSrv = srv
+	return srv, nil
+}
+
+// Close stops the telemetry sampler and HTTP server (if started).
+// Callers that never used telemetry need not call it.
+func (db *DB) Close() error {
+	db.series.Stop()
+	err := db.httpSrv.Close()
+	db.httpSrv = nil
+	return err
 }
 
 // Metrics exposes the live observability registry every query and

@@ -220,3 +220,80 @@ func TestExecScriptGoverned(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestGovernanceGaugesDrainToZero: after a storm of concurrent,
+// cancelled, and shed statements the admission gauges must read 0 —
+// a leaked slot or queue entry would poison every later time-series
+// window and anomaly baseline built from these gauges.
+func TestGovernanceGaugesDrainToZero(t *testing.T) {
+	db := Open()
+	seedTable(t, db, 3000)
+	db.SetMaxConcurrent(2)
+	defer db.SetMaxConcurrent(0)
+	gauges := func() (float64, float64) {
+		snap := db.Metrics().Snapshot()
+		return snap["admission.active"], snap["admission.queue_depth"]
+	}
+	if a, q := gauges(); a != 0 || q != 0 {
+		t.Fatalf("pre-storm gauges active=%v queue=%v, want 0/0", a, q)
+	}
+	// Saturate the gate and shed a dead-on-arrival statement so the
+	// storm below is guaranteed to include the shed path.
+	r1, err := db.AdmissionGate().Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.AdmissionGate().Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := gauges(); a != 2 {
+		t.Fatalf("admission.active = %v with both slots held, want 2", a)
+	}
+	doa, cancelDoa := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	if _, err := db.ExecContext(doa, "SELECT COUNT(*) FROM t"); !errors.Is(err, governance.ErrShed) {
+		t.Fatalf("saturated-gate err = %v, want ErrShed", err)
+	}
+	cancelDoa()
+	r1()
+	r2()
+	const goroutines = 12
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			switch g % 3 {
+			case 0:
+				// Normal statement, queues behind the bound.
+				_, _ = db.ExecContext(context.Background(), "SELECT COUNT(*) FROM t")
+			case 1:
+				// Cancelled mid-flight or while queued.
+				ctx, cancel := context.WithCancel(context.Background())
+				go func() {
+					time.Sleep(time.Duration(g) * 100 * time.Microsecond)
+					cancel()
+				}()
+				_, _ = db.ExecContext(ctx, "SELECT COUNT(*) FROM t WHERE b < 40")
+			default:
+				// Dead on arrival: shed at the gate.
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+				_, _ = db.ExecContext(ctx, "SELECT COUNT(*) FROM t")
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if a, q := gauges(); a != 0 || q != 0 {
+		t.Fatalf("post-storm gauges active=%v queue=%v, want 0/0 (leaked admission slot)", a, q)
+	}
+	// The storm really exercised the gate.
+	snap := db.Metrics().Snapshot()
+	if snap["admission.admitted"] < 4 {
+		t.Errorf("admission.admitted = %v, storm did not admit work", snap["admission.admitted"])
+	}
+	if snap["admission.shed"] < 1 {
+		t.Errorf("admission.shed = %v, storm did not shed work", snap["admission.shed"])
+	}
+}

@@ -122,37 +122,51 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 func (h *Histogram) quantile(s HistogramSnapshot, q float64) float64 {
-	if s.Count == 0 {
+	return quantileFromBuckets(h.bounds, s.BucketCounts, s.Max, q)
+}
+
+// quantileFromBuckets estimates the q-quantile of a bucketed
+// distribution: bounds are the inclusive upper bounds, counts has one
+// extra trailing overflow bucket, and max clamps every estimate to the
+// largest value actually observed. It works on any bucket vector — the
+// histogram's cumulative counts, or a per-window delta of two count
+// snapshots (how the time-series sampler derives windowed quantiles).
+func quantileFromBuckets(bounds []float64, counts []uint64, max float64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
 		return 0
 	}
 	// No estimate may exceed the largest value actually observed: the
 	// overflow bucket has no upper bound, and interpolation inside the
 	// containing bucket can overshoot a one-sided distribution.
 	clamp := func(v float64) float64 {
-		if v > s.Max {
-			return s.Max
+		if v > max {
+			return max
 		}
 		return v
 	}
-	rank := q * float64(s.Count)
+	rank := q * float64(total)
 	var cum float64
-	for i, c := range s.BucketCounts {
+	for i, c := range counts {
 		next := cum + float64(c)
 		if next >= rank && c > 0 {
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
-			if i >= len(h.bounds) {
+			if i >= len(bounds) {
 				// Overflow bucket: the max observed value is the only
 				// honest upper estimate.
-				return s.Max
+				return max
 			}
-			hi := h.bounds[i]
+			hi := bounds[i]
 			frac := (rank - cum) / float64(c)
 			return clamp(lo + (hi-lo)*frac)
 		}
 		cum = next
 	}
-	return clamp(h.bounds[len(h.bounds)-1])
+	return clamp(bounds[len(bounds)-1])
 }

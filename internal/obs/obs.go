@@ -87,6 +87,7 @@ func (g *Gauge) Value() float64 {
 // registry: every lookup returns a nil metric whose methods are no-ops.
 type Registry struct {
 	mu       sync.RWMutex
+	gen      atomic.Uint64
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -122,7 +123,19 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	c = &Counter{}
 	r.counters[name] = c
+	r.gen.Add(1)
 	return c
+}
+
+// Gen reports the registry's registration generation: it changes
+// whenever a new metric or gauge func is registered, so samplers can
+// cache the metric set and re-resolve only when it actually grew.
+// Zero on a nil registry.
+func (r *Registry) Gen() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.gen.Load()
 }
 
 // Gauge returns the named gauge, creating it on first use. Nil-registry
@@ -137,6 +150,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g == nil {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.gen.Add(1)
 	}
 	return g
 }
@@ -154,6 +168,7 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	if h == nil {
 		h = newHistogram(buckets)
 		r.hists[name] = h
+		r.gen.Add(1)
 	}
 	return h
 }
@@ -168,32 +183,72 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.funcs[name] = fn
+	r.gen.Add(1)
+}
+
+// metricRef is one registered metric's identity — its exposition name
+// plus the pointer (or callback) that yields its value. Exactly one of
+// the value fields is set.
+type metricRef struct {
+	name string
+	c    *Counter
+	g    *Gauge
+	fn   func() float64
+	h    *Histogram
+}
+
+// refs snapshots the registered metric pointers under the read lock and
+// returns them sorted by name. Values are NOT read here: callers read
+// the atomics (and invoke gauge funcs) after the lock is released, so a
+// slow scraper, an expensive gauge callback, or a large histogram
+// summary can never stall metric writers or registration. Gauge funcs
+// must therefore be callable without the registry lock — which every
+// callback already had to be, since holding the lock while calling out
+// risks lock inversion with instrumented components.
+func (r *Registry) refs() []metricRef {
+	r.mu.RLock()
+	out := make([]metricRef, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
+	for n, c := range r.counters {
+		out = append(out, metricRef{name: n, c: c})
+	}
+	for n, g := range r.gauges {
+		out = append(out, metricRef{name: n, g: g})
+	}
+	for n, fn := range r.funcs {
+		out = append(out, metricRef{name: n, fn: fn})
+	}
+	for n, h := range r.hists {
+		out = append(out, metricRef{name: n, h: h})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].name < out[b].name })
+	return out
 }
 
 // Snapshot returns every scalar metric as name -> value: counters,
 // gauges, gauge funcs, and per-histogram count/sum. Monotonic names
 // (counters, hist counts/sums) can be diffed across snapshots to form
-// rates. Returns nil on a nil registry.
+// rates. Values are read outside the registry lock. Returns nil on a
+// nil registry.
 func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.funcs)+2*len(r.hists))
-	for n, c := range r.counters {
-		out[n] = float64(c.Value())
-	}
-	for n, g := range r.gauges {
-		out[n] = g.Value()
-	}
-	for n, fn := range r.funcs {
-		out[n] = fn()
-	}
-	for n, h := range r.hists {
-		s := h.Snapshot()
-		out[n+".count"] = float64(s.Count)
-		out[n+".sum"] = s.Sum
+	refs := r.refs()
+	out := make(map[string]float64, len(refs)+len(refs)/2)
+	for _, m := range refs {
+		switch {
+		case m.c != nil:
+			out[m.name] = float64(m.c.Value())
+		case m.g != nil:
+			out[m.name] = m.g.Value()
+		case m.fn != nil:
+			out[m.name] = m.fn()
+		case m.h != nil:
+			s := m.h.Snapshot()
+			out[m.name+".count"] = float64(s.Count)
+			out[m.name+".sum"] = s.Sum
+		}
 	}
 	return out
 }
@@ -203,25 +258,25 @@ type expoLine struct {
 	name, kind, rest string
 }
 
+// lines renders every metric, reading and formatting values outside the
+// registry lock (refs holds it only long enough to copy the pointers).
 func (r *Registry) lines() []expoLine {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	lines := make([]expoLine, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
-	for n, c := range r.counters {
-		lines = append(lines, expoLine{n, "counter", fmt.Sprintf("%d", c.Value())})
+	refs := r.refs()
+	lines := make([]expoLine, 0, len(refs))
+	for _, m := range refs {
+		switch {
+		case m.c != nil:
+			lines = append(lines, expoLine{m.name, "counter", fmt.Sprintf("%d", m.c.Value())})
+		case m.g != nil:
+			lines = append(lines, expoLine{m.name, "gauge", fmt.Sprintf("%g", m.g.Value())})
+		case m.fn != nil:
+			lines = append(lines, expoLine{m.name, "gauge", fmt.Sprintf("%g", m.fn())})
+		case m.h != nil:
+			s := m.h.Snapshot()
+			lines = append(lines, expoLine{m.name, "histogram",
+				fmt.Sprintf("count=%d sum=%g p50=%g p95=%g p99=%g", s.Count, s.Sum, s.P50, s.P95, s.P99)})
+		}
 	}
-	for n, g := range r.gauges {
-		lines = append(lines, expoLine{n, "gauge", fmt.Sprintf("%g", g.Value())})
-	}
-	for n, fn := range r.funcs {
-		lines = append(lines, expoLine{n, "gauge", fmt.Sprintf("%g", fn())})
-	}
-	for n, h := range r.hists {
-		s := h.Snapshot()
-		lines = append(lines, expoLine{n, "histogram",
-			fmt.Sprintf("count=%d sum=%g p50=%g p95=%g p99=%g", s.Count, s.Sum, s.P50, s.P95, s.P99)})
-	}
-	sort.Slice(lines, func(a, b int) bool { return lines[a].name < lines[b].name })
 	return lines
 }
 
@@ -254,32 +309,7 @@ func (r *Registry) WriteJSONTo(w io.Writer) (int64, error) {
 		n, err := io.WriteString(w, "{}\n")
 		return int64(n), err
 	}
-	r.mu.RLock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
-	type entry struct {
-		val string
-	}
-	vals := map[string]entry{}
-	for n, c := range r.counters {
-		names = append(names, n)
-		vals[n] = entry{fmt.Sprintf("%d", c.Value())}
-	}
-	for n, g := range r.gauges {
-		names = append(names, n)
-		vals[n] = entry{jsonNum(g.Value())}
-	}
-	for n, fn := range r.funcs {
-		names = append(names, n)
-		vals[n] = entry{jsonNum(fn())}
-	}
-	for n, h := range r.hists {
-		s := h.Snapshot()
-		names = append(names, n)
-		vals[n] = entry{fmt.Sprintf(`{"count":%d,"sum":%s,"p50":%s,"p95":%s,"p99":%s}`,
-			s.Count, jsonNum(s.Sum), jsonNum(s.P50), jsonNum(s.P95), jsonNum(s.P99))}
-	}
-	r.mu.RUnlock()
-	sort.Strings(names)
+	refs := r.refs()
 	var total int64
 	write := func(s string) error {
 		n, err := io.WriteString(w, s)
@@ -289,12 +319,25 @@ func (r *Registry) WriteJSONTo(w io.Writer) (int64, error) {
 	if err := write("{\n"); err != nil {
 		return total, err
 	}
-	for i, n := range names {
+	for i, m := range refs {
+		var val string
+		switch {
+		case m.c != nil:
+			val = fmt.Sprintf("%d", m.c.Value())
+		case m.g != nil:
+			val = jsonNum(m.g.Value())
+		case m.fn != nil:
+			val = jsonNum(m.fn())
+		case m.h != nil:
+			s := m.h.Snapshot()
+			val = fmt.Sprintf(`{"count":%d,"sum":%s,"p50":%s,"p95":%s,"p99":%s}`,
+				s.Count, jsonNum(s.Sum), jsonNum(s.P50), jsonNum(s.P95), jsonNum(s.P99))
+		}
 		sep := ","
-		if i == len(names)-1 {
+		if i == len(refs)-1 {
 			sep = ""
 		}
-		if err := write(fmt.Sprintf("  %q: %s%s\n", n, vals[n].val, sep)); err != nil {
+		if err := write(fmt.Sprintf("  %q: %s%s\n", m.name, val, sep)); err != nil {
 			return total, err
 		}
 	}

@@ -14,17 +14,29 @@ import (
 // an optional per-operator profile summary, and the chaos injection
 // sites that fired while the query ran (empty when no fault fired).
 type SlowLogEntry struct {
-	// Seq is the capture sequence number, assigned by the log (1-based,
-	// monotonic across evictions).
+	// Seq is the capture sequence number of this entry's FIRST
+	// occurrence, assigned by the log (1-based, monotonic across
+	// evictions).
 	Seq uint64 `json:"seq"`
+	// LastSeq is the capture sequence of the most recent occurrence
+	// (equal to Seq until the fingerprint repeats).
+	LastSeq uint64 `json:"last_seq"`
+	// Count is how many captures were folded into this entry. A hot bad
+	// query recurring thousands of times holds one ring slot with
+	// Count tracking its occurrences, so the ring always lists distinct
+	// offenders rather than one offender's duplicates.
+	Count uint64 `json:"count"`
 	// Query is the statement text (or a statement-kind tag when the raw
 	// text was not available, e.g. pre-parsed statements).
 	Query string `json:"query"`
 	// Fingerprint is the canonical plan-shape string (plan.Fingerprint),
 	// the key for grouping repeated shapes in workload analysis.
 	Fingerprint string `json:"fingerprint"`
-	LatencyNs   int64  `json:"latency_ns"`
-	Rows        int64  `json:"rows"`
+	// LatencyNs is the most recent occurrence's latency; MaxLatencyNs
+	// tracks the worst occurrence seen.
+	LatencyNs    int64 `json:"latency_ns"`
+	MaxLatencyNs int64 `json:"max_latency_ns"`
+	Rows         int64 `json:"rows"`
 	// Profile is the compact per-operator runtime summary for profiled
 	// (EXPLAIN ANALYZE) executions, "" otherwise.
 	Profile string `json:"profile,omitempty"`
@@ -37,14 +49,21 @@ type SlowLogEntry struct {
 // SlowQueryLog is a bounded in-memory ring of captured queries — the
 // workload-capture half of the self-monitoring loop. Entries at or
 // above Threshold are kept, newest first evicting oldest; a zero
-// threshold captures every query (pure workload capture). All methods
-// are safe for concurrent use and no-ops on a nil receiver.
+// threshold captures every query (pure workload capture). Captures that
+// share a non-empty plan fingerprint fold into one entry (occurrence
+// count, first/last seen, worst latency) so a hot bad query can never
+// flood distinct offenders out of the ring; fingerprint-less captures
+// keep plain append semantics. All methods are safe for concurrent use
+// and no-ops on a nil receiver.
 type SlowQueryLog struct {
 	mu      sync.Mutex
 	cap     int
 	seq     uint64
 	dropped uint64
 	entries []SlowLogEntry
+	// byFP maps a non-empty fingerprint to its entry's index in
+	// entries; rebuilt on eviction.
+	byFP map[string]int
 
 	// Threshold is the minimum latency a query must reach to be
 	// recorded. Set before serving queries.
@@ -57,11 +76,16 @@ func NewSlowQueryLog(keep int, threshold time.Duration) *SlowQueryLog {
 	if keep <= 0 {
 		keep = 128
 	}
-	return &SlowQueryLog{cap: keep, Threshold: threshold}
+	return &SlowQueryLog{cap: keep, Threshold: threshold, byFP: map[string]int{}}
 }
 
 // Record captures one query, reporting whether it was kept (false when
 // below threshold or the log is nil). The entry's Seq is assigned here.
+// A capture whose non-empty Fingerprint matches a retained entry folds
+// into it: Count and LastSeq advance, LatencyNs/Rows/ChaosFires become
+// the latest occurrence's observations (chaos attribution stays
+// per-query, never cumulative), MaxLatencyNs tracks the worst, and the
+// first-seen query text is kept as the shape's canonical example.
 func (l *SlowQueryLog) Record(e SlowLogEntry) bool {
 	if l == nil {
 		return false
@@ -72,12 +96,43 @@ func (l *SlowQueryLog) Record(e SlowLogEntry) bool {
 		return false
 	}
 	l.seq++
+	if e.Fingerprint != "" {
+		if i, ok := l.byFP[e.Fingerprint]; ok {
+			cur := &l.entries[i]
+			cur.Count++
+			cur.LastSeq = l.seq
+			cur.LatencyNs = e.LatencyNs
+			if e.LatencyNs > cur.MaxLatencyNs {
+				cur.MaxLatencyNs = e.LatencyNs
+			}
+			cur.Rows = e.Rows
+			if e.Profile != "" {
+				cur.Profile = e.Profile
+			}
+			cur.ChaosFires = e.ChaosFires
+			return true
+		}
+	}
 	e.Seq = l.seq
+	e.LastSeq = l.seq
+	e.Count = 1
+	e.MaxLatencyNs = e.LatencyNs
 	l.entries = append(l.entries, e)
+	if e.Fingerprint != "" {
+		l.byFP[e.Fingerprint] = len(l.entries) - 1
+	}
 	if len(l.entries) > l.cap {
 		over := len(l.entries) - l.cap
 		l.dropped += uint64(over)
 		l.entries = append(l.entries[:0], l.entries[over:]...)
+		for fp := range l.byFP {
+			delete(l.byFP, fp)
+		}
+		for i := range l.entries {
+			if fp := l.entries[i].Fingerprint; fp != "" {
+				l.byFP[fp] = i
+			}
+		}
 	}
 	return true
 }
@@ -140,6 +195,10 @@ func (l *SlowQueryLog) Dump() string {
 	for _, e := range entries {
 		fmt.Fprintf(&sb, "#%d %s rows=%d fp=%s",
 			e.Seq, time.Duration(e.LatencyNs).Round(time.Microsecond), e.Rows, e.Fingerprint)
+		if e.Count > 1 {
+			fmt.Fprintf(&sb, " x%d(max=%s,last=#%d)",
+				e.Count, time.Duration(e.MaxLatencyNs).Round(time.Microsecond), e.LastSeq)
+		}
 		if len(e.ChaosFires) > 0 {
 			sites := make([]string, 0, len(e.ChaosFires))
 			for s := range e.ChaosFires {

@@ -204,3 +204,89 @@ func sortedStrings(s []string) bool {
 	}
 	return true
 }
+
+// TestSlowLogFingerprintFold pins the dedup semantics: captures sharing
+// a non-empty fingerprint occupy one ring slot with occurrence
+// bookkeeping, so a hot bad query cannot flood distinct offenders out
+// of the ring; fingerprint-less captures keep plain append semantics.
+func TestSlowLogFingerprintFold(t *testing.T) {
+	l := NewSlowQueryLog(4, 0)
+	for i := 0; i < 100; i++ {
+		l.Record(SlowLogEntry{
+			Query: "SELECT * FROM hot", Fingerprint: "fp-hot",
+			LatencyNs: int64(10 + i%7), Rows: int64(i),
+		})
+	}
+	l.Record(SlowLogEntry{Query: "SELECT 1", Fingerprint: "fp-other", LatencyNs: 5})
+	if l.Len() != 2 {
+		t.Fatalf("ring holds %d entries, want 2 (100 hot captures fold into one)", l.Len())
+	}
+	es := l.Entries()
+	hot := es[0]
+	if hot.Count != 100 {
+		t.Errorf("hot count = %d, want 100", hot.Count)
+	}
+	if hot.Seq != 1 || hot.LastSeq != 100 {
+		t.Errorf("hot first/last = #%d/#%d, want #1/#100", hot.Seq, hot.LastSeq)
+	}
+	if hot.MaxLatencyNs != 16 {
+		t.Errorf("hot max latency = %d, want 16", hot.MaxLatencyNs)
+	}
+	if hot.LatencyNs != int64(10+99%7) {
+		t.Errorf("hot last latency = %d, want latest occurrence's", hot.LatencyNs)
+	}
+	if hot.Rows != 99 {
+		t.Errorf("hot rows = %d, want latest occurrence's 99", hot.Rows)
+	}
+	if l.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0 (folding is not eviction)", l.Dropped())
+	}
+
+	// A profiled occurrence enriches the folded entry; chaos fires are
+	// replaced per occurrence, never accumulated.
+	l.Record(SlowLogEntry{
+		Query: "EXPLAIN ANALYZE SELECT * FROM hot", Fingerprint: "fp-hot",
+		LatencyNs: 12, Profile: "Scan hot 99 rows",
+		ChaosFires: map[string]uint64{"exec.scan": 1},
+	})
+	l.Record(SlowLogEntry{Query: "SELECT * FROM hot", Fingerprint: "fp-hot", LatencyNs: 12})
+	hot = l.Entries()[0]
+	if hot.Profile != "Scan hot 99 rows" {
+		t.Errorf("profile not folded: %q", hot.Profile)
+	}
+	if len(hot.ChaosFires) != 0 {
+		t.Errorf("chaos fires = %v, want replaced by quiet occurrence", hot.ChaosFires)
+	}
+	if hot.Query != "SELECT * FROM hot" {
+		t.Errorf("canonical text = %q, want first-seen", hot.Query)
+	}
+
+	// Dump shows the occurrence annotation.
+	if dump := l.Dump(); !strings.Contains(dump, "x102(") {
+		t.Errorf("dump missing fold annotation:\n%s", dump)
+	}
+
+	// Fingerprint-less captures append plainly even when repeated.
+	for i := 0; i < 3; i++ {
+		l.Record(SlowLogEntry{Query: "adhoc", LatencyNs: 1})
+	}
+	if l.Len() != 4 {
+		t.Errorf("ring holds %d entries, want 4 (no folding without fingerprint)", l.Len())
+	}
+
+	// Eviction rebuilds the fingerprint index: a recurrence of a shape
+	// whose entry was evicted starts a fresh entry instead of writing
+	// through a stale index slot.
+	for i := 0; i < 4; i++ {
+		l.Record(SlowLogEntry{Query: "filler", Fingerprint: name("fp", i), LatencyNs: 1})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("ring holds %d entries after eviction, want 4", l.Len())
+	}
+	l.Record(SlowLogEntry{Query: "SELECT * FROM hot", Fingerprint: "fp-hot", LatencyNs: 3})
+	es = l.Entries()
+	fresh := es[len(es)-1]
+	if fresh.Fingerprint != "fp-hot" || fresh.Count != 1 {
+		t.Errorf("re-captured evicted shape = %+v, want fresh Count=1 entry", fresh)
+	}
+}

@@ -16,6 +16,13 @@ type Tracer struct {
 	mu    sync.Mutex
 	cap   int
 	roots []*Span
+
+	// Export ring: when enabled, every finished root span is also
+	// frozen into an immutable SpanExport (newest kept) so HTTP
+	// consumers can serve span trees without touching live *Span
+	// structures.
+	expCap  int
+	exports []SpanExport
 }
 
 // NewTracer returns a tracer retaining the last keep root spans
@@ -43,6 +50,41 @@ func (t *Tracer) record(s *Span) {
 	if len(t.roots) > t.cap {
 		t.roots = t.roots[len(t.roots)-t.cap:]
 	}
+	if t.expCap > 0 {
+		t.exports = append(t.exports, s.Export())
+		if len(t.exports) > t.expCap {
+			t.exports = append(t.exports[:0], t.exports[len(t.exports)-t.expCap:]...)
+		}
+	}
+}
+
+// EnableExport turns on the bounded trace-export ring, retaining the
+// last keep finished root spans as immutable SpanExport trees (default
+// 64 when keep <= 0). Nil-tracer safe.
+func (t *Tracer) EnableExport(keep int) {
+	if t == nil {
+		return
+	}
+	if keep <= 0 {
+		keep = 64
+	}
+	t.mu.Lock()
+	t.expCap = keep
+	if len(t.exports) > keep {
+		t.exports = append([]SpanExport(nil), t.exports[len(t.exports)-keep:]...)
+	}
+	t.mu.Unlock()
+}
+
+// Exports returns the retained exported span trees, oldest first (nil
+// when export is disabled or nothing finished yet).
+func (t *Tracer) Exports() []SpanExport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanExport(nil), t.exports...)
 }
 
 // Last returns the most recently finished root span (nil when none).
@@ -163,6 +205,35 @@ func (s *Span) Children() []*Span {
 		return nil
 	}
 	return s.children
+}
+
+// SpanExport is an immutable, JSON-ready snapshot of a finished span
+// tree. Durations are nanoseconds; tags are flattened to a map (last
+// write wins on duplicate keys, matching Dump's sorted rendering).
+type SpanExport struct {
+	Name       string            `json:"name"`
+	DurationNs int64             `json:"duration_ns"`
+	Tags       map[string]string `json:"tags,omitempty"`
+	Children   []SpanExport      `json:"children,omitempty"`
+}
+
+// Export freezes the span tree into a SpanExport. Call it only on
+// finished spans (the tracer does this when filing a root). Nil-safe.
+func (s *Span) Export() SpanExport {
+	if s == nil {
+		return SpanExport{}
+	}
+	e := SpanExport{Name: s.Name, DurationNs: s.dur.Nanoseconds()}
+	if len(s.tags) > 0 {
+		e.Tags = make(map[string]string, len(s.tags))
+		for _, t := range s.tags {
+			e.Tags[t.k] = t.v
+		}
+	}
+	for _, c := range s.children {
+		e.Children = append(e.Children, c.Export())
+	}
+	return e
 }
 
 // Dump renders the span tree as indented text, one span per line:
