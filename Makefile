@@ -31,32 +31,42 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# EXEC_ALLOC_CEILING caps the streaming executor's allocs/op on the
+# 100k-row scan-filter pipeline (measured ~100k: one boxed int64 per
+# wide value is the floor; chunk machinery adds a few hundred). A
+# breach means per-row allocation crept back into the pipeline.
+EXEC_ALLOC_CEILING ?= 130000
+
 # bench-smoke is the CI-sized benchmark pass: 10 iterations of the hot-path
 # micro-benchmarks (executor, obs substrate, LSM) plus the E25/E27
 # observability, E29 overload-governance and E30 anomaly-alert
 # reproductions, with live metrics, a sample EXPLAIN ANALYZE profile,
 # the smoke workload's slow-query log, the cancel-to-stop/overload-
-# shedding measurements, and the telemetry sampler/scrape overheads as
-# build artifacts. Depends on vet so the artifacts never come from a
-# vet-dirty tree.
+# shedding measurements, the telemetry sampler/scrape overheads, and
+# the streaming-vs-materialize allocation comparison (with the
+# allocs/op regression gate) as build artifacts. Depends on vet so the
+# artifacts never come from a vet-dirty tree.
 bench-smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem \
 		./internal/exec/ ./internal/obs/ ./internal/kv/ | tee BENCH_smoke.txt
-	$(GO) test -run='^$$' -bench='BenchmarkE(2[5789]|30)' -benchtime=1x . | tee -a BENCH_smoke.txt
+	$(GO) test -run='^$$' -bench='BenchmarkE(2[5789]|3[01])' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) run ./cmd/aidb-bench -e E25 -metrics BENCH_metrics.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -e E27 -explain BENCH_explain.txt -slowlog BENCH_slowlog.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -bench-cancel BENCH_cancel.json
 	$(GO) run ./cmd/aidb-bench -bench-obs BENCH_obs.json
+	$(GO) run ./cmd/aidb-bench -bench-exec BENCH_exec.json -alloc-ceiling $(EXEC_ALLOC_CEILING)
 
 # bench-compare pits each optimized path against its baseline: the
-# serial executor vs the morsel-parallel one (BENCH_exec.*) and the
-# batched/parallel ML kernels vs their per-row and naive counterparts
-# (BENCH_ml.*) — Go benchmark text plus aidb-bench JSON speedup ratios.
+# serial executor vs the morsel-parallel one plus the streaming
+# pipeline vs the materialize-and-concat reference (BENCH_exec.*), and
+# the batched/parallel ML kernels vs their per-row and naive
+# counterparts (BENCH_ml.*) — Go benchmark text (with -benchmem
+# allocation columns) plus aidb-bench JSON ratios.
 bench-compare:
-	$(GO) test -run='^$$' -bench='BenchmarkExec/(scan|join|agg)' -benchtime=5x \
+	$(GO) test -run='^$$' -bench='BenchmarkExec/(scan|join|agg)' -benchtime=5x -benchmem \
 		./internal/exec/ | tee BENCH_exec.txt
-	$(GO) run ./cmd/aidb-bench -bench-exec BENCH_exec.json
+	$(GO) run ./cmd/aidb-bench -bench-exec BENCH_exec.json -alloc-ceiling $(EXEC_ALLOC_CEILING)
 	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=5x . | tee BENCH_ml.txt
 	$(GO) run ./cmd/aidb-bench -bench-ml BENCH_ml.json
 

@@ -60,6 +60,7 @@ func BenchmarkE27CardinalityFeedback(b *testing.B)  { benchExperiment(b, "E27") 
 func BenchmarkE28BatchedKernels(b *testing.B)       { benchExperiment(b, "E28") }
 func BenchmarkE29OverloadGovernance(b *testing.B)   { benchExperiment(b, "E29") }
 func BenchmarkE30AnomalyAlerts(b *testing.B)        { benchExperiment(b, "E30") }
+func BenchmarkE31StreamingExec(b *testing.B)        { benchExperiment(b, "E31") }
 
 // --- ML kernel micro-benchmarks ---
 //
@@ -85,16 +86,19 @@ func BenchmarkMLGEMM(b *testing.B) {
 		y := benchRandMatrix(rng, n, n)
 		out := ml.NewMatrix(n, n)
 		b.Run(fmt.Sprintf("naive-%dx%d", n, n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ml.MatMulNaive(x, y)
 			}
 		})
 		b.Run(fmt.Sprintf("blocked-%dx%d", n, n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ml.MatMulInto(out, x, y, 1)
 			}
 		})
 		b.Run(fmt.Sprintf("parallel-%dx%d", n, n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ml.MatMulInto(out, x, y, 0)
 			}
@@ -108,6 +112,7 @@ func BenchmarkMLMLPInfer(b *testing.B) {
 	for _, batch := range []int{64, 256} {
 		x := benchRandMatrix(rng, batch, 24)
 		b.Run(fmt.Sprintf("per-row-%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
 			out := make([]float64, batch)
 			for i := 0; i < b.N; i++ {
 				for r := 0; r < batch; r++ {
@@ -116,6 +121,7 @@ func BenchmarkMLMLPInfer(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("batched-%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
 			var s ml.MLPScratch
 			var out []float64
 			for i := 0; i < b.N; i++ {
@@ -131,6 +137,7 @@ func BenchmarkMLTrain(b *testing.B) {
 	x := benchRandMatrix(rng, rows, 24)
 	y := benchRandMatrix(rng, rows, 1)
 	b.Run("sgd-epoch-256", func(b *testing.B) {
+		b.ReportAllocs()
 		net := ml.NewMLP(ml.NewRNG(1), ml.ReLU, 24, 48, 48, 1)
 		for i := 0; i < b.N; i++ {
 			for r := 0; r < rows; r++ {
@@ -139,6 +146,7 @@ func BenchmarkMLTrain(b *testing.B) {
 		}
 	})
 	b.Run("minibatch-epoch-256", func(b *testing.B) {
+		b.ReportAllocs()
 		net := ml.NewMLP(ml.NewRNG(1), ml.ReLU, 24, 48, 48, 1)
 		var s ml.MLPScratch
 		for i := 0; i < b.N; i++ {

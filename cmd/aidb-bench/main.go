@@ -30,9 +30,13 @@ import (
 )
 
 // benchExecCompare times the executor's serial vs parallel modes over a
-// 100k-row catalog and writes the rows as JSON ("-" = stdout). Used by
-// `make bench-compare`; CI uploads the result as BENCH_exec.json.
-func benchExecCompare(path string, seed uint64) error {
+// 100k-row catalog — plus streaming-vs-materialize allocation columns —
+// and writes the rows as JSON ("-" = stdout). Used by `make bench-smoke`
+// and `make bench-compare`; CI uploads the result as BENCH_exec.json.
+// A positive allocCeiling turns the run into an assertion: the
+// scan-filter pipeline's streaming allocs/op must stay below it (the
+// allocation-regression gate for the streaming executor).
+func benchExecCompare(path string, seed uint64, allocCeiling int64) error {
 	rows, err := experiments.RunExecBench(seed, 100000, 3, nil)
 	if err != nil {
 		return err
@@ -48,7 +52,17 @@ func benchExecCompare(path string, seed uint64) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
+	if err := enc.Encode(rows); err != nil {
+		return err
+	}
+	if allocCeiling > 0 {
+		for _, r := range rows {
+			if r.Op == "scan-filter" && r.AllocsPerOp > allocCeiling {
+				return fmt.Errorf("scan-filter allocs/op %d exceeds ceiling %d (streaming regression)", r.AllocsPerOp, allocCeiling)
+			}
+		}
+	}
+	return nil
 }
 
 // benchMLCompare times the batched/parallel ML kernels against their
@@ -265,6 +279,7 @@ func main() {
 		explain   = flag.String("explain", "", "after the run, dump a sample EXPLAIN ANALYZE profile from a smoke workload to this path ('-' = stdout)")
 		slowlog   = flag.String("slowlog", "", "after the run, dump the smoke workload's slow-query log as JSON to this path ('-' = stdout)")
 		benchExec = flag.String("bench-exec", "", "instead of experiments, time serial-vs-parallel execution and write JSON to this path ('-' = stdout)")
+		allocCap  = flag.Int64("alloc-ceiling", 0, "with -bench-exec: fail when the 100k scan-filter pipeline's streaming allocs/op exceeds this (0 disables)")
 		benchML   = flag.String("bench-ml", "", "instead of experiments, time batched-vs-per-row ML kernels and write JSON to this path ('-' = stdout)")
 		benchCxl  = flag.String("bench-cancel", "", "instead of experiments, time cancel-to-stop latency and overload shedding and write JSON to this path ('-' = stdout)")
 		benchOb   = flag.String("bench-obs", "", "instead of experiments, time the telemetry sampler and HTTP scrape latency and write JSON to this path ('-' = stdout)")
@@ -279,7 +294,7 @@ func main() {
 		return
 	}
 	if *benchExec != "" {
-		if err := benchExecCompare(*benchExec, *seed); err != nil {
+		if err := benchExecCompare(*benchExec, *seed, *allocCap); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-exec:", err)
 			os.Exit(1)
 		}

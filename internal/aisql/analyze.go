@@ -54,7 +54,7 @@ func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, sp *obs.
 	latency := time.Since(start)
 
 	out := &exec.Result{Columns: []string{
-		"operator", "est_rows", "actual_rows", "time_us", "morsels", "workers", "util",
+		"operator", "est_rows", "actual_rows", "time_us", "morsels", "workers", "util", "chunks", "peak_bytes",
 	}}
 	prof.Walk(func(op *exec.OpProfile, depth int) {
 		e.Feedback.Record(cardest.ObservedCardinality{
@@ -70,6 +70,8 @@ func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, sp *obs.
 			op.Morsels(),
 			op.WorkerSpawns(),
 			op.Utilization(),
+			op.Chunks(),
+			op.PeakBytes(),
 		})
 	})
 	e.recordSlow(text, "EXPLAIN ANALYZE SELECT", plan.Fingerprint(p), latency, len(res.Rows), prof.Summary(), chaosBefore)

@@ -48,7 +48,7 @@ func TestExplainAnalyzeColumnsAndRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"operator", "est_rows", "actual_rows", "time_us", "morsels", "workers", "util"}
+	want := []string{"operator", "est_rows", "actual_rows", "time_us", "morsels", "workers", "util", "chunks", "peak_bytes"}
 	if fmt.Sprint(res.Columns) != fmt.Sprint(want) {
 		t.Fatalf("columns = %v, want %v", res.Columns, want)
 	}

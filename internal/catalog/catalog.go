@@ -192,35 +192,44 @@ func encodeRow(schema *Schema, row Row) ([]byte, error) {
 // decodeRow deserializes a row against a schema.
 func decodeRow(schema *Schema, b []byte) (Row, error) {
 	row := make(Row, len(schema.Columns))
+	if err := decodeRowInto(schema, b, row); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// decodeRowInto deserializes a row against a schema into caller-owned
+// storage; row must have exactly one slot per schema column.
+func decodeRowInto(schema *Schema, b []byte, row Row) error {
 	off := 0
 	for i, col := range schema.Columns {
 		switch col.Type {
 		case Int64:
 			if off+8 > len(b) {
-				return nil, errors.New("catalog: truncated int64 value")
+				return errors.New("catalog: truncated int64 value")
 			}
 			row[i] = int64(binary.LittleEndian.Uint64(b[off : off+8]))
 			off += 8
 		case Float64:
 			if off+8 > len(b) {
-				return nil, errors.New("catalog: truncated float64 value")
+				return errors.New("catalog: truncated float64 value")
 			}
 			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off : off+8]))
 			off += 8
 		case String:
 			if off+4 > len(b) {
-				return nil, errors.New("catalog: truncated string length")
+				return errors.New("catalog: truncated string length")
 			}
 			l := int(binary.LittleEndian.Uint32(b[off : off+4]))
 			off += 4
 			if off+l > len(b) {
-				return nil, errors.New("catalog: truncated string value")
+				return errors.New("catalog: truncated string value")
 			}
 			row[i] = string(b[off : off+l])
 			off += l
 		}
 	}
-	return row, nil
+	return nil
 }
 
 // Insert appends a row and returns its record id.
@@ -331,6 +340,16 @@ func (t *Table) Scan(fn func(rid storage.RecordID, row Row) bool) error {
 // and page decode path are shared-read safe — which is how the parallel
 // executor scans one morsel per worker.
 func (t *Table) ScanPages(pages []storage.PageID, fn func(rid storage.RecordID, row Row) bool) error {
+	return t.ScanPagesInto(pages, func(cols int) Row { return make(Row, cols) }, fn)
+}
+
+// ScanPagesInto is ScanPages with caller-owned row storage: each row is
+// decoded into a slice obtained from alloc, so a streaming executor can
+// carve rows out of a per-chunk arena instead of allocating one slice
+// per row. The row passed to fn is only valid until fn returns if the
+// allocator recycles storage; callers that retain rows must copy them.
+func (t *Table) ScanPagesInto(pages []storage.PageID, alloc func(cols int) Row, fn func(rid storage.RecordID, row Row) bool) error {
+	cols := len(t.Schema.Columns)
 	for _, id := range pages {
 		p, err := t.pool.Fetch(id)
 		if err != nil {
@@ -338,7 +357,9 @@ func (t *Table) ScanPages(pages []storage.PageID, fn func(rid storage.RecordID, 
 		}
 		stop := false
 		for s := 0; s < p.Slots(); s++ {
-			b, gerr := p.Get(s)
+			// A borrowed view is enough: decodeRowInto boxes every value
+			// (strings included) before the page is unpinned.
+			b, gerr := p.GetRef(s)
 			if errors.Is(gerr, storage.ErrRecordDeleted) {
 				continue
 			}
@@ -346,8 +367,8 @@ func (t *Table) ScanPages(pages []storage.PageID, fn func(rid storage.RecordID, 
 				t.pool.Unpin(id, false)
 				return gerr
 			}
-			row, derr := decodeRow(&t.Schema, b)
-			if derr != nil {
+			row := alloc(cols)
+			if derr := decodeRowInto(&t.Schema, b, row); derr != nil {
 				t.pool.Unpin(id, false)
 				return derr
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -164,5 +165,50 @@ func TestEstimatorCacheCountersInMetrics(t *testing.T) {
 	}
 	if !strings.Contains(out, "cardest.cache.hits 1") || !strings.Contains(out, "cardest.cache.misses 1") {
 		t.Fatalf("unexpected cache counter values:\n%s", out)
+	}
+}
+
+// TestStreamingCountersInMetrics: the streaming executor's chunk
+// counters and peak-bytes histogram surface through \metrics (the
+// WriteMetrics exposition) after a multi-chunk query.
+func TestStreamingCountersInMetrics(t *testing.T) {
+	db := OpenSeeded(12)
+	if _, err := db.Exec("CREATE TABLE s (a INT, b INT)"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO s VALUES ")
+	for i := 0; i < 3000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i%50)
+	}
+	if _, err := db.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELECT a FROM s WHERE b < 25"); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := db.WriteMetrics(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, name := range []string{
+		"exec.chunks_emitted",
+		"exec.chunk_pool.hits",
+		"exec.chunk_pool.misses",
+		"exec.peak_bytes",
+	} {
+		if !strings.Contains(got, name) {
+			t.Errorf("metrics exposition missing %s", name)
+		}
+	}
+	if strings.Contains(got, "exec.chunks_emitted 0") {
+		t.Error("exec.chunks_emitted stayed 0 after a 3000-row query")
+	}
+	if strings.Contains(got, "exec.chunk_pool.misses 0") {
+		t.Error("exec.chunk_pool.misses stayed 0 (first gets always miss)")
 	}
 }

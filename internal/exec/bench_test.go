@@ -52,6 +52,7 @@ func benchQuery(b *testing.B, c *catalog.Catalog, q string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := New(nil).Run(p); err != nil {
@@ -94,6 +95,7 @@ func BenchmarkExec(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("obs-off", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := New(nil).Run(p); err != nil {
 				b.Fatal(err)
@@ -101,6 +103,7 @@ func BenchmarkExec(b *testing.B) {
 		}
 	})
 	b.Run("obs-on", func(b *testing.B) {
+		b.ReportAllocs()
 		m := NewMetrics(obs.NewRegistry())
 		for i := 0; i < b.N; i++ {
 			ex := New(nil)
@@ -116,6 +119,7 @@ func BenchmarkExec(b *testing.B) {
 	// writers touch only their own atomics; the sampler never locks
 	// them).
 	b.Run("obs-on-sampled", func(b *testing.B) {
+		b.ReportAllocs()
 		reg := obs.NewRegistry()
 		m := NewMetrics(reg)
 		ts := obs.NewTimeSeries(reg, 64)
@@ -136,6 +140,7 @@ func BenchmarkExec(b *testing.B) {
 	// TestProfileOffOverhead asserts); profile-on is the EXPLAIN ANALYZE
 	// path with per-operator timing and cardinality capture.
 	b.Run("profile-off", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := New(nil).Run(p); err != nil {
 				b.Fatal(err)
@@ -143,6 +148,7 @@ func BenchmarkExec(b *testing.B) {
 		}
 	})
 	b.Run("profile-on", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ex := New(nil)
 			ex.Profile = NewQueryProfile(p, nil)
@@ -162,6 +168,7 @@ func BenchmarkExec(b *testing.B) {
 			workers int
 		}{{"serial", 1}, {"parallel", 0}} {
 			b.Run(mode.name, func(b *testing.B) {
+				b.ReportAllocs()
 				ex := New(nil)
 				ex.Parallelism = mode.workers
 				for i := 0; i < b.N; i++ {
@@ -202,6 +209,7 @@ func BenchmarkInsertThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := t.Insert(catalog.Row{int64(i), fmt.Sprintf("row-%d", i)}); err != nil {

@@ -1,10 +1,15 @@
 // Package exec executes logical plans from internal/plan against catalog
-// tables with a morsel-driven parallel materializing executor: scans
+// tables with a streaming, morsel-driven parallel executor: plans
+// compile into pull-based BatchOperator pipelines through which pooled
+// row chunks (~MorselSize rows, arena-backed) flow scan → filter →
+// project → limit without materializing intermediate results. Scans
 // split page/key ranges into fixed-size morsels pulled by a
-// runtime.NumCPU()-bounded worker set, filters and projections run
-// per-morsel, hash joins build hash(key)-partitioned tables with no
-// shared-map locking, and aggregation merges per-morsel partial states
-// — all concatenating morsel outputs in order so parallel results are
+// runtime.NumCPU()-bounded worker set; filters and projections fuse
+// into the scan workers as row-wise transforms; hash joins build
+// hash(key)-partitioned tables from their (escaped) build side and
+// stream the probe side; aggregation folds chunks into one partial
+// state as they arrive. Chunks hand off through small bounded channels
+// drained in morsel order, so parallel results are row-for-row
 // identical to serial ones (Executor.Parallelism = 1 pins the serial
 // baseline). The expression evaluator has a pluggable scalar-function
 // registry (which is how AISQL's PREDICT() reaches trained models

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -14,15 +13,14 @@ import (
 	"aidb/internal/governance"
 	"aidb/internal/plan"
 	"aidb/internal/sql"
-	"aidb/internal/storage"
 )
 
 // SiteExecScan is the chaos injection site for table scans: Error rules
 // fail the scan, Latency rules accrue virtual delay in the stats. The
 // site is consulted once per scan morsel, in morsel order, on the
-// coordinating goroutine before workers are dispatched — so the fault
-// schedule depends only on table size and morsel configuration, never
-// on worker interleaving or the Parallelism knob.
+// consuming goroutine when the scan opens (before any row is read) —
+// so the fault schedule depends only on table size and morsel
+// configuration, never on worker interleaving or the Parallelism knob.
 const SiteExecScan = "exec.scan"
 
 // minIndexMorselWidth is the smallest key-space width, per subrange,
@@ -35,10 +33,14 @@ type Result struct {
 	Rows    []catalog.Row
 }
 
-// Executor runs logical plans. One executor may serve concurrent Run
-// calls (stats are atomic); scalar functions in Funcs must be safe for
-// concurrent use whenever Parallelism != 1, because data-parallel
-// operators evaluate expressions from multiple workers.
+// Executor runs logical plans through a streaming batch-at-a-time
+// pipeline: the plan compiles into a tree of BatchOperators (see
+// stream.go) pulling pooled row chunks from their children, so only
+// pipeline breakers (join build, aggregation, sort) ever materialize
+// an input. One executor may serve concurrent Run calls (stats are
+// atomic); scalar functions in Funcs must be safe for concurrent use
+// whenever Parallelism != 1, because fused filter and projection
+// stages evaluate expressions from multiple scan workers.
 type Executor struct {
 	Funcs FuncRegistry
 	// Stats counts rows produced per operator type, for the monitoring
@@ -52,17 +54,20 @@ type Executor struct {
 	Obs Metrics
 
 	// Profile, when set, collects per-operator runtime profiles (actual
-	// rows, wall time, morsel and worker counts) for the next Run call —
-	// the EXPLAIN ANALYZE path. A profile instruments exactly one Run;
-	// nil (the default) disables profiling at the cost of one nil check
-	// per operator.
+	// rows, wall time, chunk counts, morsel and worker counts) for the
+	// next Run call — the EXPLAIN ANALYZE path. A profile instruments
+	// exactly one Run; nil (the default) disables profiling at the cost
+	// of one nil check per operator.
 	Profile *QueryProfile
 
-	// Mem, when set, is the per-query memory budget charged at row-
-	// materialization sites (scan/filter/projection/join outputs and
-	// aggregation state); exceeding it aborts the query with an error
-	// wrapping governance.ErrMemBudget. Like Profile it applies to
-	// exactly one Run; nil (the default) disables accounting.
+	// Mem, when set, is the per-query memory budget. The streaming
+	// executor charges each chunk as it enters the pipeline and refunds
+	// it when the chunk is recycled, so the budget bounds *live* bytes
+	// (chunks in flight plus escaped rows: results, sort buffers, join
+	// build tables) — peak, not cumulative, materialization. Exceeding
+	// it aborts the query with an error wrapping governance.ErrMemBudget.
+	// Like Profile it applies to exactly one Run; nil (the default)
+	// disables accounting.
 	Mem *governance.MemBudget
 
 	// Parallelism is the morsel worker budget: 0 selects
@@ -70,13 +75,18 @@ type Executor struct {
 	// baseline and the guard-degradation fallback), larger values set
 	// an explicit worker count.
 	Parallelism int
-	// MorselSize is the rows-per-morsel for row-partitioned operators
-	// (filter, project, join build/probe, aggregation); 0 selects
-	// DefaultMorselRows.
+	// MorselSize is the rows-per-morsel for row-partitioned operators,
+	// and thereby the target chunk size flowing through the pipeline;
+	// 0 selects DefaultMorselRows.
 	MorselSize int
 	// ScanMorselPages is the heap-pages-per-morsel for table scans; 0
 	// selects DefaultScanMorselPages.
 	ScanMorselPages int
+
+	// poolHook, when set, receives each RunContext's chunk pool after
+	// the pipeline is torn down — the leak-detection seam for tests
+	// (outstanding() must be zero on every exit path).
+	poolHook func(*chunkPool)
 }
 
 // ExecStats counts executor activity. Counters are atomic: they are
@@ -124,21 +134,37 @@ func IsCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// RunContext materializes the plan's output, checking ctx cooperatively
-// at every morsel boundary (and every ctxCheckRows rows inside
-// monolithic serial loops), so a cancelled query stops within about one
-// morsel of work per worker and never returns a partial result. The
-// returned error wraps ctx.Err() when the run was cancelled;
-// cancel.requests counts such runs and cancel.latency_ns observes the
-// cancellation-observed-to-return teardown latency.
+// RunContext streams the plan's output into a materialized Result,
+// checking ctx cooperatively at every chunk boundary (and every
+// ctxCheckRows rows inside row loops), so a cancelled query stops
+// within about one morsel of work per worker and never returns a
+// partial result. The returned error wraps ctx.Err() when the run was
+// cancelled; cancel.requests counts such runs and cancel.latency_ns
+// observes the cancellation-observed-to-return teardown latency. On
+// any error every outstanding memory charge is refunded, so a shared
+// budget sees only the bytes a query actually holds.
 func (ex *Executor) RunContext(ctx context.Context, n plan.Node) (*Result, error) {
 	ex.Obs.Queries.Inc()
 	if done := ex.Obs.timeQuery(); done != nil {
 		defer done()
 	}
 	rc := &runCtx{ctx: ctx, mem: ex.Mem}
-	rows, err := ex.exec(rc, n)
+	rc.pool.m = &ex.Obs
+	rows, err := ex.execNode(rc, n)
+	if peak := rc.peak.Load(); peak > 0 {
+		ex.Obs.PeakBytes.Observe(float64(peak))
+	}
+	if ex.poolHook != nil {
+		ex.poolHook(&rc.pool)
+	}
 	if err != nil {
+		// The pipeline is already torn down (in-flight chunks were
+		// recycled and refunded); what is left in live is escaped rows
+		// the query no longer returns — give them back.
+		if live := rc.live.Load(); live > 0 {
+			rc.mem.Refund(live)
+			rc.live.Store(0)
+		}
 		ex.Obs.QueryErrors.Inc()
 		if IsCancellation(err) {
 			ex.Obs.CancelRequests.Inc()
@@ -153,22 +179,70 @@ func (ex *Executor) RunContext(ctx context.Context, n plan.Node) (*Result, error
 	return &Result{Columns: n.Schema(), Rows: rows}, nil
 }
 
+// execNode compiles the plan into a streaming pipeline and drains it,
+// escaping every chunk whose rows end up in the result. A nil rc runs
+// uninstrumented with background-context semantics.
+func (ex *Executor) execNode(rc *runCtx, n plan.Node) ([]catalog.Row, error) {
+	if rc == nil {
+		rc = &runCtx{}
+	}
+	if rc.pool.m == nil {
+		rc.pool.m = &ex.Obs
+	}
+	op, err := ex.compile(rc, n)
+	if err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	// Collect output chunks and flatten once at the end: one exact
+	// result allocation instead of append-growth churn proportional to
+	// the result size.
+	var chunks []*Chunk
+	total := 0
+	for {
+		c, ok, nerr := op.Next(rc.ctx)
+		if nerr != nil {
+			return nil, nerr
+		}
+		if !ok {
+			break
+		}
+		chunks = append(chunks, c)
+		total += len(c.rows)
+		rc.escape(c)
+	}
+	rows := make([]catalog.Row, 0, total)
+	for _, c := range chunks {
+		rows = append(rows, c.rows...)
+	}
+	return rows, nil
+}
+
 // runCtx carries one Run's cancellation and resource state down the
-// operator tree. It is per-run (never stored on the Executor), so one
-// executor can serve concurrent RunContext calls with different
-// contexts and budgets racing nothing.
+// operator tree: the context, the memory budget, the chunk pool, and
+// the live/peak byte accounting. It is per-run (never stored on the
+// Executor), so one executor can serve concurrent RunContext calls
+// with different contexts and budgets racing nothing.
 type runCtx struct {
 	ctx context.Context
 	mem *governance.MemBudget
 	// cancelAt is the unix-nano timestamp of the first observed
 	// cancellation, feeding the cancel.latency_ns teardown histogram.
 	cancelAt atomic.Int64
+
+	// pool recycles chunks within this run; all operators share it.
+	pool chunkPool
+	// live is the run's currently charged bytes (chunks in flight plus
+	// escaped rows); peak is its high-water mark, observed into the
+	// exec.peak_bytes histogram when the run finishes.
+	live atomic.Int64
+	peak atomic.Int64
 }
 
-// ctxCheckRows is the cooperative-cancellation stride inside monolithic
-// row loops (serial scans, filters, probes): one context check per this
-// many rows keeps cancellation latency at sub-morsel granularity for
-// about one predictable branch per row of overhead.
+// ctxCheckRows is the cooperative-cancellation stride inside row loops
+// (scan decode, fused filter/project stages, join probe): one context
+// check per this many rows keeps cancellation latency at sub-morsel
+// granularity for about one predictable branch per row of overhead.
 const ctxCheckRows = 1024
 
 // err checks the run's context, stamping the first cancellation
@@ -195,12 +269,53 @@ func (rc *runCtx) stamp(err error) error {
 	return err
 }
 
-// charge bills rows against the run's memory budget.
-func (rc *runCtx) charge(rows []catalog.Row) error {
-	if rc == nil || rc.mem == nil || len(rows) == 0 {
+// chargeEmit bills a chunk entering the pipeline against the run's
+// live-byte accounting and memory budget. Idempotent per chunk (a
+// chunk passing through several stages is charged once); the charge
+// travels with the chunk until recycle refunds it.
+func (rc *runCtx) chargeEmit(c *Chunk) error {
+	if c == nil || len(c.rows) == 0 || c.charged != 0 {
 		return nil
 	}
-	return rc.mem.Charge(approxRowsBytes(rows))
+	n := approxRowsBytes(c.rows)
+	c.charged = n
+	live := rc.live.Add(n)
+	for {
+		p := rc.peak.Load()
+		if live <= p || rc.peak.CompareAndSwap(p, live) {
+			break
+		}
+	}
+	if rc.mem == nil {
+		return nil
+	}
+	return rc.mem.Charge(n)
+}
+
+// recycle refunds a chunk's charge and returns it to the pool. Safe on
+// nil, static and already-released chunks.
+func (rc *runCtx) recycle(c *Chunk) {
+	if c == nil {
+		return
+	}
+	if c.charged > 0 && !c.released {
+		rc.live.Add(-c.charged)
+		rc.mem.Refund(c.charged)
+		c.charged = 0
+	}
+	if c.src != nil {
+		c.src.put(c)
+	}
+}
+
+// escape removes a chunk from the pool without refunding it: its rows
+// outlive the pipeline (result rows, sort buffers, join build tables),
+// so its bytes stay live until the run ends.
+func (rc *runCtx) escape(c *Chunk) {
+	if c == nil || c.src == nil {
+		return
+	}
+	c.src.escape(c)
 }
 
 // approxRowsBytes estimates the materialized size of rows: slice
@@ -220,385 +335,6 @@ func approxRowsBytes(rows []catalog.Row) int64 {
 	return n
 }
 
-// exec runs one operator, recording its profile when profiling is on.
-// Wall time is inclusive (children recurse through exec themselves).
-func (ex *Executor) exec(rc *runCtx, n plan.Node) ([]catalog.Row, error) {
-	if ex.Profile == nil {
-		return ex.execNode(rc, n)
-	}
-	op := ex.Profile.enter(n)
-	if op == nil {
-		return ex.execNode(rc, n)
-	}
-	start := time.Now()
-	rows, err := ex.execNode(rc, n)
-	op.wallNs.Add(time.Since(start).Nanoseconds())
-	op.actualRows.Add(int64(len(rows)))
-	ex.Profile.exit()
-	return rows, err
-}
-
-func (ex *Executor) execNode(rc *runCtx, n plan.Node) ([]catalog.Row, error) {
-	switch v := n.(type) {
-	case *plan.ScanNode:
-		return ex.scan(rc, v)
-	case *plan.IndexScanNode:
-		return ex.indexScan(rc, v)
-	case *plan.FilterNode:
-		in, err := ex.exec(rc, v.Input)
-		if err != nil {
-			return nil, err
-		}
-		scope := NewScope(v.Input.Schema())
-		chunks := chunkBounds(len(in), ex.morselRows())
-		if len(chunks) <= 1 || ex.workers() == 1 {
-			out, ferr := ex.filterRows(rc, in, v.Cond, scope)
-			if ferr != nil {
-				return nil, ferr
-			}
-			return out, rc.charge(out)
-		}
-		outs := make([][]catalog.Row, len(chunks))
-		err = ex.runMorsels(rc, len(chunks), func(m int) error {
-			o, ferr := ex.filterRows(rc, in[chunks[m][0]:chunks[m][1]], v.Cond, scope)
-			if ferr != nil {
-				return ferr
-			}
-			outs[m] = o
-			return rc.charge(o)
-		})
-		if err != nil {
-			return nil, err
-		}
-		return concatRows(outs), nil
-	case *plan.JoinNode:
-		return ex.hashJoin(rc, v)
-	case *plan.ProjectNode:
-		return ex.project(rc, v)
-	case *plan.AggregateNode:
-		return ex.aggregate(rc, v)
-	case *plan.SortNode:
-		in, err := ex.exec(rc, v.Input)
-		if err != nil {
-			return nil, err
-		}
-		if err := rc.err(); err != nil {
-			return nil, err
-		}
-		schema := v.Input.Schema()
-		scope := NewScope(schema)
-		// A sort key that textually matches an input column (e.g. an
-		// aggregate or PREDICT output) sorts by that column directly
-		// instead of re-evaluating the expression.
-		keyCol := make([]int, len(v.Keys))
-		for ki, k := range v.Keys {
-			keyCol[ki] = -1
-			want := k.Expr.String()
-			for ci, name := range schema {
-				if name == want {
-					keyCol[ki] = ci
-					break
-				}
-			}
-		}
-		keyVal := func(ki int, row catalog.Row) (catalog.Value, error) {
-			if c := keyCol[ki]; c >= 0 {
-				return row[c], nil
-			}
-			return Eval(v.Keys[ki].Expr, scope, row, ex.Funcs)
-		}
-		var sortErr error
-		sort.SliceStable(in, func(i, j int) bool {
-			for ki, k := range v.Keys {
-				a, err := keyVal(ki, in[i])
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				b, err := keyVal(ki, in[j])
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				c, err := compare(a, b)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				if c != 0 {
-					if k.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-		return in, sortErr
-	case *plan.LimitNode:
-		in, err := ex.exec(rc, v.Input)
-		if err != nil {
-			return nil, err
-		}
-		if len(in) > v.N {
-			in = in[:v.N]
-		}
-		return in, nil
-	case *plan.DistinctNode:
-		in, err := ex.exec(rc, v.Input)
-		if err != nil {
-			return nil, err
-		}
-		seen := map[string]bool{}
-		out := in[:0:0]
-		for _, r := range in {
-			k := rowKey(r)
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, r)
-			}
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
-	}
-}
-
-// scan reads a heap table, splitting its page list into morsels and
-// scanning them on the worker pool. Morsel outputs concatenate in page
-// order, so parallel scans return rows in exactly the serial order.
-func (ex *Executor) scan(rc *runCtx, v *plan.ScanNode) ([]catalog.Row, error) {
-	morsels := storage.PartitionPages(v.Table.PageIDs(), ex.scanMorselPages())
-	// Chaos fires per morsel (at least once per scan, so empty tables
-	// keep their schedule), consulted serially before dispatch. Injected
-	// latency selects on the run's context: a cancelled query never
-	// waits out a sleep it no longer needs (satellite fix — the old path
-	// slept unconditionally once real-time units were configured).
-	consult := len(morsels)
-	if consult == 0 {
-		consult = 1
-	}
-	var ctx context.Context
-	if rc != nil {
-		ctx = rc.ctx
-	}
-	for m := 0; m < consult; m++ {
-		delay, cerr := ex.Chaos.SleepLatency(ctx, SiteExecScan)
-		ex.Stats.InjectedDelayUnits.Add(uint64(delay))
-		ex.Obs.InjectedDelay.Add(uint64(delay))
-		if cerr != nil {
-			return nil, fmt.Errorf("exec: scan %s: %w", v.Table.Name, rc.stamp(cerr))
-		}
-		if err := ex.Chaos.Fail(SiteExecScan); err != nil {
-			return nil, fmt.Errorf("exec: scan %s: %w", v.Table.Name, err)
-		}
-	}
-	var rows []catalog.Row
-	if len(morsels) <= 1 || ex.workers() == 1 {
-		var scanErr error
-		i := 0
-		err := v.Table.Scan(func(_ storage.RecordID, r catalog.Row) bool {
-			if i%ctxCheckRows == 0 {
-				if scanErr = rc.err(); scanErr != nil {
-					return false
-				}
-			}
-			i++
-			rows = append(rows, r)
-			return true
-		})
-		if scanErr != nil {
-			return nil, scanErr
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := rc.charge(rows); err != nil {
-			return nil, err
-		}
-	} else {
-		outs := make([][]catalog.Row, len(morsels))
-		err := ex.runMorsels(rc, len(morsels), func(m int) error {
-			serr := v.Table.ScanPages(morsels[m], func(_ storage.RecordID, r catalog.Row) bool {
-				outs[m] = append(outs[m], r)
-				return true
-			})
-			if serr != nil {
-				return serr
-			}
-			return rc.charge(outs[m])
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = concatRows(outs)
-	}
-	ex.Stats.RowsScanned.Add(uint64(len(rows)))
-	ex.Obs.RowsScanned.Add(uint64(len(rows)))
-	return rows, nil
-}
-
-// indexScan reads an index range, splitting [Lo, Hi] into key subranges
-// scanned on the worker pool. Subranges concatenate in ascending key
-// order, matching the serial scan exactly. Fetch closures are
-// shared-read safe (the index takes a read lock per call).
-func (ex *Executor) indexScan(rc *runCtx, v *plan.IndexScanNode) ([]catalog.Row, error) {
-	var rows []catalog.Row
-	w := ex.workers()
-	subs := splitKeyRange(v.Lo, v.Hi, w*2, minIndexMorselWidth)
-	if len(subs) <= 1 || w == 1 {
-		var scanErr error
-		i := 0
-		err := v.Fetch(v.Lo, v.Hi, func(r catalog.Row) bool {
-			if i%ctxCheckRows == 0 {
-				if scanErr = rc.err(); scanErr != nil {
-					return false
-				}
-			}
-			i++
-			rows = append(rows, r)
-			return true
-		})
-		if scanErr != nil {
-			return nil, scanErr
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := rc.charge(rows); err != nil {
-			return nil, err
-		}
-	} else {
-		outs := make([][]catalog.Row, len(subs))
-		err := ex.runMorsels(rc, len(subs), func(m int) error {
-			ferr := v.Fetch(subs[m][0], subs[m][1], func(r catalog.Row) bool {
-				outs[m] = append(outs[m], r)
-				return true
-			})
-			if ferr != nil {
-				return ferr
-			}
-			return rc.charge(outs[m])
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = concatRows(outs)
-	}
-	ex.Stats.RowsScanned.Add(uint64(len(rows)))
-	ex.Obs.RowsScanned.Add(uint64(len(rows)))
-	return rows, nil
-}
-
-// hashJoin is a partitioned parallel hash join: the smaller side builds
-// hash(key)-partitioned tables (per-worker partition lists, merged one
-// partition per worker — no shared-map locking), the larger side probes
-// them in parallel morsels. Output order matches the serial join: probe
-// order outer, build-input order within a key.
-func (ex *Executor) hashJoin(rc *runCtx, j *plan.JoinNode) ([]catalog.Row, error) {
-	left, err := ex.exec(rc, j.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := ex.exec(rc, j.Right)
-	if err != nil {
-		return nil, err
-	}
-	lScope := NewScope(j.Left.Schema())
-	rScope := NewScope(j.Right.Schema())
-	lIdx, err := lScope.Resolve(colRefFromName(j.LeftCol))
-	if err != nil {
-		return nil, fmt.Errorf("exec: join left key: %w", err)
-	}
-	rIdx, err := rScope.Resolve(colRefFromName(j.RightCol))
-	if err != nil {
-		return nil, fmt.Errorf("exec: join right key: %w", err)
-	}
-	// Build on the smaller side.
-	buildRows, probeRows := left, right
-	buildIdx, probeIdx := lIdx, rIdx
-	buildIsLeft := true
-	if len(right) < len(left) {
-		buildRows, probeRows = right, left
-		buildIdx, probeIdx = rIdx, lIdx
-		buildIsLeft = false
-	}
-	var out []catalog.Row
-	w := ex.workers()
-	if w == 1 || len(buildRows)+len(probeRows) <= ex.morselRows() {
-		ht := make(map[string][]catalog.Row, len(buildRows))
-		for i, r := range buildRows {
-			if i%ctxCheckRows == 0 {
-				if err := rc.err(); err != nil {
-					return nil, err
-				}
-			}
-			k := valKey(r[buildIdx])
-			ht[k] = append(ht[k], r)
-		}
-		for i, pr := range probeRows {
-			if i%ctxCheckRows == 0 {
-				if err := rc.err(); err != nil {
-					return nil, err
-				}
-			}
-			for _, br := range ht[valKey(pr[probeIdx])] {
-				var joined catalog.Row
-				if buildIsLeft {
-					joined = append(append(catalog.Row{}, br...), pr...)
-				} else {
-					joined = append(append(catalog.Row{}, pr...), br...)
-				}
-				out = append(out, joined)
-			}
-		}
-		if err := rc.charge(out); err != nil {
-			return nil, err
-		}
-	} else {
-		tables, berr := ex.buildPartitioned(rc, buildRows, buildIdx, w)
-		if berr != nil {
-			return nil, berr
-		}
-		out, err = ex.probePartitioned(rc, tables, probeRows, probeIdx, buildIsLeft)
-		if err != nil {
-			return nil, err
-		}
-	}
-	ex.Stats.RowsJoined.Add(uint64(len(out)))
-	ex.Obs.RowsJoined.Add(uint64(len(out)))
-	return out, nil
-}
-
-func (ex *Executor) project(rc *runCtx, p *plan.ProjectNode) ([]catalog.Row, error) {
-	in, err := ex.exec(rc, p.Input)
-	if err != nil {
-		return nil, err
-	}
-	scope := NewScope(p.Input.Schema())
-	chunks := chunkBounds(len(in), ex.morselRows())
-	if len(chunks) <= 1 || ex.workers() == 1 {
-		out, perr := ex.projectRows(rc, in, p.Items, scope)
-		if perr != nil {
-			return nil, perr
-		}
-		return out, rc.charge(out)
-	}
-	outs := make([][]catalog.Row, len(chunks))
-	err = ex.runMorsels(rc, len(chunks), func(m int) error {
-		o, perr := ex.projectRows(rc, in[chunks[m][0]:chunks[m][1]], p.Items, scope)
-		if perr != nil {
-			return perr
-		}
-		outs[m] = o
-		return rc.charge(o)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return concatRows(outs), nil
-}
-
 type aggState struct {
 	groupKey catalog.Row
 	count    int64
@@ -608,70 +344,38 @@ type aggState struct {
 	counts   map[int]int64
 }
 
-// aggregate computes grouped aggregates with per-morsel partial states
-// (composable sum/count/min/max; AVG finalizes as sum/count) merged in
-// morsel order, so group output order is global first-occurrence order,
-// identical to the serial accumulation.
-func (ex *Executor) aggregate(rc *runCtx, a *plan.AggregateNode) ([]catalog.Row, error) {
-	in, err := ex.exec(rc, a.Input)
-	if err != nil {
-		return nil, err
-	}
-	scope := NewScope(a.Input.Schema())
-	chunks := chunkBounds(len(in), ex.morselRows())
-	var merged *aggPartial
-	if len(chunks) <= 1 || ex.workers() == 1 {
-		merged, err = ex.aggregateChunk(rc, a, scope, in)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		partials := make([]*aggPartial, len(chunks))
-		err = ex.runMorsels(rc, len(chunks), func(m int) error {
-			p, aerr := ex.aggregateChunk(rc, a, scope, in[chunks[m][0]:chunks[m][1]])
-			partials[m] = p
-			return aerr
-		})
-		if err != nil {
-			return nil, err
-		}
-		merged = partials[0]
-		for _, p := range partials[1:] {
-			if err := mergeAgg(merged, p); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return ex.finalizeAgg(a, merged)
-}
-
-// aggregateChunk folds one morsel of rows into a fresh partial state.
-func (ex *Executor) aggregateChunk(rc *runCtx, a *plan.AggregateNode, scope *Scope, rows []catalog.Row) (*aggPartial, error) {
-	part := newAggPartial()
+// aggregateChunk folds one batch of rows into part. Rows are consumed:
+// every value the state keeps (group keys, min/max) is an evaluated
+// Value, never a slice into the caller's chunk, so the chunk may be
+// recycled as soon as this returns.
+func (ex *Executor) aggregateChunk(rc *runCtx, a *plan.AggregateNode, scope *Scope, part *aggPartial, rows []catalog.Row) error {
+	keyBuf := make([]byte, 0, 64)
+	key := make(catalog.Row, 0, len(a.GroupBy))
 	for i, r := range rows {
 		if i%ctxCheckRows == 0 {
 			if err := rc.err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		var key catalog.Row
+		key = key[:0]
 		for _, g := range a.GroupBy {
 			v, err := Eval(g, scope, r, ex.Funcs)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			key = append(key, v)
 		}
-		ks := rowKey(key)
-		st, ok := part.groups[ks]
+		keyBuf = appendRowKey(keyBuf[:0], key)
+		st, ok := part.groups[string(keyBuf)]
 		if !ok {
 			st = &aggState{
-				groupKey: key,
+				groupKey: append(catalog.Row(nil), key...),
 				sums:     map[int]float64{},
 				mins:     map[int]catalog.Value{},
 				maxs:     map[int]catalog.Value{},
 				counts:   map[int]int64{},
 			}
+			ks := string(keyBuf)
 			part.groups[ks] = st
 			part.order = append(part.order, ks)
 		}
@@ -686,17 +390,17 @@ func (ex *Executor) aggregateChunk(rc *runCtx, a *plan.AggregateNode, scope *Sco
 				st.counts[i]++
 			case "SUM", "AVG", "MIN", "MAX":
 				if len(fc.Args) != 1 {
-					return nil, fmt.Errorf("exec: %s takes one argument", fc.Name)
+					return fmt.Errorf("exec: %s takes one argument", fc.Name)
 				}
 				v, err := Eval(fc.Args[0], scope, r, ex.Funcs)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				switch fc.Name {
 				case "SUM", "AVG":
 					f, err := toFloat(v)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					st.sums[i] += f
 					st.counts[i]++
@@ -705,7 +409,7 @@ func (ex *Executor) aggregateChunk(rc *runCtx, a *plan.AggregateNode, scope *Sco
 					if !ok {
 						st.mins[i] = v
 					} else if c, err := compare(v, cur); err != nil {
-						return nil, err
+						return err
 					} else if c < 0 {
 						st.mins[i] = v
 					}
@@ -714,7 +418,7 @@ func (ex *Executor) aggregateChunk(rc *runCtx, a *plan.AggregateNode, scope *Sco
 					if !ok {
 						st.maxs[i] = v
 					} else if c, err := compare(v, cur); err != nil {
-						return nil, err
+						return err
 					} else if c > 0 {
 						st.maxs[i] = v
 					}
@@ -722,10 +426,10 @@ func (ex *Executor) aggregateChunk(rc *runCtx, a *plan.AggregateNode, scope *Sco
 			}
 		}
 	}
-	return part, nil
+	return nil
 }
 
-// finalizeAgg renders the merged partial into output rows.
+// finalizeAgg renders the folded partial into output rows.
 func (ex *Executor) finalizeAgg(a *plan.AggregateNode, part *aggPartial) ([]catalog.Row, error) {
 	if len(a.GroupBy) == 0 && len(part.order) == 0 {
 		// Aggregates over an empty input still produce one row.
@@ -783,16 +487,4 @@ func colRefFromName(name string) *sql.ColumnRef {
 		return &sql.ColumnRef{Table: name[:i], Column: name[i+1:]}
 	}
 	return &sql.ColumnRef{Column: name}
-}
-
-func valKey(v catalog.Value) string {
-	return fmt.Sprintf("%T|%v", v, v)
-}
-
-func rowKey(r catalog.Row) string {
-	parts := make([]string, len(r))
-	for i, v := range r {
-		parts[i] = valKey(v)
-	}
-	return strings.Join(parts, "\x00")
 }

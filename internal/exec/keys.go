@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+
+	"aidb/internal/catalog"
+)
+
+// Join, group-by and DISTINCT keys are byte strings built with
+// strconv.Append* into caller-owned scratch buffers: a one-byte type
+// tag keeps int64(1) and float64(1) distinct, and strings are
+// length-prefixed so concatenated row keys cannot collide across
+// column boundaries. Map probes use the map[string(b)] no-allocation
+// idiom; only inserting a new key materializes a string.
+
+// appendValKey appends v's type-tagged key encoding to b.
+func appendValKey(b []byte, v catalog.Value) []byte {
+	switch x := v.(type) {
+	case int64:
+		b = append(b, 'i')
+		return strconv.AppendInt(b, x, 10)
+	case float64:
+		b = append(b, 'f')
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case string:
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(x)), 10)
+		b = append(b, ':')
+		return append(b, x...)
+	case bool:
+		if x {
+			return append(b, 'T')
+		}
+		return append(b, 'F')
+	case nil:
+		return append(b, 'n')
+	default:
+		b = append(b, 'x')
+		return fmt.Appendf(b, "%T|%v", v, v)
+	}
+}
+
+// appendRowKey appends the NUL-joined value keys of r to b.
+func appendRowKey(b []byte, r catalog.Row) []byte {
+	for i, v := range r {
+		if i > 0 {
+			b = append(b, 0)
+		}
+		b = appendValKey(b, v)
+	}
+	return b
+}
+
+// valKey materializes one value's key as a string.
+func valKey(v catalog.Value) string {
+	return string(appendValKey(nil, v))
+}
+
+// rowKey materializes one row's key as a string.
+func rowKey(r catalog.Row) string {
+	return string(appendRowKey(nil, r))
+}
+
+// hashBytes is FNV-1a over an encoded key, used to assign join keys to
+// partitions.
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -29,6 +29,17 @@ type Metrics struct {
 	WorkerSpawns *obs.Counter
 	ParallelOps  *obs.Counter
 
+	// Streaming-pipeline counters: chunks emitted into pipelines (one
+	// per batch a source or breaker hands downstream), chunk-pool hit
+	// and miss counts (hits mean steady-state scans run allocation-
+	// free), and the per-query peak of live charged bytes — the
+	// streaming executor's headline number, bounded by chunks in flight
+	// plus escaped rows instead of every intermediate result.
+	ChunksEmitted   *obs.Counter
+	ChunkPoolHits   *obs.Counter
+	ChunkPoolMisses *obs.Counter
+	PeakBytes       *obs.Histogram
+
 	// Cancellation accounting: runs that returned a context error, and
 	// the teardown latency from the first cooperative check that saw the
 	// cancellation to RunContext returning (how long a cancelled query
@@ -52,21 +63,25 @@ func NewMetrics(reg *obs.Registry) Metrics {
 		return Metrics{}
 	}
 	return Metrics{
-		Queries:        reg.Counter("exec.queries"),
-		QueryErrors:    reg.Counter("exec.query_errors"),
-		RowsScanned:    reg.Counter("exec.rows_scanned"),
-		RowsJoined:     reg.Counter("exec.rows_joined"),
-		RowsOutput:     reg.Counter("exec.rows_output"),
-		InjectedDelay:  reg.Counter("exec.injected_delay_units"),
-		QueryLatency:   reg.Histogram("exec.query_latency_ns", latencyBuckets),
-		CancelRequests: reg.Counter("cancel.requests"),
-		CancelLatency:  reg.Histogram("cancel.latency_ns", latencyBuckets),
-		Morsels:        reg.Counter("exec.morsels"),
-		WorkerSpawns:   reg.Counter("exec.worker_spawns"),
-		ParallelOps:    reg.Counter("exec.parallel_ops"),
-		ScanSpeedup:    reg.Histogram("exec.speedup.scan", speedupBuckets),
-		JoinSpeedup:    reg.Histogram("exec.speedup.join", speedupBuckets),
-		AggSpeedup:     reg.Histogram("exec.speedup.agg", speedupBuckets),
+		Queries:         reg.Counter("exec.queries"),
+		QueryErrors:     reg.Counter("exec.query_errors"),
+		RowsScanned:     reg.Counter("exec.rows_scanned"),
+		RowsJoined:      reg.Counter("exec.rows_joined"),
+		RowsOutput:      reg.Counter("exec.rows_output"),
+		InjectedDelay:   reg.Counter("exec.injected_delay_units"),
+		QueryLatency:    reg.Histogram("exec.query_latency_ns", latencyBuckets),
+		CancelRequests:  reg.Counter("cancel.requests"),
+		CancelLatency:   reg.Histogram("cancel.latency_ns", latencyBuckets),
+		Morsels:         reg.Counter("exec.morsels"),
+		WorkerSpawns:    reg.Counter("exec.worker_spawns"),
+		ParallelOps:     reg.Counter("exec.parallel_ops"),
+		ChunksEmitted:   reg.Counter("exec.chunks_emitted"),
+		ChunkPoolHits:   reg.Counter("exec.chunk_pool.hits"),
+		ChunkPoolMisses: reg.Counter("exec.chunk_pool.misses"),
+		PeakBytes:       reg.Histogram("exec.peak_bytes", peakBuckets),
+		ScanSpeedup:     reg.Histogram("exec.speedup.scan", speedupBuckets),
+		JoinSpeedup:     reg.Histogram("exec.speedup.join", speedupBuckets),
+		AggSpeedup:      reg.Histogram("exec.speedup.agg", speedupBuckets),
 	}
 }
 
@@ -78,6 +93,10 @@ var latencyBuckets = obs.ExpBuckets(1e3, 4, 12)
 // parallel regressions, the top buckets near-linear scaling on wide
 // machines.
 var speedupBuckets = obs.ExpBuckets(0.25, 2, 8)
+
+// peakBuckets spans 1KiB..~16MiB in powers of 4 — a streaming query's
+// peak is a few chunks, a materializing result set fills the top end.
+var peakBuckets = obs.ExpBuckets(1024, 4, 12)
 
 // ObserveSpeedup records a measured serial/parallel wall-clock ratio
 // for one operator class: "scan", "join" or "agg" (anything else is

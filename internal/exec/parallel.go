@@ -6,22 +6,23 @@ import (
 	"sync/atomic"
 
 	"aidb/internal/catalog"
-	"aidb/internal/sql"
 )
 
 // Morsel-driven parallel execution (Leis et al., "Morsel-Driven
-// Parallelism", adapted to this materializing executor): every
-// data-parallel operator splits its input into fixed-size morsels —
-// page ranges for heap scans, key subranges for index scans, row ranges
-// for filter/project/join/aggregate — and a NumCPU()-bounded worker set
-// pulls morsels from a shared cursor (work stealing, no per-morsel
-// goroutine). Each worker writes into its own output slot, and slots
-// are concatenated in morsel order, so parallel output order is
-// identical to the serial order and results never need re-sorting.
+// Parallelism", adapted to this streaming executor): every source
+// splits its input into fixed-size morsels — page ranges for heap
+// scans, key subranges for index scans — and a NumCPU()-bounded worker
+// set pulls morsels from a shared cursor (work stealing, no per-morsel
+// goroutine). Workers run the fused filter/project transforms inline
+// and hand finished chunks through small bounded per-morsel channels;
+// the consumer drains morsels in order, so parallel output is
+// row-for-row identical to the serial order (see morselStream in
+// stream.go). runMorsels below is the barrier-style variant still used
+// where a fan-out has no streaming consumer (join build partitioning).
 
 // DefaultMorselRows is the default morsel size, in rows, for
-// row-partitioned operators (filter, project, join build/probe,
-// aggregation). Small enough to stay cache-resident per worker, large
+// row-partitioned work and the target chunk size of the streaming
+// pipeline. Small enough to stay cache-resident per worker, large
 // enough to amortize dispatch.
 const DefaultMorselRows = 1024
 
@@ -89,8 +90,9 @@ func chunkBounds(n, size int) [][2]int {
 // per-morsel logic without goroutines. rc's context is checked before
 // every morsel (in both the serial loop and each worker's pull loop),
 // so a cancelled run stops within one in-flight morsel per worker and
-// workers always drain back through the WaitGroup — no leaks.
-func (ex *Executor) runMorsels(rc *runCtx, n int, fn func(m int) error) error {
+// workers always drain back through the WaitGroup — no leaks. prof,
+// when non-nil, is the operator this fan-out belongs to.
+func (ex *Executor) runMorsels(rc *runCtx, prof *OpProfile, n int, fn func(m int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -99,11 +101,8 @@ func (ex *Executor) runMorsels(rc *runCtx, n int, fn func(m int) error) error {
 		workers = n
 	}
 	ex.Obs.Morsels.Add(uint64(n))
-	// op is the operator this morsel run belongs to (nil when
-	// profiling is off); workers update its counters atomically.
-	op := ex.Profile.cur()
-	if op != nil {
-		op.morsels.Add(int64(n))
+	if prof != nil {
+		prof.morsels.Add(int64(n))
 	}
 	if workers <= 1 {
 		for m := 0; m < n; m++ {
@@ -118,8 +117,8 @@ func (ex *Executor) runMorsels(rc *runCtx, n int, fn func(m int) error) error {
 	}
 	ex.Obs.ParallelOps.Inc()
 	ex.Obs.WorkerSpawns.Add(uint64(workers))
-	if op != nil {
-		op.workerSpawns.Add(int64(workers))
+	if prof != nil {
+		prof.workerSpawns.Add(int64(workers))
 	}
 	var (
 		cursor   atomic.Int64
@@ -150,93 +149,13 @@ func (ex *Executor) runMorsels(rc *runCtx, n int, fn func(m int) error) error {
 					break
 				}
 			}
-			if op != nil && processed > 0 {
-				op.busyWorkers.Add(1)
+			if prof != nil && processed > 0 {
+				prof.busyWorkers.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 	return firstErr
-}
-
-// concatRows flattens per-morsel outputs in morsel order, preserving
-// the serial output order.
-func concatRows(outs [][]catalog.Row) []catalog.Row {
-	total := 0
-	for _, o := range outs {
-		total += len(o)
-	}
-	if total == 0 {
-		return nil
-	}
-	all := make([]catalog.Row, 0, total)
-	for _, o := range outs {
-		all = append(all, o...)
-	}
-	return all
-}
-
-// filterRows evaluates cond over rows and returns the survivors. The
-// output never aliases the input's backing array: rows[:0:0] has zero
-// length AND zero capacity, so the first append allocates fresh
-// storage. Do not "simplify" it to rows[:0] — that would compact
-// survivors into the caller's slice in place, which is unsound once
-// morsels of one input slice are filtered concurrently (and corrupts
-// any operator that re-reads its materialized input).
-func (ex *Executor) filterRows(rc *runCtx, rows []catalog.Row, cond sql.Expr, scope *Scope) ([]catalog.Row, error) {
-	out := rows[:0:0]
-	for i, r := range rows {
-		if i%ctxCheckRows == 0 {
-			if err := rc.err(); err != nil {
-				return nil, err
-			}
-		}
-		ok, err := EvalBool(cond, scope, r, ex.Funcs)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, r)
-		}
-	}
-	return out, nil
-}
-
-// projectRows computes the projection items for each row.
-func (ex *Executor) projectRows(rc *runCtx, rows []catalog.Row, items []sql.SelectItem, scope *Scope) ([]catalog.Row, error) {
-	out := make([]catalog.Row, 0, len(rows))
-	for i, r := range rows {
-		if i%ctxCheckRows == 0 {
-			if err := rc.err(); err != nil {
-				return nil, err
-			}
-		}
-		var row catalog.Row
-		for _, it := range items {
-			if _, ok := it.Expr.(*sql.Star); ok {
-				row = append(row, r...)
-				continue
-			}
-			v, err := Eval(it.Expr, scope, r, ex.Funcs)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, v)
-		}
-		out = append(out, row)
-	}
-	return out, nil
-}
-
-// hashKey is FNV-1a over the already-type-tagged value key, used to
-// assign join keys to partitions.
-func hashKey(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }
 
 // joinEntry is one build-side row tagged with its join key.
@@ -251,15 +170,16 @@ type joinEntry struct {
 // per partition merges that partition's lists in morsel order, so rows
 // within a key keep build-input order and the probe output matches the
 // serial join exactly. No shared map is ever written concurrently.
-func (ex *Executor) buildPartitioned(rc *runCtx, buildRows []catalog.Row, buildIdx, numParts int) ([]map[string][]catalog.Row, error) {
+func (ex *Executor) buildPartitioned(rc *runCtx, prof *OpProfile, buildRows []catalog.Row, buildIdx, numParts int) ([]map[string][]catalog.Row, error) {
 	chunks := chunkBounds(len(buildRows), ex.morselRows())
 	split := make([][][]joinEntry, len(chunks))
-	err := ex.runMorsels(rc, len(chunks), func(m int) error {
+	err := ex.runMorsels(rc, prof, len(chunks), func(m int) error {
 		local := make([][]joinEntry, numParts)
+		keyBuf := make([]byte, 0, 64)
 		for _, r := range buildRows[chunks[m][0]:chunks[m][1]] {
-			k := valKey(r[buildIdx])
-			p := int(hashKey(k) % uint64(numParts))
-			local[p] = append(local[p], joinEntry{key: k, row: r})
+			keyBuf = appendValKey(keyBuf[:0], r[buildIdx])
+			p := int(hashBytes(keyBuf) % uint64(numParts))
+			local[p] = append(local[p], joinEntry{key: string(keyBuf), row: r})
 		}
 		split[m] = local
 		return nil
@@ -268,7 +188,7 @@ func (ex *Executor) buildPartitioned(rc *runCtx, buildRows []catalog.Row, buildI
 		return nil, err
 	}
 	tables := make([]map[string][]catalog.Row, numParts)
-	err = ex.runMorsels(rc, numParts, func(p int) error {
+	err = ex.runMorsels(rc, prof, numParts, func(p int) error {
 		n := 0
 		for m := range split {
 			n += len(split[m][p])
@@ -286,36 +206,6 @@ func (ex *Executor) buildPartitioned(rc *runCtx, buildRows []catalog.Row, buildI
 		return nil, err
 	}
 	return tables, nil
-}
-
-// probePartitioned probes the partitioned hash tables with probeRows in
-// parallel morsels, concatenating per-morsel outputs in probe order.
-// Errors only on cancellation or a blown memory budget.
-func (ex *Executor) probePartitioned(rc *runCtx, tables []map[string][]catalog.Row, probeRows []catalog.Row, probeIdx int, buildIsLeft bool) ([]catalog.Row, error) {
-	numParts := uint64(len(tables))
-	chunks := chunkBounds(len(probeRows), ex.morselRows())
-	outs := make([][]catalog.Row, len(chunks))
-	err := ex.runMorsels(rc, len(chunks), func(m int) error {
-		var out []catalog.Row
-		for _, pr := range probeRows[chunks[m][0]:chunks[m][1]] {
-			k := valKey(pr[probeIdx])
-			for _, br := range tables[hashKey(k)%numParts][k] {
-				var joined catalog.Row
-				if buildIsLeft {
-					joined = append(append(catalog.Row{}, br...), pr...)
-				} else {
-					joined = append(append(catalog.Row{}, pr...), br...)
-				}
-				out = append(out, joined)
-			}
-		}
-		outs[m] = out
-		return rc.charge(out)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return concatRows(outs), nil
 }
 
 // splitKeyRange splits the inclusive key range [lo, hi] into up to k
@@ -348,9 +238,11 @@ func splitKeyRange(lo, hi int64, k int, minWidth uint64) [][2]int64 {
 	}
 }
 
-// aggPartial is one morsel's partial aggregation state: composable
-// per-group partials (count, sum, min, max — AVG finalizes as
-// sum/count) plus the group keys in first-seen order.
+// aggPartial is the streaming aggregation state: composable per-group
+// partials (count, sum, min, max — AVG finalizes as sum/count) plus
+// the group keys in first-seen order. Chunks fold into it in arrival
+// (morsel) order, so group output order is global first-occurrence
+// order, identical to the serial accumulation.
 type aggPartial struct {
 	groups map[string]*aggState
 	order  []string
@@ -358,55 +250,4 @@ type aggPartial struct {
 
 func newAggPartial() *aggPartial {
 	return &aggPartial{groups: map[string]*aggState{}}
-}
-
-// mergeAgg folds src into dst. Morsels cover contiguous input ranges
-// and are merged in morsel order, so a group's final position is its
-// global first occurrence — identical to the serial accumulation order.
-func mergeAgg(dst, src *aggPartial) error {
-	for _, ks := range src.order {
-		s := src.groups[ks]
-		d, ok := dst.groups[ks]
-		if !ok {
-			dst.groups[ks] = s
-			dst.order = append(dst.order, ks)
-			continue
-		}
-		d.count += s.count
-		for i, v := range s.sums {
-			d.sums[i] += v
-		}
-		for i, v := range s.counts {
-			d.counts[i] += v
-		}
-		for i, v := range s.mins {
-			cur, ok := d.mins[i]
-			if !ok {
-				d.mins[i] = v
-				continue
-			}
-			c, err := compare(v, cur)
-			if err != nil {
-				return err
-			}
-			if c < 0 {
-				d.mins[i] = v
-			}
-		}
-		for i, v := range s.maxs {
-			cur, ok := d.maxs[i]
-			if !ok {
-				d.maxs[i] = v
-				continue
-			}
-			c, err := compare(v, cur)
-			if err != nil {
-				return err
-			}
-			if c > 0 {
-				d.maxs[i] = v
-			}
-		}
-	}
-	return nil
 }

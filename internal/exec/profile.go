@@ -29,6 +29,8 @@ type OpProfile struct {
 	morsels      atomic.Int64
 	workerSpawns atomic.Int64
 	busyWorkers  atomic.Int64
+	chunks       atomic.Int64
+	peakBytes    atomic.Int64
 
 	Children []*OpProfile
 }
@@ -59,15 +61,32 @@ func (p *OpProfile) Utilization() float64 {
 	return float64(p.busyWorkers.Load()) / float64(spawned)
 }
 
+// Chunks is how many batches the operator emitted downstream.
+func (p *OpProfile) Chunks() int64 { return p.chunks.Load() }
+
+// PeakBytes is the largest single batch (by the executor's byte
+// estimate) the operator emitted — the streaming pipeline's per-
+// operator memory footprint indicator.
+func (p *OpProfile) PeakBytes() int64 { return p.peakBytes.Load() }
+
+// notePeak raises the peak-batch-bytes high-water mark.
+func (p *OpProfile) notePeak(n int64) {
+	for {
+		cur := p.peakBytes.Load()
+		if n <= cur || p.peakBytes.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // QueryProfile is the per-operator runtime profile of one executed
 // plan, built before execution (so estimates are frozen) and filled in
-// during it. A QueryProfile instruments exactly one Run call: the
-// operator stack is owned by the coordinating goroutine, only morsel
-// counters are touched by workers.
+// during it. A QueryProfile instruments exactly one Run call; every
+// counter is atomic because fused pipeline stages record from morsel
+// workers.
 type QueryProfile struct {
 	Root   *OpProfile
 	byNode map[plan.Node]*OpProfile
-	stack  []*OpProfile
 }
 
 // NewQueryProfile builds the profile skeleton for a plan, annotating
@@ -121,34 +140,14 @@ func opKind(n plan.Node) string {
 	}
 }
 
-// enter pushes the operator for n onto the coordinator stack. Nil-safe;
-// returns nil for nodes the profile does not know (the caller then
-// skips exit).
-func (qp *QueryProfile) enter(n plan.Node) *OpProfile {
+// of returns the profile for n, nil when profiling is off or the node
+// is unknown — compile wires each operator to its own profile, so no
+// coordinator stack is needed.
+func (qp *QueryProfile) of(n plan.Node) *OpProfile {
 	if qp == nil {
 		return nil
 	}
-	op := qp.byNode[n]
-	if op != nil {
-		qp.stack = append(qp.stack, op)
-	}
-	return op
-}
-
-// exit pops the coordinator stack.
-func (qp *QueryProfile) exit() {
-	if qp != nil && len(qp.stack) > 0 {
-		qp.stack = qp.stack[:len(qp.stack)-1]
-	}
-}
-
-// cur is the operator whose morsels are currently being dispatched
-// (nil when profiling is off or no operator is active).
-func (qp *QueryProfile) cur() *OpProfile {
-	if qp == nil || len(qp.stack) == 0 {
-		return nil
-	}
-	return qp.stack[len(qp.stack)-1]
+	return qp.byNode[n]
 }
 
 // Walk visits every operator pre-order with its depth.
@@ -168,14 +167,14 @@ func (qp *QueryProfile) Walk(fn func(op *OpProfile, depth int)) {
 
 // Summary renders the profile as indented text, one operator per line:
 //
-//	Project id (est=6666 act=9750 rows, 1.2ms, morsels=10, workers=4, util=1.00)
+//	Project id (est=6666 act=9750 rows, 1.2ms, morsels=10, workers=4, util=1.00, chunks=10, peak=56KB)
 func (qp *QueryProfile) Summary() string {
 	var sb strings.Builder
 	qp.Walk(func(op *OpProfile, depth int) {
 		sb.WriteString(strings.Repeat("  ", depth))
-		fmt.Fprintf(&sb, "%s (est=%.0f act=%d rows, %s, morsels=%d, workers=%d, util=%.2f)\n",
+		fmt.Fprintf(&sb, "%s (est=%.0f act=%d rows, %s, morsels=%d, workers=%d, util=%.2f, chunks=%d, peak=%dB)\n",
 			op.Op, op.EstRows, op.ActualRows(), op.Wall().Round(time.Microsecond),
-			op.Morsels(), op.WorkerSpawns(), op.Utilization())
+			op.Morsels(), op.WorkerSpawns(), op.Utilization(), op.Chunks(), op.PeakBytes())
 	})
 	return sb.String()
 }
@@ -196,6 +195,9 @@ func (qp *QueryProfile) AttachSpans(sp *obs.Span) {
 		}
 		if w := op.WorkerSpawns(); w > 0 {
 			c.SetTagf("workers", "%d,util=%.2f", w, op.Utilization())
+		}
+		if n := op.Chunks(); n > 0 {
+			c.SetTagf("chunks", "%d,peak=%dB", n, op.PeakBytes())
 		}
 		for _, child := range op.Children {
 			rec(c, child)

@@ -111,8 +111,11 @@ func TestProfileParallelIdentity(t *testing.T) {
 	}
 }
 
-// TestProfileMorselAttribution checks that morsel and worker counts land
-// on the operator that dispatched them.
+// TestProfileMorselAttribution checks that morsel and worker counts
+// land on the source that dispatched them, while fused stages report
+// the chunks that flowed through them. In the streaming pipeline the
+// filter runs inside the scan's workers, so the scan owns the fan-out
+// and the filter owns only its row/chunk accounting.
 func TestProfileMorselAttribution(t *testing.T) {
 	p, ex := profPlan(t, "SELECT id FROM users WHERE age > 40")
 	ex.Parallelism = 4
@@ -123,24 +126,41 @@ func TestProfileMorselAttribution(t *testing.T) {
 	if _, err := ex.Run(p); err != nil {
 		t.Fatal(err)
 	}
-	var filter *OpProfile
+	var scan, filter *OpProfile
 	prof.Walk(func(op *OpProfile, _ int) {
-		if op.Kind == "Filter" {
+		switch op.Kind {
+		case "Scan":
+			scan = op
+		case "Filter":
 			filter = op
 		}
 	})
-	if filter == nil {
-		t.Fatal("no Filter operator")
+	if scan == nil || filter == nil {
+		t.Fatal("missing Scan or Filter operator")
 	}
-	// 4000 input rows at MorselSize 256 => 16 morsels on the filter.
-	if got := filter.Morsels(); got != 16 {
-		t.Errorf("filter morsels = %d, want 16", got)
+	// 4000 rows at one page per morsel span many morsels, all owned by
+	// the scan.
+	if got := scan.Morsels(); got <= 1 {
+		t.Errorf("scan morsels = %d, want > 1", got)
 	}
-	if got := filter.WorkerSpawns(); got != 4 {
-		t.Errorf("filter worker spawns = %d, want 4", got)
+	if got := scan.WorkerSpawns(); got != 4 {
+		t.Errorf("scan worker spawns = %d, want 4", got)
 	}
-	if u := filter.Utilization(); u <= 0 || u > 1 {
-		t.Errorf("utilization %v outside (0,1]", u)
+	if u := scan.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("scan utilization %v outside (0,1]", u)
+	}
+	if got := scan.Chunks(); got <= 1 {
+		t.Errorf("scan chunks = %d, want > 1", got)
+	}
+	// The fused filter dispatches nothing itself but sees every chunk.
+	if got := filter.Morsels(); got != 0 {
+		t.Errorf("fused filter morsels = %d, want 0", got)
+	}
+	if got := filter.WorkerSpawns(); got != 0 {
+		t.Errorf("fused filter worker spawns = %d, want 0", got)
+	}
+	if got := filter.Chunks(); got <= 1 {
+		t.Errorf("filter chunks = %d, want > 1", got)
 	}
 }
 

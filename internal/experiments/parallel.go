@@ -186,7 +186,11 @@ func runE26MorselParallelism(seed uint64) *Table {
 }
 
 // ExecBenchRow is one serial-vs-parallel wall-clock measurement from
-// RunExecBench, serialized into BENCH_exec.json by aidb-bench.
+// RunExecBench, serialized into BENCH_exec.json by aidb-bench. The
+// allocation columns compare the streaming executor's serial run
+// against the materialize-and-concat reference pipeline (see E31 in
+// streaming.go): reductions are 1 - streaming/baseline, so 0.5 means
+// the streaming pipeline halved the cost.
 type ExecBenchRow struct {
 	Op         string  `json:"op"`
 	TableRows  int     `json:"table_rows"`
@@ -195,6 +199,13 @@ type ExecBenchRow struct {
 	ParallelNs int64   `json:"parallel_ns"`
 	Speedup    float64 `json:"speedup"`
 	Match      bool    `json:"match"`
+
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	BytesPerOp          int64   `json:"bytes_per_op"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op"`
+	BaselineBytesPerOp  int64   `json:"baseline_bytes_per_op"`
+	AllocsReduction     float64 `json:"allocs_reduction"`
+	BytesReduction      float64 `json:"bytes_reduction"`
 }
 
 // RunExecBench times each E26 operator pipeline serial (Parallelism=1)
@@ -252,7 +263,7 @@ func RunExecBench(seed uint64, rows, iters int, reg *obs.Registry) ([]ExecBenchR
 			speedup = float64(serialNs) / float64(parNs)
 			m.ObserveSpeedup(speedupClass[op.name], speedup)
 		}
-		out = append(out, ExecBenchRow{
+		row := ExecBenchRow{
 			Op:         op.name,
 			TableRows:  rows,
 			Workers:    workers,
@@ -260,7 +271,32 @@ func RunExecBench(seed uint64, rows, iters int, reg *obs.Registry) ([]ExecBenchR
 			ParallelNs: parNs.Nanoseconds(),
 			Speedup:    speedup,
 			Match:      rowsEqual(serialRows, parRows),
+		}
+		row.AllocsPerOp, row.BytesPerOp, err = MeasureAllocs(1, func() error {
+			ex := exec.New(nil)
+			ex.Parallelism = 1
+			_, err := ex.Run(p)
+			return err
 		})
+		if err != nil {
+			return nil, err
+		}
+		if mat := matPipelines[op.name]; mat != nil {
+			row.BaselineAllocsPerOp, row.BaselineBytesPerOp, err = MeasureAllocs(1, func() error {
+				_, _, err := mat(c)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if row.BaselineAllocsPerOp > 0 {
+				row.AllocsReduction = 1 - float64(row.AllocsPerOp)/float64(row.BaselineAllocsPerOp)
+			}
+			if row.BaselineBytesPerOp > 0 {
+				row.BytesReduction = 1 - float64(row.BytesPerOp)/float64(row.BaselineBytesPerOp)
+			}
+		}
+		out = append(out, row)
 	}
 	return out, nil
 }

@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"aidb/internal/catalog"
+	"aidb/internal/exec"
+	"aidb/internal/governance"
+	"aidb/internal/plan"
+	"aidb/internal/storage"
+)
+
+func init() {
+	register("E31", runE31Streaming)
+}
+
+// E31 pits the streaming batch-at-a-time executor against a faithful
+// reimplementation of the pre-streaming materialize-and-concat
+// pipeline: every operator materializes its whole input as a fresh
+// row slice (one allocation per row at the scan, per-morsel output
+// slices concatenated into a combined slice at every stage, Sprintf
+// group/join keys). The baseline lives here, not in internal/exec —
+// the executor no longer has a materializing path to compare against.
+
+// MeasureAllocs runs fn `runs` times on one OS thread and reports the
+// mean heap allocations and bytes per run, testing.AllocsPerRun-style
+// (GC before the first run, GOMAXPROCS pinned to 1 so concurrent
+// goroutines don't pollute the counters).
+func MeasureAllocs(runs int, fn func() error) (allocsPerOp, bytesPerOp int64, err error) {
+	if runs < 1 {
+		runs = 1
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	mallocs, total := ms.Mallocs, ms.TotalAlloc
+	for i := 0; i < runs; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Mallocs-mallocs) / int64(runs), int64(ms.TotalAlloc-total) / int64(runs), nil
+}
+
+// matBatches materializes every row of t into morsel-sized row slices,
+// one freshly allocated Row per record — the old executor's scan.
+func matBatches(t *catalog.Table, batch int) ([][]catalog.Row, error) {
+	var batches [][]catalog.Row
+	var cur []catalog.Row
+	err := t.Scan(func(_ storage.RecordID, r catalog.Row) bool {
+		cur = append(cur, r)
+		if len(cur) >= batch {
+			batches = append(batches, cur)
+			cur = nil
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}
+
+// matConcat is the old concatRows: one right-sized allocation plus a
+// copy of every element — the per-stage concatenation the streaming
+// executor eliminated.
+func matConcat(batches [][]catalog.Row) []catalog.Row {
+	n := 0
+	for _, b := range batches {
+		n += len(b)
+	}
+	out := make([]catalog.Row, 0, n)
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// matRowsBytes mirrors the executor's approxRowsBytes so baseline and
+// streaming peaks are measured in the same currency.
+func matRowsBytes(rows []catalog.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += 24 + 16*int64(len(r))
+		for _, v := range r {
+			if s, ok := v.(string); ok {
+				n += int64(len(s))
+			}
+		}
+	}
+	return n
+}
+
+// matScanFilter is SELECT id FROM users WHERE age > 40 the materialize
+// way: full scan buffered, filter into per-morsel slices then concat,
+// projection allocating one fresh single-column row per survivor.
+// Returns the output row count and the peak live bytes (all three
+// materializations coexist when the last stage finishes).
+func matScanFilter(c *catalog.Catalog) (int, int64, error) {
+	users, err := c.Table("users")
+	if err != nil {
+		return 0, 0, err
+	}
+	batches, err := matBatches(users, exec.DefaultMorselRows)
+	if err != nil {
+		return 0, 0, err
+	}
+	all := matConcat(batches)
+	var keptBatches [][]catalog.Row
+	for lo := 0; lo < len(all); lo += exec.DefaultMorselRows {
+		hi := lo + exec.DefaultMorselRows
+		if hi > len(all) {
+			hi = len(all)
+		}
+		var out []catalog.Row
+		for _, r := range all[lo:hi] {
+			if age, ok := r[1].(int64); ok && age > 40 {
+				out = append(out, r)
+			}
+		}
+		keptBatches = append(keptBatches, out)
+	}
+	filtered := matConcat(keptBatches)
+	var projBatches [][]catalog.Row
+	for lo := 0; lo < len(filtered); lo += exec.DefaultMorselRows {
+		hi := lo + exec.DefaultMorselRows
+		if hi > len(filtered) {
+			hi = len(filtered)
+		}
+		out := make([]catalog.Row, 0, hi-lo)
+		for _, r := range filtered[lo:hi] {
+			row := make(catalog.Row, 1)
+			row[0] = r[0]
+			out = append(out, row)
+		}
+		projBatches = append(projBatches, out)
+	}
+	rows := matConcat(projBatches)
+	peak := matRowsBytes(all) + matRowsBytes(filtered) + matRowsBytes(rows)
+	return len(rows), peak, nil
+}
+
+// matGroupAgg is SELECT age, COUNT(*), AVG(id) FROM users GROUP BY age
+// the materialize way: the whole scan buffered before aggregation even
+// starts, Sprintf-rendered group keys (the old valKey), per-group
+// state maps.
+func matGroupAgg(c *catalog.Catalog) (int, int64, error) {
+	users, err := c.Table("users")
+	if err != nil {
+		return 0, 0, err
+	}
+	batches, err := matBatches(users, exec.DefaultMorselRows)
+	if err != nil {
+		return 0, 0, err
+	}
+	all := matConcat(batches)
+	type state struct {
+		count int64
+		sum   float64
+	}
+	groups := map[string]*state{}
+	var order []string
+	keys := map[string]catalog.Value{}
+	for _, r := range all {
+		key := fmt.Sprintf("%v", r[1])
+		st, ok := groups[key]
+		if !ok {
+			st = &state{}
+			groups[key] = st
+			order = append(order, key)
+			keys[key] = r[1]
+		}
+		st.count++
+		if id, ok := r[0].(int64); ok {
+			st.sum += float64(id)
+		}
+	}
+	out := make([]catalog.Row, 0, len(order))
+	for _, key := range order {
+		st := groups[key]
+		out = append(out, catalog.Row{keys[key], st.count, st.sum / float64(st.count)})
+	}
+	peak := matRowsBytes(all) + matRowsBytes(out)
+	return len(out), peak, nil
+}
+
+// matJoin is SELECT users.id, orders.amount FROM orders JOIN users ON
+// orders.uid = users.id the materialize way: both sides buffered in
+// full, Sprintf join keys, per-morsel output slices concatenated.
+func matJoin(c *catalog.Catalog) (int, int64, error) {
+	users, err := c.Table("users")
+	if err != nil {
+		return 0, 0, err
+	}
+	orders, err := c.Table("orders")
+	if err != nil {
+		return 0, 0, err
+	}
+	ub, err := matBatches(users, exec.DefaultMorselRows)
+	if err != nil {
+		return 0, 0, err
+	}
+	build := matConcat(ub)
+	ob, err := matBatches(orders, exec.DefaultMorselRows)
+	if err != nil {
+		return 0, 0, err
+	}
+	probe := matConcat(ob)
+	table := map[string][]catalog.Row{}
+	for _, r := range build {
+		key := fmt.Sprintf("%v", r[0])
+		table[key] = append(table[key], r)
+	}
+	var outBatches [][]catalog.Row
+	for lo := 0; lo < len(probe); lo += exec.DefaultMorselRows {
+		hi := lo + exec.DefaultMorselRows
+		if hi > len(probe) {
+			hi = len(probe)
+		}
+		var out []catalog.Row
+		for _, pr := range probe[lo:hi] {
+			for _, br := range table[fmt.Sprintf("%v", pr[0])] {
+				out = append(out, catalog.Row{br[0], pr[1]})
+			}
+		}
+		outBatches = append(outBatches, out)
+	}
+	rows := matConcat(outBatches)
+	peak := matRowsBytes(build) + matRowsBytes(probe) + matRowsBytes(rows)
+	return len(rows), peak, nil
+}
+
+// matPipelines maps e26Ops names to their materialize baselines.
+var matPipelines = map[string]func(*catalog.Catalog) (int, int64, error){
+	"scan-filter": matScanFilter,
+	"group-agg":   matGroupAgg,
+	"hash-join":   matJoin,
+}
+
+// streamRun executes p serially on the streaming executor with a
+// generous memory budget attached, returning the output row count and
+// the budget's observed peak of live bytes.
+func streamRun(p plan.Node) (int, int64, error) {
+	ex := exec.New(nil)
+	ex.Parallelism = 1
+	ex.Mem = governance.NewMemBudget(1<<40, governance.Metrics{})
+	res, err := ex.Run(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(res.Rows), ex.Mem.Peak(), nil
+}
+
+// runE31Streaming validates the streaming executor's headline claim:
+// at 100k rows, scan-filter and group-agg pipelines allocate less than
+// half the materialize baseline's allocations and bytes per run, and
+// hold less than half its peak live bytes, while producing the same
+// row counts (row-for-row identity against the serial executor is
+// E26's job; here the baseline's output order matches by construction).
+func runE31Streaming(seed uint64) *Table {
+	t := &Table{
+		ID:     "E31",
+		Title:  "Streaming vs materialize-and-concat execution",
+		Claim:  "Pipelined chunk execution cuts allocations/op, bytes/op and peak live bytes by >=50% vs the materialize-and-concat baseline on 100k-row scan-filter and group-agg, with identical output cardinality (§2.2 query execution at scale)",
+		Header: []string{"pipeline", "rows out", "allocs/op", "mat allocs/op", "B/op", "mat B/op", "peak B", "mat peak B", "match"},
+	}
+	const tableRows = 100_000
+	c, err := e26Catalog(seed, tableRows)
+	if err != nil {
+		t.Note = "catalog setup failed: " + err.Error()
+		return t
+	}
+	t.Holds = true
+	for _, op := range e26Ops {
+		p, err := e26Plan(c, op.query)
+		if err != nil {
+			t.Note = op.name + " plan failed: " + err.Error()
+			t.Holds = false
+			return t
+		}
+		var sRows int
+		var sPeak int64
+		sAllocs, sBytes, err := MeasureAllocs(1, func() error {
+			var err error
+			sRows, sPeak, err = streamRun(p)
+			return err
+		})
+		if err != nil {
+			t.Note = op.name + " streaming run failed: " + err.Error()
+			t.Holds = false
+			return t
+		}
+		var mRows int
+		var mPeak int64
+		mAllocs, mBytes, err := MeasureAllocs(1, func() error {
+			var err error
+			mRows, mPeak, err = matPipelines[op.name](c)
+			return err
+		})
+		if err != nil {
+			t.Note = op.name + " materialize baseline failed: " + err.Error()
+			t.Holds = false
+			return t
+		}
+		// group-agg output differs from the baseline only in the column
+		// set (E26's query computes more aggregates); cardinality is the
+		// comparable fact.
+		match := sRows == mRows
+		if !match {
+			t.Holds = false
+		}
+		// The acceptance bar applies to the pipelines the ISSUE names;
+		// the join is reported for completeness (its output dominates
+		// both modes, so the materialized result floor compresses the
+		// ratio).
+		if op.name == "scan-filter" || op.name == "group-agg" {
+			if sAllocs > mAllocs/2 || sBytes > mBytes/2 || sPeak > mPeak/2 {
+				t.Holds = false
+			}
+		}
+		matchS := "yes"
+		if !match {
+			matchS = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			op.name, itoa(sRows),
+			itoa(int(sAllocs)), itoa(int(mAllocs)),
+			itoa(int(sBytes)), itoa(int(mBytes)),
+			itoa(int(sPeak)), itoa(int(mPeak)),
+			matchS,
+		})
+	}
+	t.Note = "streaming runs serial (Parallelism=1) with a MemBudget attached for peak tracking; the baseline reproduces the pre-streaming pipeline: per-row scan allocation, per-stage morsel slices concatenated, Sprintf group/join keys"
+	return t
+}

@@ -21,6 +21,7 @@ var ErrMemBudget = errors.New("governance: query memory budget exceeded")
 type MemBudget struct {
 	limit int64
 	used  atomic.Int64
+	peak  atomic.Int64
 	m     Metrics
 }
 
@@ -40,6 +41,12 @@ func (b *MemBudget) Charge(n int64) error {
 		return nil
 	}
 	used := b.used.Add(n)
+	for {
+		p := b.peak.Load()
+		if used <= p || b.peak.CompareAndSwap(p, used) {
+			break
+		}
+	}
 	b.m.MemCharged.Add(uint64(n))
 	if b.limit > 0 && used > b.limit {
 		// Only the crossing charge reports the abort: earlier charges
@@ -50,6 +57,27 @@ func (b *MemBudget) Charge(n int64) error {
 		return fmt.Errorf("%w: %d of %d bytes", ErrMemBudget, used, b.limit)
 	}
 	return nil
+}
+
+// Refund returns n previously charged bytes to the budget. The
+// streaming executor calls it when a pooled chunk is recycled — and, on
+// error teardown, once for every charge still outstanding — so Used
+// tracks *live* bytes and the budget bounds peak, not cumulative,
+// materialization. Refunds never lower Peak.
+func (b *MemBudget) Refund(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.used.Add(-n)
+	b.m.MemRefunded.Add(uint64(n))
+}
+
+// Peak reports the high-water mark of live charged bytes.
+func (b *MemBudget) Peak() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.peak.Load()
 }
 
 // Used reports the bytes charged so far.

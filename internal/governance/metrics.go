@@ -14,8 +14,9 @@ type Metrics struct {
 	QueuedNs *obs.Histogram // nanoseconds spent queued before admission
 
 	// Per-query memory budgets.
-	MemCharged *obs.Counter // bytes charged at row-materialization sites
-	MemAborts  *obs.Counter // queries aborted for exceeding their budget
+	MemCharged  *obs.Counter // bytes charged at row-materialization sites
+	MemRefunded *obs.Counter // bytes refunded when chunks are recycled
+	MemAborts   *obs.Counter // queries aborted for exceeding their budget
 
 	// Retry wrapper.
 	RetryAttempts  *obs.Counter // re-attempts after a transient fault
@@ -34,6 +35,7 @@ func NewMetrics(reg *obs.Registry) Metrics {
 		Shed:           reg.Counter("admission.shed"),
 		QueuedNs:       reg.Histogram("admission.queued_ns", waitBuckets),
 		MemCharged:     reg.Counter("mem.charged"),
+		MemRefunded:    reg.Counter("mem.refunded"),
 		MemAborts:      reg.Counter("mem.aborts"),
 		RetryAttempts:  reg.Counter("retry.attempts"),
 		RetryExhausted: reg.Counter("retry.exhausted"),

@@ -124,6 +124,21 @@ func (p *Page) Insert(record []byte) (int, error) {
 
 // Get returns a copy of the record in slot i.
 func (p *Page) Get(i int) ([]byte, error) {
+	b, err := p.GetRef(i)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// GetRef returns slot i's record bytes as a view into the page buffer,
+// without copying. The view is valid only while the page stays pinned
+// and unmodified; callers that retain the bytes past that must copy
+// (or use Get). This is the scan fast path: decoders that parse and
+// immediately box the values never need their own copy of the record.
+func (p *Page) GetRef(i int) ([]byte, error) {
 	if i < 0 || i >= p.numSlots() {
 		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", i, p.numSlots())
 	}
@@ -131,9 +146,7 @@ func (p *Page) Get(i int) ([]byte, error) {
 	if l == deletedSlot {
 		return nil, ErrRecordDeleted
 	}
-	out := make([]byte, l)
-	copy(out, p.Data[off:off+l])
-	return out, nil
+	return p.Data[off : off+l], nil
 }
 
 // Delete tombstones slot i. Space is reclaimed only by rewriting the page.
