@@ -49,12 +49,13 @@ EXEC_ALLOC_CEILING ?= 130000
 bench-smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem \
 		./internal/exec/ ./internal/obs/ ./internal/kv/ | tee BENCH_smoke.txt
-	$(GO) test -run='^$$' -bench='BenchmarkE(2[5789]|3[01])' -benchtime=1x . | tee -a BENCH_smoke.txt
+	$(GO) test -run='^$$' -bench='BenchmarkE(2[5789]|3[0-2])' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) run ./cmd/aidb-bench -e E25 -metrics BENCH_metrics.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -e E27 -explain BENCH_explain.txt -slowlog BENCH_slowlog.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -bench-cancel BENCH_cancel.json
 	$(GO) run ./cmd/aidb-bench -bench-obs BENCH_obs.json
+	$(GO) run ./cmd/aidb-bench -bench-stats BENCH_stats.json
 	$(GO) run ./cmd/aidb-bench -bench-exec BENCH_exec.json -alloc-ceiling $(EXEC_ALLOC_CEILING)
 
 # bench-compare pits each optimized path against its baseline: the

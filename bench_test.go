@@ -61,6 +61,7 @@ func BenchmarkE28BatchedKernels(b *testing.B)       { benchExperiment(b, "E28") 
 func BenchmarkE29OverloadGovernance(b *testing.B)   { benchExperiment(b, "E29") }
 func BenchmarkE30AnomalyAlerts(b *testing.B)        { benchExperiment(b, "E30") }
 func BenchmarkE31StreamingExec(b *testing.B)        { benchExperiment(b, "E31") }
+func BenchmarkE32SystemCatalog(b *testing.B)        { benchExperiment(b, "E32") }
 
 // --- ML kernel micro-benchmarks ---
 //

@@ -12,6 +12,7 @@
 //	aidb-bench -bench-exec out.json   # time serial vs parallel execution
 //	aidb-bench -bench-ml out.json     # time batched vs per-row ML kernels
 //	aidb-bench -bench-cancel out.json # time cancel-to-stop + overload shedding
+//	aidb-bench -bench-stats out.json  # measure statement-statistics overhead
 package main
 
 import (
@@ -110,6 +111,35 @@ func benchCancelCompare(path string, seed uint64) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
+}
+
+// benchStats measures the statement-statistics store's overhead —
+// Record/Snapshot microbenchmarks plus an end-to-end on/off engine
+// comparison — and writes the result as JSON ("-" = stdout). Used by
+// `make bench-smoke`; CI uploads the result as BENCH_stats.json. A
+// positive ceiling turns the run into an assertion: one Record must
+// cost less than ceiling percent of the cheapest measured query (the
+// "statistics are almost free" gate from DESIGN.md).
+func benchStats(path string, seed uint64, ceilingPct float64) error {
+	res, err := experiments.RunStatsBench(seed, 400, 5)
+	if err != nil {
+		return err
+	}
+	w, done, err := outWriter(path)
+	if err != nil {
+		return err
+	}
+	defer done()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if ceilingPct > 0 && res.RecordOverheadPct > ceilingPct {
+		return fmt.Errorf("statement-stats record overhead %.3f%% exceeds ceiling %.1f%% (Record %dns vs query %dns)",
+			res.RecordOverheadPct, ceilingPct, res.RecordNsPerOp, res.QueryNsOff)
+	}
+	return nil
 }
 
 // obsBenchResult is the telemetry-plane overhead measurement written by
@@ -283,9 +313,18 @@ func main() {
 		benchML   = flag.String("bench-ml", "", "instead of experiments, time batched-vs-per-row ML kernels and write JSON to this path ('-' = stdout)")
 		benchCxl  = flag.String("bench-cancel", "", "instead of experiments, time cancel-to-stop latency and overload shedding and write JSON to this path ('-' = stdout)")
 		benchOb   = flag.String("bench-obs", "", "instead of experiments, time the telemetry sampler and HTTP scrape latency and write JSON to this path ('-' = stdout)")
+		benchSt   = flag.String("bench-stats", "", "instead of experiments, measure statement-statistics overhead and write JSON to this path ('-' = stdout)")
+		statsCap  = flag.Float64("stats-ceiling", 2.0, "with -bench-stats: fail when one Record costs more than this percent of a query (0 disables)")
 		serve     = flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080) while the experiments run")
 	)
 	flag.Parse()
+	if *benchSt != "" {
+		if err := benchStats(*benchSt, *seed, *statsCap); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-stats:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchOb != "" {
 		if err := benchObs(*benchOb); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-obs:", err)

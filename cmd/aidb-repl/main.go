@@ -33,6 +33,8 @@ const help = `Statements end with ';'. Supported:
 Meta: \q quit, \h help, \metrics live metric counters, \trace last query's span tree,
       \slowlog captured query log (latency, fingerprint, profile, chaos fires),
       \alerts KPI anomaly alerts (telemetry sampler runs when -serve is set),
+      \sys list system.* tables; \sys NAME shorthand for SELECT * FROM system.NAME,
+      \sys statements top fingerprints by total latency (the statement statistics store),
       \parallel [n] show or set the morsel worker budget (0 auto, 1 serial),
       \timeout [dur] show or set the default statement timeout (e.g. 500ms; 0 none),
       \maxconcurrent [n] show or set the admission-gate concurrency bound (0 unlimited),
@@ -98,6 +100,30 @@ func main() {
 				fmt.Print(dump)
 			} else {
 				fmt.Println("no anomaly alerts")
+			}
+			prompt()
+			continue
+		}
+		if rest, ok := strings.CutPrefix(trimmed, `\sys`); ok {
+			rest = strings.TrimSpace(rest)
+			var query string
+			switch rest {
+			case "":
+				fmt.Println("system tables (query with SELECT ... FROM system.NAME):")
+				for _, n := range db.SystemTables() {
+					fmt.Println("  " + n)
+				}
+				prompt()
+				continue
+			case "statements":
+				query = "SELECT fingerprint, calls, rows, total_ns, p95_ns, max_ns FROM system.statements ORDER BY total_ns DESC LIMIT 20"
+			default:
+				query = "SELECT * FROM system." + rest + " LIMIT 50"
+			}
+			if res, err := db.Exec(query); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(core.Format(res))
 			}
 			prompt()
 			continue

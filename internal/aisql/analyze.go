@@ -49,6 +49,7 @@ func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, sp *obs.
 	prof.AttachSpans(esp)
 	esp.Finish()
 	if err != nil {
+		e.recordFailure(text, "EXPLAIN ANALYZE SELECT", plan.Fingerprint(p), time.Since(start), err)
 		return nil, err
 	}
 	latency := time.Since(start)
@@ -74,6 +75,6 @@ func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, sp *obs.
 			op.PeakBytes(),
 		})
 	})
-	e.recordSlow(text, "EXPLAIN ANALYZE SELECT", plan.Fingerprint(p), latency, len(res.Rows), prof.Summary(), chaosBefore)
+	e.recordSlow(text, "EXPLAIN ANALYZE SELECT", plan.Fingerprint(p), latency, res, prof.Summary(), chaosBefore)
 	return out, nil
 }

@@ -2,6 +2,7 @@ package aisql
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -59,6 +60,7 @@ type Engine struct {
 	stmts       *obs.Counter
 	parseErrors *obs.Counter
 	slowlog     *obs.SlowQueryLog
+	stmtstats   *obs.StatementStats
 }
 
 // Instrument wires the engine — and every executor it creates — to the
@@ -72,11 +74,45 @@ func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	e.stmts = reg.Counter("sql.statements")
 	e.parseErrors = reg.Counter("sql.parse_errors")
 	e.slowlog = obs.NewSlowQueryLog(0, 0)
+	e.stmtstats = obs.NewStatementStats(0)
 }
 
 // SlowLog returns the engine's slow-query log (nil when the engine is
 // uninstrumented).
 func (e *Engine) SlowLog() *obs.SlowQueryLog { return e.slowlog }
+
+// Stmts returns the engine's per-fingerprint statement statistics store
+// (nil when the engine is uninstrumented). It is the source behind
+// system.statements and the /statements endpoint.
+func (e *Engine) Stmts() *obs.StatementStats { return e.stmtstats }
+
+// RecordShed folds one admission-gate rejection into the statement
+// store under the synthetic "(admission)" fingerprint. Gate sheds
+// happen before parsing, so no plan fingerprint exists for them; the
+// synthetic entry keeps shed load visible in system.statements. No-op
+// when uninstrumented.
+func (e *Engine) RecordShed(query string) {
+	if query == "" {
+		query = "(admission)"
+	}
+	e.stmtstats.Record(obs.StmtObservation{
+		Fingerprint: "(admission)",
+		Query:       query,
+		Outcome:     obs.StmtShed,
+	})
+}
+
+// QueryRows executes one SQL statement and returns just its rows — the
+// narrow closing-the-loop interface components like the index advisor
+// and SQL KPI rules use to read system.* tables through the engine
+// instead of holding private store pointers.
+func (e *Engine) QueryRows(query string) ([]catalog.Row, error) {
+	res, err := e.Execute(query)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
 
 // NewEngine creates an engine over an in-memory catalog.
 func NewEngine() *Engine {
@@ -486,22 +522,36 @@ func (e *Engine) query(ctx context.Context, s *sql.SelectStmt, sp *obs.Span, tex
 	}
 	res, err := ex.RunContext(ctx, p)
 	esp.Finish()
+	fp := plan.Fingerprint(p)
 	if err == nil {
-		e.recordSlow(text, "SELECT", plan.Fingerprint(p), time.Since(start), len(res.Rows), "", chaosBefore)
+		e.recordSlow(text, "SELECT", fp, time.Since(start), res, "", chaosBefore)
+	} else {
+		e.recordFailure(text, "SELECT", fp, time.Since(start), err)
 	}
 	return res, err
 }
 
-// recordSlow files one slow-query log entry, attributing any chaos
-// faults that fired between the before snapshot and now to this query.
-// No-op when the engine is uninstrumented.
-func (e *Engine) recordSlow(text, kind, fp string, latency time.Duration, rows int, profile string, chaosBefore map[string]uint64) {
+// recordSlow files one slow-query log entry and folds the execution
+// into the statement-statistics store, attributing any chaos faults
+// that fired between the before snapshot and now to this query. No-op
+// when the engine is uninstrumented.
+func (e *Engine) recordSlow(text, kind, fp string, latency time.Duration, res *exec.Result, profile string, chaosBefore map[string]uint64) {
 	if e.slowlog == nil {
 		return
 	}
 	if text == "" {
 		text = kind
 	}
+	e.stmtstats.Record(obs.StmtObservation{
+		Fingerprint: fp,
+		Query:       text,
+		Outcome:     obs.StmtOK,
+		LatencyNs:   latency.Nanoseconds(),
+		Rows:        int64(len(res.Rows)),
+		Chunks:      res.Chunks,
+		PeakBytes:   res.PeakBytes,
+	})
+	rows := len(res.Rows)
 	var fires map[string]uint64
 	if after := e.Chaos.FireCounts(); after != nil {
 		for site, n := range after {
@@ -520,6 +570,33 @@ func (e *Engine) recordSlow(text, kind, fp string, latency time.Duration, rows i
 		Rows:        int64(rows),
 		Profile:     profile,
 		ChaosFires:  fires,
+	})
+}
+
+// recordFailure folds a failed execution into the statement-statistics
+// store, classifying the outcome: cancellations (context cancel or
+// deadline), load-management rejections (memory budget), and plain
+// errors are counted separately per fingerprint. The slow-query log
+// keeps its successful-executions-only semantics.
+func (e *Engine) recordFailure(text, kind, fp string, latency time.Duration, err error) {
+	if e.stmtstats == nil {
+		return
+	}
+	if text == "" {
+		text = kind
+	}
+	outcome := obs.StmtError
+	switch {
+	case exec.IsCancellation(err):
+		outcome = obs.StmtCancel
+	case errors.Is(err, governance.ErrMemBudget), errors.Is(err, governance.ErrShed):
+		outcome = obs.StmtShed
+	}
+	e.stmtstats.Record(obs.StmtObservation{
+		Fingerprint: fp,
+		Query:       text,
+		Outcome:     outcome,
+		LatencyNs:   latency.Nanoseconds(),
 	})
 }
 

@@ -77,9 +77,10 @@ type Table struct {
 
 // Catalog is the collection of tables in one database.
 type Catalog struct {
-	mu     sync.RWMutex
-	pool   *storage.BufferPool
-	tables map[string]*Table
+	mu      sync.RWMutex
+	pool    *storage.BufferPool
+	tables  map[string]*Table
+	virtual map[string]VirtualTable
 }
 
 // New creates a catalog whose tables store pages in pool.

@@ -8,6 +8,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -64,6 +65,10 @@ type DB struct {
 	alerts   *monitor.AlertLog
 	detector *monitor.AnomalyDetector
 	httpSrv  *obs.Server
+
+	// sqlRules are KPI rules expressed as SQL over system.metrics,
+	// evaluated through the engine itself (see monitor.SQLRuleSet).
+	sqlRules *monitor.SQLRuleSet
 }
 
 // Open creates an in-memory database seeded deterministically.
@@ -92,11 +97,12 @@ func OpenSeeded(seed uint64) *DB {
 	reg.GaugeFunc("admission.active", func() float64 { return float64(gate.Active()) })
 	reg.GaugeFunc("admission.queue_depth", func() float64 { return float64(gate.Queued()) })
 	tracer.EnableExport(64)
+	obs.RegisterProcMetrics(reg)
 	series := obs.NewTimeSeries(reg, 0)
 	alerts := monitor.NewAlertLog(0)
 	detector := monitor.NewAnomalyDetector(series, alerts, monitor.DetectorConfig{})
 	series.SetOnSample(func(uint64) { detector.Observe() })
-	return &DB{
+	db := &DB{
 		engine:   engine,
 		rng:      rng,
 		reg:      reg,
@@ -112,7 +118,25 @@ func OpenSeeded(seed uint64) *DB {
 		alerts:   alerts,
 		detector: detector,
 	}
+	db.sqlRules = monitor.NewSQLRuleSet(engine, alerts)
+	db.registerSystemTables()
+	return db
 }
+
+// AddSQLRule registers one SQL KPI rule: rules run through the engine
+// against the system.* catalog (typically system.metrics) and file a
+// latched alert whenever the query returns rows. Evaluate with
+// EvalSQLRules.
+func (db *DB) AddSQLRule(name, query, detail string) {
+	db.sqlRules.Add(monitor.SQLRule{Name: name, Query: query, Detail: detail})
+}
+
+// EvalSQLRules evaluates every registered SQL KPI rule once, returning
+// the number of alerts filed into the alert ring.
+func (db *DB) EvalSQLRules() int { return db.sqlRules.EvalOnce() }
+
+// SQLRules exposes the SQL KPI rule set.
+func (db *DB) SQLRules() *monitor.SQLRuleSet { return db.sqlRules }
 
 // Series exposes the metric time-series store the telemetry sampler
 // fills (empty until StartTelemetry or a manual SampleOnce).
@@ -135,11 +159,12 @@ func (db *DB) StopTelemetry() { db.series.Stop() }
 // http.Handler (see obs.Telemetry for the endpoint map).
 func (db *DB) Telemetry() *obs.Telemetry {
 	return &obs.Telemetry{
-		Registry: db.reg,
-		Series:   db.series,
-		SlowLog:  db.engine.SlowLog(),
-		Tracer:   db.tracer,
-		Alerts:   db.alerts,
+		Registry:   db.reg,
+		Series:     db.series,
+		SlowLog:    db.engine.SlowLog(),
+		Tracer:     db.tracer,
+		Alerts:     db.alerts,
+		Statements: db.engine.Stmts(),
 	}
 }
 
@@ -277,15 +302,18 @@ func (db *DB) Exec(query string) (*exec.Result, error) {
 // morsel per worker with no partial result. When the database has a
 // default timeout and ctx carries no deadline, the default applies.
 func (db *DB) ExecContext(ctx context.Context, query string) (*exec.Result, error) {
-	return db.govern(ctx, func(ctx context.Context) (*exec.Result, error) {
+	return db.govern(ctx, query, func(ctx context.Context) (*exec.Result, error) {
 		return db.engine.ExecuteContext(ctx, query)
 	})
 }
 
 // govern applies the per-statement governance plane — default timeout
 // when ctx has no deadline, then the admission gate — around one unit
-// of execution.
-func (db *DB) govern(ctx context.Context, run func(context.Context) (*exec.Result, error)) (*exec.Result, error) {
+// of execution. Gate sheds happen before the statement is parsed or
+// planned, so no fingerprint exists yet; they are folded into the
+// statement store under a synthetic "(admission)" entry so shed load
+// stays visible in system.statements.
+func (db *DB) govern(ctx context.Context, query string, run func(context.Context) (*exec.Result, error)) (*exec.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -298,6 +326,9 @@ func (db *DB) govern(ctx context.Context, run func(context.Context) (*exec.Resul
 	}
 	release, err := db.gate.Admit(ctx)
 	if err != nil {
+		if errors.Is(err, governance.ErrShed) {
+			db.engine.RecordShed(query)
+		}
 		return nil, err
 	}
 	defer release()
@@ -342,7 +373,7 @@ func (db *DB) ExecScriptContext(ctx context.Context, script string) (*exec.Resul
 	var last *exec.Result
 	for _, s := range stmts {
 		s := s
-		last, err = db.govern(ctx, func(ctx context.Context) (*exec.Result, error) {
+		last, err = db.govern(ctx, script, func(ctx context.Context) (*exec.Result, error) {
 			return db.engine.ExecuteStmtContext(ctx, s)
 		})
 		if err != nil {

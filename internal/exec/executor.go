@@ -31,6 +31,11 @@ const minIndexMorselWidth = 16
 type Result struct {
 	Columns []string
 	Rows    []catalog.Row
+	// Chunks is the number of pooled chunks charged through the run's
+	// pipeline and PeakBytes its high-water byte mark — the per-query
+	// figures the statement-statistics store aggregates.
+	Chunks    int64
+	PeakBytes int64
 }
 
 // Executor runs logical plans through a streaming batch-at-a-time
@@ -176,7 +181,12 @@ func (ex *Executor) RunContext(ctx context.Context, n plan.Node) (*Result, error
 	}
 	ex.Stats.RowsOutput.Add(uint64(len(rows)))
 	ex.Obs.RowsOutput.Add(uint64(len(rows)))
-	return &Result{Columns: n.Schema(), Rows: rows}, nil
+	return &Result{
+		Columns:   n.Schema(),
+		Rows:      rows,
+		Chunks:    rc.chunks.Load(),
+		PeakBytes: rc.peak.Load(),
+	}, nil
 }
 
 // execNode compiles the plan into a streaming pipeline and drains it,
@@ -237,6 +247,9 @@ type runCtx struct {
 	// exec.peak_bytes histogram when the run finishes.
 	live atomic.Int64
 	peak atomic.Int64
+	// chunks counts chunks charged through chargeEmit — one per pooled
+	// chunk that entered the pipeline, reported on the Result.
+	chunks atomic.Int64
 }
 
 // ctxCheckRows is the cooperative-cancellation stride inside row loops
@@ -279,6 +292,7 @@ func (rc *runCtx) chargeEmit(c *Chunk) error {
 	}
 	n := approxRowsBytes(c.rows)
 	c.charged = n
+	rc.chunks.Add(1)
 	live := rc.live.Add(n)
 	for {
 		p := rc.peak.Load()

@@ -659,6 +659,46 @@ func (ex *Executor) compileIndexScan(rc *runCtx, v *plan.IndexScanNode) *morselS
 	return s
 }
 
+// compileVirtualScan builds the streaming source for a virtual table
+// (system.*). The provider's rows are snapshotted once in preOpen — at
+// execution, not at plan time, so EXPLAIN never touches the provider —
+// then partitioned into morsel ranges and pushed through the same
+// chunkSink as heap scans, so parallel delivery order, cancellation
+// strides, MemBudget charging and profiling all behave identically.
+func (ex *Executor) compileVirtualScan(rc *runCtx, v *plan.VirtualScanNode) *morselStream {
+	s := &morselStream{ex: ex, rc: rc, prof: ex.Profile.of(v)}
+	var rows []catalog.Row
+	var bounds [][2]int
+	s.preOpen = func() error {
+		r, err := v.Table.Rows()
+		if err != nil {
+			return fmt.Errorf("exec: virtual scan %s: %w", v.Table.Name(), err)
+		}
+		rows = r
+		bounds = chunkBounds(len(rows), ex.morselRows())
+		s.n = len(bounds)
+		return nil
+	}
+	s.produce = func(m int, emit emitFn) error {
+		sink := &chunkSink{s: s, emit: emit, limit: ex.morselRows()}
+		lo, hi := bounds[m][0], bounds[m][1]
+		for i := lo; i < hi; i++ {
+			if (i-lo)%ctxCheckRows == 0 {
+				if err := rc.err(); err != nil {
+					sink.abandon()
+					return err
+				}
+			}
+			if err := sink.push(rows[i]); err != nil {
+				sink.abandon()
+				return err
+			}
+		}
+		return sink.flush()
+	}
+	return s
+}
+
 // ---------------------------------------------------------------------
 // Pipeline breakers.
 
@@ -1048,6 +1088,8 @@ func (ex *Executor) compile(rc *runCtx, n plan.Node) (BatchOperator, error) {
 		return ex.compileScan(rc, v), nil
 	case *plan.IndexScanNode:
 		return ex.compileIndexScan(rc, v), nil
+	case *plan.VirtualScanNode:
+		return ex.compileVirtualScan(rc, v), nil
 	case *plan.FilterNode:
 		in, err := ex.compile(rc, v.Input)
 		if err != nil {

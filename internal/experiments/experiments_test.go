@@ -7,10 +7,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 31 {
-		t.Fatalf("registered %d experiments, want 31: %v", len(ids), ids)
+	if len(ids) != 32 {
+		t.Fatalf("registered %d experiments, want 32: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[30] != "E31" {
+	if ids[0] != "E1" || ids[31] != "E32" {
 		t.Errorf("ordering wrong: %v", ids)
 	}
 }

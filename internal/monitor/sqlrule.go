@@ -1,0 +1,123 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"aidb/internal/catalog"
+)
+
+// RowQuerier runs one SQL statement and returns its rows. aisql.Engine
+// satisfies it, so KPI rules read system.* tables through the same
+// parser/planner/executor pipeline as user queries — the separated
+// monitoring interface the paper's learned components consume.
+type RowQuerier interface {
+	QueryRows(query string) ([]catalog.Row, error)
+}
+
+// SQLRule is one KPI rule expressed as SQL: the rule fires when its
+// query returns at least one row. Typical rules select from
+// system.metrics with a threshold predicate, e.g.
+//
+//	SELECT value FROM system.metrics
+//	WHERE name = 'admission.shed_total' AND value > 0
+type SQLRule struct {
+	Name string
+	// Query is the SELECT evaluated each round.
+	Query string
+	// Detail is the human-readable explanation filed with the alert.
+	Detail string
+}
+
+// SQLRuleSet evaluates SQL KPI rules against a querier and files
+// alerts. Each rule latches: it alerts once when its query starts
+// returning rows and re-arms after a round in which it returns none,
+// so a persistently tripped threshold does not flood the alert ring.
+type SQLRuleSet struct {
+	mu      sync.Mutex
+	querier RowQuerier
+	log     *AlertLog
+	rules   []SQLRule
+	firing  map[string]bool
+	rounds  uint64
+}
+
+// NewSQLRuleSet creates an empty rule set filing alerts into log.
+func NewSQLRuleSet(q RowQuerier, log *AlertLog) *SQLRuleSet {
+	return &SQLRuleSet{querier: q, log: log, firing: make(map[string]bool)}
+}
+
+// Add registers one rule. Safe to call between evaluation rounds.
+func (s *SQLRuleSet) Add(r SQLRule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, r)
+}
+
+// Rules returns a copy of the registered rules.
+func (s *SQLRuleSet) Rules() []SQLRule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SQLRule(nil), s.rules...)
+}
+
+// EvalOnce evaluates every rule once, returning how many alerts were
+// filed. A rule whose query fails files an error alert (once per
+// excursion, like a firing rule) — a broken rule must be visible, not
+// silent. The alert's Value is the first numeric cell of the first
+// returned row, when present.
+func (s *SQLRuleSet) EvalOnce() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rounds++
+	fired := 0
+	for _, r := range s.rules {
+		rows, err := s.querier.QueryRows(r.Query)
+		if err != nil {
+			if !s.firing[r.Name] {
+				s.firing[r.Name] = true
+				s.log.Record(Alert{
+					Window: s.rounds,
+					Metric: r.Name,
+					Kind:   "sqlrule_error",
+					Detail: fmt.Sprintf("rule query failed: %v", err),
+				})
+				fired++
+			}
+			continue
+		}
+		if len(rows) == 0 {
+			s.firing[r.Name] = false
+			continue
+		}
+		if s.firing[r.Name] {
+			continue
+		}
+		s.firing[r.Name] = true
+		var value float64
+		for _, cell := range rows[0] {
+			switch v := cell.(type) {
+			case int64:
+				value = float64(v)
+			case float64:
+				value = v
+			default:
+				continue
+			}
+			break
+		}
+		detail := r.Detail
+		if detail == "" {
+			detail = r.Query
+		}
+		s.log.Record(Alert{
+			Window: s.rounds,
+			Metric: r.Name,
+			Kind:   "sqlrule",
+			Value:  value,
+			Detail: fmt.Sprintf("%s (%d rows matched)", detail, len(rows)),
+		})
+		fired++
+	}
+	return fired
+}

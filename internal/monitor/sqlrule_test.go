@@ -1,0 +1,79 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+
+	"aidb/internal/catalog"
+)
+
+// fakeQuerier satisfies RowQuerier with a scripted response per query.
+type fakeQuerier struct {
+	rows map[string][]catalog.Row
+	errs map[string]error
+}
+
+func (f *fakeQuerier) QueryRows(q string) ([]catalog.Row, error) {
+	if err := f.errs[q]; err != nil {
+		return nil, err
+	}
+	return f.rows[q], nil
+}
+
+func TestSQLRuleFiresAndLatches(t *testing.T) {
+	q := &fakeQuerier{rows: map[string][]catalog.Row{
+		"SELECT v FROM system.metrics WHERE v > 5": {{int64(9)}, {int64(7)}},
+	}}
+	log := NewAlertLog(0)
+	rs := NewSQLRuleSet(q, log)
+	rs.Add(SQLRule{Name: "hot", Query: "SELECT v FROM system.metrics WHERE v > 5", Detail: "metric too hot"})
+	if len(rs.Rules()) != 1 {
+		t.Fatal("rule not registered")
+	}
+
+	if fired := rs.EvalOnce(); fired != 1 {
+		t.Fatalf("first eval fired %d alerts, want 1", fired)
+	}
+	// Latched: still matching, no new alert.
+	if fired := rs.EvalOnce(); fired != 0 {
+		t.Fatalf("latched eval fired %d alerts, want 0", fired)
+	}
+	alerts := log.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alert log has %d entries, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.Kind != "sqlrule" || a.Metric != "hot" || a.Value != 9 {
+		t.Fatalf("alert = %+v", a)
+	}
+
+	// Re-arm on an empty round, then fire again.
+	q.rows["SELECT v FROM system.metrics WHERE v > 5"] = nil
+	if fired := rs.EvalOnce(); fired != 0 {
+		t.Fatal("empty round fired an alert")
+	}
+	q.rows["SELECT v FROM system.metrics WHERE v > 5"] = []catalog.Row{{3.5}}
+	if fired := rs.EvalOnce(); fired != 1 {
+		t.Fatal("re-armed rule did not fire")
+	}
+	if got := log.Alerts()[1].Value; got != 3.5 {
+		t.Fatalf("second alert value = %v, want 3.5 (float cell)", got)
+	}
+}
+
+func TestSQLRuleQueryErrorIsVisible(t *testing.T) {
+	q := &fakeQuerier{errs: map[string]error{"SELECT broken": errors.New("no such table")}}
+	log := NewAlertLog(0)
+	rs := NewSQLRuleSet(q, log)
+	rs.Add(SQLRule{Name: "bad", Query: "SELECT broken"})
+	if fired := rs.EvalOnce(); fired != 1 {
+		t.Fatal("failing rule filed no alert")
+	}
+	if fired := rs.EvalOnce(); fired != 0 {
+		t.Fatal("failing rule was not latched")
+	}
+	a := log.Alerts()[0]
+	if a.Kind != "sqlrule_error" || a.Metric != "bad" {
+		t.Fatalf("alert = %+v", a)
+	}
+}

@@ -38,6 +38,9 @@ type Telemetry struct {
 	// Alerts is the anomaly-alert ring (monitor.AlertLog satisfies
 	// this; an interface keeps obs free of a monitor dependency).
 	Alerts JSONDumper
+	// Statements is the per-fingerprint statement statistics store —
+	// the same store system.statements scans.
+	Statements *StatementStats
 
 	once sync.Once
 	mux  *http.ServeMux
@@ -62,6 +65,7 @@ func (t *Telemetry) buildMux() {
 	mux.HandleFunc("/metrics", t.handleMetrics)
 	mux.HandleFunc("/timeseries", t.handleTimeseries)
 	mux.HandleFunc("/slowlog", t.handleSlowlog)
+	mux.HandleFunc("/statements", t.handleStatements)
 	mux.HandleFunc("/traces", t.handleTraces)
 	mux.HandleFunc("/alerts", t.handleAlerts)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -82,6 +86,7 @@ func (t *Telemetry) handleIndex(w http.ResponseWriter, r *http.Request) {
 /metrics       Prometheus text (?format=json|text)
 /timeseries    series index; ?name=&window= for points
 /slowlog       slow-query log (JSON)
+/statements    per-fingerprint statement statistics (JSON)
 /traces        exported span trees (JSON)
 /alerts        KPI anomaly alerts (JSON)
 /debug/pprof/  Go profiling
@@ -125,6 +130,15 @@ func (t *Telemetry) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 func (t *Telemetry) handleSlowlog(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	t.SlowLog.WriteJSONTo(w)
+}
+
+func (t *Telemetry) handleStatements(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if t.Statements == nil {
+		io.WriteString(w, "[]\n")
+		return
+	}
+	t.Statements.WriteJSONTo(w)
 }
 
 func (t *Telemetry) handleTraces(w http.ResponseWriter, r *http.Request) {
@@ -204,8 +218,18 @@ func (r *Registry) WritePromTo(w io.Writer) (int64, error) {
 		total += int64(n)
 		return err
 	}
+	// Two dotted names may sanitize to the same family ("a.b" and
+	// "a_b"); the format forbids duplicate # TYPE lines, so collisions
+	// get a numeric suffix instead of corrupting the exposition.
+	seen := make(map[string]int)
 	for _, m := range r.refs() {
 		name := promName(m.name)
+		if n := seen[name]; n > 0 {
+			seen[name] = n + 1
+			name = fmt.Sprintf("%s_%d", name, n)
+		} else {
+			seen[name] = 1
+		}
 		var err error
 		switch {
 		case m.c != nil:

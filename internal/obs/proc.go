@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// procSampler caches runtime.MemStats so that a burst of gauge reads
+// (one registry snapshot reads every proc.* gauge) costs one
+// ReadMemStats per refresh interval, not one per gauge per read —
+// ReadMemStats stops the world briefly and must not run on every
+// /metrics scrape of every gauge.
+type procSampler struct {
+	mu       sync.Mutex
+	interval time.Duration
+	last     time.Time
+	ms       runtime.MemStats
+}
+
+func (p *procSampler) memStats() *runtime.MemStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now := time.Now(); now.Sub(p.last) >= p.interval {
+		runtime.ReadMemStats(&p.ms)
+		p.last = now
+	}
+	return &p.ms
+}
+
+// RegisterProcMetrics wires process self-telemetry gauges into reg:
+//
+//	proc.uptime_ns          nanoseconds since registration
+//	proc.goroutines         live goroutine count
+//	proc.heap_alloc_bytes   bytes of allocated heap objects
+//	proc.gc_pause_total_ns  cumulative stop-the-world pause time
+//
+// Heap and GC figures come from runtime.ReadMemStats, rate-limited to
+// one refresh per 250ms so hot scrape loops cannot hammer the runtime.
+// The gauges appear in Snapshot (hence system.metrics) and on /metrics
+// like any other registry member. No-op on a nil registry.
+func RegisterProcMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	start := time.Now()
+	ps := &procSampler{interval: 250 * time.Millisecond}
+	// Prime the cache so the first snapshot already has real numbers.
+	ps.last = time.Now().Add(-ps.interval)
+	reg.GaugeFunc("proc.uptime_ns", func() float64 {
+		return float64(time.Since(start).Nanoseconds())
+	})
+	reg.GaugeFunc("proc.goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("proc.heap_alloc_bytes", func() float64 {
+		return float64(ps.memStats().HeapAlloc)
+	})
+	reg.GaugeFunc("proc.gc_pause_total_ns", func() float64 {
+		return float64(ps.memStats().PauseTotalNs)
+	})
+}

@@ -164,6 +164,9 @@ func costRec(n Node, est CardinalityEstimator) (cost, rows float64) {
 		sel := v.Table.EstimateSelectivity(v.Column, v.Lo, v.Hi)
 		r := float64(v.Table.NumRows()) * sel
 		return r + math.Log2(float64(v.Table.NumRows())+2), r
+	case *VirtualScanNode:
+		r := float64(v.Table.RowEstimate())
+		return r, r
 	case *FilterNode:
 		c, r := costRec(v.Input, est)
 		var t *catalog.Table

@@ -78,6 +78,33 @@ func (s *IndexScanNode) Describe() string {
 		s.Table.Schema.Columns[s.Column].Name, s.Lo, s.Hi)
 }
 
+// VirtualScanNode reads a virtual (computed) table such as
+// system.statements. The provider snapshots its rows when the scan
+// opens; downstream operators see it exactly like any other source.
+type VirtualScanNode struct {
+	Table catalog.VirtualTable
+	// Alias is the name the query refers to this table by.
+	Alias string
+}
+
+// Schema implements Node.
+func (s *VirtualScanNode) Schema() []string {
+	cols := s.Table.Columns().Columns
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = s.Alias + "." + c.Name
+	}
+	return out
+}
+
+// Children implements Node.
+func (s *VirtualScanNode) Children() []Node { return nil }
+
+// Describe implements Node.
+func (s *VirtualScanNode) Describe() string {
+	return fmt.Sprintf("VirtualScan %s AS %s (~%d rows)", s.Table.Name(), s.Alias, s.Table.RowEstimate())
+}
+
 // FilterNode drops rows not satisfying Cond.
 type FilterNode struct {
 	Input Node
@@ -199,25 +226,15 @@ func (d *DistinctNode) Describe() string { return "Distinct" }
 // Build lowers a parsed SELECT into a left-deep logical plan in the order
 // written (the optimizer packages may later reorder joins).
 func Build(cat *catalog.Catalog, s *sql.SelectStmt) (Node, error) {
-	t, err := cat.Table(s.Table)
+	root, err := buildSource(cat, s.Table, s.Alias)
 	if err != nil {
 		return nil, err
 	}
-	alias := s.Alias
-	if alias == "" {
-		alias = s.Table
-	}
-	var root Node = &ScanNode{Table: t, Alias: alias}
 	for _, j := range s.Joins {
-		jt, err := cat.Table(j.Table)
+		right, err := buildSource(cat, j.Table, j.Alias)
 		if err != nil {
 			return nil, err
 		}
-		jalias := j.Alias
-		if jalias == "" {
-			jalias = j.Table
-		}
-		right := &ScanNode{Table: jt, Alias: jalias}
 		lc, ok1 := j.On.Left.(*sql.ColumnRef)
 		rc, ok2 := j.On.Right.(*sql.ColumnRef)
 		if !ok1 || !ok2 {
@@ -279,6 +296,23 @@ func Build(cat *catalog.Catalog, s *sql.SelectStmt) (Node, error) {
 	proj := &ProjectNode{Input: root, Items: s.Items}
 	proj.names = outputNamesExpanded(s.Items, root.Schema())
 	return proj, nil
+}
+
+// buildSource resolves one FROM/JOIN table reference to its scan node:
+// heap tables win, then the virtual-table namespace (system.*). The
+// default alias is the name as written, so bare column references over
+// "system.statements" resolve by suffix match like any other table.
+func buildSource(cat *catalog.Catalog, name, alias string) (Node, error) {
+	if alias == "" {
+		alias = name
+	}
+	if t, err := cat.Table(name); err == nil {
+		return &ScanNode{Table: t, Alias: alias}, nil
+	} else if vt, verr := cat.Virtual(name); verr == nil {
+		return &VirtualScanNode{Table: vt, Alias: alias}, nil
+	} else {
+		return nil, err
+	}
 }
 
 func qualify(c *sql.ColumnRef) string {
@@ -378,6 +412,9 @@ func Fingerprint(n Node) string {
 			return
 		case *IndexScanNode:
 			fmt.Fprintf(&sb, "IndexScan(%s.%s)", v.Table.Name, v.Table.Schema.Columns[v.Column].Name)
+			return
+		case *VirtualScanNode:
+			fmt.Fprintf(&sb, "VirtualScan(%s)", v.Table.Name())
 			return
 		case *FilterNode:
 			sb.WriteString("Filter")

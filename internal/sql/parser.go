@@ -79,6 +79,30 @@ func (p *Parser) expectIdent() (string, error) {
 	return "", fmt.Errorf("sql: expected identifier, found %q at position %d", p.cur().Text, p.cur().Pos)
 }
 
+// parseTableName reads a table reference: a bare identifier or a
+// namespace-qualified "ns.name" pair (virtual tables such as
+// system.statements live in a dotted namespace).
+func (p *Parser) parseTableName() (string, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.accept(TokSymbol, ".") {
+		// After the dot a reserved word is just a name part: the lexer
+		// upper-cases keywords, so system.tables arrives as TABLES.
+		if t := p.cur(); t.Kind == TokKeyword {
+			p.pos++
+			return name + "." + strings.ToLower(t.Text), nil
+		}
+		rest, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		name += "." + rest
+	}
+	return name, nil
+}
+
 func (p *Parser) parseStatement() (Statement, error) {
 	switch {
 	case p.at(TokKeyword, "SELECT"):
@@ -158,7 +182,7 @@ func (p *Parser) parseSelect() (Statement, error) {
 	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
 		return nil, err
 	}
-	tbl, err := p.expectIdent()
+	tbl, err := p.parseTableName()
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +192,7 @@ func (p *Parser) parseSelect() (Statement, error) {
 		p.pos++
 	}
 	for p.accept(TokKeyword, "JOIN") {
-		jt, err := p.expectIdent()
+		jt, err := p.parseTableName()
 		if err != nil {
 			return nil, err
 		}
