@@ -39,30 +39,34 @@ EXEC_ALLOC_CEILING ?= 130000
 
 # bench-smoke is the CI-sized benchmark pass: 10 iterations of the hot-path
 # micro-benchmarks (executor, obs substrate, LSM) plus the E25/E27
-# observability, E29 overload-governance and E30 anomaly-alert
-# reproductions, with live metrics, a sample EXPLAIN ANALYZE profile,
-# the smoke workload's slow-query log, the cancel-to-stop/overload-
-# shedding measurements, the telemetry sampler/scrape overheads, and
-# the streaming-vs-materialize allocation comparison (with the
-# allocs/op regression gate) as build artifacts. Depends on vet so the
-# artifacts never come from a vet-dirty tree.
+# observability, E29 overload-governance, E30 anomaly-alert and E33
+# plan-cache reproductions, with live metrics, a sample EXPLAIN ANALYZE
+# profile, the smoke workload's slow-query log, the cancel-to-stop/
+# overload-shedding measurements, the telemetry sampler/scrape
+# overheads, the streaming-vs-materialize allocation comparison (with
+# the allocs/op regression gate), and the plan-cache hit-path
+# measurement (with the >=2x repeated-query speedup and <5% probe
+# overhead gates) as build artifacts. Depends on vet so the artifacts
+# never come from a vet-dirty tree.
 bench-smoke: vet
 	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem \
 		./internal/exec/ ./internal/obs/ ./internal/kv/ | tee BENCH_smoke.txt
-	$(GO) test -run='^$$' -bench='BenchmarkE(2[5789]|3[0-2])' -benchtime=1x . | tee -a BENCH_smoke.txt
+	$(GO) test -run='^$$' -bench='BenchmarkE(2[5789]|3[0-3])' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=1x . | tee -a BENCH_smoke.txt
 	$(GO) run ./cmd/aidb-bench -e E25 -metrics BENCH_metrics.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -e E27 -explain BENCH_explain.txt -slowlog BENCH_slowlog.json > /dev/null
 	$(GO) run ./cmd/aidb-bench -bench-cancel BENCH_cancel.json
 	$(GO) run ./cmd/aidb-bench -bench-obs BENCH_obs.json
 	$(GO) run ./cmd/aidb-bench -bench-stats BENCH_stats.json
+	$(GO) run ./cmd/aidb-bench -bench-cache BENCH_cache.json
 	$(GO) run ./cmd/aidb-bench -bench-exec BENCH_exec.json -alloc-ceiling $(EXEC_ALLOC_CEILING)
 
 # bench-compare pits each optimized path against its baseline: the
 # serial executor vs the morsel-parallel one plus the streaming
 # pipeline vs the materialize-and-concat reference (BENCH_exec.*), and
 # the batched/parallel ML kernels vs their per-row and naive
-# counterparts (BENCH_ml.*) — Go benchmark text (with -benchmem
+# counterparts (BENCH_ml.*), and the plan-cache hit path vs full
+# re-planning (BENCH_cache.json) — Go benchmark text (with -benchmem
 # allocation columns) plus aidb-bench JSON ratios.
 bench-compare:
 	$(GO) test -run='^$$' -bench='BenchmarkExec/(scan|join|agg)' -benchtime=5x -benchmem \
@@ -70,5 +74,6 @@ bench-compare:
 	$(GO) run ./cmd/aidb-bench -bench-exec BENCH_exec.json -alloc-ceiling $(EXEC_ALLOC_CEILING)
 	$(GO) test -run='^$$' -bench='BenchmarkML' -benchtime=5x . | tee BENCH_ml.txt
 	$(GO) run ./cmd/aidb-bench -bench-ml BENCH_ml.json
+	$(GO) run ./cmd/aidb-bench -bench-cache BENCH_cache.json
 
 ci: build vet lint test-race

@@ -62,6 +62,7 @@ func BenchmarkE29OverloadGovernance(b *testing.B)   { benchExperiment(b, "E29") 
 func BenchmarkE30AnomalyAlerts(b *testing.B)        { benchExperiment(b, "E30") }
 func BenchmarkE31StreamingExec(b *testing.B)        { benchExperiment(b, "E31") }
 func BenchmarkE32SystemCatalog(b *testing.B)        { benchExperiment(b, "E32") }
+func BenchmarkE33PlanCache(b *testing.B)            { benchExperiment(b, "E33") }
 
 // --- ML kernel micro-benchmarks ---
 //

@@ -13,6 +13,7 @@
 //	aidb-bench -bench-ml out.json     # time batched vs per-row ML kernels
 //	aidb-bench -bench-cancel out.json # time cancel-to-stop + overload shedding
 //	aidb-bench -bench-stats out.json  # measure statement-statistics overhead
+//	aidb-bench -bench-cache out.json  # measure plan-cache hit-path speedup
 package main
 
 import (
@@ -138,6 +139,44 @@ func benchStats(path string, seed uint64, ceilingPct float64) error {
 	if ceilingPct > 0 && res.RecordOverheadPct > ceilingPct {
 		return fmt.Errorf("statement-stats record overhead %.3f%% exceeds ceiling %.1f%% (Record %dns vs query %dns)",
 			res.RecordOverheadPct, ceilingPct, res.RecordNsPerOp, res.QueryNsOff)
+	}
+	return nil
+}
+
+// benchCache measures the plan cache's effect on the repeated-query
+// hot path — warm cached engine vs cache-detached engine over the same
+// statement shapes, plus a Lookup microbenchmark — and writes the
+// result as JSON ("-" = stdout). Used by `make bench-smoke` and
+// `make bench-compare`; CI uploads the result as BENCH_cache.json.
+// Positive floors/ceilings turn the run into assertions: repeated
+// statements must speed up by at least speedupFloor, the cache probe
+// must cost under overheadCeilPct percent of a cached statement, and
+// results must be row-for-row identical either way.
+func benchCache(path string, seed uint64, speedupFloor, overheadCeilPct float64) error {
+	res, err := experiments.RunCacheBench(seed, 400, 5)
+	if err != nil {
+		return err
+	}
+	w, done, err := outWriter(path)
+	if err != nil {
+		return err
+	}
+	defer done()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if !res.RowsIdentical {
+		return fmt.Errorf("plan cache served different rows than the uncached engine")
+	}
+	if speedupFloor > 0 && res.SpeedupRepeated < speedupFloor {
+		return fmt.Errorf("repeated-query speedup %.2fx below floor %.1fx (hit %dns vs miss %dns)",
+			res.SpeedupRepeated, speedupFloor, res.HitNsPerOp, res.MissNsPerOp)
+	}
+	if overheadCeilPct > 0 && res.HitOverheadPct > overheadCeilPct {
+		return fmt.Errorf("cache probe overhead %.3f%% exceeds ceiling %.1f%% (lookup %dns vs hit %dns)",
+			res.HitOverheadPct, overheadCeilPct, res.LookupNsPerOp, res.HitNsPerOp)
 	}
 	return nil
 }
@@ -315,9 +354,19 @@ func main() {
 		benchOb   = flag.String("bench-obs", "", "instead of experiments, time the telemetry sampler and HTTP scrape latency and write JSON to this path ('-' = stdout)")
 		benchSt   = flag.String("bench-stats", "", "instead of experiments, measure statement-statistics overhead and write JSON to this path ('-' = stdout)")
 		statsCap  = flag.Float64("stats-ceiling", 2.0, "with -bench-stats: fail when one Record costs more than this percent of a query (0 disables)")
+		benchCch  = flag.String("bench-cache", "", "instead of experiments, measure the plan-cache hit path vs re-planning and write JSON to this path ('-' = stdout)")
+		cacheFlr  = flag.Float64("cache-floor", 2.0, "with -bench-cache: fail when repeated statements speed up less than this factor (0 disables)")
+		cacheCap  = flag.Float64("cache-ceiling", 5.0, "with -bench-cache: fail when the cache probe costs more than this percent of a cached statement (0 disables)")
 		serve     = flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080) while the experiments run")
 	)
 	flag.Parse()
+	if *benchCch != "" {
+		if err := benchCache(*benchCch, *seed, *cacheFlr, *cacheCap); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-cache:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchSt != "" {
 		if err := benchStats(*benchSt, *seed, *statsCap); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-stats:", err)

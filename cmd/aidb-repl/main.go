@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +28,13 @@ const help = `Statements end with ';'. Supported:
   CREATE TABLE t (a INT, b FLOAT, c TEXT);   INSERT INTO t VALUES (...);
   SELECT ... FROM t [JOIN u ON ...] [WHERE ...] [GROUP BY ...] [ORDER BY ...] [LIMIT n];
   UPDATE / DELETE / DROP TABLE / ANALYZE t / EXPLAIN SELECT ... / SHOW TABLES;
+  PREPARE p AS SELECT ... WHERE a = $1;  EXECUTE p (42);  DEALLOCATE p;
+  BEGIN; ... COMMIT;   (\prepared lists this session's prepared statements)
   CREATE MODEL m PREDICT label ON t [FEATURES (...)] [WITH (kind='logistic'|'linear'|'tree', epochs=N)];
   SELECT PREDICT(m, f1, f2) FROM t;  EVALUATE MODEL m ON t;  SHOW MODELS;  DROP MODEL m;
   EXPLAIN ANALYZE SELECT ...;   per-operator est vs actual rows, time, morsel/worker counts
-Meta: \q quit, \h help, \metrics live metric counters, \trace last query's span tree,
+Meta: \q quit, \h help, \prepared list prepared statements,
+      \metrics live metric counters, \trace last query's span tree,
       \slowlog captured query log (latency, fingerprint, profile, chaos fires),
       \alerts KPI anomaly alerts (telemetry sampler runs when -serve is set),
       \sys list system.* tables; \sys NAME shorthand for SELECT * FROM system.NAME,
@@ -44,6 +48,10 @@ func main() {
 	serve := flag.String("serve", "", "expose live telemetry over HTTP on this address (e.g. :8080)")
 	flag.Parse()
 	db := core.Open()
+	// The shell is one session: prepared statements and transaction
+	// brackets live here, everything else flows through to the engine.
+	sess := db.NewSession()
+	defer sess.Close()
 	if *serve != "" {
 		srv, err := db.Serve(*serve)
 		if err != nil {
@@ -92,6 +100,16 @@ func main() {
 				fmt.Print(dump)
 			} else {
 				fmt.Println("slow-query log is empty")
+			}
+			prompt()
+			continue
+		case `\prepared`:
+			names := sess.Prepared()
+			if len(names) == 0 {
+				fmt.Println("no prepared statements (PREPARE name AS SELECT ...)")
+			}
+			for _, n := range names {
+				fmt.Println("  " + n)
 			}
 			prompt()
 			continue
@@ -212,7 +230,7 @@ func main() {
 		}
 		stmt := buf.String()
 		buf.Reset()
-		res, err := db.ExecScript(stmt)
+		res, err := sess.ExecScript(context.Background(), stmt)
 		if err != nil {
 			fmt.Println("error:", err)
 		} else {

@@ -16,6 +16,7 @@ import (
 	"aidb/internal/governance"
 	"aidb/internal/obs"
 	"aidb/internal/plan"
+	"aidb/internal/plancache"
 	"aidb/internal/sql"
 	"aidb/internal/storage"
 )
@@ -48,6 +49,13 @@ type Engine struct {
 	// disables per-query budgets. Set it between queries.
 	MemLimit int64
 
+	// Plans, when set, caches compiled SELECT plans so repeated
+	// statements skip parse/plan/optimize entirely: ad-hoc statements
+	// are keyed by raw text (hit = no parser call), prepared statements
+	// by canonical deparse (hit = shared plan across sessions). Nil
+	// disables caching; invalidation on DDL/ANALYZE routes through it.
+	Plans *plancache.Cache
+
 	mu      sync.RWMutex
 	models  map[string]*Model
 	indexes map[string]*secondaryIndex
@@ -59,6 +67,8 @@ type Engine struct {
 	govObs      governance.Metrics
 	stmts       *obs.Counter
 	parseErrors *obs.Counter
+	parses      *obs.Counter
+	planBuilds  *obs.Counter
 	slowlog     *obs.SlowQueryLog
 	stmtstats   *obs.StatementStats
 }
@@ -73,6 +83,11 @@ func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	e.govObs = governance.NewMetrics(reg)
 	e.stmts = reg.Counter("sql.statements")
 	e.parseErrors = reg.Counter("sql.parse_errors")
+	// sql.parses and plan.builds count pipeline-stage invocations, not
+	// statements: a plan-cache hit increments neither, which is how the
+	// cache's "no parser, no planner on the hot path" claim is asserted.
+	e.parses = reg.Counter("sql.parses")
+	e.planBuilds = reg.Counter("plan.builds")
 	e.slowlog = obs.NewSlowQueryLog(0, 0)
 	e.stmtstats = obs.NewStatementStats(0)
 }
@@ -223,21 +238,40 @@ func (e *Engine) Execute(query string) (*exec.Result, error) {
 // (possibly empty for DDL/DML). ctx cancellation or deadline expiry
 // aborts execution cooperatively — SELECTs stop within about one morsel
 // per worker and return no partial result. Each call is one root span
-// on the engine's tracer: parse -> plan -> optimize -> exec.
+// on the engine's tracer: parse -> plan -> optimize -> exec — unless
+// the plan cache recognizes the raw statement text, in which case the
+// parser and planner never run and the span goes straight to exec.
 func (e *Engine) ExecuteContext(ctx context.Context, query string) (*exec.Result, error) {
 	sp := e.tracer.Start("query")
 	defer sp.Finish()
+	if e.Plans != nil {
+		if ent := e.Plans.Lookup("text:" + query); ent != nil && ent.NumParams == 0 {
+			e.stmts.Inc()
+			sp.SetTag("stmt", "SELECT")
+			sp.SetTag("plancache", "hit")
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					e.execObs.CancelRequests.Inc()
+					return nil, err
+				}
+			}
+			return e.execPlan(ctx, ent.Plan, ent.Fingerprint, sp, query, nil)
+		}
+	}
 	psp := sp.Child("parse")
+	parseStart := time.Now()
 	stmt, err := sql.Parse(query)
+	parseNs := time.Since(parseStart).Nanoseconds()
 	psp.Finish()
 	e.stmts.Inc()
+	e.parses.Inc()
 	if err != nil {
 		e.parseErrors.Inc()
 		sp.SetTag("error", "parse")
 		return nil, err
 	}
 	sp.SetTag("stmt", sql.StatementKind(stmt))
-	return e.executeStmt(ctx, stmt, sp, query)
+	return e.executeStmt(ctx, stmt, sp, query, parseNs)
 }
 
 // ParseScript parses a ';'-separated script into statements, counting
@@ -281,14 +315,17 @@ func (e *Engine) ExecuteStmtContext(ctx context.Context, stmt sql.Statement) (*e
 	defer sp.Finish()
 	sp.SetTag("stmt", sql.StatementKind(stmt))
 	e.stmts.Inc()
-	return e.executeStmt(ctx, stmt, sp, "")
+	return e.executeStmt(ctx, stmt, sp, "", 0)
 }
 
 // executeStmt dispatches one parsed statement, attaching child spans to
 // sp (which may be nil when tracing is off). text is the raw query text
 // when the statement came in through Execute, "" for pre-parsed
 // statements — the slow-query log falls back to the statement kind.
-func (e *Engine) executeStmt(ctx context.Context, stmt sql.Statement, sp *obs.Span, text string) (*exec.Result, error) {
+// parseNs is what parsing the statement cost (0 when pre-parsed); it
+// folds into the plan-cache entry's PlanNs so each hit's banked saving
+// covers the whole skipped pipeline.
+func (e *Engine) executeStmt(ctx context.Context, stmt sql.Statement, sp *obs.Span, text string, parseNs int64) (*exec.Result, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			// Cancelled before any work: count it on the same metric the
@@ -299,18 +336,23 @@ func (e *Engine) executeStmt(ctx context.Context, stmt sql.Statement, sp *obs.Sp
 	}
 	switch s := stmt.(type) {
 	case *sql.CreateTableStmt:
+		e.invalidatePlans()
 		return e.createTable(s)
 	case *sql.InsertStmt:
-		return e.insert(s)
+		return e.insert(s, nil)
 	case *sql.SelectStmt:
-		return e.query(ctx, s, sp, text)
+		return e.query(ctx, s, sp, text, parseNs)
 	case *sql.UpdateStmt:
-		return e.update(s)
+		return e.update(s, nil)
 	case *sql.DeleteStmt:
-		return e.delete(s)
+		return e.delete(s, nil)
 	case *sql.CreateIndexStmt:
+		// New access path: cached full-scan plans must replan to use it.
+		e.invalidatePlans()
 		return emptyResult(), e.createIndex(s.Name, s.Table, s.Column)
 	case *sql.DropTableStmt:
+		// Cached plans hold live table and index pointers; drop them all.
+		e.invalidatePlans()
 		e.mu.Lock()
 		for key, si := range e.indexes {
 			if si.table == s.Name {
@@ -348,7 +390,7 @@ func (e *Engine) executeStmt(ctx context.Context, stmt sql.Statement, sp *obs.Sp
 			// Legacy spelling: `EXPLAIN ANALYZE t` (bare table name)
 			// parses as EXPLAIN over ANALYZE — run the statistics
 			// refresh rather than profiling.
-			return e.executeStmt(ctx, a, sp, text)
+			return e.executeStmt(ctx, a, sp, text, parseNs)
 		}
 		sel, ok := s.Inner.(*sql.SelectStmt)
 		if !ok {
@@ -370,9 +412,23 @@ func (e *Engine) executeStmt(ctx context.Context, stmt sql.Statement, sp *obs.Sp
 		if err != nil {
 			return nil, err
 		}
+		// Fresh statistics change join build sides and index choices —
+		// every frozen estimate in the cache is stale now.
+		e.invalidatePlans()
 		return emptyResult(), t.Analyze(32, 8)
+	case *sql.PrepareStmt, *sql.ExecuteStmt, *sql.DeallocateStmt,
+		*sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt:
+		return nil, fmt.Errorf("aisql: %s requires a session (use core.Session or aidb-serve)", sql.StatementKind(stmt))
 	default:
 		return nil, fmt.Errorf("aisql: unsupported statement %T", stmt)
+	}
+}
+
+// invalidatePlans discards every cached plan. Called on any DDL or
+// statistics refresh; no-op when the engine has no plan cache.
+func (e *Engine) invalidatePlans() {
+	if e.Plans != nil {
+		e.Plans.Invalidate()
 	}
 }
 
@@ -396,18 +452,19 @@ func (e *Engine) createTable(s *sql.CreateTableStmt) (*exec.Result, error) {
 	return emptyResult(), err
 }
 
-func (e *Engine) insert(s *sql.InsertStmt) (*exec.Result, error) {
+func (e *Engine) insert(s *sql.InsertStmt, params []catalog.Value) (*exec.Result, error) {
 	t, err := e.Cat.Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
+	scope := exec.NewScopeParams(nil, params)
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(t.Schema.Columns) {
 			return nil, fmt.Errorf("aisql: INSERT has %d values for %d columns", len(exprRow), len(t.Schema.Columns))
 		}
 		row := make(catalog.Row, len(exprRow))
 		for i, ex := range exprRow {
-			v, err := exec.Eval(ex, exec.NewScope(nil), nil, nil)
+			v, err := exec.Eval(ex, scope, nil, nil)
 			if err != nil {
 				return nil, fmt.Errorf("aisql: INSERT value %d: %w", i, err)
 			}
@@ -492,22 +549,63 @@ func rewriteExpr(ex sql.Expr) sql.Expr {
 	return ex
 }
 
-func (e *Engine) query(ctx context.Context, s *sql.SelectStmt, sp *obs.Span, text string) (*exec.Result, error) {
-	start := time.Now()
-	chaosBefore := e.Chaos.FireCounts()
-	psp := sp.Child("plan")
-	p, err := plan.Build(e.Cat, e.rewritePredicts(s))
-	psp.Finish()
+// buildSelectPlan compiles one SELECT: build, optimize, choose index
+// access paths, and freeze cardinality decisions (join build sides)
+// into the plan so executing a cached copy never re-invokes an
+// estimator. The returned plan is immutable and safe to share across
+// concurrent executors.
+func (e *Engine) buildSelectPlan(s *sql.SelectStmt) (plan.Node, error) {
+	return e.buildRewrittenPlan(e.rewritePredicts(s))
+}
+
+// buildRewrittenPlan is buildSelectPlan for an AST whose PREDICT()
+// model references were already rewritten — prepared statements rewrite
+// once at PREPARE time so replans never mutate a shared AST.
+func (e *Engine) buildRewrittenPlan(s *sql.SelectStmt) (plan.Node, error) {
+	e.planBuilds.Inc()
+	p, err := plan.Build(e.Cat, s)
 	if err != nil {
 		return nil, err
 	}
-	osp := sp.Child("optimize")
 	// AI-operator pushdown: run cheap relational predicates before model
 	// invocations (the executor short-circuits conjunctions).
 	p = plan.OptimizeFilters(p)
 	// Secondary-index access paths for filters over indexed columns.
 	p = plan.UseIndexes(p, e.indexLookup())
-	osp.Finish()
+	// Freeze build-side choices at plan time (estimator runs here, once).
+	plan.AnnotateBuildSides(p, plan.HistogramEstimator{})
+	return p, nil
+}
+
+func (e *Engine) query(ctx context.Context, s *sql.SelectStmt, sp *obs.Span, text string, parseNs int64) (*exec.Result, error) {
+	planStart := time.Now()
+	psp := sp.Child("plan")
+	p, err := e.buildSelectPlan(s)
+	psp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if e.Plans != nil && text != "" && sql.CountParams(s) == 0 {
+		// Cache under the raw text so the identical statement next time
+		// skips the parser too. Parameterized ad-hoc statements are not
+		// cacheable here (nothing binds their $N values on this path).
+		e.Plans.Put(&plancache.Entry{
+			Key:         "text:" + text,
+			Fingerprint: plan.Fingerprint(p),
+			Plan:        p,
+			PlanNs:      parseNs + time.Since(planStart).Nanoseconds(),
+		})
+	}
+	return e.execPlan(ctx, p, plan.Fingerprint(p), sp, text, nil)
+}
+
+// execPlan runs a compiled plan — the shared tail of the cold path and
+// the plan-cache hit path. params carries EXECUTE bindings (nil for
+// ad-hoc statements); the plan itself is treated as read-only so one
+// cached copy may execute on any number of sessions at once.
+func (e *Engine) execPlan(ctx context.Context, p plan.Node, fp string, sp *obs.Span, text string, params []catalog.Value) (*exec.Result, error) {
+	start := time.Now()
+	chaosBefore := e.Chaos.FireCounts()
 	if sp != nil {
 		nodes, depth := plan.Summary(p)
 		sp.SetTagf("plan", "nodes=%d,depth=%d", nodes, depth)
@@ -517,12 +615,12 @@ func (e *Engine) query(ctx context.Context, s *sql.SelectStmt, sp *obs.Span, tex
 	ex.Chaos = e.Chaos
 	ex.Obs = e.execObs
 	ex.Parallelism = e.Parallelism
+	ex.Params = params
 	if e.MemLimit > 0 {
 		ex.Mem = governance.NewMemBudget(e.MemLimit, e.govObs)
 	}
 	res, err := ex.RunContext(ctx, p)
 	esp.Finish()
-	fp := plan.Fingerprint(p)
 	if err == nil {
 		e.recordSlow(text, "SELECT", fp, time.Since(start), res, "", chaosBefore)
 	} else {
@@ -600,12 +698,12 @@ func (e *Engine) recordFailure(text, kind, fp string, latency time.Duration, err
 	})
 }
 
-func (e *Engine) update(s *sql.UpdateStmt) (*exec.Result, error) {
+func (e *Engine) update(s *sql.UpdateStmt, params []catalog.Value) (*exec.Result, error) {
 	t, err := e.Cat.Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
-	scope := exec.NewScope(schemaNames(t))
+	scope := exec.NewScopeParams(schemaNames(t), params)
 	type change struct {
 		rid    storage.RecordID
 		oldRow catalog.Row
@@ -655,12 +753,12 @@ func (e *Engine) update(s *sql.UpdateStmt) (*exec.Result, error) {
 	return emptyResult(), nil
 }
 
-func (e *Engine) delete(s *sql.DeleteStmt) (*exec.Result, error) {
+func (e *Engine) delete(s *sql.DeleteStmt, params []catalog.Value) (*exec.Result, error) {
 	t, err := e.Cat.Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
-	scope := exec.NewScope(schemaNames(t))
+	scope := exec.NewScopeParams(schemaNames(t), params)
 	type victim struct {
 		rid storage.RecordID
 		row catalog.Row

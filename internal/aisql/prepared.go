@@ -1,0 +1,151 @@
+package aisql
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"aidb/internal/catalog"
+	"aidb/internal/exec"
+	"aidb/internal/plan"
+	"aidb/internal/plancache"
+	"aidb/internal/sql"
+)
+
+// Prepared is one prepared statement: parsed once at PREPARE time,
+// planned once (for SELECT), then executed any number of times with
+// per-call parameter bindings. SELECT plans live in the engine's shared
+// plan cache keyed by the statement's canonical deparse, so every
+// session that prepares the same statement executes the same compiled
+// plan, and invalidation (DDL, ANALYZE, estimator retrain) transparently
+// forces a replan from the retained AST on the next EXECUTE.
+type Prepared struct {
+	Name      string
+	Kind      string // SELECT, INSERT, UPDATE, DELETE
+	NumParams int
+
+	stmt sql.Statement
+	sel  *sql.SelectStmt // non-nil when Kind == "SELECT" (PREDICTs rewritten)
+	key  string          // plan-cache key ("stmt:" + Deparse); "" for DML
+
+	// mu serializes replans so concurrent EXECUTEs after an invalidation
+	// plan once, not once per caller.
+	mu     sync.Mutex
+	fp     string
+	planNs int64
+}
+
+// Fingerprint reports the plan fingerprint of the prepared statement
+// ("" for DML kinds, which have no plan tree).
+func (p *Prepared) Fingerprint() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fp
+}
+
+// PlanNs reports what the most recent planning of this statement cost —
+// the work every subsequent EXECUTE skips.
+func (p *Prepared) PlanNs() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.planNs
+}
+
+// Prepare compiles a parsed statement into a Prepared handle. SELECTs
+// are planned immediately (surfacing unknown-table/column errors at
+// PREPARE time, like PostgreSQL) and published to the plan cache; DML
+// statements are held as ASTs and evaluated with bound parameters at
+// execute time. Other statement kinds are not preparable.
+func (e *Engine) Prepare(name string, stmt sql.Statement) (*Prepared, error) {
+	prep := &Prepared{
+		Name:      name,
+		Kind:      sql.StatementKind(stmt),
+		NumParams: sql.CountParams(stmt),
+		stmt:      stmt,
+	}
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		// Rewrite PREDICT() model refs once, up front: replans reuse the
+		// rewritten AST without further mutation, so a cached plan can
+		// execute concurrently with a replan of the same statement.
+		prep.sel = e.rewritePredicts(s)
+		prep.key = "stmt:" + sql.Deparse(prep.sel)
+		if _, _, err := e.preparedPlan(prep); err != nil {
+			return nil, err
+		}
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		// No plan tree; parsing once is the whole saving.
+	default:
+		return nil, fmt.Errorf("aisql: cannot PREPARE %s (only SELECT, INSERT, UPDATE, DELETE)", prep.Kind)
+	}
+	return prep, nil
+}
+
+// preparedPlan returns prep's compiled plan, consulting the shared
+// cache first and replanning from the retained AST after an
+// invalidation or eviction. Cache-less engines replan on every
+// execute — still parse-free, and never stale.
+func (e *Engine) preparedPlan(prep *Prepared) (plan.Node, string, error) {
+	if e.Plans != nil {
+		if ent := e.Plans.Lookup(prep.key); ent != nil {
+			return ent.Plan, ent.Fingerprint, nil
+		}
+	}
+	prep.mu.Lock()
+	defer prep.mu.Unlock()
+	start := time.Now()
+	p, err := e.buildRewrittenPlan(prep.sel)
+	if err != nil {
+		return nil, "", err
+	}
+	prep.planNs = time.Since(start).Nanoseconds()
+	prep.fp = plan.Fingerprint(p)
+	if e.Plans != nil {
+		e.Plans.Put(&plancache.Entry{
+			Key:         prep.key,
+			Fingerprint: prep.fp,
+			Plan:        p,
+			NumParams:   prep.NumParams,
+			PlanNs:      prep.planNs,
+		})
+	}
+	return p, prep.fp, nil
+}
+
+// ExecutePrepared runs a prepared statement with args bound to its $N
+// placeholders ($1 = args[0]). SELECTs execute the cached plan without
+// touching the parser, planner or estimator; DML evaluates the retained
+// AST with the bindings in scope.
+func (e *Engine) ExecutePrepared(ctx context.Context, prep *Prepared, args []catalog.Value) (*exec.Result, error) {
+	sp := e.tracer.Start("query")
+	defer sp.Finish()
+	sp.SetTag("stmt", "EXECUTE")
+	e.stmts.Inc()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			e.execObs.CancelRequests.Inc()
+			return nil, err
+		}
+	}
+	if len(args) != prep.NumParams {
+		return nil, fmt.Errorf("aisql: prepared statement %q wants %d parameters, got %d", prep.Name, prep.NumParams, len(args))
+	}
+	text := "EXECUTE " + prep.Name
+	switch s := prep.stmt.(type) {
+	case *sql.SelectStmt:
+		p, fp, err := e.preparedPlan(prep)
+		if err != nil {
+			return nil, err
+		}
+		return e.execPlan(ctx, p, fp, sp, text, args)
+	case *sql.InsertStmt:
+		return e.insert(s, args)
+	case *sql.UpdateStmt:
+		return e.update(s, args)
+	case *sql.DeleteStmt:
+		return e.delete(s, args)
+	default:
+		return nil, fmt.Errorf("aisql: cannot EXECUTE %s", prep.Kind)
+	}
+}

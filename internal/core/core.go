@@ -26,6 +26,7 @@ import (
 	"aidb/internal/ml"
 	"aidb/internal/monitor"
 	"aidb/internal/obs"
+	"aidb/internal/plancache"
 	"aidb/internal/txnsched"
 	"aidb/internal/workload"
 )
@@ -69,6 +70,10 @@ type DB struct {
 	// sqlRules are KPI rules expressed as SQL over system.metrics,
 	// evaluated through the engine itself (see monitor.SQLRuleSet).
 	sqlRules *monitor.SQLRuleSet
+
+	// plans is the shared compiled-plan cache every session and Exec
+	// path runs through; DDL and ANALYZE invalidate it via the engine.
+	plans *plancache.Cache
 }
 
 // Open creates an in-memory database seeded deterministically.
@@ -85,6 +90,9 @@ func OpenSeeded(seed uint64) *DB {
 	engine := aisql.NewEngine()
 	engine.Instrument(reg, tracer)
 	engine.Cat.Pool().Instrument(reg)
+	plans := plancache.New(0)
+	plans.Instrument(reg)
+	engine.Plans = plans
 	feedback := cardest.NewFeedbackLog(0)
 	qerr := monitor.NewQErrorWindow(0)
 	feedback.SetObserver(qerr.Observe)
@@ -117,6 +125,7 @@ func OpenSeeded(seed uint64) *DB {
 		series:   series,
 		alerts:   alerts,
 		detector: detector,
+		plans:    plans,
 	}
 	db.sqlRules = monitor.NewSQLRuleSet(engine, alerts)
 	db.registerSystemTables()
@@ -233,8 +242,15 @@ func (db *DB) Feedback() *cardest.FeedbackLog { return db.feedback }
 func (db *DB) NewEstimatorCache(base cardest.Estimator, capacity int) *cardest.EstimateCache {
 	c := cardest.NewEstimateCache(base, capacity)
 	c.Instrument(db.reg)
+	// A retrain changes what the estimator would say at plan time, so
+	// compiled plans (with estimates frozen in) go stale too.
+	db.plans.WatchEstimator(base)
 	return c
 }
+
+// PlanCache exposes the shared compiled-plan cache (system.plan_cache's
+// backing store).
+func (db *DB) PlanCache() *plancache.Cache { return db.plans }
 
 // QErrorWindow exposes the monitor's sliding window over feedback
 // q-errors, the drift KPI for learned cardinality estimation.

@@ -145,6 +145,47 @@ func (db *DB) registerSystemTables() {
 	})
 
 	register(&catalog.FuncTable{
+		QName: "system.plan_cache",
+		Cols: catalog.Schema{Columns: []catalog.Column{
+			txtCol("cache_key"), txtCol("fingerprint"),
+			intCol("num_params"), intCol("hits"),
+			intCol("plan_ns"), intCol("bytes"),
+		}},
+		Est: func() int { return db.plans.Len() },
+		Fetch: func() ([]catalog.Row, error) {
+			entries := db.plans.Entries()
+			sort.Slice(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key })
+			rows := make([]catalog.Row, len(entries))
+			for i, e := range entries {
+				rows[i] = catalog.Row{
+					e.Key, e.Fingerprint,
+					int64(e.NumParams), int64(e.Hits()),
+					e.PlanNs, e.Bytes,
+				}
+			}
+			return rows, nil
+		},
+	})
+
+	register(&catalog.FuncTable{
+		QName: "system.plan_cache_stats",
+		Cols: catalog.Schema{Columns: []catalog.Column{
+			intCol("hits"), intCol("misses"), intCol("invalidations"),
+			intCol("evictions"), intCol("inserts"),
+			intCol("entries"), intCol("bytes"),
+		}},
+		Est: func() int { return 1 },
+		Fetch: func() ([]catalog.Row, error) {
+			s := db.plans.Snapshot()
+			return []catalog.Row{{
+				int64(s.Hits), int64(s.Misses), int64(s.Invalidations),
+				int64(s.Evictions), int64(s.Inserts),
+				int64(s.Entries), s.Bytes,
+			}}, nil
+		},
+	})
+
+	register(&catalog.FuncTable{
 		QName: "system.settings",
 		Cols: catalog.Schema{Columns: []catalog.Column{
 			txtCol("name"), intCol("value"),

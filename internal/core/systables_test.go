@@ -36,7 +36,8 @@ func sysWorkloadDB(t *testing.T) *DB {
 // TestSystemTablesRegistered: every promised system table is queryable.
 func TestSystemTablesRegistered(t *testing.T) {
 	db := Open()
-	want := []string{"system.alerts", "system.metrics", "system.settings",
+	want := []string{"system.alerts", "system.metrics",
+		"system.plan_cache", "system.plan_cache_stats", "system.settings",
 		"system.slow_queries", "system.statements", "system.tables"}
 	got := db.SystemTables()
 	if len(got) != len(want) {

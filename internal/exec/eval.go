@@ -32,12 +32,28 @@ type ScalarFunc func(args []catalog.Value) (catalog.Value, error)
 type FuncRegistry map[string]ScalarFunc
 
 // Scope maps qualified column names to row positions for evaluation.
+// Params, when set, carries the positional bindings for $N parameter
+// placeholders (1-based; Params[0] binds $1), so one cached
+// parameterized plan evaluates against per-execution values.
 type Scope struct {
-	names []string
+	names  []string
+	Params []catalog.Value
 }
 
 // NewScope builds a scope from a plan schema.
 func NewScope(names []string) *Scope { return &Scope{names: names} }
+
+// NewScopeParams builds a scope from a plan schema with positional
+// parameter bindings, for evaluation outside an executor (DML paths).
+func NewScopeParams(names []string, params []catalog.Value) *Scope {
+	return &Scope{names: names, Params: params}
+}
+
+// newScope builds a scope carrying this executor's parameter bindings,
+// so $N placeholders in cached plans resolve against the current run.
+func (ex *Executor) newScope(names []string) *Scope {
+	return &Scope{names: names, Params: ex.Params}
+}
 
 // Resolve finds the position of a column reference; it accepts exact
 // qualified matches and unambiguous suffix matches.
@@ -76,6 +92,15 @@ func Eval(e sql.Expr, scope *Scope, row catalog.Row, funcs FuncRegistry) (catalo
 			return nil, err
 		}
 		return row[idx], nil
+	case *sql.ParamRef:
+		var bound []catalog.Value
+		if scope != nil {
+			bound = scope.Params
+		}
+		if v.Index < 1 || v.Index > len(bound) {
+			return nil, fmt.Errorf("exec: parameter $%d is not bound (%d bound)", v.Index, len(bound))
+		}
+		return bound[v.Index-1], nil
 	case *sql.NotExpr:
 		b, err := EvalBool(v.Inner, scope, row, funcs)
 		if err != nil {

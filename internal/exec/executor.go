@@ -88,6 +88,13 @@ type Executor struct {
 	// selects DefaultScanMorselPages.
 	ScanMorselPages int
 
+	// Params carries positional bindings for $N placeholders in the
+	// plan's expressions (Params[0] binds $1). The executor injects them
+	// into every evaluation scope it creates, which is how one cached
+	// parameterized plan runs under different bindings: the plan stays
+	// shared and immutable, the values live here, per Run.
+	Params []catalog.Value
+
 	// poolHook, when set, receives each RunContext's chunk pool after
 	// the pipeline is torn down — the leak-detection seam for tests
 	// (outstanding() must be zero on every exit path).

@@ -164,19 +164,64 @@ type joinEntry struct {
 	row catalog.Row
 }
 
-// buildPartitioned builds P per-partition hash tables from buildRows in
-// two lock-free parallel phases: (1) each build morsel splits its rows
-// by hash(key) % P into morsel-local partition lists; (2) one worker
-// per partition merges that partition's lists in morsel order, so rows
+// joinBucket holds all build rows sharing one join key. Buckets are
+// pointer-valued so inserting into an existing key mutates the bucket
+// in place through a no-allocation map lookup — the key string is
+// materialized once per distinct key, not once per build row.
+type joinBucket struct{ rows []catalog.Row }
+
+// buildPartitioned builds P per-partition hash tables from the build
+// side's row sets (one per drained build chunk — passed through as-is,
+// never flattened into one big copy). With one partition it builds the
+// table directly in a single pass: no intermediate split lists, no
+// per-row key-string allocation. With P > 1 it runs two lock-free
+// parallel phases: (1) each row-set morsel splits its rows by
+// hash(key) % P into morsel-local partition lists; (2) one worker per
+// partition merges that partition's lists in morsel order, so rows
 // within a key keep build-input order and the probe output matches the
 // serial join exactly. No shared map is ever written concurrently.
-func (ex *Executor) buildPartitioned(rc *runCtx, prof *OpProfile, buildRows []catalog.Row, buildIdx, numParts int) ([]map[string][]catalog.Row, error) {
-	chunks := chunkBounds(len(buildRows), ex.morselRows())
-	split := make([][][]joinEntry, len(chunks))
-	err := ex.runMorsels(rc, prof, len(chunks), func(m int) error {
+func (ex *Executor) buildPartitioned(rc *runCtx, prof *OpProfile, rowsets [][]catalog.Row, buildIdx, numParts int) ([]map[string]*joinBucket, error) {
+	total := 0
+	for _, rs := range rowsets {
+		total += len(rs)
+	}
+	if numParts <= 1 {
+		// Serial fast path: each row set is one unit of work (kept on the
+		// morsel counters so \metrics sees the same dispatch accounting).
+		ex.Obs.Morsels.Add(uint64(len(rowsets)))
+		if prof != nil {
+			prof.morsels.Add(int64(len(rowsets)))
+		}
+		ht := make(map[string]*joinBucket, total)
+		keyBuf := make([]byte, 0, 64)
+		n := 0
+		for _, rs := range rowsets {
+			if err := rc.err(); err != nil {
+				return nil, err
+			}
+			for _, r := range rs {
+				if n > 0 && n%ctxCheckRows == 0 {
+					if err := rc.err(); err != nil {
+						return nil, err
+					}
+				}
+				n++
+				keyBuf = appendValKey(keyBuf[:0], r[buildIdx])
+				b := ht[string(keyBuf)] // compiler-optimized: no key alloc
+				if b == nil {
+					b = &joinBucket{}
+					ht[string(keyBuf)] = b
+				}
+				b.rows = append(b.rows, r)
+			}
+		}
+		return []map[string]*joinBucket{ht}, nil
+	}
+	split := make([][][]joinEntry, len(rowsets))
+	err := ex.runMorsels(rc, prof, len(rowsets), func(m int) error {
 		local := make([][]joinEntry, numParts)
 		keyBuf := make([]byte, 0, 64)
-		for _, r := range buildRows[chunks[m][0]:chunks[m][1]] {
+		for _, r := range rowsets[m] {
 			keyBuf = appendValKey(keyBuf[:0], r[buildIdx])
 			p := int(hashBytes(keyBuf) % uint64(numParts))
 			local[p] = append(local[p], joinEntry{key: string(keyBuf), row: r})
@@ -187,16 +232,21 @@ func (ex *Executor) buildPartitioned(rc *runCtx, prof *OpProfile, buildRows []ca
 	if err != nil {
 		return nil, err
 	}
-	tables := make([]map[string][]catalog.Row, numParts)
+	tables := make([]map[string]*joinBucket, numParts)
 	err = ex.runMorsels(rc, prof, numParts, func(p int) error {
 		n := 0
 		for m := range split {
 			n += len(split[m][p])
 		}
-		ht := make(map[string][]catalog.Row, n)
+		ht := make(map[string]*joinBucket, n)
 		for m := range split {
 			for _, e := range split[m][p] {
-				ht[e.key] = append(ht[e.key], e.row)
+				b := ht[e.key]
+				if b == nil {
+					b = &joinBucket{}
+					ht[e.key] = b
+				}
+				b.rows = append(b.rows, e.row)
 			}
 		}
 		tables[p] = ht

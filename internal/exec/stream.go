@@ -724,14 +724,17 @@ type joinOp struct {
 
 	opened bool
 	err    error
-	tables []map[string][]catalog.Row
+	tables []map[string]*joinBucket
 	nparts uint64
 	keyBuf []byte
 }
 
 func (j *joinOp) open(ctx context.Context) error {
 	j.opened = true
-	var buildRows []catalog.Row
+	// Keep each escaped chunk's row slice as-is: the hash tables
+	// reference the rows in place, so flattening them into one big
+	// buildRows copy would only add allocation churn.
+	var rowsets [][]catalog.Row
 	for {
 		c, ok, err := j.build.Next(ctx)
 		if err != nil {
@@ -740,12 +743,12 @@ func (j *joinOp) open(ctx context.Context) error {
 		if !ok {
 			break
 		}
-		buildRows = append(buildRows, c.rows...)
+		rowsets = append(rowsets, c.rows)
 		j.rc.escape(c)
 	}
 	j.build.Close()
 	w := j.ex.workers()
-	tables, err := j.ex.buildPartitioned(j.rc, j.prof, buildRows, j.buildIdx, w)
+	tables, err := j.ex.buildPartitioned(j.rc, j.prof, rowsets, j.buildIdx, w)
 	if err != nil {
 		return err
 	}
@@ -781,16 +784,18 @@ func (j *joinOp) Next(ctx context.Context) (*Chunk, bool, error) {
 				}
 			}
 			j.keyBuf = appendValKey(j.keyBuf[:0], pr[j.probeIdx])
-			for _, br := range j.tables[hashBytes(j.keyBuf)%j.nparts][string(j.keyBuf)] {
-				row := out.newRow(len(br) + len(pr))
-				if j.buildIsLeft {
-					copy(row, br)
-					copy(row[len(br):], pr)
-				} else {
-					copy(row, pr)
-					copy(row[len(pr):], br)
+			if b := j.tables[hashBytes(j.keyBuf)%j.nparts][string(j.keyBuf)]; b != nil {
+				for _, br := range b.rows {
+					row := out.newRow(len(br) + len(pr))
+					if j.buildIsLeft {
+						copy(row, br)
+						copy(row[len(br):], pr)
+					} else {
+						copy(row, pr)
+						copy(row[len(pr):], br)
+					}
+					out.rows = append(out.rows, row)
 				}
-				out.rows = append(out.rows, row)
 			}
 		}
 		j.rc.recycle(pc)
@@ -923,7 +928,7 @@ func (s *sortOp) Close() { s.in.Close() }
 // expression.
 func (ex *Executor) sortRows(rc *runCtx, v *plan.SortNode, in []catalog.Row) ([]catalog.Row, error) {
 	schema := v.Input.Schema()
-	scope := NewScope(schema)
+	scope := ex.newScope(schema)
 	keyCol := make([]int, len(v.Keys))
 	for ki, k := range v.Keys {
 		keyCol[ki] = -1
@@ -1095,14 +1100,14 @@ func (ex *Executor) compile(rc *runCtx, n plan.Node) (BatchOperator, error) {
 		if err != nil {
 			return nil, err
 		}
-		t := &filterTransform{ex: ex, rc: rc, cond: v.Cond, scope: NewScope(v.Input.Schema()), prof: ex.Profile.of(v)}
+		t := &filterTransform{ex: ex, rc: rc, cond: v.Cond, scope: ex.newScope(v.Input.Schema()), prof: ex.Profile.of(v)}
 		return fused(rc, in, t), nil
 	case *plan.ProjectNode:
 		in, err := ex.compile(rc, v.Input)
 		if err != nil {
 			return nil, err
 		}
-		t := &projectTransform{ex: ex, rc: rc, items: v.Items, scope: NewScope(v.Input.Schema()), prof: ex.Profile.of(v)}
+		t := &projectTransform{ex: ex, rc: rc, items: v.Items, scope: ex.newScope(v.Input.Schema()), prof: ex.Profile.of(v)}
 		return fused(rc, in, t), nil
 	case *plan.JoinNode:
 		return ex.compileJoin(rc, v)
@@ -1111,7 +1116,7 @@ func (ex *Executor) compile(rc *runCtx, n plan.Node) (BatchOperator, error) {
 		if err != nil {
 			return nil, err
 		}
-		op := &aggOp{ex: ex, rc: rc, node: v, scope: NewScope(v.Input.Schema()), in: in}
+		op := &aggOp{ex: ex, rc: rc, node: v, scope: ex.newScope(v.Input.Schema()), in: in}
 		return ex.profiled(op, v), nil
 	case *plan.SortNode:
 		in, err := ex.compile(rc, v.Input)
@@ -1164,12 +1169,23 @@ func (ex *Executor) compileJoin(rc *runCtx, v *plan.JoinNode) (BatchOperator, er
 		right.Close()
 		return nil, fmt.Errorf("exec: join right key: %w", err)
 	}
-	est := plan.HistogramEstimator{}
 	j := &joinOp{
 		ex: ex, rc: rc, node: v, prof: ex.Profile.of(v),
 		outWidth: len(v.Left.Schema()) + len(v.Right.Schema()),
 	}
-	if plan.EstimateRows(v.Right, est) < plan.EstimateRows(v.Left, est) {
+	// A plan-time annotation (cached plans) freezes the build side; only
+	// un-annotated plans consult the estimator here, per run.
+	buildRight := false
+	switch v.BuildSide {
+	case plan.BuildRight:
+		buildRight = true
+	case plan.BuildLeft:
+		buildRight = false
+	default:
+		est := plan.HistogramEstimator{}
+		buildRight = plan.EstimateRows(v.Right, est) < plan.EstimateRows(v.Left, est)
+	}
+	if buildRight {
 		j.build, j.probe = right, left
 		j.buildIdx, j.probeIdx = rIdx, lIdx
 		j.buildIsLeft = false

@@ -7,10 +7,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 32 {
-		t.Fatalf("registered %d experiments, want 32: %v", len(ids), ids)
+	if len(ids) != 33 {
+		t.Fatalf("registered %d experiments, want 33: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[31] != "E32" {
+	if ids[0] != "E1" || ids[32] != "E33" {
 		t.Errorf("ordering wrong: %v", ids)
 	}
 }

@@ -125,6 +125,38 @@ type JoinNode struct {
 	Left, Right Node
 	// LeftCol/RightCol are qualified column names in the child schemas.
 	LeftCol, RightCol string
+
+	// BuildSide, when non-zero, freezes the hash-join build side chosen
+	// from cardinality estimates at plan time (BuildLeft or BuildRight).
+	// The executor honours it without re-estimating, so a cached plan
+	// carries its estimates with it and plan-cache hits never invoke an
+	// estimator. Zero (BuildAuto) lets the executor estimate per run.
+	BuildSide int
+}
+
+// BuildSide values for JoinNode.
+const (
+	BuildAuto  = 0
+	BuildLeft  = 1
+	BuildRight = 2
+)
+
+// AnnotateBuildSides walks the plan and freezes every hash join's build
+// side using est (ties build left, matching the executor's default).
+// Call it once at plan time, before caching: the estimates are computed
+// here, stored on the nodes, and re-used by every execution of the
+// cached plan.
+func AnnotateBuildSides(n Node, est CardinalityEstimator) {
+	if j, ok := n.(*JoinNode); ok {
+		if EstimateRows(j.Right, est) < EstimateRows(j.Left, est) {
+			j.BuildSide = BuildRight
+		} else {
+			j.BuildSide = BuildLeft
+		}
+	}
+	for _, c := range n.Children() {
+		AnnotateBuildSides(c, est)
+	}
 }
 
 // Schema implements Node.

@@ -53,6 +53,14 @@ type Star struct{}
 func (*Star) expr()          {}
 func (*Star) String() string { return "*" }
 
+// ParamRef is a positional parameter placeholder ($1, $2, ...) inside a
+// prepared statement. Indexes are 1-based; values bind at execute time
+// (EXECUTE name (v1, v2, ...)), so one cached plan serves all bindings.
+type ParamRef struct{ Index int }
+
+func (*ParamRef) expr()            {}
+func (p *ParamRef) String() string { return fmt.Sprintf("$%d", p.Index) }
+
 // BinaryExpr is a binary operation (comparison, boolean, arithmetic).
 type BinaryExpr struct {
 	Op          string // =, !=, <, <=, >, >=, AND, OR, +, -, *, /
@@ -253,6 +261,202 @@ type AnalyzeStmt struct{ Table string }
 
 func (*AnalyzeStmt) stmt() {}
 
+// PrepareStmt is `PREPARE name AS <statement>`: parse (and for SELECT,
+// plan) once, then run repeatedly through EXECUTE with bound parameters.
+type PrepareStmt struct {
+	Name string
+	Stmt Statement
+}
+
+func (*PrepareStmt) stmt() {}
+
+// ExecuteStmt is `EXECUTE name [(arg1, arg2, ...)]` — run a prepared
+// statement with constant arguments bound to its $N placeholders.
+type ExecuteStmt struct {
+	Name string
+	Args []Expr
+}
+
+func (*ExecuteStmt) stmt() {}
+
+// DeallocateStmt is `DEALLOCATE [PREPARE] name` — drop a prepared
+// statement from the session's namespace.
+type DeallocateStmt struct{ Name string }
+
+func (*DeallocateStmt) stmt() {}
+
+// BeginStmt / CommitStmt / RollbackStmt delimit a session transaction.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmt() {}
+
+// CommitStmt ends the current session transaction.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+// RollbackStmt aborts the current session transaction.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}
+
+// WalkExprs visits every expression tree hanging off s (recursively
+// through nested statements such as PREPARE bodies), calling fn on each
+// root expression. Statements without expressions are no-ops.
+func WalkExprs(s Statement, fn func(Expr)) {
+	visit := func(e Expr) {
+		if e != nil {
+			fn(e)
+		}
+	}
+	switch v := s.(type) {
+	case *SelectStmt:
+		for _, it := range v.Items {
+			visit(it.Expr)
+		}
+		for _, j := range v.Joins {
+			visit(j.On)
+		}
+		visit(v.Where)
+		for _, g := range v.GroupBy {
+			visit(g)
+		}
+		for _, o := range v.OrderBy {
+			visit(o.Expr)
+		}
+	case *InsertStmt:
+		for _, row := range v.Rows {
+			for _, e := range row {
+				visit(e)
+			}
+		}
+	case *UpdateStmt:
+		for _, e := range v.Set {
+			visit(e)
+		}
+		visit(v.Where)
+	case *DeleteStmt:
+		visit(v.Where)
+	case *PrepareStmt:
+		WalkExprs(v.Stmt, fn)
+	case *ExecuteStmt:
+		for _, e := range v.Args {
+			visit(e)
+		}
+	case *ExplainStmt:
+		WalkExprs(v.Inner, fn)
+	}
+}
+
+// CountParams returns the number of positional parameters a statement
+// expects: the highest $N index referenced anywhere in it.
+func CountParams(s Statement) int {
+	max := 0
+	WalkExprs(s, func(root Expr) {
+		walkExpr(root, func(e Expr) {
+			if p, ok := e.(*ParamRef); ok && p.Index > max {
+				max = p.Index
+			}
+		})
+	})
+	return max
+}
+
+// walkExpr visits e and every subexpression.
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch v := e.(type) {
+	case *BinaryExpr:
+		walkExpr(v.Left, fn)
+		walkExpr(v.Right, fn)
+	case *NotExpr:
+		walkExpr(v.Inner, fn)
+	case *BetweenExpr:
+		walkExpr(v.Subject, fn)
+		walkExpr(v.Lo, fn)
+		walkExpr(v.Hi, fn)
+	case *InExpr:
+		walkExpr(v.Subject, fn)
+		for _, item := range v.List {
+			walkExpr(item, fn)
+		}
+	case *FuncCall:
+		for _, a := range v.Args {
+			walkExpr(a, fn)
+		}
+	}
+}
+
+// Deparse renders a SELECT statement back to canonical SQL text: every
+// literal, column, alias and clause in a fixed spelling, so two parses
+// of equivalent statements deparse identically. This is the
+// collision-safe identity the plan cache keys prepared statements by —
+// plan.Fingerprint deliberately normalizes constants and projections
+// away (statement grouping wants that), so it cannot distinguish plans
+// that differ only in literals. Non-SELECT statements deparse to "".
+func Deparse(s Statement) string {
+	v, ok := s.(*SelectStmt)
+	if !ok {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if v.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range v.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			sb.WriteString(" AS " + it.Alias)
+		}
+	}
+	sb.WriteString(" FROM " + v.Table)
+	if v.Alias != "" {
+		sb.WriteString(" " + v.Alias)
+	}
+	for _, j := range v.Joins {
+		sb.WriteString(" JOIN " + j.Table)
+		if j.Alias != "" {
+			sb.WriteString(" " + j.Alias)
+		}
+		sb.WriteString(" ON " + j.On.String())
+	}
+	if v.Where != nil {
+		sb.WriteString(" WHERE " + v.Where.String())
+	}
+	if len(v.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range v.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if len(v.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range v.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if v.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", v.Limit)
+	}
+	return sb.String()
+}
+
 // StatementKind names a statement's type for tracing and metrics
 // ("SELECT", "INSERT", ...). Unknown statement types report "UNKNOWN".
 func StatementKind(s Statement) string {
@@ -281,6 +485,18 @@ func StatementKind(s Statement) string {
 		return "SHOW"
 	case *AnalyzeStmt:
 		return "ANALYZE"
+	case *PrepareStmt:
+		return "PREPARE"
+	case *ExecuteStmt:
+		return "EXECUTE"
+	case *DeallocateStmt:
+		return "DEALLOCATE"
+	case *BeginStmt:
+		return "BEGIN"
+	case *CommitStmt:
+		return "COMMIT"
+	case *RollbackStmt:
+		return "ROLLBACK"
 	case *ExplainStmt:
 		if v.Analyze {
 			return "EXPLAIN ANALYZE " + StatementKind(v.Inner)

@@ -22,6 +22,7 @@ const (
 	TokFloat
 	TokString
 	TokSymbol // punctuation and operators
+	TokParam  // positional parameter placeholder: $1, $2, ...
 )
 
 // Token is one lexeme with its source position.
@@ -42,6 +43,8 @@ var keywords = map[string]bool{
 	"EXPLAIN": true, "ANALYZE": true, "SHOW": true, "MODELS": true,
 	"TABLES": true, "DISTINCT": true, "BETWEEN": true, "IN": true,
 	"NULL": true, "PRIMARY": true, "KEY": true,
+	"PREPARE": true, "EXECUTE": true, "DEALLOCATE": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 }
 
 // Lex tokenizes input, returning an error with position info on invalid
@@ -109,6 +112,17 @@ func Lex(input string) ([]Token, error) {
 				i++
 			}
 			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '$':
+			start := i
+			i++
+			ds := i
+			for i < n && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			if i == ds {
+				return nil, fmt.Errorf("sql: expected parameter number after '$' at position %d", start)
+			}
+			toks = append(toks, Token{Kind: TokParam, Text: input[ds:i], Pos: start})
 		case strings.ContainsRune("(),.*=+-/;", rune(c)):
 			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
 			i++

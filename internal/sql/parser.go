@@ -150,6 +150,56 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &AnalyzeStmt{Table: name}, nil
+	case p.accept(TokKeyword, "PREPARE"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &PrepareStmt{Name: name, Stmt: inner}, nil
+	case p.accept(TokKeyword, "EXECUTE"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st := &ExecuteStmt{Name: name}
+		if p.accept(TokSymbol, "(") {
+			if !p.at(TokSymbol, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					st.Args = append(st.Args, a)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case p.accept(TokKeyword, "DEALLOCATE"):
+		p.accept(TokKeyword, "PREPARE") // tolerated: DEALLOCATE PREPARE name
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DeallocateStmt{Name: name}, nil
+	case p.accept(TokKeyword, "BEGIN"):
+		return &BeginStmt{}, nil
+	case p.accept(TokKeyword, "COMMIT"):
+		return &CommitStmt{}, nil
+	case p.accept(TokKeyword, "ROLLBACK"):
+		return &RollbackStmt{}, nil
 	default:
 		return nil, fmt.Errorf("sql: unexpected token %q at start of statement", p.cur().Text)
 	}
@@ -742,6 +792,13 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	case t.Kind == TokString:
 		p.pos++
 		return &StringLit{Value: t.Text}, nil
+	case t.Kind == TokParam:
+		p.pos++
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sql: invalid parameter $%s at position %d", t.Text, t.Pos)
+		}
+		return &ParamRef{Index: n}, nil
 	case t.Kind == TokSymbol && t.Text == "*":
 		p.pos++
 		return &Star{}, nil
